@@ -1,0 +1,58 @@
+"""E3 — raw crypto operation rates (paper: 2.35 M AES ops/s openssl-speed analogue)."""
+
+from repro.analysis.experiments import run_crypto_rates
+from repro.crypto import (
+    AesCipher,
+    DeterministicRandom,
+    derive_symmetric_key,
+    fast_backend_available,
+    generate_keypair,
+    get_cipher,
+)
+
+from conftest import emit
+
+_RNG = DeterministicRandom(301)
+_KEY = _RNG.random_bytes(16)
+_BLOCK = _RNG.random_bytes(16)
+_KEYPAIR = generate_keypair(512, _RNG)
+_PAYLOAD = _RNG.random_bytes(24)
+_CIPHERTEXT = _KEYPAIR.public.encrypt(_PAYLOAD, _RNG)
+
+
+def test_e3_aes_block_pure(benchmark):
+    """Reference AES-128 single-block encryption rate."""
+    cipher = AesCipher(_KEY)
+    benchmark(lambda: cipher.encrypt_block(_BLOCK))
+
+
+def test_e3_aes_block_fast(benchmark):
+    """Accelerated-backend AES-128 single-block encryption rate (if available)."""
+    if not fast_backend_available():
+        benchmark(lambda: None)
+        return
+    cipher = get_cipher(_KEY, backend="fast")
+    benchmark(lambda: cipher.encrypt_block(_BLOCK))
+
+
+def test_e3_ks_derivation(benchmark):
+    """Stateless Ks = hash(KM, nonce, srcIP) derivation rate."""
+    benchmark(lambda: derive_symmetric_key(_KEY, b"n" * 8, b"\x0a\x01\x00\x01"))
+
+
+def test_e3_rsa512_encrypt(benchmark):
+    """RSA-512 public-key encryption (e = 3), the neutralizer's key-setup cost."""
+    benchmark(lambda: _KEYPAIR.public.encrypt(_PAYLOAD, _RNG))
+
+
+def test_e3_rsa512_decrypt(benchmark):
+    """RSA-512 private-key decryption (CRT), the source's key-setup cost."""
+    benchmark(lambda: _KEYPAIR.private.decrypt(_CIPHERTEXT))
+
+
+def test_e3_report(once):
+    """Regenerate the E3 rates table."""
+    result = once(run_crypto_rates, 800)
+    emit(result.report)
+    rates = result.rates
+    assert rates["rsa-512 encrypt (e=3)"].per_second > rates["rsa-512 decrypt (CRT)"].per_second

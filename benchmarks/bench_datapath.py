@@ -1,0 +1,39 @@
+"""E2 — data-path throughput: neutralized vs vanilla forwarding (paper: 422 vs 600 kpps)."""
+
+from repro.analysis.experiments import (
+    _standalone_domain,
+    make_neutralized_data_packet,
+    run_datapath_throughput,
+)
+from repro.baselines.vanilla import VanillaForwarder
+from repro.crypto.backend import fast_backend_available
+from repro.packet.addresses import ip
+from repro.packet.builder import udp_packet
+
+from conftest import emit
+
+_BACKEND = "fast" if fast_backend_available() else None
+
+
+def test_e2_neutralized_forwarding(benchmark):
+    """Time the neutralizer's per-packet forward-path processing."""
+    domain = _standalone_domain(seed=201, backend=_BACKEND)
+    neutralizer = domain.create_neutralizer("bench")
+    packet = make_neutralized_data_packet(domain, ip("10.1.0.9"), ip("10.3.0.5"),
+                                          64, _BACKEND)
+    benchmark(lambda: neutralizer.process(packet))
+    assert neutralizer.counters["data_packets_forwarded"] > 0
+
+
+def test_e2_vanilla_forwarding(benchmark):
+    """Time the vanilla forwarding baseline on a same-sized packet."""
+    forwarder = VanillaForwarder()
+    packet = udp_packet(ip("10.1.0.9"), ip("10.3.0.5"), b"u" * 64)
+    benchmark(lambda: forwarder.process(packet))
+
+
+def test_e2_report(once):
+    """Regenerate the E2 table (kpps for both paths and their ratio)."""
+    result = once(run_datapath_throughput, 3000)
+    emit(result.report)
+    assert 0.0 < result.relative_throughput < 1.0

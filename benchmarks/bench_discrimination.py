@@ -1,0 +1,17 @@
+"""E4 — the Figure-1 scenario: competitor VoIP with/without neutralizer and discrimination."""
+
+from repro.analysis.experiments import run_discrimination_experiment
+
+from conftest import emit
+
+
+def test_e4_discrimination_prevention(once):
+    """Regenerate the E4 arm table (MOS per arm, visibility of the competitor address)."""
+    result = once(run_discrimination_experiment, call_seconds=3.0)
+    emit(result.report)
+    degraded = result.arm("plain+discrimination")
+    protected = result.arm("neutralized+discrimination")
+    clean = result.arm("plain+no-discrimination")
+    assert degraded.competitor_report.mos < clean.competitor_report.mos - 0.5
+    assert abs(protected.competitor_report.mos - clean.competitor_report.mos) < 0.2
+    assert not protected.att_saw_competitor_address

@@ -1,0 +1,14 @@
+"""E8 — chosen vs alternative key-setup direction under load (§3.2 design choice)."""
+
+from repro.analysis.experiments import run_dos_design_comparison
+
+from conftest import emit
+
+
+def test_e8_key_setup_direction(once):
+    """Regenerate the E8 table: per-request cost at the neutralizer for both designs."""
+    result = once(run_dos_design_comparison, 100)
+    emit(result.report)
+    # The chosen design (neutralizer encrypts with e=3) sustains a much higher
+    # key-setup rate than the rejected one (neutralizer decrypts, 1024-bit).
+    assert result.advantage > 5.0

@@ -1,0 +1,28 @@
+"""E1 — key-setup throughput (paper §4: 24.4 kpps, ~88 M sources per hour)."""
+
+from repro.analysis.experiments import (
+    make_key_setup_packet,
+    run_key_setup_throughput,
+    _standalone_domain,
+)
+from repro.crypto.randomness import DeterministicRandom
+from repro.packet.addresses import ip
+
+from conftest import emit
+
+
+def test_e1_key_setup_fast_path(benchmark):
+    """Time one key-setup request → response at the neutralizer."""
+    domain = _standalone_domain(seed=101)
+    neutralizer = domain.create_neutralizer("bench")
+    packet = make_key_setup_packet(ip("10.1.0.7"), domain.anycast_address,
+                                   DeterministicRandom(102))
+    benchmark(lambda: neutralizer.process(packet))
+    assert neutralizer.counters["rsa_encryptions"] > 0
+
+
+def test_e1_report(once):
+    """Regenerate the E1 table (responses/s and sources served per lifetime)."""
+    result = once(run_key_setup_throughput, 300)
+    emit(result.report)
+    assert result.sources_served_per_lifetime > 1_000_000

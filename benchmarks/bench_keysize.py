@@ -1,0 +1,18 @@
+"""E7 — one-time RSA key-size ablation (§3.2 security/efficiency tradeoff)."""
+
+from repro.analysis.experiments import run_keysize_tradeoff
+
+from conftest import emit
+
+
+def test_e7_keysize_tradeoff(once):
+    """Regenerate the E7 key-size table (costs, symmetric equivalence, safety margin)."""
+    result = once(run_keysize_tradeoff, (384, 512, 768, 1024))
+    emit(result.report)
+    by_bits = {row.bits: row for row in result.rows}
+    assert by_bits[512].symmetric_equivalent == 56.0
+    # Larger keys cost the source more but buy a wider factoring margin.
+    assert by_bits[1024].source_decrypt_seconds > by_bits[512].source_decrypt_seconds
+    assert by_bits[1024].safety_margin > by_bits[512].safety_margin
+    # Even the 512-bit one-time key comfortably outlives its 2-RTT exposure window.
+    assert by_bits[512].safety_margin > 1e3

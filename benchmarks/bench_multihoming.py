@@ -1,0 +1,17 @@
+"""E10 — multi-homed site load balancing across providers' neutralizers (§3.5)."""
+
+from repro.analysis.experiments import run_multihoming_experiment
+from repro.analysis.scenarios import COGENT_ANYCAST
+
+from conftest import emit
+
+
+def test_e10_multihoming_selectors(once):
+    """Regenerate the E10 table: per-provider load share for each selection policy."""
+    result = once(run_multihoming_experiment, 2000)
+    emit(result.report)
+    round_robin = result.splits["round-robin"]
+    weighted = result.splits["weighted-4:1"]
+    assert abs(round_robin[str(COGENT_ANYCAST)] - 0.5) < 0.02
+    assert weighted[str(COGENT_ANYCAST)] > 0.7
+    assert result.adaptive_prefers_survivor

@@ -1,0 +1,16 @@
+"""E11 — pushback against a key-setup flood on the neutralizer (§3.6)."""
+
+from repro.analysis.experiments import run_pushback_experiment
+
+from conftest import emit
+
+
+def test_e11_pushback(once):
+    """Regenerate the E11 table: victim call quality and wasted RSA work, defense on/off."""
+    result = once(run_pushback_experiment, call_seconds=2.5)
+    emit(result.report)
+    arms = {arm.name: arm for arm in result.arms}
+    undefended = arms["no defense"]
+    defended = arms["pushback"]
+    assert defended.victim_call.mos > undefended.victim_call.mos
+    assert defended.neutralizer_rsa_ops < undefended.neutralizer_rsa_ops / 2

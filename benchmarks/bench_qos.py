@@ -1,0 +1,19 @@
+"""E9 — tiered service survives neutralization (§3.4 DSCP passthrough)."""
+
+from repro.analysis.experiments import run_qos_experiment
+
+from conftest import emit
+
+
+def test_e9_tiered_service(once):
+    """Regenerate the E9 table: EF vs best-effort latency/loss through a congested link."""
+    result = once(run_qos_experiment, call_seconds=2.5)
+    emit(result.report)
+    arms = {arm.scheduler: arm for arm in result.arms}
+    priority = arms["priority"]
+    fifo = arms["fifo"]
+    # With a priority scheduler the paid-for EF class gets a much better
+    # latency than best effort, even though every packet is neutralized.
+    assert priority.ef_latency < priority.be_latency
+    assert priority.ef_latency < fifo.ef_latency
+    assert priority.ef_loss <= fifo.ef_loss

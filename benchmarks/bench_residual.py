@@ -1,0 +1,17 @@
+"""E5 — residual discrimination against neutralized traffic (§3.6)."""
+
+from repro.analysis.experiments import run_residual_discrimination
+
+from conftest import emit
+
+
+def test_e5_residual_discrimination(once):
+    """Regenerate the E5 policy table (competitor MOS, collateral delivery, own-customer MOS)."""
+    result = once(run_residual_discrimination, call_seconds=3.0)
+    emit(result.report)
+    arms = {arm.name: arm for arm in result.arms}
+    # Targeting the competitor no longer works once traffic is neutralized.
+    assert arms["target-competitor"].competitor_report.mos >= arms["none"].competitor_report.mos - 0.2
+    # The blunt levers do hurt, but only by touching whole traffic classes.
+    assert arms["throttle-encrypted"].competitor_report.mos < arms["none"].competitor_report.mos
+    assert arms["throttle-encrypted"].collateral_delivery_ratio < arms["none"].collateral_delivery_ratio

@@ -1,0 +1,16 @@
+"""E6 — neutralizer vs onion-routing resource consumption (§5 related-work claim)."""
+
+from repro.analysis.experiments import run_onion_comparison
+
+from conftest import emit
+
+
+def test_e6_vs_onion(once):
+    """Regenerate the E6 state/public-key/AES comparison tables."""
+    result = once(run_onion_comparison, 30, 10)
+    emit(result.report)
+    rows = {name: (neutralizer, onion) for name, neutralizer, onion in result.measured_rows}
+    assert rows["state entries (all boxes/relays)"][0] == 0.0
+    assert rows["state entries (all boxes/relays)"][1] > 0.0
+    assert rows["public-key operations"][0] < rows["public-key operations"][1]
+    assert rows["AES ops per data packet"][0] < rows["AES ops per data packet"][1]

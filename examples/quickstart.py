@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Quickstart: deploy a neutralizer and send traffic an access ISP cannot target.
+
+Builds a three-node path (Ann in AT&T, Google in Cogent), deploys the
+neutralizer service on Cogent's border, attaches the transparent host stacks,
+and shows that (a) the application exchange works unchanged, and (b) AT&T
+never sees Google's address or the payload.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro.core import neutralize_isp
+from repro.crypto import DeterministicRandom
+from repro.netsim import Relationship, Topology, TraceCollector
+from repro.packet import ip, udp_packet
+from repro.units import mbps, msec
+
+
+def main() -> None:
+    rng = DeterministicRandom(2006)
+
+    # 1. Build a small internetwork: a discriminatory access ISP and a neutral ISP.
+    topo = Topology()
+    topo.add_isp("att", 7018, "10.1.0.0/16", discriminatory=True)
+    topo.add_isp("cogent", 174, "10.3.0.0/16")
+    topo.add_router("att-br", "att", border=True)
+    topo.add_router("cogent-br", "cogent", border=True)
+    ann = topo.add_host("ann", "att")
+    google = topo.add_host("google", "cogent")
+    topo.add_link("ann", "att-br", rate_bps=mbps(20), delay_seconds=msec(2))
+    topo.add_link("att-br", "cogent-br", rate_bps=mbps(500), delay_seconds=msec(8))
+    topo.add_link("cogent-br", "google", rate_bps=mbps(100), delay_seconds=msec(1))
+    topo.set_relationship("att", "cogent", Relationship.PEER)
+    topo.build_routes()
+
+    # Record everything AT&T's border router can observe (the eavesdropper view).
+    att_view = TraceCollector("att-view")
+    topo.router("att-br").ingress_hooks.append(att_view.router_hook())
+
+    # 2. Deploy the neutralizer service on Cogent and attach the host stacks.
+    deployment = neutralize_isp(topo, "cogent", ip("10.200.0.1"), rng=rng)
+    deployment.attach_server(google, dns_name="www.google.com")
+    deployment.attach_client(ann, publish_key=True)
+    deployment.bootstrap_client("ann", "google")
+    print(deployment.deployment.describe())
+
+    # 3. Run an ordinary request/response application on top.
+    def serve(packet, host):
+        reply = udp_packet(host.address, packet.source, b"HTTP/1.1 200 OK " + packet.payload,
+                           source_port=80, destination_port=packet.udp.source_port)
+        host.send(reply)
+
+    google.register_port_handler(80, serve)
+    replies = []
+    ann.register_port_handler(42000, lambda packet, host: replies.append(packet))
+
+    ann.send(udp_packet(ann.address, google.address, b"GET /index.html",
+                        source_port=42000, destination_port=80))
+    topo.run(3.0)
+
+    # 4. What happened?
+    print(f"\nAnn received {len(replies)} reply: {replies[0].payload!r}")
+    print(f"Reply appears to come from {replies[0].source} (Google's real address)")
+    print("\nWhat AT&T could see on the wire:")
+    print(f"  saw Google's address in any IP header:   "
+          f"{att_view.ever_saw_address(google.address, 'att-br')}")
+    print(f"  saw the request payload ('GET'):         "
+          f"{att_view.payload_contains(b'GET', 'att-br')}")
+    print(f"  addresses visible inside AT&T:           "
+          f"{sorted(str(a) for a in att_view.addresses_seen('att-br'))}")
+    print("\nNeutralizer counters:", deployment.counters()["neutralizers"])
+
+
+if __name__ == "__main__":
+    main()

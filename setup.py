@@ -1,0 +1,20 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+The canonical metadata lives in ``pyproject.toml``; this file only exists so
+that ``pip install -e . --no-use-pep517`` works in fully offline environments
+where PEP 660 editable builds cannot fetch their build requirements.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'A Technical Approach to Net Neutrality' (HotNets 2006)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy", "networkx"],
+)

@@ -1,0 +1,39 @@
+"""Analysis layer: metrics, scenario builders, experiment runners, reports."""
+
+from .metrics import (
+    ComparisonRow,
+    FlowSummary,
+    FlowTracker,
+    ThroughputResult,
+    compare,
+    measure_throughput,
+)
+from .report import ExperimentReport, format_series, format_table
+from .scenarios import (
+    COGENT_ANYCAST,
+    COGENT_SITES,
+    VERIZON_ANYCAST,
+    Figure1Scenario,
+    build_base_topology,
+    build_dumbbell,
+    build_figure1,
+)
+
+__all__ = [
+    "ComparisonRow",
+    "FlowSummary",
+    "FlowTracker",
+    "ThroughputResult",
+    "compare",
+    "measure_throughput",
+    "ExperimentReport",
+    "format_series",
+    "format_table",
+    "COGENT_ANYCAST",
+    "COGENT_SITES",
+    "VERIZON_ANYCAST",
+    "Figure1Scenario",
+    "build_base_topology",
+    "build_dumbbell",
+    "build_figure1",
+]

@@ -1,0 +1,133 @@
+"""Measurement helpers: throughput meters and flow-level summaries.
+
+The per-node/per-link raw counters live in :mod:`repro.netsim.stats`; this
+module aggregates them into the quantities the experiment tables report —
+packets/second of a processing fast path, per-flow delivery statistics, and
+simple comparisons between experiment arms.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional
+
+
+@dataclass
+class ThroughputResult:
+    """Result of a timed fast-path measurement."""
+
+    label: str
+    operations: int
+    elapsed_seconds: float
+
+    @property
+    def per_second(self) -> float:
+        """Operations per second (the paper's kpps figures)."""
+        if self.elapsed_seconds <= 0:
+            return float("inf")
+        return self.operations / self.elapsed_seconds
+
+    @property
+    def kpps(self) -> float:
+        """Thousands of operations per second."""
+        return self.per_second / 1000.0
+
+
+def measure_throughput(label: str, operation: Callable[[], None], *,
+                       iterations: int, warmup: int = 10) -> ThroughputResult:
+    """Time ``operation`` over ``iterations`` calls (wall clock, after warmup).
+
+    This is the in-process analogue of the paper's "output packets at N kpps"
+    measurement: the absolute numbers depend on the substrate (Python vs a
+    Click kernel module), the *ratios* between labels are what EXPERIMENTS.md
+    compares against the paper.
+    """
+    for _ in range(warmup):
+        operation()
+    start = time.perf_counter()
+    for _ in range(iterations):
+        operation()
+    elapsed = time.perf_counter() - start
+    return ThroughputResult(label=label, operations=iterations, elapsed_seconds=elapsed)
+
+
+@dataclass
+class FlowSummary:
+    """Delivery summary of one labelled flow."""
+
+    flow_id: str
+    packets_sent: int
+    packets_received: int
+    mean_latency_seconds: float = 0.0
+
+    @property
+    def delivery_ratio(self) -> float:
+        """Fraction of sent packets that arrived."""
+        if self.packets_sent == 0:
+            return 0.0
+        return self.packets_received / self.packets_sent
+
+    @property
+    def loss_rate(self) -> float:
+        """Fraction of sent packets that were lost."""
+        return 1.0 - self.delivery_ratio
+
+
+class FlowTracker:
+    """Counts sends and receipts per flow id (attach at sender and receiver)."""
+
+    def __init__(self) -> None:
+        self._sent: Dict[str, int] = {}
+        self._received: Dict[str, int] = {}
+        self._latency_sum: Dict[str, float] = {}
+
+    def record_sent(self, flow_id: str) -> None:
+        """Account one sent packet for ``flow_id``."""
+        self._sent[flow_id] = self._sent.get(flow_id, 0) + 1
+
+    def record_received(self, flow_id: str, latency_seconds: float = 0.0) -> None:
+        """Account one received packet for ``flow_id``."""
+        self._received[flow_id] = self._received.get(flow_id, 0) + 1
+        self._latency_sum[flow_id] = self._latency_sum.get(flow_id, 0.0) + latency_seconds
+
+    def summary(self, flow_id: str) -> FlowSummary:
+        """Summary for one flow."""
+        received = self._received.get(flow_id, 0)
+        mean_latency = (
+            self._latency_sum.get(flow_id, 0.0) / received if received else 0.0
+        )
+        return FlowSummary(
+            flow_id=flow_id,
+            packets_sent=self._sent.get(flow_id, 0),
+            packets_received=received,
+            mean_latency_seconds=mean_latency,
+        )
+
+    def summaries(self) -> List[FlowSummary]:
+        """Summaries for every flow that sent at least one packet."""
+        return [self.summary(flow_id) for flow_id in sorted(self._sent)]
+
+
+@dataclass
+class ComparisonRow:
+    """One row of an A/B comparison table."""
+
+    metric: str
+    baseline: float
+    treatment: float
+
+    @property
+    def ratio(self) -> float:
+        """treatment / baseline (inf when the baseline is zero)."""
+        if self.baseline == 0:
+            return float("inf")
+        return self.treatment / self.baseline
+
+
+def compare(metrics: Dict[str, float], baseline: Dict[str, float]) -> List[ComparisonRow]:
+    """Build comparison rows for every metric present in both dictionaries."""
+    rows = []
+    for name in sorted(set(metrics) & set(baseline)):
+        rows.append(ComparisonRow(metric=name, baseline=baseline[name], treatment=metrics[name]))
+    return rows

@@ -1,0 +1,87 @@
+"""Plain-text table and report formatting for benchmarks and examples.
+
+Every benchmark prints the rows it reproduces in the same fixed-width table
+format so EXPERIMENTS.md can quote them directly.  No plotting dependencies:
+"figures" are rendered as series tables (x column plus one column per series),
+which preserves the shape comparisons the reproduction is judged on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+Number = Union[int, float]
+
+
+def _format_cell(value, width: int) -> str:
+    if isinstance(value, float):
+        if value == float("inf"):
+            text = "inf"
+        elif abs(value) >= 1000 or (abs(value) < 0.01 and value != 0):
+            text = f"{value:.3g}"
+        else:
+            text = f"{value:.3f}"
+    else:
+        text = str(value)
+    return text.rjust(width)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence], *,
+                 title: Optional[str] = None) -> str:
+    """Render a fixed-width table as a string."""
+    columns = len(headers)
+    normalized_rows = [[_format_cell(cell, 0).strip() for cell in row] for row in rows]
+    widths = [
+        max(len(str(headers[i])), *(len(row[i]) for row in normalized_rows)) if normalized_rows
+        else len(str(headers[i]))
+        for i in range(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(str(h).rjust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in normalized_rows:
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+@dataclass
+class ExperimentReport:
+    """A named collection of tables produced by one experiment."""
+
+    experiment_id: str
+    title: str
+    tables: List[str] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_table(self, headers: Sequence[str], rows: Sequence[Sequence], *,
+                  title: Optional[str] = None) -> None:
+        """Format and append one table."""
+        self.tables.append(format_table(headers, rows, title=title))
+
+    def add_note(self, note: str) -> None:
+        """Append a free-form observation."""
+        self.notes.append(note)
+
+    def render(self) -> str:
+        """Render the whole report as text."""
+        lines = [f"=== {self.experiment_id}: {self.title} ==="]
+        for table in self.tables:
+            lines.append(table)
+            lines.append("")
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines).rstrip() + "\n"
+
+
+def format_series(x_label: str, x_values: Sequence[Number],
+                  series: Dict[str, Sequence[Number]], *, title: Optional[str] = None) -> str:
+    """Render a "figure" as a table: one x column and one column per series."""
+    headers = [x_label] + list(series)
+    rows = []
+    for index, x in enumerate(x_values):
+        rows.append([x] + [series[name][index] for name in series])
+    return format_table(headers, rows, title=title)

@@ -1,0 +1,30 @@
+"""Application models and workload generators used by the experiments."""
+
+from .video import VideoQualityReport, VideoReceiver, VideoStream
+from .voip import (
+    DEFAULT_VOIP_PORT,
+    VoipCall,
+    VoipQualityReport,
+    VoipReceiver,
+    run_call,
+)
+from .web import WebClient, WebServer, WebTransferResult
+from .workloads import ConstantRateSource, KeySetupFlood, PoissonSource, TrafficMix
+
+__all__ = [
+    "VideoQualityReport",
+    "VideoReceiver",
+    "VideoStream",
+    "DEFAULT_VOIP_PORT",
+    "VoipCall",
+    "VoipQualityReport",
+    "VoipReceiver",
+    "run_call",
+    "WebClient",
+    "WebServer",
+    "WebTransferResult",
+    "ConstantRateSource",
+    "KeySetupFlood",
+    "PoissonSource",
+    "TrafficMix",
+]

@@ -1,0 +1,155 @@
+"""Constant-bit-rate video streaming model.
+
+The §1 debate is driven by "increasingly popular video and audio
+applications"; experiments use this model as the bandwidth-hungry class that a
+discriminatory ISP might throttle and a neutral ISP might sell a premium tier
+for.  The stream is a paced sequence of fixed-size segments; the receiver
+tracks delivered throughput and a simple rebuffering proxy (segments arriving
+later than their playout deadline).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..exceptions import WorkloadError
+from ..netsim.node import Host
+from ..packet.addresses import IPv4Address
+from ..packet.builder import udp_packet
+from ..packet.dscp import Dscp
+from ..packet.packet import Packet
+
+DEFAULT_VIDEO_PORT = 8554
+
+
+@dataclass
+class VideoQualityReport:
+    """Received-stream quality of one video session."""
+
+    segments_sent: int
+    segments_received: int
+    late_segments: int
+    achieved_bitrate_bps: float
+    nominal_bitrate_bps: float
+
+    @property
+    def loss_rate(self) -> float:
+        """Fraction of segments that never arrived."""
+        if self.segments_sent == 0:
+            return 0.0
+        return 1.0 - self.segments_received / self.segments_sent
+
+    @property
+    def rebuffer_ratio(self) -> float:
+        """Fraction of received segments that missed their playout deadline."""
+        if self.segments_received == 0:
+            return 0.0
+        return self.late_segments / self.segments_received
+
+    @property
+    def is_watchable(self) -> bool:
+        """Rule of thumb: under 2 % loss and under 5 % late segments."""
+        return self.loss_rate < 0.02 and self.rebuffer_ratio < 0.05
+
+
+class VideoReceiver:
+    """Receives a video stream and tracks deadlines."""
+
+    def __init__(self, host: Host, *, port: int = DEFAULT_VIDEO_PORT,
+                 playout_deadline_seconds: float = 0.25) -> None:
+        self.host = host
+        self.port = port
+        self.playout_deadline_seconds = playout_deadline_seconds
+        self.segments_received = 0
+        self.bytes_received = 0
+        self.late_segments = 0
+        self.first_arrival: Optional[float] = None
+        self.last_arrival: Optional[float] = None
+        host.register_port_handler(port, self._handle)
+
+    def _handle(self, packet: Packet, host: Host) -> None:
+        self.segments_received += 1
+        self.bytes_received += len(packet.payload)
+        now = host.sim.now
+        if self.first_arrival is None:
+            self.first_arrival = now
+        self.last_arrival = now
+        sent_at = packet.meta.get("video_sent_at")
+        if sent_at is not None and now - sent_at > self.playout_deadline_seconds:
+            self.late_segments += 1
+
+
+class VideoStream:
+    """One CBR video session from a server host toward a viewer."""
+
+    def __init__(
+        self,
+        server: Host,
+        viewer_address: IPv4Address,
+        receiver: VideoReceiver,
+        *,
+        bitrate_bps: float = 2_000_000.0,
+        segment_bytes: int = 1200,
+        duration_seconds: float = 5.0,
+        dscp: int = int(Dscp.AF41),
+        port: int = DEFAULT_VIDEO_PORT,
+        name: str = "video",
+    ) -> None:
+        if bitrate_bps <= 0 or segment_bytes <= 0 or duration_seconds <= 0:
+            raise WorkloadError("bitrate, segment size and duration must be positive")
+        self.server = server
+        self.viewer_address = viewer_address
+        self.receiver = receiver
+        self.bitrate_bps = bitrate_bps
+        self.segment_bytes = segment_bytes
+        self.duration_seconds = duration_seconds
+        self.dscp = dscp
+        self.port = port
+        self.name = name
+        self.segments_sent = 0
+
+    @property
+    def segment_interval(self) -> float:
+        """Seconds between segments at the nominal bitrate."""
+        return (self.segment_bytes * 8) / self.bitrate_bps
+
+    @property
+    def total_segments(self) -> int:
+        """Segments needed to cover the configured duration."""
+        return max(1, int(self.duration_seconds / self.segment_interval))
+
+    def start(self, delay: float = 0.0) -> None:
+        """Schedule the whole stream."""
+        for index in range(self.total_segments):
+            self.server.sim.schedule(delay + index * self.segment_interval, self._send_one, index)
+
+    def _send_one(self, index: int) -> None:
+        payload = b"#VIDEO" + index.to_bytes(4, "big")
+        payload += b"v" * (self.segment_bytes - len(payload))
+        packet = udp_packet(
+            self.server.address,
+            self.viewer_address,
+            payload,
+            source_port=self.port,
+            destination_port=self.port,
+            dscp=self.dscp,
+            flow_id=self.name,
+        )
+        packet.meta["video_sent_at"] = self.server.sim.now
+        self.server.send(packet)
+        self.segments_sent += 1
+
+    def report(self) -> VideoQualityReport:
+        """Quality report for the viewer side."""
+        elapsed = 0.0
+        if self.receiver.first_arrival is not None and self.receiver.last_arrival is not None:
+            elapsed = max(self.receiver.last_arrival - self.receiver.first_arrival, 1e-9)
+        achieved = (self.receiver.bytes_received * 8) / elapsed if elapsed > 0 else 0.0
+        return VideoQualityReport(
+            segments_sent=self.segments_sent,
+            segments_received=self.receiver.segments_received,
+            late_segments=self.receiver.late_segments,
+            achieved_bitrate_bps=achieved,
+            nominal_bitrate_bps=self.bitrate_bps,
+        )

@@ -1,0 +1,143 @@
+"""A minimal request/response web transfer model.
+
+Used by experiments that need a second application class next to VoIP: a
+client sends a small request, the server answers with a multi-packet response,
+and the metric is page completion time.  The model is UDP-based (the simulator
+has no TCP) but paces the response to a configured burst rate so queueing and
+discrimination effects still show up in completion times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..exceptions import WorkloadError
+from ..netsim.node import Host
+from ..packet.addresses import IPv4Address
+from ..packet.builder import udp_packet
+from ..packet.packet import Packet
+
+DEFAULT_WEB_PORT = 80
+_RESPONSE_PACKET_BYTES = 1200
+
+
+@dataclass
+class WebTransferResult:
+    """Outcome of one web transfer."""
+
+    requested_bytes: int
+    received_bytes: int
+    started_at: float
+    completed_at: Optional[float]
+
+    @property
+    def complete(self) -> bool:
+        """``True`` when every byte arrived."""
+        return self.completed_at is not None
+
+    @property
+    def completion_seconds(self) -> float:
+        """Page load time (inf when the transfer never completed)."""
+        if self.completed_at is None:
+            return float("inf")
+        return self.completed_at - self.started_at
+
+
+class WebServer:
+    """Answers GET-like requests with a paced stream of response packets."""
+
+    def __init__(
+        self,
+        host: Host,
+        *,
+        port: int = DEFAULT_WEB_PORT,
+        response_bytes: int = 100_000,
+        packets_per_second: float = 500.0,
+    ) -> None:
+        if response_bytes <= 0 or packets_per_second <= 0:
+            raise WorkloadError("response size and pacing rate must be positive")
+        self.host = host
+        self.port = port
+        self.response_bytes = response_bytes
+        self.packets_per_second = packets_per_second
+        self.requests_served = 0
+        host.register_port_handler(port, self._handle_request)
+
+    def _handle_request(self, packet: Packet, host: Host) -> None:
+        self.requests_served += 1
+        total_packets = max(1, (self.response_bytes + _RESPONSE_PACKET_BYTES - 1)
+                            // _RESPONSE_PACKET_BYTES)
+        interval = 1.0 / self.packets_per_second
+        client_port = packet.udp.source_port if packet.udp is not None else self.port
+        for index in range(total_packets):
+            size = min(_RESPONSE_PACKET_BYTES, self.response_bytes - index * _RESPONSE_PACKET_BYTES)
+            host.sim.schedule(
+                index * interval,
+                self._send_chunk,
+                packet.source,
+                client_port,
+                index,
+                total_packets,
+                size,
+                packet.dscp,
+            )
+
+    def _send_chunk(self, client: IPv4Address, client_port: int, index: int,
+                    total: int, size: int, dscp: int) -> None:
+        payload = b"HTTP/1.1 200 OK " + index.to_bytes(4, "big") + total.to_bytes(4, "big")
+        payload = payload + b"x" * max(0, size - len(payload))
+        response = udp_packet(
+            self.host.address,
+            client,
+            payload,
+            source_port=self.port,
+            destination_port=client_port,
+            dscp=dscp,
+        )
+        self.host.send(response)
+
+
+class WebClient:
+    """Issues requests and measures completion time."""
+
+    def __init__(self, host: Host, *, port: int = 40080) -> None:
+        self.host = host
+        self.port = port
+        self._transfers: Dict[IPv4Address, WebTransferResult] = {}
+        self._expected: Dict[IPv4Address, int] = {}
+        host.register_port_handler(port, self._handle_response)
+
+    def request(self, server_address: IPv4Address, *, expected_bytes: int,
+                server_port: int = DEFAULT_WEB_PORT, dscp: int = 0) -> None:
+        """Send one request toward ``server_address``."""
+        self._transfers[server_address] = WebTransferResult(
+            requested_bytes=expected_bytes,
+            received_bytes=0,
+            started_at=self.host.sim.now,
+            completed_at=None,
+        )
+        self._expected[server_address] = expected_bytes
+        request = udp_packet(
+            self.host.address,
+            server_address,
+            b"GET / HTTP/1.1",
+            source_port=self.port,
+            destination_port=server_port,
+            dscp=dscp,
+        )
+        self.host.send(request)
+
+    def _handle_response(self, packet: Packet, host: Host) -> None:
+        result = self._transfers.get(packet.source)
+        if result is None:
+            return
+        result.received_bytes += len(packet.payload)
+        if result.completed_at is None and result.received_bytes >= result.requested_bytes:
+            result.completed_at = host.sim.now
+
+    def result_for(self, server_address: IPv4Address) -> WebTransferResult:
+        """Return the transfer result for one server."""
+        if server_address not in self._transfers:
+            raise WorkloadError(f"no transfer was started toward {server_address}")
+        return self._transfers[server_address]

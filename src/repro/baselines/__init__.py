@@ -1,0 +1,25 @@
+"""Baselines the paper compares against: vanilla forwarding, onion routing, paying ISPs."""
+
+from .onion import (
+    DEFAULT_CIRCUIT_LENGTH,
+    OnionClient,
+    OnionRelay,
+    RelayCircuitState,
+    ResourceComparison,
+    compare_resources,
+)
+from .payer import AccessProvider, PayerOutcome, PayEveryIspModel
+from .vanilla import VanillaForwarder
+
+__all__ = [
+    "DEFAULT_CIRCUIT_LENGTH",
+    "OnionClient",
+    "OnionRelay",
+    "RelayCircuitState",
+    "ResourceComparison",
+    "compare_resources",
+    "AccessProvider",
+    "PayerOutcome",
+    "PayEveryIspModel",
+    "VanillaForwarder",
+]

@@ -1,0 +1,238 @@
+"""Onion-routing baseline (Tor-like) for the §5 comparison.
+
+The paper argues the neutralizer is "considerably more efficient and scalable"
+than anonymous routing because anonymous routing keeps per-flow state at every
+relay and performs per-circuit public-key handshakes, whereas the neutralizer
+keeps no state and performs one cheap RSA encryption per source per master-key
+lifetime.  This module implements a deliberately faithful *cost model* of a
+three-hop onion circuit — telescoped public-key circuit construction, per-hop
+per-circuit symmetric keys kept in relay tables, layered AES on every data
+cell — so experiment E6 can put the two designs' state and public-key budgets
+side by side on identical workloads.  It is not Tor; it is the resource model
+of Tor-style designs the related-work section refers to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..crypto.backend import get_cipher
+from ..crypto.modes import ctr_decrypt, ctr_encrypt
+from ..crypto.randomness import DEFAULT_SOURCE, RandomSource
+from ..crypto.rsa import RsaKeyPair, generate_keypair
+from ..exceptions import NeutralizerError
+from ..packet.addresses import IPv4Address
+
+#: Default circuit length (entry, middle, exit), as in Tor.
+DEFAULT_CIRCUIT_LENGTH = 3
+
+
+@dataclass
+class RelayCircuitState:
+    """Per-circuit state one relay must keep (the thing the neutralizer avoids)."""
+
+    circuit_id: int
+    symmetric_key: bytes
+    next_hop: Optional[str]
+    previous_hop: Optional[str]
+
+
+class OnionRelay:
+    """A relay node with a long-term key pair and a per-circuit state table."""
+
+    def __init__(self, name: str, *, key_bits: int = 1024,
+                 rng: Optional[RandomSource] = None, backend: Optional[str] = None) -> None:
+        self.name = name
+        self._rng = rng or DEFAULT_SOURCE
+        self._backend = backend
+        self.keypair: RsaKeyPair = generate_keypair(key_bits, self._rng)
+        self.circuits: Dict[int, RelayCircuitState] = {}
+        self.counters: Dict[str, int] = {
+            "public_key_decryptions": 0,
+            "aes_operations": 0,
+            "cells_relayed": 0,
+            "circuits_created": 0,
+        }
+
+    def state_entries(self) -> int:
+        """Number of per-circuit entries currently held."""
+        return len(self.circuits)
+
+    # -- circuit construction -----------------------------------------------------------
+
+    def extend_circuit(self, circuit_id: int, handshake: bytes,
+                       previous_hop: Optional[str], next_hop: Optional[str]) -> bytes:
+        """Process a create/extend cell: costs one RSA decryption and one table entry."""
+        symmetric_key = self.keypair.private.decrypt(handshake)
+        self.counters["public_key_decryptions"] += 1
+        if len(symmetric_key) < 16:
+            raise NeutralizerError("malformed onion handshake")
+        self.circuits[circuit_id] = RelayCircuitState(
+            circuit_id=circuit_id,
+            symmetric_key=symmetric_key[:16],
+            next_hop=next_hop,
+            previous_hop=previous_hop,
+        )
+        self.counters["circuits_created"] += 1
+        return symmetric_key[:16]
+
+    def teardown_circuit(self, circuit_id: int) -> None:
+        """Remove per-circuit state."""
+        self.circuits.pop(circuit_id, None)
+
+    # -- data path ----------------------------------------------------------------------------
+
+    def peel(self, circuit_id: int, cell: bytes) -> Tuple[Optional[str], bytes]:
+        """Remove this relay's onion layer from a forward cell."""
+        state = self.circuits.get(circuit_id)
+        if state is None:
+            raise NeutralizerError(f"relay {self.name} has no circuit {circuit_id}")
+        cipher = get_cipher(state.symmetric_key, backend=self._backend)
+        peeled = ctr_decrypt(cipher, circuit_id.to_bytes(8, "big"), cell)
+        self.counters["aes_operations"] += 1
+        self.counters["cells_relayed"] += 1
+        return state.next_hop, peeled
+
+    def wrap(self, circuit_id: int, cell: bytes) -> Tuple[Optional[str], bytes]:
+        """Add this relay's onion layer to a return cell."""
+        state = self.circuits.get(circuit_id)
+        if state is None:
+            raise NeutralizerError(f"relay {self.name} has no circuit {circuit_id}")
+        cipher = get_cipher(state.symmetric_key, backend=self._backend)
+        wrapped = ctr_encrypt(cipher, circuit_id.to_bytes(8, "big"), cell)
+        self.counters["aes_operations"] += 1
+        self.counters["cells_relayed"] += 1
+        return state.previous_hop, wrapped
+
+
+class OnionClient:
+    """The client side: builds circuits and onion-encrypts cells."""
+
+    def __init__(self, rng: Optional[RandomSource] = None, backend: Optional[str] = None) -> None:
+        self._rng = rng or DEFAULT_SOURCE
+        self._backend = backend
+        self._next_circuit_id = 1
+        #: circuit id -> ordered list of (relay, symmetric key).
+        self.circuits: Dict[int, List[Tuple[OnionRelay, bytes]]] = {}
+        self.counters: Dict[str, int] = {
+            "public_key_encryptions": 0,
+            "aes_operations": 0,
+            "circuits_built": 0,
+        }
+
+    def build_circuit(self, relays: List[OnionRelay]) -> int:
+        """Telescope a circuit through ``relays`` (one PK operation per hop)."""
+        if not relays:
+            raise NeutralizerError("a circuit needs at least one relay")
+        circuit_id = self._next_circuit_id
+        self._next_circuit_id += 1
+        hops: List[Tuple[OnionRelay, bytes]] = []
+        for index, relay in enumerate(relays):
+            key_material = self._rng.random_bytes(16)
+            handshake = relay.keypair.public.encrypt(key_material, self._rng)
+            self.counters["public_key_encryptions"] += 1
+            previous_hop = relays[index - 1].name if index > 0 else None
+            next_hop = relays[index + 1].name if index + 1 < len(relays) else None
+            negotiated = relay.extend_circuit(circuit_id, handshake, previous_hop, next_hop)
+            hops.append((relay, negotiated))
+        self.circuits[circuit_id] = hops
+        self.counters["circuits_built"] += 1
+        return circuit_id
+
+    def close_circuit(self, circuit_id: int) -> None:
+        """Tear down a circuit at every relay."""
+        for relay, _key in self.circuits.pop(circuit_id, []):
+            relay.teardown_circuit(circuit_id)
+
+    # -- data path -------------------------------------------------------------------------------
+
+    def onion_encrypt(self, circuit_id: int, payload: bytes) -> bytes:
+        """Apply all layers (innermost = exit relay) to a forward cell."""
+        hops = self._hops(circuit_id)
+        cell = payload
+        for relay, key in reversed(hops):
+            cipher = get_cipher(key, backend=self._backend)
+            cell = ctr_encrypt(cipher, circuit_id.to_bytes(8, "big"), cell)
+            self.counters["aes_operations"] += 1
+        return cell
+
+    def send_through(self, circuit_id: int, payload: bytes) -> bytes:
+        """Send a cell through the whole circuit, returning what exits the last relay."""
+        cell = self.onion_encrypt(circuit_id, payload)
+        hops = self._hops(circuit_id)
+        for relay, _key in hops:
+            _next, cell = relay.peel(circuit_id, cell)
+        return cell
+
+    def receive_through(self, circuit_id: int, payload: bytes) -> bytes:
+        """Model the return direction: relays wrap, the client unwraps all layers."""
+        hops = self._hops(circuit_id)
+        cell = payload
+        for relay, _key in reversed(hops):
+            _prev, cell = relay.wrap(circuit_id, cell)
+        for relay, key in hops:
+            cipher = get_cipher(key, backend=self._backend)
+            cell = ctr_decrypt(cipher, circuit_id.to_bytes(8, "big"), cell)
+            self.counters["aes_operations"] += 1
+        return cell
+
+    def _hops(self, circuit_id: int) -> List[Tuple[OnionRelay, bytes]]:
+        if circuit_id not in self.circuits:
+            raise NeutralizerError(f"unknown circuit {circuit_id}")
+        return self.circuits[circuit_id]
+
+
+@dataclass
+class ResourceComparison:
+    """Side-by-side resource accounting used by experiment E6."""
+
+    flows: int
+    packets_per_flow: int
+    neutralizer_state_entries: int
+    neutralizer_public_key_ops: int
+    neutralizer_aes_ops_per_packet: float
+    onion_state_entries: int
+    onion_public_key_ops: int
+    onion_aes_ops_per_packet: float
+
+    def as_rows(self) -> List[Tuple[str, float, float]]:
+        """Rows of (metric, neutralizer, onion) for the report table."""
+        return [
+            ("per-relay/per-box state entries", self.neutralizer_state_entries,
+             self.onion_state_entries),
+            ("public-key operations", self.neutralizer_public_key_ops,
+             self.onion_public_key_ops),
+            ("AES operations per data packet", self.neutralizer_aes_ops_per_packet,
+             self.onion_aes_ops_per_packet),
+        ]
+
+
+def compare_resources(
+    flows: int,
+    packets_per_flow: int,
+    *,
+    circuit_length: int = DEFAULT_CIRCUIT_LENGTH,
+    sources_per_master_key: Optional[int] = None,
+) -> ResourceComparison:
+    """Analytic resource comparison for E6 (measured variants live in the bench).
+
+    The neutralizer performs one RSA encryption per *source* per master-key
+    lifetime (``sources_per_master_key`` defaults to one per flow, the worst
+    case) and 1 AES + 1 hash per packet; an onion design performs
+    ``circuit_length`` public-key operations per circuit at the client and one
+    decryption per relay, keeps one state entry per circuit per relay, and
+    applies ``circuit_length`` AES layers per packet at the client plus one
+    per relay.
+    """
+    sources = sources_per_master_key if sources_per_master_key is not None else flows
+    return ResourceComparison(
+        flows=flows,
+        packets_per_flow=packets_per_flow,
+        neutralizer_state_entries=0,
+        neutralizer_public_key_ops=sources,
+        neutralizer_aes_ops_per_packet=1.0,
+        onion_state_entries=flows,
+        onion_public_key_ops=flows * circuit_length * 2,
+        onion_aes_ops_per_packet=float(2 * circuit_length),
+    )

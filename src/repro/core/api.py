@@ -1,0 +1,197 @@
+"""High-level facade for the most common deployment patterns.
+
+Examples and experiments repeat the same few moves: deploy the neutralizer
+service for a neutral ISP, attach server stacks to its customers, attach
+client stacks to outside hosts, publish the customers' bootstrap records, and
+wire clients to destinations.  :class:`NetNeutralityDeployment` bundles those
+moves behind a small API so a quickstart fits on one screen while the
+underlying pieces stay independently usable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..crypto.randomness import DEFAULT_SOURCE, DeterministicRandom, RandomSource
+from ..dns.records import BootstrapInfo
+from ..dns.zone import Zone
+from ..e2e.session import STRONG_KEY_BITS, generate_host_keypair
+from ..exceptions import NeutralizerError
+from ..netsim.node import Host
+from ..netsim.topology import Topology
+from ..packet.addresses import IPv4Address
+from .anycast import NeutralizerDeployment, deploy_neutralizer_service
+from .client import DestinationInfo, NeutralizedClientStack
+from .multihoming import NeutralizerSelector
+from .offload import OffloadHelper, register_helper
+from .server import NeutralizedServerStack
+
+
+@dataclass
+class NetNeutralityDeployment:
+    """A deployed neutralizer service plus the host stacks using it."""
+
+    topology: Topology
+    deployment: NeutralizerDeployment
+    zone: Zone = field(default_factory=Zone)
+    rng: RandomSource = field(default_factory=lambda: DeterministicRandom(2006))
+    backend: Optional[str] = None
+    use_e2e: bool = True
+    servers: Dict[str, NeutralizedServerStack] = field(default_factory=dict)
+    clients: Dict[str, NeutralizedClientStack] = field(default_factory=dict)
+    helpers: Dict[str, OffloadHelper] = field(default_factory=dict)
+
+    # -- server side -----------------------------------------------------------------
+
+    def attach_server(
+        self, host: Host, *, dns_name: Optional[str] = None, key_bits: int = STRONG_KEY_BITS
+    ) -> NeutralizedServerStack:
+        """Attach a server stack to a customer host and publish its records."""
+        if not self.deployment.domain.is_customer_address(host.address):
+            raise NeutralizerError(
+                f"{host.name} ({host.address}) is not a customer of "
+                f"{self.deployment.isp_name} and cannot sit behind its neutralizer"
+            )
+        keypair = generate_host_keypair(key_bits, self.rng)
+        server = NeutralizedServerStack(
+            host,
+            keypair,
+            self.deployment.anycast_address,
+            rng=self.rng,
+            backend=self.backend,
+        )
+        self.servers[host.name] = server
+        name = dns_name or f"{host.name}.example"
+        self.zone.register_host(
+            name,
+            host.address,
+            public_key=keypair.public,
+            neutralizer_addresses=[self.deployment.anycast_address],
+        )
+        return server
+
+    def attach_offload_helper(self, host: Host) -> OffloadHelper:
+        """Volunteer a customer host to perform offloaded RSA encryptions."""
+        helper = register_helper(self.deployment.domain, host, rng=self.rng)
+        self.helpers[host.name] = helper
+        return helper
+
+    # -- client side ------------------------------------------------------------------------
+
+    def attach_client(
+        self,
+        host: Host,
+        *,
+        selector: Optional[NeutralizerSelector] = None,
+        one_time_key_bits: int = 512,
+        publish_key: bool = False,
+        dns_name: Optional[str] = None,
+    ) -> NeutralizedClientStack:
+        """Attach a client stack to an outside host.
+
+        ``publish_key=True`` additionally generates and publishes the host's
+        own key pair so that customers inside the neutral domain can initiate
+        reverse-direction sessions to it (§3.3).
+        """
+        host_keypair = None
+        if publish_key:
+            host_keypair = generate_host_keypair(STRONG_KEY_BITS, self.rng)
+            self.zone.register_host(
+                dns_name or f"{host.name}.example", host.address, public_key=host_keypair.public
+            )
+        client = NeutralizedClientStack(
+            host,
+            rng=self.rng,
+            backend=self.backend,
+            use_e2e=self.use_e2e,
+            selector=selector,
+            one_time_key_bits=one_time_key_bits,
+            host_keypair=host_keypair,
+        )
+        self.clients[host.name] = client
+        return client
+
+    # -- wiring -------------------------------------------------------------------------------
+
+    def bootstrap_client(self, client_host_name: str, server_host_name: str) -> DestinationInfo:
+        """Register a server as a neutralized destination at a client (no DNS traffic).
+
+        This is the in-process equivalent of the DNS bootstrap: experiments
+        that are not about DNS latency use it to skip the lookup round trip.
+        The DNS-path equivalent is exercised by the dedicated bootstrap
+        example and tests.
+        """
+        client = self.clients[client_host_name]
+        server = self.servers[server_host_name]
+        info = DestinationInfo(
+            address=server.host.address,
+            neutralizer_addresses=[self.deployment.anycast_address],
+            public_key=server.public_key if self.use_e2e else None,
+            name=server_host_name,
+        )
+        client.register_destination(info)
+        return info
+
+    def bootstrap_from_zone(self, client_host_name: str, dns_name: str) -> DestinationInfo:
+        """Register a destination at a client from the locally held zone data."""
+        client = self.clients[client_host_name]
+        records = self.zone.lookup(dns_name)
+        info = BootstrapInfo.from_records(dns_name, records)
+        return client.register_from_bootstrap(info)
+
+    # -- reporting ---------------------------------------------------------------------------------
+
+    def counters(self) -> Dict[str, Dict[str, int]]:
+        """Aggregate counters from the neutralizers and every attached stack."""
+        report: Dict[str, Dict[str, int]] = {
+            "neutralizers": self.deployment.total_counters()
+        }
+        for name, client in self.clients.items():
+            report[f"client:{name}"] = dict(client.counters)
+        for name, server in self.servers.items():
+            report[f"server:{name}"] = dict(server.counters)
+        for name, helper in self.helpers.items():
+            report[f"helper:{name}"] = dict(helper.counters)
+        return report
+
+
+def neutralize_isp(
+    topology: Topology,
+    isp_name: str,
+    anycast_address: IPv4Address,
+    *,
+    rng: Optional[RandomSource] = None,
+    backend: Optional[str] = None,
+    use_e2e: bool = True,
+    verify_tags: bool = True,
+    master_key_lifetime_seconds: Optional[float] = None,
+) -> NetNeutralityDeployment:
+    """Deploy the neutralizer service for ``isp_name`` and return the facade.
+
+    When no ``backend`` is requested the accelerated AES backend is used if
+    available, so simulation-scale experiments are not dominated by the
+    pure-Python reference cipher.  Pass ``backend="pure"`` to force the
+    reference implementation.
+    """
+    from ..crypto.backend import fast_backend_available
+
+    if backend is None and fast_backend_available():
+        backend = "fast"
+    random_source = rng or DEFAULT_SOURCE
+    deployment = deploy_neutralizer_service(
+        topology,
+        isp_name,
+        anycast_address,
+        rng=random_source,
+        backend=backend,
+        verify_tags=verify_tags,
+        master_key_lifetime_seconds=master_key_lifetime_seconds,
+    )
+    return NetNeutralityDeployment(
+        topology=topology,
+        deployment=deployment,
+        rng=random_source,
+        backend=backend,
+        use_e2e=use_e2e,
+    )

@@ -1,0 +1,133 @@
+"""Payload envelopes exchanged between the client and server host stacks.
+
+The neutralizer never looks inside the payload; these formats are a contract
+between the two modified end hosts (§2 assumes "host software can be modified
+to support our design").  The envelope serves three needs:
+
+* carry the end-to-end handshake piggybacked on the first data packet, so the
+  extra key-setup round trip of §3.2 is the *only* extra round trip;
+* fold the original transport header into the encrypted payload, so the
+  access ISP cannot classify the application by port numbers;
+* carry the key-refresh echo: the destination returns the ``(nonce', Ks')``
+  the neutralizer stamped, "together with its packet payload", under the
+  strong end-to-end encryption.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..exceptions import ShimError
+from ..packet.headers import UdpHeader
+
+# Envelope types (first byte of every shim-packet payload).
+ENVELOPE_HANDSHAKE_DATA = 1
+ENVELOPE_DATA = 2
+ENVELOPE_PLAINTEXT = 3
+ENVELOPE_REVERSE_HELLO = 4
+
+# Inner-plaintext flag bits.
+_INNER_HAS_UDP = 0x01
+_INNER_HAS_REFRESH = 0x02
+
+_REFRESH_LEN = 8 + 16
+
+
+@dataclass(frozen=True)
+class InnerPayload:
+    """The decrypted contents of a data envelope."""
+
+    payload: bytes
+    udp: Optional[UdpHeader] = None
+    refresh: Optional[Tuple[bytes, bytes]] = None  # (nonce', Ks')
+
+
+def pack_inner(
+    payload: bytes,
+    udp: Optional[UdpHeader] = None,
+    refresh: Optional[Tuple[bytes, bytes]] = None,
+) -> bytes:
+    """Encode the inner plaintext (transport header + refresh echo + data)."""
+    flags = 0
+    parts = [b""]
+    if refresh is not None:
+        nonce, key = refresh
+        if len(nonce) != 8 or len(key) != 16:
+            raise ShimError("refresh echo must be an 8-byte nonce and a 16-byte key")
+        flags |= _INNER_HAS_REFRESH
+        parts.append(nonce + key)
+    if udp is not None:
+        flags |= _INNER_HAS_UDP
+        parts.append(udp.pack())
+    parts[0] = struct.pack("!B", flags)
+    parts.append(payload)
+    return b"".join(parts)
+
+
+def parse_inner(data: bytes) -> InnerPayload:
+    """Decode bytes produced by :func:`pack_inner`."""
+    if not data:
+        raise ShimError("empty inner payload")
+    flags = data[0]
+    offset = 1
+    refresh = None
+    if flags & _INNER_HAS_REFRESH:
+        if len(data) < offset + _REFRESH_LEN:
+            raise ShimError("truncated refresh echo")
+        refresh = (data[offset:offset + 8], data[offset + 8:offset + _REFRESH_LEN])
+        offset += _REFRESH_LEN
+    udp = None
+    if flags & _INNER_HAS_UDP:
+        udp = UdpHeader.unpack(data[offset:])
+        offset += 8
+    return InnerPayload(payload=data[offset:], udp=udp, refresh=refresh)
+
+
+def pack_envelope(envelope_type: int, body: bytes, prefix: bytes = b"") -> bytes:
+    """Encode an envelope.
+
+    ``prefix`` carries the variable-length leading blob of handshake and
+    reverse-hello envelopes (length-prefixed); plain data envelopes leave it
+    empty.
+    """
+    if envelope_type in (ENVELOPE_DATA, ENVELOPE_PLAINTEXT):
+        if prefix:
+            raise ShimError("data envelopes take no prefix blob")
+        return struct.pack("!B", envelope_type) + body
+    if envelope_type in (ENVELOPE_HANDSHAKE_DATA, ENVELOPE_REVERSE_HELLO):
+        if len(prefix) > 0xFFFF:
+            raise ShimError("envelope prefix too long")
+        return struct.pack("!BH", envelope_type, len(prefix)) + prefix + body
+    raise ShimError(f"unknown envelope type {envelope_type}")
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """A parsed envelope."""
+
+    envelope_type: int
+    prefix: bytes
+    body: bytes
+
+
+def parse_envelope(data: bytes) -> Envelope:
+    """Decode bytes produced by :func:`pack_envelope`."""
+    if not data:
+        raise ShimError("empty envelope")
+    envelope_type = data[0]
+    if envelope_type in (ENVELOPE_DATA, ENVELOPE_PLAINTEXT):
+        return Envelope(envelope_type=envelope_type, prefix=b"", body=data[1:])
+    if envelope_type in (ENVELOPE_HANDSHAKE_DATA, ENVELOPE_REVERSE_HELLO):
+        if len(data) < 3:
+            raise ShimError("truncated envelope header")
+        prefix_len = struct.unpack("!H", data[1:3])[0]
+        if len(data) < 3 + prefix_len:
+            raise ShimError("truncated envelope prefix")
+        return Envelope(
+            envelope_type=envelope_type,
+            prefix=data[3:3 + prefix_len],
+            body=data[3 + prefix_len:],
+        )
+    raise ShimError(f"unknown envelope type {envelope_type}")

@@ -1,0 +1,159 @@
+"""Neutralizer selection for multi-homed sites (§3.5).
+
+A multi-homed site publishes one neutralizer anycast address per provider in
+its DNS records; *sources* then decide which provider a given flow enters
+through, so "the ISP-level path of the site's incoming and outgoing traffic is
+controlled by how other sources pick the neutralizers".  The selectors here
+are the source-side policies experiment E10 sweeps: deterministic first
+choice, round robin, weighted split, and a latency/health-aware policy fed by
+observed setup RTTs and failures (the paper's "two hosts may always use
+trial-and-error to find a path that's working for them").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..crypto.randomness import DEFAULT_SOURCE, RandomSource
+from ..exceptions import NeutralizerError
+from ..packet.addresses import IPv4Address
+
+
+class NeutralizerSelector:
+    """Interface: choose one neutralizer address out of the published set."""
+
+    def select(self, candidates: Sequence[IPv4Address]) -> IPv4Address:
+        raise NotImplementedError
+
+    def record_outcome(self, address: IPv4Address, *, rtt: Optional[float] = None,
+                       failed: bool = False) -> None:
+        """Feed back an observation (default: ignored)."""
+
+
+class FirstChoiceSelector(NeutralizerSelector):
+    """Always pick the first published address (the single-homed common case)."""
+
+    def select(self, candidates: Sequence[IPv4Address]) -> IPv4Address:
+        if not candidates:
+            raise NeutralizerError("no neutralizer addresses to choose from")
+        return candidates[0]
+
+
+class RoundRobinSelector(NeutralizerSelector):
+    """Rotate through the published addresses flow by flow."""
+
+    def __init__(self) -> None:
+        self._counter = 0
+
+    def select(self, candidates: Sequence[IPv4Address]) -> IPv4Address:
+        if not candidates:
+            raise NeutralizerError("no neutralizer addresses to choose from")
+        choice = candidates[self._counter % len(candidates)]
+        self._counter += 1
+        return choice
+
+
+class WeightedSelector(NeutralizerSelector):
+    """Split flows across providers according to configured weights.
+
+    Unknown addresses get weight 1.  This models a site steering inbound load
+    (e.g. 80/20) purely through what sources are told to prefer.
+    """
+
+    def __init__(self, weights: Dict[IPv4Address, float],
+                 rng: Optional[RandomSource] = None) -> None:
+        if any(weight < 0 for weight in weights.values()):
+            raise NeutralizerError("selector weights cannot be negative")
+        self._weights = dict(weights)
+        self._rng = rng or DEFAULT_SOURCE
+
+    def select(self, candidates: Sequence[IPv4Address]) -> IPv4Address:
+        if not candidates:
+            raise NeutralizerError("no neutralizer addresses to choose from")
+        weights = [max(self._weights.get(address, 1.0), 0.0) for address in candidates]
+        total = sum(weights)
+        if total <= 0:
+            return candidates[0]
+        draw = self._rng.random_float() * total
+        cumulative = 0.0
+        for address, weight in zip(candidates, weights):
+            cumulative += weight
+            if draw <= cumulative:
+                return address
+        return candidates[-1]
+
+
+@dataclass
+class _PathObservation:
+    rtt_sum: float = 0.0
+    rtt_count: int = 0
+    failures: int = 0
+
+    @property
+    def mean_rtt(self) -> float:
+        if self.rtt_count == 0:
+            return float("inf")
+        return self.rtt_sum / self.rtt_count
+
+
+class AdaptiveSelector(NeutralizerSelector):
+    """Trial-and-error selection driven by observed RTTs and failures.
+
+    Unprobed candidates are always tried first; among probed candidates the
+    one with the lowest mean RTT wins, and candidates with recent failures are
+    penalized.  This implements the paper's pragmatic "find a path that's
+    working for them" remark and the failover story when one provider's
+    neutralizer goes dark.
+    """
+
+    def __init__(self, failure_penalty_seconds: float = 1.0) -> None:
+        self._observations: Dict[IPv4Address, _PathObservation] = {}
+        self.failure_penalty_seconds = failure_penalty_seconds
+
+    def select(self, candidates: Sequence[IPv4Address]) -> IPv4Address:
+        if not candidates:
+            raise NeutralizerError("no neutralizer addresses to choose from")
+        unprobed = [c for c in candidates if c not in self._observations]
+        if unprobed:
+            return unprobed[0]
+        return min(candidates, key=self._score)
+
+    def _score(self, address: IPv4Address) -> float:
+        observation = self._observations[address]
+        return observation.mean_rtt + observation.failures * self.failure_penalty_seconds
+
+    def record_outcome(self, address: IPv4Address, *, rtt: Optional[float] = None,
+                       failed: bool = False) -> None:
+        observation = self._observations.setdefault(address, _PathObservation())
+        if rtt is not None:
+            observation.rtt_sum += rtt
+            observation.rtt_count += 1
+        if failed:
+            observation.failures += 1
+
+    def mean_rtt(self, address: IPv4Address) -> float:
+        """Observed mean RTT toward one neutralizer (inf when never probed)."""
+        if address not in self._observations:
+            return float("inf")
+        return self._observations[address].mean_rtt
+
+
+@dataclass
+class MultihomedSite:
+    """A site's published multihoming configuration (what goes into DNS)."""
+
+    name: str
+    address: IPv4Address
+    #: Neutralizer anycast addresses, one per provider, in preference order.
+    neutralizer_addresses: List[IPv4Address] = field(default_factory=list)
+
+    def add_provider(self, neutralizer_address: IPv4Address) -> None:
+        """Publish an additional provider's neutralizer address."""
+        if neutralizer_address not in self.neutralizer_addresses:
+            self.neutralizer_addresses.append(neutralizer_address)
+
+    @property
+    def is_multihomed(self) -> bool:
+        """``True`` when more than one provider is published."""
+        return len(self.neutralizer_addresses) > 1

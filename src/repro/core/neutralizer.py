@@ -1,0 +1,451 @@
+"""The neutralizer: a stateless anonymizing box at a neutral ISP's border.
+
+This is the paper's core contribution (§3.2).  A neutralizer:
+
+* answers **key-setup requests** from outside sources by choosing a nonce,
+  deriving ``Ks = hash(KM, nonce, srcIP)`` from its domain master key, and
+  returning ``E_S(nonce, Ks)`` under the source's short one-time RSA key —
+  the cheap public-key *encryption* stays at the neutralizer, the expensive
+  decryption stays at the source;
+* forwards **neutralized data packets** by recomputing ``Ks`` from the
+  clear-text nonce and source address (no per-flow state), decrypting the
+  destination address from the shim, and swapping the outer destination from
+  its own anycast address to the real customer address; when the source asked
+  for a key refresh it stamps a fresh ``(nonce', Ks')`` into the shim for the
+  destination to echo back under strong end-to-end encryption;
+* anonymizes **return packets** from its customers by encrypting the
+  customer's address under ``Ks`` and sourcing the packet from the anycast
+  address, so the initiator can recover who answered but the ISPs in between
+  cannot;
+* hands out ``(nonce, Ks)`` pairs in clear text to customers *inside* the
+  trusted domain that initiate communication to the outside (§3.3);
+* optionally **offloads** the RSA encryption of key-setup responses to a
+  willing customer (§3.2), keeping only the cheap hash at the box.
+
+Statelessness is structural: the class keeps counters but no per-source or
+per-flow tables, and any neutralizer constructed over the same
+:class:`NeutralizerDomain` (same master key) processes any packet
+interchangeably — that is what makes the anycast deployment work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..crypto.backend import get_cipher
+from ..crypto.kdf import constant_time_equal, integrity_tag
+from ..crypto.modes import ctr_decrypt, ctr_encrypt
+from ..crypto.randomness import DEFAULT_SOURCE, RandomSource
+from ..exceptions import MasterKeyExpiredError, NeutralizerError, ShimError
+from ..packet.addresses import IPv4Address, Prefix
+from ..packet.headers import (
+    IPv4Header,
+    PROTO_NEUTRALIZER_SHIM,
+    SHIM_TYPE_KEY_SETUP_REQUEST,
+    SHIM_TYPE_KEY_SETUP_RESPONSE,
+    SHIM_TYPE_NEUTRALIZED_DATA,
+    SHIM_TYPE_RETURN_DATA,
+    SHIM_TYPE_REVERSE_KEY_REQUEST,
+)
+from ..packet.packet import Packet
+from ..qos.intserv import DynamicAddressPool
+from .master_key import MasterKeyManager
+from .shim import (
+    FLAG_KEY_REQUEST,
+    NONCE_LEN,
+    TAG_LEN,
+    KeySetupRequestBody,
+    KeySetupResponseBody,
+    NeutralizedDataBody,
+    ReturnDataBody,
+    ReverseKeyRequestBody,
+)
+
+#: Tweak applied to the CTR nonce when encrypting the *source* address on the
+#: return path, so forward and return directions never share a keystream.
+_RETURN_NONCE_TWEAK = 0xAA
+
+
+def encrypt_address(key: bytes, nonce: bytes, address: IPv4Address,
+                    *, return_direction: bool = False, backend: Optional[str] = None) -> bytes:
+    """Encrypt a 4-byte address under ``Ks`` with the per-packet nonce."""
+    cipher = get_cipher(key, backend=backend)
+    effective = _tweaked_nonce(nonce) if return_direction else nonce
+    return ctr_encrypt(cipher, effective, address.packed)
+
+
+def decrypt_address(key: bytes, nonce: bytes, ciphertext: bytes,
+                    *, return_direction: bool = False, backend: Optional[str] = None) -> IPv4Address:
+    """Decrypt a 4-byte address field produced by :func:`encrypt_address`."""
+    cipher = get_cipher(key, backend=backend)
+    effective = _tweaked_nonce(nonce) if return_direction else nonce
+    return IPv4Address.from_bytes(ctr_decrypt(cipher, effective, ciphertext))
+
+
+def _tweaked_nonce(nonce: bytes) -> bytes:
+    return nonce[:-1] + bytes([nonce[-1] ^ _RETURN_NONCE_TWEAK])
+
+
+@dataclass
+class NeutralizerConfig:
+    """Domain-wide configuration shared by every neutralizer of an ISP."""
+
+    anycast_address: IPv4Address
+    served_prefix: Prefix
+    #: AES backend for the data path ("pure" reference or "fast").
+    backend: Optional[str] = None
+    #: When True, key-setup RSA encryptions are offloaded to helper customers.
+    offload_enabled: bool = False
+    #: Verify the shim integrity tag on the data path (can be disabled to
+    #: reproduce the paper's leaner 112-byte packet cost model).
+    verify_tags: bool = True
+
+
+class NeutralizerDomain:
+    """Everything the neutralizers of one ISP share: master key, config, pools."""
+
+    def __init__(
+        self,
+        config: NeutralizerConfig,
+        *,
+        master_keys: Optional[MasterKeyManager] = None,
+        rng: Optional[RandomSource] = None,
+        dynamic_address_pool: Optional[DynamicAddressPool] = None,
+    ) -> None:
+        self.config = config
+        self.rng = rng or DEFAULT_SOURCE
+        self.master_keys = master_keys or MasterKeyManager(self.rng)
+        self.dynamic_addresses = dynamic_address_pool
+        self.neutralizers: List["Neutralizer"] = []
+        #: Customer hosts that volunteered to perform offloaded RSA encryptions.
+        self.offload_helpers: List[IPv4Address] = []
+        self._next_helper = 0
+
+    @property
+    def anycast_address(self) -> IPv4Address:
+        """The service address all customers publish in DNS."""
+        return self.config.anycast_address
+
+    def is_customer_address(self, address: IPv4Address) -> bool:
+        """``True`` if ``address`` belongs to the served (neutral) ISP."""
+        return self.config.served_prefix.contains(address)
+
+    def register_offload_helper(self, address: IPv4Address) -> None:
+        """Record a customer willing to perform RSA encryptions for the domain."""
+        if address not in self.offload_helpers:
+            self.offload_helpers.append(address)
+
+    def next_offload_helper(self) -> Optional[IPv4Address]:
+        """Round-robin over registered helpers (None when none registered)."""
+        if not self.offload_helpers:
+            return None
+        helper = self.offload_helpers[self._next_helper % len(self.offload_helpers)]
+        self._next_helper += 1
+        return helper
+
+    def create_neutralizer(self, name: str) -> "Neutralizer":
+        """Create a neutralizer instance sharing this domain's master key."""
+        neutralizer = Neutralizer(name=name, domain=self)
+        self.neutralizers.append(neutralizer)
+        return neutralizer
+
+    def total_counters(self) -> Dict[str, int]:
+        """Aggregate counters across every neutralizer of the domain."""
+        totals: Dict[str, int] = {}
+        for neutralizer in self.neutralizers:
+            for key, value in neutralizer.counters.items():
+                totals[key] = totals.get(key, 0) + value
+        return totals
+
+
+@dataclass
+class _ProcessingResult:
+    """Outcome of processing one packet (used by tests and the fast path)."""
+
+    outputs: List[Packet] = field(default_factory=list)
+    dropped: bool = False
+    reason: str = ""
+
+
+class Neutralizer:
+    """One neutralizer box (or border-router function) of a domain."""
+
+    def __init__(self, name: str, domain: NeutralizerDomain) -> None:
+        self.name = name
+        self.domain = domain
+        self.counters: Dict[str, int] = {
+            "key_setup_requests": 0,
+            "key_setup_responses": 0,
+            "rsa_encryptions": 0,
+            "offloaded_requests": 0,
+            "reverse_key_requests": 0,
+            "data_packets_forwarded": 0,
+            "return_packets_forwarded": 0,
+            "refreshes_stamped": 0,
+            "aes_operations": 0,
+            "hash_operations": 0,
+            "tag_failures": 0,
+            "unknown_epoch": 0,
+            "malformed": 0,
+            "not_for_us": 0,
+        }
+
+    # -- properties ---------------------------------------------------------------
+
+    @property
+    def anycast_address(self) -> IPv4Address:
+        """The anycast service address this box answers for."""
+        return self.domain.anycast_address
+
+    @property
+    def backend(self) -> Optional[str]:
+        """AES backend used on the data path."""
+        return self.domain.config.backend
+
+    def state_entries(self) -> int:
+        """Per-flow/per-source state entries held — zero, by design.
+
+        The onion-routing baseline reports per-circuit state here; the
+        comparison is experiment E6.
+        """
+        return 0
+
+    # -- key derivation (the stateless core) ------------------------------------------
+
+    def derive_key(self, nonce: bytes, source_address: IPv4Address, epoch: int) -> bytes:
+        """Recompute ``Ks = hash(KM, nonce, srcIP)`` for a given epoch."""
+        self.counters["hash_operations"] += 1
+        return self.domain.master_keys.derive_key(nonce, source_address, epoch)
+
+    # -- packet processing ----------------------------------------------------------------
+
+    def process(self, packet: Packet) -> List[Packet]:
+        """Process one packet addressed to the neutralizer service.
+
+        Returns the packets to inject back into the network (possibly empty
+        when the packet was malformed or failed verification).  This is the
+        pure fast path used directly by the throughput benchmarks; the router
+        integration below simply injects the outputs.
+        """
+        return self._process(packet).outputs
+
+    def _process(self, packet: Packet) -> _ProcessingResult:
+        if packet.ip.protocol != PROTO_NEUTRALIZER_SHIM or packet.shim is None:
+            self.counters["not_for_us"] += 1
+            return _ProcessingResult(dropped=True, reason="no shim")
+        handler = {
+            SHIM_TYPE_KEY_SETUP_REQUEST: self._handle_key_setup,
+            SHIM_TYPE_NEUTRALIZED_DATA: self._handle_forward_data,
+            SHIM_TYPE_RETURN_DATA: self._handle_return_data,
+            SHIM_TYPE_REVERSE_KEY_REQUEST: self._handle_reverse_key_request,
+        }.get(packet.shim.shim_type)
+        if handler is None:
+            self.counters["malformed"] += 1
+            return _ProcessingResult(dropped=True, reason="unexpected shim type")
+        try:
+            return handler(packet)
+        except (ShimError, NeutralizerError) as exc:
+            self.counters["malformed"] += 1
+            return _ProcessingResult(dropped=True, reason=str(exc))
+
+    # -- key setup (Figure 2a) ----------------------------------------------------------
+
+    def _handle_key_setup(self, packet: Packet) -> _ProcessingResult:
+        self.counters["key_setup_requests"] += 1
+        body = KeySetupRequestBody.unpack(packet.shim.body)
+        epoch = self.domain.master_keys.current_epoch
+        nonce = self.domain.rng.nonce(NONCE_LEN)
+        key = self.derive_key(nonce, packet.source, epoch)
+
+        if self.domain.config.offload_enabled:
+            helper = self.domain.next_offload_helper()
+            if helper is not None:
+                return self._offload_key_setup(packet, body, helper, nonce, key, epoch)
+
+        ciphertext = body.public_key.encrypt(nonce + key, self.domain.rng)
+        self.counters["rsa_encryptions"] += 1
+        response_body = KeySetupResponseBody(epoch=epoch, ciphertext=ciphertext)
+        response = self._build_shim_packet(
+            source=self.anycast_address,
+            destination=packet.source,
+            shim=response_body.to_shim(),
+            dscp=packet.dscp,
+        )
+        self.counters["key_setup_responses"] += 1
+        return _ProcessingResult(outputs=[response])
+
+    def _offload_key_setup(
+        self,
+        packet: Packet,
+        body: KeySetupRequestBody,
+        helper: IPv4Address,
+        nonce: bytes,
+        key: bytes,
+        epoch: int,
+    ) -> _ProcessingResult:
+        """Forward the request to a helper customer, embedding nonce and key (§3.2)."""
+        self.counters["offloaded_requests"] += 1
+        offloaded_body = KeySetupRequestBody(
+            public_key=body.public_key,
+            epoch_hint=epoch,
+            offload_nonce=nonce,
+            offload_key=key,
+        )
+        forwarded = self._build_shim_packet(
+            source=packet.source,  # preserved so the helper knows whom to answer
+            destination=helper,
+            shim=offloaded_body.to_shim(),
+            dscp=packet.dscp,
+        )
+        return _ProcessingResult(outputs=[forwarded])
+
+    # -- forward data (Figure 2b messages 3-4) -----------------------------------------------
+
+    def _handle_forward_data(self, packet: Packet) -> _ProcessingResult:
+        body = NeutralizedDataBody.unpack(packet.shim.body, packet.shim.next_protocol)
+        try:
+            key = self.derive_key(body.nonce, packet.source, body.epoch)
+        except MasterKeyExpiredError:
+            self.counters["unknown_epoch"] += 1
+            return _ProcessingResult(dropped=True, reason="unknown master key epoch")
+
+        if self.domain.config.verify_tags:
+            expected = integrity_tag(key, body.tag_input(), TAG_LEN)
+            if not constant_time_equal(expected, body.tag):
+                self.counters["tag_failures"] += 1
+                return _ProcessingResult(dropped=True, reason="integrity tag mismatch")
+
+        destination = decrypt_address(
+            key, body.nonce, body.encrypted_destination, backend=self.backend
+        )
+        self.counters["aes_operations"] += 1
+        if not self.domain.is_customer_address(destination):
+            # The neutralizer only blurs traffic for its own customers;
+            # anything else is a protocol error (or probing) and is dropped.
+            return _ProcessingResult(dropped=True, reason="destination is not a customer")
+
+        forwarded_body = body
+        if body.wants_key_refresh:
+            refresh_nonce = self.domain.rng.nonce(NONCE_LEN)
+            refresh_key = self.derive_key(refresh_nonce, packet.source,
+                                          self.domain.master_keys.current_epoch)
+            forwarded_body = body.with_refresh(refresh_nonce, refresh_key)
+            self.counters["refreshes_stamped"] += 1
+
+        forwarded = self._build_shim_packet(
+            source=packet.source,
+            destination=destination,
+            shim=forwarded_body.to_shim(packet.shim.next_protocol),
+            dscp=packet.dscp,
+            payload=packet.payload,
+            meta=packet.meta,
+        )
+        self.counters["data_packets_forwarded"] += 1
+        return _ProcessingResult(outputs=[forwarded])
+
+    # -- return data (Figure 2b messages 5-6) -------------------------------------------------
+
+    def _handle_return_data(self, packet: Packet) -> _ProcessingResult:
+        body = ReturnDataBody.unpack(packet.shim.body)
+        if not self.domain.is_customer_address(packet.source):
+            return _ProcessingResult(dropped=True, reason="return packet not from a customer")
+        initiator = body.clear_address()
+        try:
+            key = self.derive_key(body.nonce, initiator, body.epoch)
+        except MasterKeyExpiredError:
+            self.counters["unknown_epoch"] += 1
+            return _ProcessingResult(dropped=True, reason="unknown master key epoch")
+
+        encrypted_customer = encrypt_address(
+            key, body.nonce, packet.source, return_direction=True, backend=self.backend
+        )
+        self.counters["aes_operations"] += 1
+        anonymized_body = ReturnDataBody(
+            epoch=body.epoch,
+            nonce=body.nonce,
+            address_field=encrypted_customer,
+            tag=b"\x00" * TAG_LEN,
+            flags=body.flags,
+        )
+        anonymized_body = ReturnDataBody(
+            epoch=anonymized_body.epoch,
+            nonce=anonymized_body.nonce,
+            address_field=anonymized_body.address_field,
+            tag=integrity_tag(key, anonymized_body.tag_input(), TAG_LEN),
+            flags=anonymized_body.flags,
+        )
+        outbound = self._build_shim_packet(
+            source=self.anycast_address,
+            destination=initiator,
+            shim=anonymized_body.to_shim(packet.shim.next_protocol),
+            dscp=packet.dscp,
+            payload=packet.payload,
+            meta=packet.meta,
+        )
+        self.counters["return_packets_forwarded"] += 1
+        return _ProcessingResult(outputs=[outbound])
+
+    # -- reverse-direction key request (§3.3) ----------------------------------------------------
+
+    def _handle_reverse_key_request(self, packet: Packet) -> _ProcessingResult:
+        if not self.domain.is_customer_address(packet.source):
+            return _ProcessingResult(dropped=True, reason="reverse request not from a customer")
+        self.counters["reverse_key_requests"] += 1
+        body = ReverseKeyRequestBody.unpack(packet.shim.body)
+        epoch = self.domain.master_keys.current_epoch
+        nonce = self.domain.rng.nonce(NONCE_LEN)
+        # The key is bound to the *outside peer's* address so the later
+        # forward traffic from that peer derives the same Ks statelessly.
+        key = self.derive_key(nonce, body.peer_address, epoch)
+        response_body = KeySetupResponseBody(
+            epoch=epoch, plaintext_nonce=nonce, plaintext_key=key
+        )
+        response = self._build_shim_packet(
+            source=self.anycast_address,
+            destination=packet.source,
+            shim=response_body.to_shim(),
+            dscp=packet.dscp,
+        )
+        return _ProcessingResult(outputs=[response])
+
+    # -- helpers ----------------------------------------------------------------------------------
+
+    @staticmethod
+    def _build_shim_packet(
+        *,
+        source: IPv4Address,
+        destination: IPv4Address,
+        shim,
+        dscp: int,
+        payload: bytes = b"",
+        meta: Optional[dict] = None,
+    ) -> Packet:
+        packet = Packet(
+            ip=IPv4Header(
+                source=source,
+                destination=destination,
+                protocol=PROTO_NEUTRALIZER_SHIM,
+                dscp=dscp,  # §3.4: the neutralizer never touches the DSCP
+            ),
+            shim=shim,
+            payload=payload,
+        )
+        if meta:
+            packet.meta.update(meta)
+        return packet
+
+    # -- router integration --------------------------------------------------------------------------
+
+    def as_local_service(self, router) -> Callable:
+        """Return the router local-service callable for this neutralizer."""
+
+        def service(packet: Packet, router_node, interface) -> None:
+            for output in self.process(packet):
+                router_node.inject(output)
+
+        return service
+
+    def attach_to_router(self, router) -> None:
+        """Bind this neutralizer to a border router under the anycast address."""
+        router.attach_local_service(self.anycast_address, self.as_local_service(router))

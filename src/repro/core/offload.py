@@ -1,0 +1,105 @@
+"""RSA offloading: customers help the neutralizer with key-setup encryptions.
+
+Section 3.2: "if a neutralizer cannot support RSA encryption at line speed, it
+can offload the encryption operation to any customer in its domain that is
+willing to help.  The neutralizer inserts the nonce and the symmetric key Ks
+in the source's key request packet and forwards the packet to the customer to
+encrypt using the public key in the request packet.  A customer (e.g. Google)
+would have incentive to help because the source may intend to communicate
+with it."
+
+:class:`OffloadHelper` is the customer-side piece: attached to a customer
+host, it recognizes forwarded key-setup requests carrying the embedded
+``(nonce, Ks)``, performs the RSA encryption, and sends the key-setup response
+directly to the original source.  The neutralizer side (embedding the fields
+and picking a helper) lives in :class:`repro.core.neutralizer.Neutralizer`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..crypto.randomness import DEFAULT_SOURCE, RandomSource
+from ..exceptions import OffloadError, ShimError
+from ..netsim.node import Host
+from ..packet.addresses import IPv4Address
+from ..packet.headers import (
+    IPv4Header,
+    PROTO_NEUTRALIZER_SHIM,
+    SHIM_TYPE_KEY_SETUP_REQUEST,
+)
+from ..packet.packet import Packet
+from .shim import KeySetupRequestBody, KeySetupResponseBody
+
+
+class OffloadHelper:
+    """A willing customer that performs offloaded RSA encryptions."""
+
+    def __init__(
+        self,
+        host: Host,
+        anycast_address: IPv4Address,
+        *,
+        rng: Optional[RandomSource] = None,
+    ) -> None:
+        self.host = host
+        self.anycast_address = anycast_address
+        self._rng = rng or DEFAULT_SOURCE
+        self.counters: Dict[str, int] = {
+            "requests_handled": 0,
+            "rsa_encryptions": 0,
+            "malformed": 0,
+        }
+        host.ingress_hooks.append(self._ingress_hook)
+
+    def _ingress_hook(self, packet: Packet, host: Host) -> Optional[Packet]:
+        if packet.shim is None or packet.shim.shim_type != SHIM_TYPE_KEY_SETUP_REQUEST:
+            return packet
+        try:
+            body = KeySetupRequestBody.unpack(packet.shim.body)
+        except ShimError:
+            self.counters["malformed"] += 1
+            return None
+        if body.offload_nonce is None or body.offload_key is None:
+            # A key-setup request without embedded key material is not an
+            # offload job; leave it to other handlers.
+            return packet
+        self._answer(packet, body)
+        return None
+
+    def _answer(self, packet: Packet, body: KeySetupRequestBody) -> None:
+        ciphertext = body.public_key.encrypt(body.offload_nonce + body.offload_key, self._rng)
+        self.counters["rsa_encryptions"] += 1
+        self.counters["requests_handled"] += 1
+        response_body = KeySetupResponseBody(epoch=body.epoch_hint, ciphertext=ciphertext)
+        # The response is sourced from the anycast address so that, to the
+        # requesting source, an offloaded setup is indistinguishable from a
+        # locally answered one.
+        response = Packet(
+            ip=IPv4Header(
+                source=self.anycast_address,
+                destination=packet.source,
+                protocol=PROTO_NEUTRALIZER_SHIM,
+                dscp=packet.dscp,
+            ),
+            shim=response_body.to_shim(),
+        )
+        self.host.send_raw(response)
+
+
+def register_helper(domain, helper_host: Host, rng: Optional[RandomSource] = None) -> OffloadHelper:
+    """Attach an :class:`OffloadHelper` to a host and register it with a domain.
+
+    ``domain`` is a :class:`repro.core.neutralizer.NeutralizerDomain`; the
+    helper's address is added to the domain's round-robin helper list and the
+    domain's offloading is switched on.
+    """
+    if not domain.is_customer_address(helper_host.address):
+        raise OffloadError(
+            f"host {helper_host.name} ({helper_host.address}) is not a customer "
+            "of the neutralizer's domain and cannot volunteer"
+        )
+    helper = OffloadHelper(helper_host, domain.anycast_address, rng=rng)
+    domain.register_offload_helper(helper_host.address)
+    domain.config.offload_enabled = True
+    return helper

@@ -1,0 +1,230 @@
+"""Pure-Python AES-128 block cipher (FIPS-197).
+
+The paper's neutralizer uses "128-bit AES for both hashing and
+encryption/decryption" on the data path: the destination address in the shim
+header is AES-encrypted under the per-source key ``Ks``, and the keyed hash
+that derives ``Ks`` from the master key can itself be built from AES (CBC-MAC)
+so a hardware implementation needs only one primitive.
+
+This module is the reference implementation used by the protocol tests; the
+benchmarks may swap in the accelerated backend (see :mod:`repro.crypto.backend`)
+so that the vanilla-vs-neutralized forwarding ratio is not dominated by Python
+interpreter overhead.  Block-level outputs of both backends are identical and
+are cross-checked in the test suite against the FIPS-197 vectors.
+"""
+
+from __future__ import annotations
+
+from ..exceptions import KeySizeError
+
+BLOCK_SIZE = 16  # bytes
+KEY_SIZE = 16  # AES-128 only; the paper uses 128-bit keys throughout
+_ROUNDS = 10
+
+# ---------------------------------------------------------------------------
+# Tables
+# ---------------------------------------------------------------------------
+
+
+def _build_sbox() -> tuple[list[int], list[int]]:
+    """Construct the AES S-box and its inverse from GF(2^8) arithmetic.
+
+    Building the table (instead of hard-coding 256 literals) keeps the module
+    self-describing and gives the test suite an independent check: the
+    standard's published spot values must match what the construction yields.
+    """
+    # Multiplicative inverse in GF(2^8) via exponentiation tables.
+    exp = [0] * 512
+    log = [0] * 256
+    x = 1
+    for i in range(255):
+        exp[i] = x
+        log[x] = i
+        # multiply by generator 0x03
+        x ^= (x << 1) ^ (0x1B if x & 0x80 else 0)
+        x &= 0xFF
+    for i in range(255, 512):
+        exp[i] = exp[i - 255]
+
+    def gf_inverse(value: int) -> int:
+        if value == 0:
+            return 0
+        return exp[255 - log[value]]
+
+    sbox = [0] * 256
+    inv_sbox = [0] * 256
+    for value in range(256):
+        inv = gf_inverse(value)
+        # Affine transformation.
+        result = 0
+        for bit in range(8):
+            b = (
+                (inv >> bit)
+                ^ (inv >> ((bit + 4) % 8))
+                ^ (inv >> ((bit + 5) % 8))
+                ^ (inv >> ((bit + 6) % 8))
+                ^ (inv >> ((bit + 7) % 8))
+                ^ (0x63 >> bit)
+            ) & 1
+            result |= b << bit
+        sbox[value] = result
+        inv_sbox[result] = value
+    return sbox, inv_sbox
+
+
+_SBOX, _INV_SBOX = _build_sbox()
+_RCON = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36]
+
+
+def _xtime(value: int) -> int:
+    """Multiply by x (i.e. 2) in GF(2^8)."""
+    value <<= 1
+    if value & 0x100:
+        value ^= 0x11B
+    return value & 0xFF
+
+
+def _gf_mul(a: int, b: int) -> int:
+    """Multiply two bytes in GF(2^8)."""
+    result = 0
+    while b:
+        if b & 1:
+            result ^= a
+        a = _xtime(a)
+        b >>= 1
+    return result
+
+
+class AesCipher:
+    """AES-128 block cipher bound to a single 16-byte key.
+
+    Instances are immutable after construction; the expanded key schedule is
+    computed once so repeated block operations (the per-packet fast path) do
+    not repeat key expansion.
+    """
+
+    def __init__(self, key: bytes) -> None:
+        if len(key) != KEY_SIZE:
+            raise KeySizeError(f"AES-128 requires a {KEY_SIZE}-byte key, got {len(key)}")
+        self._key = bytes(key)
+        self._round_keys = self._expand_key(self._key)
+
+    @property
+    def key(self) -> bytes:
+        """The raw key this cipher was constructed with."""
+        return self._key
+
+    # -- key schedule -------------------------------------------------------
+
+    @staticmethod
+    def _expand_key(key: bytes) -> list[list[int]]:
+        """Expand the key into 11 round keys of 16 bytes each."""
+        words = [list(key[i:i + 4]) for i in range(0, 16, 4)]
+        for i in range(4, 4 * (_ROUNDS + 1)):
+            temp = list(words[i - 1])
+            if i % 4 == 0:
+                temp = temp[1:] + temp[:1]
+                temp = [_SBOX[b] for b in temp]
+                temp[0] ^= _RCON[i // 4 - 1]
+            words.append([a ^ b for a, b in zip(words[i - 4], temp)])
+        round_keys = []
+        for r in range(_ROUNDS + 1):
+            round_keys.append([b for word in words[4 * r:4 * r + 4] for b in word])
+        return round_keys
+
+    # -- round functions ----------------------------------------------------
+
+    @staticmethod
+    def _add_round_key(state: list[int], round_key: list[int]) -> list[int]:
+        return [s ^ k for s, k in zip(state, round_key)]
+
+    @staticmethod
+    def _sub_bytes(state: list[int]) -> list[int]:
+        return [_SBOX[b] for b in state]
+
+    @staticmethod
+    def _inv_sub_bytes(state: list[int]) -> list[int]:
+        return [_INV_SBOX[b] for b in state]
+
+    @staticmethod
+    def _shift_rows(state: list[int]) -> list[int]:
+        # State is column-major: state[row + 4*col].
+        out = list(state)
+        for row in range(1, 4):
+            values = [state[row + 4 * col] for col in range(4)]
+            values = values[row:] + values[:row]
+            for col in range(4):
+                out[row + 4 * col] = values[col]
+        return out
+
+    @staticmethod
+    def _inv_shift_rows(state: list[int]) -> list[int]:
+        out = list(state)
+        for row in range(1, 4):
+            values = [state[row + 4 * col] for col in range(4)]
+            values = values[-row:] + values[:-row]
+            for col in range(4):
+                out[row + 4 * col] = values[col]
+        return out
+
+    @staticmethod
+    def _mix_columns(state: list[int]) -> list[int]:
+        out = [0] * 16
+        for col in range(4):
+            a = state[4 * col:4 * col + 4]
+            out[4 * col + 0] = _gf_mul(a[0], 2) ^ _gf_mul(a[1], 3) ^ a[2] ^ a[3]
+            out[4 * col + 1] = a[0] ^ _gf_mul(a[1], 2) ^ _gf_mul(a[2], 3) ^ a[3]
+            out[4 * col + 2] = a[0] ^ a[1] ^ _gf_mul(a[2], 2) ^ _gf_mul(a[3], 3)
+            out[4 * col + 3] = _gf_mul(a[0], 3) ^ a[1] ^ a[2] ^ _gf_mul(a[3], 2)
+        return out
+
+    @staticmethod
+    def _inv_mix_columns(state: list[int]) -> list[int]:
+        out = [0] * 16
+        for col in range(4):
+            a = state[4 * col:4 * col + 4]
+            out[4 * col + 0] = (
+                _gf_mul(a[0], 14) ^ _gf_mul(a[1], 11) ^ _gf_mul(a[2], 13) ^ _gf_mul(a[3], 9)
+            )
+            out[4 * col + 1] = (
+                _gf_mul(a[0], 9) ^ _gf_mul(a[1], 14) ^ _gf_mul(a[2], 11) ^ _gf_mul(a[3], 13)
+            )
+            out[4 * col + 2] = (
+                _gf_mul(a[0], 13) ^ _gf_mul(a[1], 9) ^ _gf_mul(a[2], 14) ^ _gf_mul(a[3], 11)
+            )
+            out[4 * col + 3] = (
+                _gf_mul(a[0], 11) ^ _gf_mul(a[1], 13) ^ _gf_mul(a[2], 9) ^ _gf_mul(a[3], 14)
+            )
+        return out
+
+    # -- block operations ----------------------------------------------------
+
+    def encrypt_block(self, block: bytes) -> bytes:
+        """Encrypt a single 16-byte block."""
+        if len(block) != BLOCK_SIZE:
+            raise ValueError(f"block must be {BLOCK_SIZE} bytes, got {len(block)}")
+        state = self._add_round_key(list(block), self._round_keys[0])
+        for r in range(1, _ROUNDS):
+            state = self._sub_bytes(state)
+            state = self._shift_rows(state)
+            state = self._mix_columns(state)
+            state = self._add_round_key(state, self._round_keys[r])
+        state = self._sub_bytes(state)
+        state = self._shift_rows(state)
+        state = self._add_round_key(state, self._round_keys[_ROUNDS])
+        return bytes(state)
+
+    def decrypt_block(self, block: bytes) -> bytes:
+        """Decrypt a single 16-byte block."""
+        if len(block) != BLOCK_SIZE:
+            raise ValueError(f"block must be {BLOCK_SIZE} bytes, got {len(block)}")
+        state = self._add_round_key(list(block), self._round_keys[_ROUNDS])
+        for r in range(_ROUNDS - 1, 0, -1):
+            state = self._inv_shift_rows(state)
+            state = self._inv_sub_bytes(state)
+            state = self._add_round_key(state, self._round_keys[r])
+            state = self._inv_mix_columns(state)
+        state = self._inv_shift_rows(state)
+        state = self._inv_sub_bytes(state)
+        state = self._add_round_key(state, self._round_keys[0])
+        return bytes(state)

@@ -1,0 +1,107 @@
+"""Key derivation and keyed hashing for the stateless neutralizer.
+
+The heart of the paper's statelessness claim is the derivation
+
+    Ks = hash(KM, nonce, srcIP)
+
+(§3.2): the neutralizer never stores per-source keys, it *recomputes* them
+from the packet's clear-text nonce and source address plus its own master key.
+Any neutralizer in the domain that shares ``KM`` can do the same, which is
+what preserves IP's anycast fault-tolerance.
+
+Two keyed-hash constructions are provided:
+
+* :func:`derive_symmetric_key` — the production construction, HMAC-SHA256
+  truncated to 128 bits (fast in Python because :mod:`hashlib` is C).
+* :func:`derive_symmetric_key_aes` — the paper's "AES for hashing" variant
+  built on CBC-MAC, so the cost model of a hardware neutralizer (one AES core
+  for everything) can be measured in E3.
+
+Both are deterministic functions of ``(master_key, nonce, source)`` and the
+test suite checks they never collide across distinct inputs in property tests.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+
+from .aes import KEY_SIZE
+from .backend import get_cipher
+from .modes import cbc_mac
+
+#: Length in bytes of derived symmetric keys (128-bit AES keys, per the paper).
+DERIVED_KEY_LEN = KEY_SIZE
+
+
+def sha256(data: bytes) -> bytes:
+    """SHA-256 digest helper used by signatures and e2e key fingerprints."""
+    return hashlib.sha256(data).digest()
+
+
+def hmac_sha256(key: bytes, data: bytes) -> bytes:
+    """HMAC-SHA256 of ``data`` under ``key``."""
+    return hmac.new(key, data, hashlib.sha256).digest()
+
+
+def _encode_inputs(nonce: bytes, source_address: bytes) -> bytes:
+    """Unambiguously encode the derivation inputs (length-prefixed)."""
+    return (
+        len(nonce).to_bytes(2, "big")
+        + nonce
+        + len(source_address).to_bytes(2, "big")
+        + source_address
+    )
+
+
+def derive_symmetric_key(master_key: bytes, nonce: bytes, source_address: bytes) -> bytes:
+    """Derive ``Ks = hash(KM, nonce, srcIP)`` (HMAC construction).
+
+    Parameters
+    ----------
+    master_key:
+        The neutralizer's (epoch-scoped) master key ``KM``.
+    nonce:
+        The nonce chosen by the neutralizer and echoed in clear text in every
+        data packet so any neutralizer sharing ``KM`` can recompute ``Ks``.
+    source_address:
+        Packed bytes of the outside source's IP address.  Binding the key to
+        the source address means a different source replaying someone else's
+        nonce derives a different key.
+    """
+    digest = hmac_sha256(master_key, _encode_inputs(nonce, source_address))
+    return digest[:DERIVED_KEY_LEN]
+
+
+def derive_symmetric_key_aes(
+    master_key: bytes, nonce: bytes, source_address: bytes, backend: str | None = None
+) -> bytes:
+    """Derive ``Ks`` with the paper's AES-only construction (CBC-MAC).
+
+    Functionally interchangeable with :func:`derive_symmetric_key`; exists so
+    the E3 crypto benchmark can report the cost of a single-primitive
+    (hardware-friendly) neutralizer as the paper's prototype did.
+    """
+    if len(master_key) != KEY_SIZE:
+        raise ValueError("the AES-based KDF requires a 16-byte master key")
+    cipher = get_cipher(master_key, backend=backend)
+    return cbc_mac(cipher, _encode_inputs(nonce, source_address))[:DERIVED_KEY_LEN]
+
+
+def integrity_tag(key: bytes, data: bytes, length: int = 8) -> bytes:
+    """Short integrity tag over shim-header fields.
+
+    The paper does not specify shim integrity explicitly; we add a truncated
+    HMAC so that a corrupted or forged encrypted-destination field is detected
+    at the neutralizer instead of causing misrouting.  The tag length is a
+    constructor knob because it contributes to the neutralized packet size
+    (E2 reproduces the 112-byte figure with the default 8-byte tag excluded).
+    """
+    if length < 4 or length > 32:
+        raise ValueError("tag length must be between 4 and 32 bytes")
+    return hmac_sha256(key, data)[:length]
+
+
+def constant_time_equal(a: bytes, b: bytes) -> bool:
+    """Constant-time comparison for tags and keys."""
+    return hmac.compare_digest(a, b)

@@ -1,0 +1,114 @@
+"""Block-cipher modes used by the neutralizer data path.
+
+Three modes are needed by the protocol:
+
+* **CTR** — encrypting variable-length fields (the destination address in the
+  shim header, the anonymized source address on the return path) without
+  padding overhead; the per-packet nonce doubles as the counter IV.
+* **CBC** with PKCS#7 padding — bulk payload encryption for the e2e layer.
+* **CBC-MAC** — the keyed hash the paper builds from AES ("We use 128-bit AES
+  for both hashing and encryption/decryption"), used to derive ``Ks`` from the
+  master key and to protect shim-header integrity.
+
+Each mode takes a *block cipher object* exposing ``encrypt_block`` /
+``decrypt_block`` so both the pure-Python AES and the accelerated backend can
+be used interchangeably.
+"""
+
+from __future__ import annotations
+
+from ..exceptions import DecryptionError, PaddingError
+from .aes import BLOCK_SIZE
+
+
+def _xor_bytes(a: bytes, b: bytes) -> bytes:
+    return bytes(x ^ y for x, y in zip(a, b))
+
+
+def _counter_block(nonce: bytes, counter: int) -> bytes:
+    """Build a 16-byte counter block from an up-to-8-byte nonce and a counter."""
+    nonce_part = nonce[:8].ljust(8, b"\x00")
+    return nonce_part + counter.to_bytes(8, "big")
+
+
+def ctr_encrypt(cipher, nonce: bytes, plaintext: bytes) -> bytes:
+    """Encrypt ``plaintext`` in CTR mode keyed by ``cipher`` with ``nonce``.
+
+    CTR is length-preserving, which matters for the shim header: an encrypted
+    IPv4 address stays 4 bytes (plus the alignment the header format chooses),
+    keeping the paper's 112-byte neutralized packet size reproducible.
+    """
+    out = bytearray()
+    for counter in range((len(plaintext) + BLOCK_SIZE - 1) // BLOCK_SIZE):
+        keystream = cipher.encrypt_block(_counter_block(nonce, counter))
+        chunk = plaintext[counter * BLOCK_SIZE:(counter + 1) * BLOCK_SIZE]
+        out.extend(_xor_bytes(chunk, keystream[:len(chunk)]))
+    return bytes(out)
+
+
+def ctr_decrypt(cipher, nonce: bytes, ciphertext: bytes) -> bytes:
+    """CTR decryption (identical to encryption)."""
+    return ctr_encrypt(cipher, nonce, ciphertext)
+
+
+def _pkcs7_pad(data: bytes) -> bytes:
+    pad_len = BLOCK_SIZE - (len(data) % BLOCK_SIZE)
+    return data + bytes([pad_len]) * pad_len
+
+
+def _pkcs7_unpad(data: bytes) -> bytes:
+    if not data or len(data) % BLOCK_SIZE != 0:
+        raise PaddingError("CBC ciphertext is not block aligned")
+    pad_len = data[-1]
+    if pad_len < 1 or pad_len > BLOCK_SIZE:
+        raise PaddingError("invalid PKCS#7 padding length")
+    if data[-pad_len:] != bytes([pad_len]) * pad_len:
+        raise PaddingError("inconsistent PKCS#7 padding bytes")
+    return data[:-pad_len]
+
+
+def cbc_encrypt(cipher, iv: bytes, plaintext: bytes) -> bytes:
+    """Encrypt in CBC mode with PKCS#7 padding."""
+    if len(iv) != BLOCK_SIZE:
+        raise ValueError(f"IV must be {BLOCK_SIZE} bytes")
+    padded = _pkcs7_pad(plaintext)
+    out = bytearray()
+    previous = iv
+    for i in range(0, len(padded), BLOCK_SIZE):
+        block = _xor_bytes(padded[i:i + BLOCK_SIZE], previous)
+        encrypted = cipher.encrypt_block(block)
+        out.extend(encrypted)
+        previous = encrypted
+    return bytes(out)
+
+
+def cbc_decrypt(cipher, iv: bytes, ciphertext: bytes) -> bytes:
+    """Decrypt CBC ciphertext and strip PKCS#7 padding."""
+    if len(iv) != BLOCK_SIZE:
+        raise ValueError(f"IV must be {BLOCK_SIZE} bytes")
+    if len(ciphertext) % BLOCK_SIZE != 0:
+        raise DecryptionError("CBC ciphertext length is not a multiple of the block size")
+    out = bytearray()
+    previous = iv
+    for i in range(0, len(ciphertext), BLOCK_SIZE):
+        block = ciphertext[i:i + BLOCK_SIZE]
+        decrypted = cipher.decrypt_block(block)
+        out.extend(_xor_bytes(decrypted, previous))
+        previous = block
+    return _pkcs7_unpad(bytes(out))
+
+
+def cbc_mac(cipher, message: bytes) -> bytes:
+    """Compute a CBC-MAC tag over ``message``.
+
+    The message is length-prefixed before MACing, which closes the classic
+    CBC-MAC length-extension weakness for variable-length inputs and lets the
+    key-derivation function feed structured input (master key, nonce, source
+    address) without ambiguity.
+    """
+    prefixed = len(message).to_bytes(8, "big") + message
+    padded = prefixed + b"\x00" * ((-len(prefixed)) % BLOCK_SIZE)
+    tag = b"\x00" * BLOCK_SIZE
+    for i in range(0, len(padded), BLOCK_SIZE):
+        tag = cipher.encrypt_block(_xor_bytes(tag, padded[i:i + BLOCK_SIZE]))
+    return tag

@@ -1,0 +1,128 @@
+"""Deterministic randomness for protocol simulation.
+
+The neutralizer protocol needs nonces, one-time RSA keys and master keys.  In
+a reproduction library, determinism matters more than cryptographic strength:
+every experiment must be replayable from a seed.  :class:`DeterministicRandom`
+wraps :class:`random.Random` with byte/nonce helpers and is threaded through
+every component that needs randomness.  For callers that explicitly want OS
+entropy (e.g. when using the library outside the simulator), ``SystemRandom``
+mirrors the same interface on top of :func:`os.urandom`.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from typing import Iterable
+
+
+class RandomSource:
+    """Interface shared by deterministic and system-entropy sources."""
+
+    def random_bytes(self, length: int) -> bytes:
+        raise NotImplementedError
+
+    def random_int(self, bits: int) -> int:
+        """Return a uniformly random integer with exactly ``bits`` bits set as width."""
+        if bits <= 0:
+            raise ValueError("bits must be positive")
+        value = int.from_bytes(self.random_bytes((bits + 7) // 8), "big")
+        # Clamp to the requested width and force the top bit so the result
+        # always has the full width (needed by prime generation).
+        value &= (1 << bits) - 1
+        value |= 1 << (bits - 1)
+        return value
+
+    def random_below(self, upper: int) -> int:
+        """Return a uniform integer in ``[0, upper)``."""
+        if upper <= 0:
+            raise ValueError("upper bound must be positive")
+        bits = upper.bit_length()
+        while True:
+            candidate = int.from_bytes(self.random_bytes((bits + 7) // 8), "big")
+            candidate &= (1 << bits) - 1
+            if candidate < upper:
+                return candidate
+
+    def random_range(self, lower: int, upper: int) -> int:
+        """Return a uniform integer in ``[lower, upper)``."""
+        if upper <= lower:
+            raise ValueError("empty range")
+        return lower + self.random_below(upper - lower)
+
+    def nonce(self, length: int = 8) -> bytes:
+        """Return a fresh nonce of ``length`` bytes (paper uses a 64-bit nonce)."""
+        return self.random_bytes(length)
+
+    def choice(self, items: Iterable):
+        """Return a uniformly random element of ``items``."""
+        seq = list(items)
+        if not seq:
+            raise ValueError("cannot choose from an empty sequence")
+        return seq[self.random_below(len(seq))]
+
+    def shuffle(self, items: list) -> list:
+        """Return a new list with the elements of ``items`` shuffled."""
+        result = list(items)
+        for i in range(len(result) - 1, 0, -1):
+            j = self.random_below(i + 1)
+            result[i], result[j] = result[j], result[i]
+        return result
+
+
+class DeterministicRandom(RandomSource):
+    """Seeded random source; identical seeds yield identical byte streams."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._seed = seed
+        self._rng = random.Random(seed)
+
+    @property
+    def seed(self) -> int:
+        """The seed this source was created with."""
+        return self._seed
+
+    def random_bytes(self, length: int) -> bytes:
+        if length < 0:
+            raise ValueError("length must be non-negative")
+        return self._rng.randbytes(length)
+
+    def fork(self, label: str) -> "DeterministicRandom":
+        """Return an independent child stream derived from this seed and a label.
+
+        Components that are created dynamically (one per host, one per flow)
+        fork the experiment-level source so that adding a host does not
+        perturb the random stream seen by every other host.
+        """
+        child_seed = hash((self._seed, label)) & 0xFFFFFFFFFFFFFFFF
+        return DeterministicRandom(child_seed)
+
+    def random_float(self) -> float:
+        """Return a uniform float in [0, 1) (used by workload generators)."""
+        return self._rng.random()
+
+    def expovariate(self, rate: float) -> float:
+        """Return an exponentially distributed inter-arrival time."""
+        return self._rng.expovariate(rate)
+
+
+class SystemRandom(RandomSource):
+    """Random source backed by :func:`os.urandom` for non-simulated use."""
+
+    def random_bytes(self, length: int) -> bytes:
+        if length < 0:
+            raise ValueError("length must be non-negative")
+        return os.urandom(length)
+
+    def random_float(self) -> float:
+        return int.from_bytes(os.urandom(7), "big") / float(1 << 56)
+
+    def expovariate(self, rate: float) -> float:
+        import math
+
+        u = self.random_float()
+        return -math.log(1.0 - u) / rate
+
+
+#: Default source used when a component is not handed one explicitly.
+DEFAULT_SOURCE = DeterministicRandom(seed=2006)

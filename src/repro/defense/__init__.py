@@ -1,0 +1,20 @@
+"""DoS defenses available to a neutralizer: pushback and local rate limiting."""
+
+from .pushback import (
+    AggregateDetector,
+    AggregateState,
+    PushbackController,
+    deploy_pushback,
+    key_setup_aggregate,
+)
+from .ratelimit import GlobalRateLimiter, PerSourceSketchLimiter
+
+__all__ = [
+    "AggregateDetector",
+    "AggregateState",
+    "PushbackController",
+    "deploy_pushback",
+    "key_setup_aggregate",
+    "GlobalRateLimiter",
+    "PerSourceSketchLimiter",
+]

@@ -1,0 +1,194 @@
+"""Pushback: aggregate-based congestion control against DoS floods (§3.6).
+
+"A neutralizer box may be subject to DoS attacks ... a neutralizer can invoke
+DoS defense mechanisms such as pushback to get rid of attack traffic."  The
+reference is Mahajan et al., *Controlling High Bandwidth Aggregates in the
+Network*.  This module implements the parts the experiments need:
+
+* an :class:`AggregateDetector` that watches the arrival rate of a traffic
+  class (here: key-setup packets, identified without trusting source
+  addresses — pushback's selling point under spoofing) and flags an aggregate
+  when it exceeds a threshold;
+* a :class:`PushbackController` that, once an aggregate is flagged, installs a
+  rate limit for that aggregate locally and *pushes the request upstream* to
+  the neighbouring routers the traffic arrived from, recursively, so the
+  flood is dropped before it converges on the neutralizer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..netsim.router import Router
+from ..packet.packet import Packet
+from ..qos.schedulers import TokenBucket
+
+#: Classifier signature: returns the aggregate name a packet belongs to, or None.
+AggregateClassifier = Callable[[Packet], Optional[str]]
+
+
+def key_setup_aggregate(packet: Packet) -> Optional[str]:
+    """Classify neutralizer key-setup packets as one aggregate (the E11 attack)."""
+    from ..packet.headers import SHIM_TYPE_KEY_SETUP_REQUEST
+
+    if packet.shim is not None and packet.shim.shim_type == SHIM_TYPE_KEY_SETUP_REQUEST:
+        return "key-setup"
+    return None
+
+
+@dataclass
+class AggregateState:
+    """Observed state of one aggregate at one router."""
+
+    name: str
+    packets: int = 0
+    bytes: int = 0
+    window_start: float = 0.0
+    limited: bool = False
+    limiter: Optional[TokenBucket] = None
+
+
+class AggregateDetector:
+    """Sliding-window rate measurement per aggregate."""
+
+    def __init__(self, window_seconds: float = 1.0,
+                 threshold_pps: float = 1000.0) -> None:
+        if window_seconds <= 0:
+            raise ValueError("window must be positive")
+        self.window_seconds = window_seconds
+        self.threshold_pps = threshold_pps
+        self._aggregates: Dict[str, AggregateState] = {}
+
+    def observe(self, name: str, packet: Packet, now: float) -> AggregateState:
+        """Record one packet of an aggregate and return its current state."""
+        state = self._aggregates.setdefault(name, AggregateState(name=name, window_start=now))
+        if now - state.window_start >= self.window_seconds:
+            state.packets = 0
+            state.bytes = 0
+            state.window_start = now
+        state.packets += 1
+        state.bytes += packet.size_bytes
+        return state
+
+    def is_misbehaving(self, state: AggregateState, now: float) -> bool:
+        """Return ``True`` when the aggregate exceeds the configured rate."""
+        elapsed = max(now - state.window_start, 1e-6)
+        return state.packets / elapsed > self.threshold_pps
+
+    def aggregates(self) -> List[AggregateState]:
+        """All aggregates seen so far."""
+        return list(self._aggregates.values())
+
+
+class PushbackController:
+    """Per-router pushback agent: local rate limiting + upstream propagation."""
+
+    def __init__(
+        self,
+        router: Router,
+        *,
+        classifier: AggregateClassifier = key_setup_aggregate,
+        detector: Optional[AggregateDetector] = None,
+        limit_pps: float = 500.0,
+        limit_packet_size: int = 200,
+        max_depth: int = 2,
+    ) -> None:
+        self.router = router
+        self.classifier = classifier
+        self.detector = detector or AggregateDetector()
+        self.limit_pps = limit_pps
+        self.limit_packet_size = limit_packet_size
+        self.max_depth = max_depth
+        #: Upstream controllers (on neighbouring routers) the agent can push to.
+        self.upstream: List["PushbackController"] = []
+        self.counters: Dict[str, int] = {
+            "packets_seen": 0,
+            "packets_dropped": 0,
+            "aggregates_limited": 0,
+            "pushback_requests_sent": 0,
+            "pushback_requests_received": 0,
+        }
+        self._installed = False
+
+    # -- wiring -----------------------------------------------------------------------
+
+    def install(self) -> "PushbackController":
+        """Attach the agent as an ingress hook on its router."""
+        if not self._installed:
+            self.router.ingress_hooks.append(self._hook)
+            self._installed = True
+        return self
+
+    def add_upstream(self, controller: "PushbackController") -> None:
+        """Declare a neighbouring router's agent as upstream of this one."""
+        if controller is not self and controller not in self.upstream:
+            self.upstream.append(controller)
+
+    # -- data path --------------------------------------------------------------------------
+
+    def _hook(self, packet: Packet, router: Router, interface) -> Optional[Packet]:
+        self.counters["packets_seen"] += 1
+        name = self.classifier(packet)
+        if name is None:
+            return packet
+        now = router.sim.now
+        state = self.detector.observe(name, packet, now)
+        if not state.limited and self.detector.is_misbehaving(state, now):
+            self._activate_limit(state, depth=0)
+        if state.limited and state.limiter is not None:
+            if not state.limiter.allow(packet.size_bytes, now):
+                self.counters["packets_dropped"] += 1
+                return None
+        return packet
+
+    def _activate_limit(self, state: AggregateState, depth: int) -> None:
+        state.limited = True
+        state.limiter = TokenBucket(
+            rate_bytes_per_second=self.limit_pps * self.limit_packet_size,
+            burst_bytes=self.limit_pps * self.limit_packet_size,
+        )
+        self.counters["aggregates_limited"] += 1
+        if depth < self.max_depth:
+            self._push_upstream(state.name, depth + 1)
+
+    def _push_upstream(self, aggregate_name: str, depth: int) -> None:
+        for controller in self.upstream:
+            self.counters["pushback_requests_sent"] += 1
+            controller.receive_pushback(aggregate_name, depth)
+
+    def receive_pushback(self, aggregate_name: str, depth: int) -> None:
+        """Handle a pushback request from a downstream router."""
+        self.counters["pushback_requests_received"] += 1
+        state = self.detector._aggregates.setdefault(
+            aggregate_name, AggregateState(name=aggregate_name, window_start=self.router.sim.now)
+        )
+        if not state.limited:
+            self._activate_limit(state, depth)
+
+
+def deploy_pushback(
+    routers: List[Router],
+    *,
+    classifier: AggregateClassifier = key_setup_aggregate,
+    threshold_pps: float = 1000.0,
+    limit_pps: float = 500.0,
+) -> List[PushbackController]:
+    """Install pushback agents on a chain of routers, wiring upstream pointers.
+
+    ``routers`` should be ordered from the protected resource outward (the
+    first router is closest to the neutralizer); each agent treats the next
+    router in the list as its upstream.
+    """
+    controllers = [
+        PushbackController(
+            router,
+            classifier=classifier,
+            detector=AggregateDetector(threshold_pps=threshold_pps),
+            limit_pps=limit_pps,
+        ).install()
+        for router in routers
+    ]
+    for downstream, upstream in zip(controllers, controllers[1:]):
+        downstream.add_upstream(upstream)
+    return controllers

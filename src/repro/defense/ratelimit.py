@@ -1,0 +1,124 @@
+"""Stand-alone rate limiters used by neutralizers and experiments.
+
+Pushback (see :mod:`repro.defense.pushback`) is the network-wide mechanism the
+paper points at; a neutralizer can additionally protect itself locally by
+bounding how many expensive key-setup operations it performs per source and in
+total.  Because the box is stateless by design, the per-source limiter uses a
+fixed-size count-min sketch rather than a per-source table, keeping memory
+constant regardless of how many sources (or spoofed addresses) hit it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..crypto.kdf import hmac_sha256
+from ..packet.addresses import IPv4Address
+from ..qos.schedulers import TokenBucket
+
+
+class GlobalRateLimiter:
+    """A token bucket over operations per second (not bytes)."""
+
+    def __init__(self, operations_per_second: float, burst: Optional[int] = None) -> None:
+        if operations_per_second <= 0:
+            raise ValueError("rate must be positive")
+        burst_ops = burst if burst is not None else max(1, int(operations_per_second))
+        # Reuse the byte-based bucket with 1 byte == 1 operation.
+        self._bucket = TokenBucket(rate_bytes_per_second=operations_per_second,
+                                   burst_bytes=burst_ops)
+        self.allowed = 0
+        self.denied = 0
+
+    def allow(self, now: float) -> bool:
+        """Consume one operation if the budget allows."""
+        if self._bucket.allow(1, now):
+            self.allowed += 1
+            return True
+        self.denied += 1
+        return False
+
+
+@dataclass
+class _SketchRow:
+    counters: List[float]
+    last_decay: float
+
+
+class PerSourceSketchLimiter:
+    """Approximate per-source rate limiting in constant memory.
+
+    A count-min sketch of exponentially-decayed packet counts: each source
+    address hashes into one counter per row; the minimum across rows estimates
+    the source's recent rate.  Over-estimation is possible (collisions) but
+    never under-estimation, so an attacker cannot hide behind the sketch — at
+    worst an unlucky legitimate source shares a counter with the attacker,
+    which is the documented trade-off of keeping the box stateless.
+    """
+
+    def __init__(
+        self,
+        *,
+        rows: int = 4,
+        columns: int = 1024,
+        limit_per_second: float = 10.0,
+        decay_halflife_seconds: float = 1.0,
+        salt: bytes = b"neutralizer-sketch",
+    ) -> None:
+        if rows < 1 or columns < 8:
+            raise ValueError("sketch needs at least 1 row and 8 columns")
+        if limit_per_second <= 0:
+            raise ValueError("limit must be positive")
+        self.rows = rows
+        self.columns = columns
+        self.limit_per_second = limit_per_second
+        self.decay_halflife_seconds = decay_halflife_seconds
+        self._salt = salt
+        self._sketch = [_SketchRow(counters=[0.0] * columns, last_decay=0.0) for _ in range(rows)]
+        self.allowed = 0
+        self.denied = 0
+
+    def _indices(self, source: IPv4Address) -> List[int]:
+        digest = hmac_sha256(self._salt, source.packed)
+        return [
+            int.from_bytes(digest[4 * row:4 * row + 4], "big") % self.columns
+            for row in range(self.rows)
+        ]
+
+    def _decay(self, row: _SketchRow, now: float) -> None:
+        elapsed = now - row.last_decay
+        if elapsed <= 0:
+            return
+        factor = 0.5 ** (elapsed / self.decay_halflife_seconds)
+        row.counters = [value * factor for value in row.counters]
+        row.last_decay = now
+
+    def estimate(self, source: IPv4Address, now: float) -> float:
+        """Estimated decayed packet count for ``source``."""
+        estimates = []
+        for row, index in zip(self._sketch, self._indices(source)):
+            self._decay(row, now)
+            estimates.append(row.counters[index])
+        return min(estimates)
+
+    def allow(self, source: IPv4Address, now: float) -> bool:
+        """Record one packet from ``source`` and decide whether to serve it."""
+        indices = self._indices(source)
+        estimate = float("inf")
+        for row, index in zip(self._sketch, indices):
+            self._decay(row, now)
+            row.counters[index] += 1.0
+            estimate = min(estimate, row.counters[index])
+        # With exponential decay at half-life h, a steady rate r converges to
+        # roughly r * h / ln 2 in the counter; compare against that level.
+        steady_state_limit = self.limit_per_second * self.decay_halflife_seconds / 0.693
+        if estimate <= steady_state_limit:
+            self.allowed += 1
+            return True
+        self.denied += 1
+        return False
+
+    def memory_entries(self) -> int:
+        """Constant memory footprint in counters (rows x columns)."""
+        return self.rows * self.columns

@@ -1,0 +1,132 @@
+"""Deep packet inspection: what an on-path ISP can extract from a packet.
+
+This module deliberately implements the *attacker's* capability set from §2:
+the discriminatory ISP "may eavesdrop on all traffic, perform traffic
+analysis, delay or drop packets within its network".  Given a packet, the
+inspector reports every field a middlebox can actually read — addresses, the
+DSCP, the protocol, ports, a cleartext DNS query name, an application guess
+from ports and payload keywords, and whether the packet is end-to-end
+encrypted or part of a neutralizer exchange.  The discrimination policies are
+written against this report, which makes the design's privacy claim testable:
+after neutralization the report simply no longer contains the fields a
+targeted policy would need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..dns.messages import DNS_PORT, query_name_from_payload
+from ..packet.addresses import IPv4Address
+from ..packet.headers import (
+    PROTO_ESP,
+    PROTO_NEUTRALIZER_SHIM,
+    PROTO_TCP,
+    PROTO_UDP,
+    SHIM_TYPE_KEY_SETUP_REQUEST,
+    SHIM_TYPE_KEY_SETUP_RESPONSE,
+)
+from ..packet.packet import Packet
+
+#: Port-based application heuristics used by the classifier.
+_PORT_APPLICATIONS = {
+    53: "dns",
+    80: "web",
+    443: "web",
+    5060: "voip-signalling",
+    5004: "voip",
+    16384: "voip",
+    554: "video",
+    8554: "video",
+    1935: "video",
+}
+
+#: Payload keywords a 2006-era DPI box would key on.
+_PAYLOAD_SIGNATURES = {
+    b"SIP/2.0": "voip-signalling",
+    b"RTP": "voip",
+    b"GET /": "web",
+    b"HTTP/1.1": "web",
+    b"BitTorrent protocol": "p2p",
+    b"#VIDEO": "video",
+}
+
+
+@dataclass(frozen=True)
+class InspectionReport:
+    """Everything the DPI box could determine about one packet."""
+
+    source: IPv4Address
+    destination: IPv4Address
+    protocol: int
+    dscp: int
+    size_bytes: int
+    source_port: Optional[int]
+    destination_port: Optional[int]
+    #: Best-effort application label, or None when nothing is recognizable.
+    application: Optional[str]
+    #: Cleartext DNS query name, if this is a readable DNS query.
+    dns_query_name: Optional[str]
+    #: True when the payload is end-to-end encrypted (ESP) or hidden by a shim.
+    is_encrypted: bool
+    #: True when the packet is part of a neutralizer key-setup exchange.
+    is_key_setup: bool
+    #: True when the packet carries the neutralizer shim at all.
+    is_neutralized: bool
+
+
+def inspect(packet: Packet) -> InspectionReport:
+    """Build the inspection report for ``packet``."""
+    source_port = packet.udp.source_port if packet.udp is not None else None
+    destination_port = packet.udp.destination_port if packet.udp is not None else None
+
+    is_neutralized = packet.ip.protocol == PROTO_NEUTRALIZER_SHIM and packet.shim is not None
+    is_key_setup = is_neutralized and packet.shim.shim_type in (
+        SHIM_TYPE_KEY_SETUP_REQUEST,
+        SHIM_TYPE_KEY_SETUP_RESPONSE,
+    )
+    is_encrypted = packet.ip.protocol == PROTO_ESP or is_neutralized
+
+    dns_query_name = None
+    if destination_port == DNS_PORT and not is_encrypted:
+        dns_query_name = query_name_from_payload(packet.payload)
+
+    application = _classify_application(packet, source_port, destination_port, is_encrypted)
+
+    return InspectionReport(
+        source=packet.source,
+        destination=packet.destination,
+        protocol=packet.ip.protocol,
+        dscp=packet.dscp,
+        size_bytes=packet.size_bytes,
+        source_port=source_port,
+        destination_port=destination_port,
+        application=application,
+        dns_query_name=dns_query_name,
+        is_encrypted=is_encrypted,
+        is_key_setup=is_key_setup,
+        is_neutralized=is_neutralized,
+    )
+
+
+def _classify_application(
+    packet: Packet,
+    source_port: Optional[int],
+    destination_port: Optional[int],
+    is_encrypted: bool,
+) -> Optional[str]:
+    """Guess the application from ports and payload keywords."""
+    if is_encrypted:
+        # The whole point of e2e encryption + the shim: content and
+        # application type are no longer recognizable.
+        return None
+    for port in (destination_port, source_port):
+        if port in _PORT_APPLICATIONS:
+            return _PORT_APPLICATIONS[port]
+    if packet.ip.protocol not in (PROTO_UDP, PROTO_TCP):
+        return None
+    for signature, label in _PAYLOAD_SIGNATURES.items():
+        if signature in packet.payload:
+            return label
+    return None

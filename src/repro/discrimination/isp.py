@@ -1,0 +1,178 @@
+"""Wiring a discrimination policy into an ISP's routers.
+
+A :class:`PolicyEnforcementPoint` turns a :class:`DiscriminationPolicy` into a
+router ingress hook that drops, delays, throttles, or re-marks matching
+packets.  :func:`install_policy` attaches enforcement points to every router
+of a named ISP in a topology — modelling an access/transit ISP that
+discriminates anywhere inside its own network (it cannot, per the paper's
+threat model, touch packets outside its network).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..crypto.randomness import DEFAULT_SOURCE, RandomSource
+from ..netsim.router import Router
+from ..netsim.topology import Topology
+from ..packet.packet import Packet
+from .dpi import inspect
+from .policy import Action, DiscriminationPolicy, DiscriminationRule
+
+
+@dataclass
+class EnforcementStatistics:
+    """What one enforcement point did to traffic."""
+
+    packets_inspected: int = 0
+    packets_dropped: int = 0
+    packets_delayed: int = 0
+    packets_throttled_away: int = 0
+    packets_remarked: int = 0
+    extra_delay_added_seconds: float = 0.0
+
+
+class PolicyEnforcementPoint:
+    """A policy instance bound to one router."""
+
+    def __init__(
+        self,
+        policy: DiscriminationPolicy,
+        router: Router,
+        rng: Optional[RandomSource] = None,
+    ) -> None:
+        self.policy = policy
+        self.router = router
+        self._rng = rng or DEFAULT_SOURCE
+        self.stats = EnforcementStatistics()
+
+    def as_hook(self):
+        """Return the router ingress hook implementing this enforcement point."""
+
+        def hook(packet: Packet, router: Router, interface) -> Optional[Packet]:
+            return self._apply(packet)
+
+        return hook
+
+    def install(self) -> "PolicyEnforcementPoint":
+        """Attach the hook to the router's ingress."""
+        self.router.ingress_hooks.append(self.as_hook())
+        return self
+
+    # -- enforcement ------------------------------------------------------------
+
+    def _apply(self, packet: Packet) -> Optional[Packet]:
+        self.stats.packets_inspected += 1
+        report = inspect(packet)
+        rules = self.policy.evaluate_all(packet, report)
+        current: Optional[Packet] = packet
+        for rule in rules:
+            if current is None:
+                break
+            if rule.action == Action.ALLOW:
+                continue
+            if rule.action == Action.DROP:
+                current = self._apply_drop(current, rule)
+            elif rule.action == Action.DELAY:
+                current = self._apply_delay(current, rule)
+            elif rule.action == Action.THROTTLE:
+                current = self._apply_throttle(current, rule)
+            elif rule.action == Action.DEPRIORITIZE:
+                current = self._apply_deprioritize(current, rule)
+        return current
+
+    def _apply_drop(self, packet: Packet, rule: DiscriminationRule) -> Optional[Packet]:
+        if self._rng.random_float() <= rule.drop_probability:
+            self.stats.packets_dropped += 1
+            self.policy.stats_for(rule.name).dropped_packets += 1
+            return None
+        return packet
+
+    def _apply_delay(self, packet: Packet, rule: DiscriminationRule) -> Optional[Packet]:
+        # Absorb the packet now and re-inject it after the extra delay; the
+        # re-injected copy is tagged so it is not delayed twice at this router.
+        if packet.meta.get("_delayed_by") == (self.router.name, rule.name):
+            return packet
+        self.stats.packets_delayed += 1
+        self.stats.extra_delay_added_seconds += rule.delay_seconds
+        self.policy.stats_for(rule.name).delayed_packets += 1
+        delayed = packet.copy()
+        delayed.meta["_delayed_by"] = (self.router.name, rule.name)
+        self.router.sim.schedule(rule.delay_seconds, self.router.receive, delayed, None)
+        return None
+
+    def _apply_throttle(self, packet: Packet, rule: DiscriminationRule) -> Optional[Packet]:
+        bucket = self.policy.bucket_for(rule)
+        if bucket.allow(packet.size_bytes, self.router.sim.now):
+            return packet
+        self.stats.packets_throttled_away += 1
+        self.policy.stats_for(rule.name).dropped_packets += 1
+        return None
+
+    def _apply_deprioritize(self, packet: Packet, rule: DiscriminationRule) -> Packet:
+        self.stats.packets_remarked += 1
+        self.policy.stats_for(rule.name).deprioritized_packets += 1
+        remarked = packet.copy()
+        remarked.ip = type(remarked.ip)(
+            source=remarked.ip.source,
+            destination=remarked.ip.destination,
+            protocol=remarked.ip.protocol,
+            dscp=rule.deprioritize_dscp,
+            ecn=remarked.ip.ecn,
+            identification=remarked.ip.identification,
+            ttl=remarked.ip.ttl,
+        )
+        return remarked
+
+
+@dataclass
+class DiscriminatoryIspDeployment:
+    """All enforcement points installed for one ISP."""
+
+    isp_name: str
+    policy: DiscriminationPolicy
+    enforcement_points: List[PolicyEnforcementPoint] = field(default_factory=list)
+
+    @property
+    def total_dropped(self) -> int:
+        """Packets dropped across every router of the ISP."""
+        return sum(point.stats.packets_dropped + point.stats.packets_throttled_away
+                   for point in self.enforcement_points)
+
+    @property
+    def total_delayed(self) -> int:
+        """Packets delayed across every router of the ISP."""
+        return sum(point.stats.packets_delayed for point in self.enforcement_points)
+
+    @property
+    def total_inspected(self) -> int:
+        """Packets inspected across every router of the ISP."""
+        return sum(point.stats.packets_inspected for point in self.enforcement_points)
+
+    def describe(self) -> str:
+        """Summary used by experiment reports."""
+        return (
+            f"{self.isp_name}: policy {self.policy.name!r} on "
+            f"{len(self.enforcement_points)} routers — inspected {self.total_inspected}, "
+            f"dropped {self.total_dropped}, delayed {self.total_delayed}"
+        )
+
+
+def install_policy(
+    topology: Topology,
+    isp_name: str,
+    policy: DiscriminationPolicy,
+    *,
+    rng: Optional[RandomSource] = None,
+    border_only: bool = False,
+) -> DiscriminatoryIspDeployment:
+    """Install ``policy`` on every router (or border router) of ``isp_name``."""
+    isp = topology.isps.get(isp_name)
+    router_names = isp.border_router_names if border_only else isp.router_names
+    deployment = DiscriminatoryIspDeployment(isp_name=isp_name, policy=policy)
+    for router_name in router_names:
+        router = topology.router(router_name)
+        point = PolicyEnforcementPoint(policy, router, rng=rng).install()
+        deployment.enforcement_points.append(point)
+    return deployment

@@ -1,0 +1,49 @@
+"""DNS substrate: records, zones, resolvers, stub clients, encrypted transport."""
+
+from .messages import (
+    DNS_PORT,
+    RCODE_NXDOMAIN,
+    RCODE_OK,
+    RCODE_SERVFAIL,
+    DnsQuery,
+    DnsResponse,
+    query_name_from_payload,
+)
+from .records import BootstrapInfo, RecordType, ResourceRecord
+from .resolver import DnsResolverService
+from .secure import (
+    SECURE_MAGIC,
+    SecureQueryState,
+    decrypt_query,
+    decrypt_response,
+    encrypt_query,
+    encrypt_response,
+    is_secure_payload,
+)
+from .stub import DEFAULT_CLIENT_PORT, ResolverConfig, StubResolver
+from .zone import Zone
+
+__all__ = [
+    "DNS_PORT",
+    "RCODE_NXDOMAIN",
+    "RCODE_OK",
+    "RCODE_SERVFAIL",
+    "DnsQuery",
+    "DnsResponse",
+    "query_name_from_payload",
+    "BootstrapInfo",
+    "RecordType",
+    "ResourceRecord",
+    "DnsResolverService",
+    "SECURE_MAGIC",
+    "SecureQueryState",
+    "decrypt_query",
+    "decrypt_response",
+    "encrypt_query",
+    "encrypt_response",
+    "is_secure_payload",
+    "DEFAULT_CLIENT_PORT",
+    "ResolverConfig",
+    "StubResolver",
+    "Zone",
+]

@@ -1,0 +1,110 @@
+"""DNS message wire formats (simplified query/response encoding).
+
+The encoding is intentionally minimal but real: queries carry the name in
+clear text, which is exactly what lets a discriminatory access ISP "delay
+queries for www.google.com" (§3.1) — the DPI classifier in
+:mod:`repro.discrimination` parses these very bytes.  The secure transport in
+:mod:`repro.dns.secure` wraps these messages so the name disappears from the
+access ISP's view.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..exceptions import DnsError
+from .records import RecordType, ResourceRecord
+
+#: Well-known DNS port used by resolvers in the simulator.
+DNS_PORT = 53
+
+RCODE_OK = 0
+RCODE_NXDOMAIN = 3
+RCODE_SERVFAIL = 2
+
+
+@dataclass(frozen=True)
+class DnsQuery:
+    """A DNS query for one name (optionally one record type)."""
+
+    query_id: int
+    name: str
+    rtype: Optional[RecordType] = None
+
+    def pack(self) -> bytes:
+        """Serialize the query."""
+        name_bytes = self.name.encode("ascii")
+        if len(name_bytes) > 255:
+            raise DnsError("query name too long")
+        rtype_value = int(self.rtype) if self.rtype is not None else 0
+        return struct.pack("!HHB", self.query_id, rtype_value, len(name_bytes)) + name_bytes
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "DnsQuery":
+        """Parse a query serialized by :meth:`pack`."""
+        if len(data) < 5:
+            raise DnsError("truncated DNS query")
+        query_id, rtype_value, name_len = struct.unpack("!HHB", data[:5])
+        if len(data) < 5 + name_len:
+            raise DnsError("truncated DNS query name")
+        name = data[5:5 + name_len].decode("ascii")
+        rtype = RecordType(rtype_value) if rtype_value else None
+        return cls(query_id=query_id, name=name, rtype=rtype)
+
+
+@dataclass(frozen=True)
+class DnsResponse:
+    """A DNS response carrying zero or more records."""
+
+    query_id: int
+    rcode: int
+    records: tuple
+
+    @classmethod
+    def ok(cls, query_id: int, records: List[ResourceRecord]) -> "DnsResponse":
+        """Build a successful response."""
+        return cls(query_id=query_id, rcode=RCODE_OK, records=tuple(records))
+
+    @classmethod
+    def nxdomain(cls, query_id: int) -> "DnsResponse":
+        """Build an NXDOMAIN response."""
+        return cls(query_id=query_id, rcode=RCODE_NXDOMAIN, records=())
+
+    def pack(self) -> bytes:
+        """Serialize the response."""
+        header = struct.pack("!HBB", self.query_id, self.rcode, len(self.records))
+        return header + b"".join(record.pack() for record in self.records)
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "DnsResponse":
+        """Parse a response serialized by :meth:`pack`."""
+        if len(data) < 4:
+            raise DnsError("truncated DNS response")
+        query_id, rcode, count = struct.unpack("!HBB", data[:4])
+        records = []
+        offset = 4
+        for _ in range(count):
+            record, consumed = ResourceRecord.unpack(data[offset:])
+            records.append(record)
+            offset += consumed
+        return cls(query_id=query_id, rcode=rcode, records=tuple(records))
+
+    @property
+    def is_ok(self) -> bool:
+        """``True`` for a successful response."""
+        return self.rcode == RCODE_OK
+
+
+def query_name_from_payload(payload: bytes) -> Optional[str]:
+    """Best-effort extraction of the queried name from a cleartext DNS payload.
+
+    Returns ``None`` for encrypted (secure-transport) payloads or anything that
+    does not parse — which is precisely what the DPI-based discrimination
+    policy experiences once clients switch to encrypted DNS.
+    """
+    try:
+        return DnsQuery.unpack(payload).name
+    except (DnsError, UnicodeDecodeError, ValueError):
+        return None

@@ -1,0 +1,111 @@
+"""Resolver service: answers queries from a zone over the simulated network.
+
+A :class:`DnsResolverService` attaches to a :class:`repro.netsim.node.Host`
+and answers both cleartext and secure-transport queries on port 53.  The
+"third party" resolvers of §3.1 — run by a non-discriminatory ISP, an overlay
+like PlanetLab, or Google itself — are just instances of this service placed
+on hosts outside the discriminatory ISP, holding an RSA key pair whose public
+half clients are configured with.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..crypto.randomness import DEFAULT_SOURCE, RandomSource
+from ..crypto.rsa import RsaKeyPair, RsaPublicKey
+from ..exceptions import DnsError, NxDomainError
+from ..netsim.node import Host
+from ..packet.builder import udp_packet
+from ..packet.packet import Packet
+from .messages import DNS_PORT, DnsQuery, DnsResponse
+from .secure import decrypt_query, encrypt_response, is_secure_payload
+from .zone import Zone
+
+
+class DnsResolverService:
+    """An authoritative/recursive resolver bound to one host."""
+
+    def __init__(
+        self,
+        zone: Zone,
+        *,
+        keypair: Optional[RsaKeyPair] = None,
+        port: int = DNS_PORT,
+        rng: Optional[RandomSource] = None,
+        backend: Optional[str] = None,
+    ) -> None:
+        self.zone = zone
+        self.keypair = keypair
+        self.port = port
+        self._rng = rng or DEFAULT_SOURCE
+        self._backend = backend
+        self.host: Optional[Host] = None
+        self.queries_served = 0
+        self.secure_queries_served = 0
+        self.failures = 0
+
+    @property
+    def public_key(self) -> Optional[RsaPublicKey]:
+        """Public key clients use for the secure transport (None = cleartext only)."""
+        return self.keypair.public if self.keypair is not None else None
+
+    @property
+    def address(self):
+        """The address clients should send queries to."""
+        if self.host is None:
+            raise DnsError("resolver service is not attached to a host")
+        return self.host.address
+
+    def attach(self, host: Host) -> "DnsResolverService":
+        """Bind the service to a host's UDP port."""
+        self.host = host
+        host.register_port_handler(self.port, self._handle_packet)
+        return self
+
+    # -- request handling ----------------------------------------------------------
+
+    def _handle_packet(self, packet: Packet, host: Host) -> None:
+        payload = packet.payload
+        try:
+            if is_secure_payload(payload):
+                self._handle_secure(packet, host, payload)
+            else:
+                self._handle_cleartext(packet, host, payload)
+        except DnsError:
+            self.failures += 1
+
+    def _handle_cleartext(self, packet: Packet, host: Host, payload: bytes) -> None:
+        query = DnsQuery.unpack(payload)
+        response = self._answer(query)
+        self.queries_served += 1
+        self._reply(packet, host, response.pack())
+
+    def _handle_secure(self, packet: Packet, host: Host, payload: bytes) -> None:
+        if self.keypair is None:
+            raise DnsError("secure query received but resolver has no key pair")
+        query_bytes, state = decrypt_query(self.keypair.private, payload, self._backend)
+        query = DnsQuery.unpack(query_bytes)
+        response = self._answer(query)
+        self.queries_served += 1
+        self.secure_queries_served += 1
+        self._reply(packet, host, encrypt_response(state, response.pack(), self._backend))
+
+    def _answer(self, query: DnsQuery) -> DnsResponse:
+        try:
+            records = self.zone.lookup(query.name, query.rtype)
+        except NxDomainError:
+            return DnsResponse.nxdomain(query.query_id)
+        return DnsResponse.ok(query.query_id, records)
+
+    def _reply(self, request: Packet, host: Host, payload: bytes) -> None:
+        source_port = request.udp.source_port if request.udp is not None else DNS_PORT
+        response_packet = udp_packet(
+            host.address,
+            request.source,
+            payload,
+            source_port=self.port,
+            destination_port=source_port,
+            dscp=request.dscp,
+        )
+        host.send_raw(response_packet)

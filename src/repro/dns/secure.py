@@ -1,0 +1,112 @@
+"""Encrypted DNS transport to third-party resolvers.
+
+Section 3.1: "a source needs to encrypt its DNS queries and send the queries
+to DNS resolvers that are not controlled by the discriminatory ISP".  The
+transport here is a one-round-trip scheme: the client generates a fresh
+response key, encrypts ``(response_key || nonce || query)`` under the
+resolver's RSA public key, and the resolver returns the response encrypted
+under the response key in CTR mode.  The access ISP sees only the resolver's
+address and ciphertext — it can tell *that* an encrypted DNS exchange happened
+(§3.6 accepts this) but not *which name* was asked.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..crypto.backend import get_cipher
+from ..crypto.modes import ctr_decrypt, ctr_encrypt
+from ..crypto.randomness import DEFAULT_SOURCE, RandomSource
+from ..crypto.rsa import RsaPrivateKey, RsaPublicKey
+from ..exceptions import DnsError
+
+#: First byte of every secure-transport payload, distinguishing it from
+#: cleartext DNS on the same port.
+SECURE_MAGIC = 0xD5
+
+_RESPONSE_KEY_LEN = 16
+_NONCE_LEN = 8
+
+
+@dataclass(frozen=True)
+class SecureQueryState:
+    """Client-side state needed to decrypt the matching response."""
+
+    response_key: bytes
+    nonce: bytes
+
+
+def encrypt_query(
+    resolver_public_key: RsaPublicKey,
+    query_bytes: bytes,
+    rng: Optional[RandomSource] = None,
+    backend: Optional[str] = None,
+) -> Tuple[bytes, SecureQueryState]:
+    """Encrypt a DNS query for a third-party resolver.
+
+    Returns the wire payload and the state the client keeps to decrypt the
+    response.  The query itself rides in CTR mode under the fresh response
+    key, so arbitrarily long queries fit regardless of the RSA modulus size.
+    """
+    source = rng or DEFAULT_SOURCE
+    response_key = source.random_bytes(_RESPONSE_KEY_LEN)
+    nonce = source.random_bytes(_NONCE_LEN)
+    sealed = resolver_public_key.encrypt(response_key + nonce, source)
+    cipher = get_cipher(response_key, backend=backend)
+    encrypted_query = ctr_encrypt(cipher, nonce, query_bytes)
+    payload = (
+        struct.pack("!BH", SECURE_MAGIC, len(sealed)) + sealed + encrypted_query
+    )
+    return payload, SecureQueryState(response_key=response_key, nonce=nonce)
+
+
+def is_secure_payload(payload: bytes) -> bool:
+    """Return ``True`` if ``payload`` looks like a secure-transport query."""
+    return len(payload) >= 3 and payload[0] == SECURE_MAGIC
+
+
+def decrypt_query(
+    resolver_private_key: RsaPrivateKey, payload: bytes, backend: Optional[str] = None
+) -> Tuple[bytes, SecureQueryState]:
+    """Resolver side: recover the query bytes and the response state."""
+    if not is_secure_payload(payload):
+        raise DnsError("not a secure DNS payload")
+    sealed_len = struct.unpack("!H", payload[1:3])[0]
+    if len(payload) < 3 + sealed_len:
+        raise DnsError("truncated secure DNS payload")
+    sealed = payload[3:3 + sealed_len]
+    encrypted_query = payload[3 + sealed_len:]
+    opened = resolver_private_key.decrypt(sealed)
+    if len(opened) != _RESPONSE_KEY_LEN + _NONCE_LEN:
+        raise DnsError("malformed secure DNS key material")
+    response_key = opened[:_RESPONSE_KEY_LEN]
+    nonce = opened[_RESPONSE_KEY_LEN:]
+    cipher = get_cipher(response_key, backend=backend)
+    query_bytes = ctr_decrypt(cipher, nonce, encrypted_query)
+    return query_bytes, SecureQueryState(response_key=response_key, nonce=nonce)
+
+
+def _response_nonce(nonce: bytes) -> bytes:
+    """Derive the response-direction nonce (flip the last byte) to avoid reuse."""
+    return nonce[:-1] + bytes([nonce[-1] ^ 0xFF])
+
+
+def encrypt_response(
+    state: SecureQueryState, response_bytes: bytes, backend: Optional[str] = None
+) -> bytes:
+    """Resolver side: encrypt the response under the client's response key."""
+    cipher = get_cipher(state.response_key, backend=backend)
+    encrypted = ctr_encrypt(cipher, _response_nonce(state.nonce), response_bytes)
+    return struct.pack("!B", SECURE_MAGIC) + encrypted
+
+
+def decrypt_response(
+    state: SecureQueryState, payload: bytes, backend: Optional[str] = None
+) -> bytes:
+    """Client side: decrypt a response produced by :func:`encrypt_response`."""
+    if not payload or payload[0] != SECURE_MAGIC:
+        raise DnsError("not a secure DNS response")
+    cipher = get_cipher(state.response_key, backend=backend)
+    return ctr_decrypt(cipher, _response_nonce(state.nonce), payload[1:])

@@ -1,0 +1,187 @@
+"""Stub resolver: the client side of the bootstrap lookup.
+
+A :class:`StubResolver` lives on an end host.  It can talk to its access ISP's
+default resolver in cleartext (the vulnerable configuration) or to a
+configured third-party resolver over the encrypted transport (the §3.1
+recommendation).  Lookups are asynchronous — the simulator is event driven —
+and deliver either a raw record list or an assembled
+:class:`repro.dns.records.BootstrapInfo` to the caller's callback.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..crypto.randomness import DEFAULT_SOURCE, RandomSource
+from ..crypto.rsa import RsaPublicKey
+from ..exceptions import DnsError
+from ..netsim.node import Host
+from ..packet.addresses import IPv4Address
+from ..packet.builder import udp_packet
+from ..packet.packet import Packet
+from .messages import DNS_PORT, DnsQuery, DnsResponse
+from .records import BootstrapInfo, RecordType, ResourceRecord
+from .secure import SecureQueryState, decrypt_response, encrypt_query
+
+#: Default client-side UDP port for receiving responses.
+DEFAULT_CLIENT_PORT = 35353
+
+#: Callback receiving (records, error-string-or-None).
+LookupCallback = Callable[[List[ResourceRecord], Optional[str]], None]
+#: Callback receiving (BootstrapInfo, error-string-or-None).
+BootstrapCallback = Callable[[Optional[BootstrapInfo], Optional[str]], None]
+
+
+@dataclass
+class _PendingQuery:
+    name: str
+    callback: LookupCallback
+    secure_state: Optional[SecureQueryState] = None
+    timeout_event: Optional[object] = None
+    sent_at: float = 0.0
+
+
+@dataclass
+class ResolverConfig:
+    """Where the stub sends queries and how."""
+
+    address: IPv4Address
+    port: int = DNS_PORT
+    #: Public key of the resolver; required when ``use_secure_transport``.
+    public_key: Optional[RsaPublicKey] = None
+    use_secure_transport: bool = False
+
+    def __post_init__(self) -> None:
+        if self.use_secure_transport and self.public_key is None:
+            raise DnsError("secure transport requires the resolver's public key")
+
+
+class StubResolver:
+    """Client-side resolver attached to one host."""
+
+    def __init__(
+        self,
+        host: Host,
+        config: ResolverConfig,
+        *,
+        client_port: int = DEFAULT_CLIENT_PORT,
+        timeout_seconds: float = 2.0,
+        rng: Optional[RandomSource] = None,
+        backend: Optional[str] = None,
+    ) -> None:
+        self.host = host
+        self.config = config
+        self.client_port = client_port
+        self.timeout_seconds = timeout_seconds
+        self._rng = rng or DEFAULT_SOURCE
+        self._backend = backend
+        self._query_ids = itertools.count(1)
+        self._pending: Dict[int, _PendingQuery] = {}
+        self.lookups_sent = 0
+        self.responses_received = 0
+        self.timeouts = 0
+        self.latencies: List[float] = []
+        host.register_port_handler(client_port, self._handle_response)
+
+    # -- public API -----------------------------------------------------------------
+
+    def lookup(
+        self, name: str, callback: LookupCallback, rtype: Optional[RecordType] = None
+    ) -> int:
+        """Send a query for ``name``; the callback fires on response or timeout."""
+        query_id = next(self._query_ids)
+        query = DnsQuery(query_id=query_id, name=name, rtype=rtype)
+        payload = query.pack()
+        secure_state = None
+        if self.config.use_secure_transport:
+            assert self.config.public_key is not None
+            payload, secure_state = encrypt_query(
+                self.config.public_key, payload, self._rng, self._backend
+            )
+        pending = _PendingQuery(
+            name=name,
+            callback=callback,
+            secure_state=secure_state,
+            sent_at=self.host.sim.now,
+        )
+        pending.timeout_event = self.host.sim.schedule(
+            self.timeout_seconds, self._handle_timeout, query_id
+        )
+        self._pending[query_id] = pending
+        packet = udp_packet(
+            self.host.address,
+            self.config.address,
+            payload,
+            source_port=self.client_port,
+            destination_port=self.config.port,
+        )
+        self.lookups_sent += 1
+        self.host.send(packet)
+        return query_id
+
+    def lookup_bootstrap(self, name: str, callback: BootstrapCallback) -> int:
+        """Query all bootstrap records for ``name`` and assemble a BootstrapInfo."""
+
+        def on_records(records: List[ResourceRecord], error: Optional[str]) -> None:
+            if error is not None:
+                callback(None, error)
+                return
+            info = BootstrapInfo.from_records(name, records)
+            if not info.is_complete:
+                callback(None, f"no address records for {name!r}")
+                return
+            callback(info, None)
+
+        return self.lookup(name, on_records)
+
+    @property
+    def pending_count(self) -> int:
+        """Number of queries still awaiting an answer."""
+        return len(self._pending)
+
+    @property
+    def mean_latency(self) -> float:
+        """Mean lookup latency over completed queries (seconds)."""
+        if not self.latencies:
+            return 0.0
+        return sum(self.latencies) / len(self.latencies)
+
+    # -- internals ---------------------------------------------------------------------
+
+    def _handle_response(self, packet: Packet, host: Host) -> None:
+        payload = packet.payload
+        # Try to match the response to a pending query; secure responses need
+        # the per-query state to decrypt before the id is visible, so probe.
+        for query_id, pending in list(self._pending.items()):
+            try:
+                if pending.secure_state is not None:
+                    plaintext = decrypt_response(pending.secure_state, payload, self._backend)
+                else:
+                    plaintext = payload
+                response = DnsResponse.unpack(plaintext)
+            except DnsError:
+                continue
+            if response.query_id != query_id:
+                continue
+            self._complete(query_id, pending, response)
+            return
+
+    def _complete(self, query_id: int, pending: _PendingQuery, response: DnsResponse) -> None:
+        del self._pending[query_id]
+        if pending.timeout_event is not None:
+            pending.timeout_event.cancel()
+        self.responses_received += 1
+        self.latencies.append(self.host.sim.now - pending.sent_at)
+        if response.is_ok:
+            pending.callback(list(response.records), None)
+        else:
+            pending.callback([], f"rcode {response.rcode} for {pending.name!r}")
+
+    def _handle_timeout(self, query_id: int) -> None:
+        pending = self._pending.pop(query_id, None)
+        if pending is None:
+            return
+        self.timeouts += 1
+        pending.callback([], f"timeout resolving {pending.name!r}")

@@ -1,0 +1,76 @@
+"""Authoritative DNS data: zones and the registration helpers sites use.
+
+A :class:`Zone` is a flat name-to-records map (the reproduction does not need
+delegation).  Sites behind a neutral ISP publish their address, their
+end-to-end public key, and one NEUT record per provider (multi-homed sites
+publish several, §3.5).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from ..crypto.rsa import RsaPublicKey
+from ..exceptions import NxDomainError
+from ..packet.addresses import IPv4Address
+from .records import RecordType, ResourceRecord
+
+
+class Zone:
+    """A flat authoritative zone."""
+
+    def __init__(self, origin: str = ".") -> None:
+        self.origin = origin
+        self._records: Dict[str, List[ResourceRecord]] = {}
+
+    # -- registration -----------------------------------------------------------
+
+    def add_record(self, record: ResourceRecord) -> None:
+        """Add one record (duplicates are kept; DNS allows record sets)."""
+        self._records.setdefault(record.name, []).append(record)
+
+    def register_host(
+        self,
+        name: str,
+        address: IPv4Address,
+        *,
+        public_key: Optional[RsaPublicKey] = None,
+        neutralizer_addresses: Optional[Iterable[IPv4Address]] = None,
+        ttl: int = 3600,
+    ) -> None:
+        """Register a host with the records the bootstrap needs."""
+        self.add_record(ResourceRecord.a(name, address, ttl))
+        if public_key is not None:
+            self.add_record(ResourceRecord.key(name, public_key, ttl))
+        neutralizers = list(neutralizer_addresses or [])
+        if neutralizers:
+            self.add_record(ResourceRecord.neut(name, neutralizers, ttl))
+
+    def remove_name(self, name: str) -> None:
+        """Delete every record for ``name`` (used to simulate churn)."""
+        self._records.pop(name, None)
+
+    # -- queries -------------------------------------------------------------------
+
+    def lookup(self, name: str, rtype: Optional[RecordType] = None) -> List[ResourceRecord]:
+        """Return the records for ``name`` (optionally filtered by type).
+
+        Raises :class:`NxDomainError` when the name does not exist at all; an
+        existing name with no record of the requested type returns ``[]``.
+        """
+        if name not in self._records:
+            raise NxDomainError(f"no such name {name!r}")
+        records = self._records[name]
+        if rtype is None:
+            return list(records)
+        return [record for record in records if record.rtype == rtype]
+
+    def names(self) -> List[str]:
+        """All registered names."""
+        return list(self._records)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._records
+
+    def __len__(self) -> int:
+        return len(self._records)

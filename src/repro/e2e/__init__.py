@@ -1,0 +1,26 @@
+"""End-to-end encryption substrate (the paper's IPsec black box)."""
+
+from .ipsec import ESP_ICV_LEN, ESP_IV_LEN, EspSecurityAssociation, overhead_bytes
+from .session import (
+    STRONG_KEY_BITS,
+    E2eInitiator,
+    E2eResponder,
+    E2eSession,
+    establish_pair,
+    generate_host_keypair,
+    sessions_from_secret,
+)
+
+__all__ = [
+    "ESP_ICV_LEN",
+    "ESP_IV_LEN",
+    "EspSecurityAssociation",
+    "overhead_bytes",
+    "STRONG_KEY_BITS",
+    "E2eInitiator",
+    "E2eResponder",
+    "E2eSession",
+    "establish_pair",
+    "generate_host_keypair",
+    "sessions_from_secret",
+]

@@ -1,0 +1,23 @@
+"""Optional extensions: traffic masking (§2 future work) and tradeoff analysis."""
+
+from .masking import (
+    DEFAULT_SIZE_BUCKETS,
+    MaskingStatistics,
+    SizeClassifier,
+    TrafficMasker,
+    pad_to_bucket,
+    unpad,
+)
+from .tradeoffs import TradeoffPoint, minimum_safe_key_bits, sweep
+
+__all__ = [
+    "DEFAULT_SIZE_BUCKETS",
+    "MaskingStatistics",
+    "SizeClassifier",
+    "TrafficMasker",
+    "pad_to_bucket",
+    "unpad",
+    "TradeoffPoint",
+    "minimum_safe_key_bits",
+    "sweep",
+]

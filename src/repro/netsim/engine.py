@@ -1,0 +1,118 @@
+"""Discrete-event simulation engine.
+
+A deliberately small engine: a monotonic clock, a binary-heap event queue, and
+callback-style events.  Ties are broken by insertion order so runs are fully
+deterministic, which the reproduction relies on (every experiment is replayed
+from a seed and must yield identical traces).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional
+
+from ..exceptions import SchedulingError
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Ordering is (time, sequence) so simultaneous events fire in the order they
+    were scheduled.  ``cancelled`` events stay in the heap but are skipped.
+    """
+
+    time: float
+    sequence: int
+    callback: Callable[..., None] = field(compare=False)
+    args: tuple = field(compare=False, default=())
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the engine skips it."""
+        self.cancelled = True
+
+
+class Simulator:
+    """The discrete-event scheduler shared by every simulated component."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._heap: List[Event] = []
+        self._sequence = itertools.count()
+        self._running = False
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def processed_events(self) -> int:
+        """Total number of events executed so far."""
+        return self._processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still queued (including cancelled placeholders)."""
+        return len(self._heap)
+
+    def schedule(self, delay: float, callback: Callable[..., None], *args: Any) -> Event:
+        """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SchedulingError(f"cannot schedule {delay} seconds in the past")
+        return self.schedule_at(self._now + delay, callback, *args)
+
+    def schedule_at(self, time: float, callback: Callable[..., None], *args: Any) -> Event:
+        """Schedule ``callback(*args)`` at absolute simulation time ``time``."""
+        if time < self._now:
+            raise SchedulingError(
+                f"cannot schedule at {time:.9f}, simulation time is already {self._now:.9f}"
+            )
+        event = Event(time=time, sequence=next(self._sequence), callback=callback, args=args)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
+        """Run events until the queue drains, ``until`` is reached, or ``max_events``.
+
+        Returns the number of events executed by this call.  ``until`` is
+        inclusive: events scheduled exactly at ``until`` run, later ones stay
+        queued and the clock is advanced to ``until``.
+        """
+        if self._running:
+            raise SchedulingError("Simulator.run is not reentrant")
+        self._running = True
+        executed = 0
+        try:
+            while self._heap:
+                if max_events is not None and executed >= max_events:
+                    break
+                event = self._heap[0]
+                if until is not None and event.time > until:
+                    break
+                heapq.heappop(self._heap)
+                if event.cancelled:
+                    continue
+                self._now = event.time
+                event.callback(*event.args)
+                executed += 1
+                self._processed += 1
+            if until is not None and self._now < until:
+                self._now = until
+        finally:
+            self._running = False
+        return executed
+
+    def run_for(self, duration: float, max_events: Optional[int] = None) -> int:
+        """Run for ``duration`` simulated seconds from the current time."""
+        return self.run(until=self._now + duration, max_events=max_events)
+
+    def reset(self) -> None:
+        """Drop all pending events and rewind the clock (test helper)."""
+        self._heap.clear()
+        self._now = 0.0
+        self._processed = 0

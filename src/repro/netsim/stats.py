@@ -1,0 +1,109 @@
+"""Lightweight counters and samplers attached to links and nodes.
+
+The heavier aggregation (per-flow throughput, MOS, tables) lives in
+:mod:`repro.analysis.metrics`; these classes only collect raw observations
+during a run.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass
+class Counters:
+    """A bag of named integer counters."""
+
+    values: Dict[str, int] = field(default_factory=dict)
+
+    def increment(self, name: str, amount: int = 1) -> None:
+        """Add ``amount`` to counter ``name`` (creating it at zero)."""
+        self.values[name] = self.values.get(name, 0) + amount
+
+    def get(self, name: str) -> int:
+        """Return the value of ``name`` (zero when never incremented)."""
+        return self.values.get(name, 0)
+
+    def as_dict(self) -> Dict[str, int]:
+        """Return a copy of all counters."""
+        return dict(self.values)
+
+
+@dataclass
+class LatencySampler:
+    """Collects latency samples and reports simple order statistics."""
+
+    samples: List[float] = field(default_factory=list)
+
+    def record(self, value: float) -> None:
+        """Record one latency observation in seconds."""
+        self.samples.append(value)
+
+    @property
+    def count(self) -> int:
+        """Number of samples recorded."""
+        return len(self.samples)
+
+    @property
+    def mean(self) -> float:
+        """Mean latency (0.0 when empty, so reports never divide by zero)."""
+        if not self.samples:
+            return 0.0
+        return sum(self.samples) / len(self.samples)
+
+    @property
+    def maximum(self) -> float:
+        """Largest observed latency."""
+        return max(self.samples) if self.samples else 0.0
+
+    def percentile(self, fraction: float) -> float:
+        """Return the ``fraction`` quantile (nearest-rank) of the samples."""
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("fraction must be within [0, 1]")
+        if not self.samples:
+            return 0.0
+        ordered = sorted(self.samples)
+        rank = min(len(ordered) - 1, max(0, math.ceil(fraction * len(ordered)) - 1))
+        return ordered[rank]
+
+    @property
+    def jitter(self) -> float:
+        """Mean absolute difference between consecutive samples (RFC 3550 style)."""
+        if len(self.samples) < 2:
+            return 0.0
+        diffs = [abs(b - a) for a, b in zip(self.samples, self.samples[1:])]
+        return sum(diffs) / len(diffs)
+
+
+@dataclass
+class LinkStats:
+    """Per-direction link statistics."""
+
+    packets_sent: int = 0
+    bytes_sent: int = 0
+    packets_dropped: int = 0
+    queue_peak: int = 0
+
+    def record_sent(self, size_bytes: int) -> None:
+        """Account for a packet handed to the wire."""
+        self.packets_sent += 1
+        self.bytes_sent += size_bytes
+
+    def record_drop(self) -> None:
+        """Account for a packet dropped at the queue."""
+        self.packets_dropped += 1
+
+    def record_queue_depth(self, depth: int) -> None:
+        """Track the worst queue depth seen."""
+        if depth > self.queue_peak:
+            self.queue_peak = depth
+
+    @property
+    def drop_rate(self) -> float:
+        """Fraction of offered packets that were dropped."""
+        offered = self.packets_sent + self.packets_dropped
+        if offered == 0:
+            return 0.0
+        return self.packets_dropped / offered

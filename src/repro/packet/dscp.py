@@ -1,0 +1,103 @@
+"""Differentiated Services Code Points (RFC 2474 / RFC 2475).
+
+Section 3.4 of the paper is explicit that the neutralizer "will not modify the
+Differentiated Services Code Point (DSCP) in a standard IP header", so a
+discriminatory ISP can keep selling tiered service to its own customers even
+when the traffic is neutralized.  The QoS substrate maps these code points to
+per-hop behaviours; the property tests assert the neutralizer's DSCP
+passthrough invariant.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+
+class Dscp(IntEnum):
+    """Standard DSCP values (6-bit field)."""
+
+    BEST_EFFORT = 0
+    CS1 = 8
+    AF11 = 10
+    AF12 = 12
+    AF13 = 14
+    CS2 = 16
+    AF21 = 18
+    AF22 = 20
+    AF23 = 22
+    CS3 = 24
+    AF31 = 26
+    AF32 = 28
+    AF33 = 30
+    CS4 = 32
+    AF41 = 34
+    AF42 = 36
+    AF43 = 38
+    CS5 = 40
+    EF = 46
+    CS6 = 48
+    CS7 = 56
+
+
+#: Coarse service classes used by the QoS schedulers and experiment reports.
+SERVICE_CLASSES = {
+    "voice": Dscp.EF,
+    "video": Dscp.AF41,
+    "priority-data": Dscp.AF21,
+    "best-effort": Dscp.BEST_EFFORT,
+    "scavenger": Dscp.CS1,
+}
+
+#: Scheduling priority of each DSCP (higher = served first by the priority
+#: scheduler).  Values follow the usual EF > AF4x > AF2x > BE > CS1 ordering.
+_PRIORITY_ORDER = {
+    Dscp.EF: 5,
+    Dscp.CS5: 5,
+    Dscp.AF41: 4,
+    Dscp.AF42: 4,
+    Dscp.AF43: 4,
+    Dscp.CS4: 4,
+    Dscp.AF31: 3,
+    Dscp.AF32: 3,
+    Dscp.AF33: 3,
+    Dscp.CS3: 3,
+    Dscp.AF21: 2,
+    Dscp.AF22: 2,
+    Dscp.AF23: 2,
+    Dscp.CS2: 2,
+    Dscp.AF11: 1,
+    Dscp.AF12: 1,
+    Dscp.AF13: 1,
+    Dscp.BEST_EFFORT: 1,
+    Dscp.CS1: 0,
+    Dscp.CS6: 5,
+    Dscp.CS7: 5,
+}
+
+
+def priority_of(dscp: int) -> int:
+    """Return the scheduling priority of a DSCP value (unknown values = BE)."""
+    try:
+        return _PRIORITY_ORDER[Dscp(dscp)]
+    except ValueError:
+        return _PRIORITY_ORDER[Dscp.BEST_EFFORT]
+
+
+def class_of(dscp: int) -> str:
+    """Return the coarse service-class name of a DSCP value."""
+    for name, value in SERVICE_CLASSES.items():
+        if value == dscp:
+            return name
+    priority = priority_of(dscp)
+    if priority >= 4:
+        return "video"
+    if priority >= 2:
+        return "priority-data"
+    if priority == 0:
+        return "scavenger"
+    return "best-effort"
+
+
+def is_valid_dscp(value: int) -> bool:
+    """Return ``True`` if ``value`` fits the 6-bit DSCP field."""
+    return 0 <= value < 64

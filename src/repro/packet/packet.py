@@ -1,0 +1,207 @@
+"""The simulator's packet object.
+
+A :class:`Packet` bundles an IPv4 header, an optional shim header, an optional
+UDP header and an opaque payload, plus simulation metadata (creation time,
+flow id, hop trace) that never appears on the wire.  ``serialize`` /
+``deserialize`` produce real byte encodings so that sizes reported by the
+benchmarks are honest, while the simulator itself passes the object around to
+avoid re-parsing at every hop.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..exceptions import HeaderError, TruncatedPacketError
+from .addresses import IPv4Address
+from .headers import (
+    IPV4_HEADER_LEN,
+    PROTO_NEUTRALIZER_SHIM,
+    PROTO_UDP,
+    UDP_HEADER_LEN,
+    IPv4Header,
+    ShimHeader,
+    UdpHeader,
+)
+
+_packet_ids = itertools.count(1)
+
+
+@dataclass
+class Packet:
+    """A packet travelling through the simulated internetwork."""
+
+    ip: IPv4Header
+    shim: Optional[ShimHeader] = None
+    udp: Optional[UdpHeader] = None
+    payload: bytes = b""
+    #: Simulation-only metadata (not serialized): flow ids, app tags, etc.
+    meta: Dict[str, Any] = field(default_factory=dict)
+    #: Names of nodes traversed; filled in by routers for path assertions.
+    hops: List[str] = field(default_factory=list)
+    #: Unique id for tracing.
+    packet_id: int = field(default_factory=lambda: next(_packet_ids))
+    #: Simulation timestamp at creation (set by senders).
+    created_at: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.shim is not None and self.ip.protocol != PROTO_NEUTRALIZER_SHIM:
+            # Normalize: the presence of a shim implies the fixed protocol value.
+            self.ip = self.ip.with_total_length(self.ip.total_length)
+        self._sync_lengths()
+
+    # -- size accounting -----------------------------------------------------
+
+    def _sync_lengths(self) -> None:
+        """Recompute length fields from the actual component sizes."""
+        udp_len = UDP_HEADER_LEN + len(self.payload) if self.udp is not None else 0
+        if self.udp is not None:
+            self.udp = self.udp.with_length(udp_len)
+        shim_len = self.shim.length if self.shim is not None else 0
+        payload_len = len(self.payload) if self.udp is None else 0
+        total = IPV4_HEADER_LEN + shim_len + udp_len + payload_len
+        self.ip = self.ip.with_total_length(total)
+
+    @property
+    def size_bytes(self) -> int:
+        """On-the-wire size of the packet in bytes."""
+        self._sync_lengths()
+        return self.ip.total_length
+
+    @property
+    def source(self) -> IPv4Address:
+        """Source address in the IP header (what a middlebox can see)."""
+        return self.ip.source
+
+    @property
+    def destination(self) -> IPv4Address:
+        """Destination address in the IP header (what a middlebox can see)."""
+        return self.ip.destination
+
+    @property
+    def dscp(self) -> int:
+        """DSCP field (preserved by the neutralizer, §3.4)."""
+        return self.ip.dscp
+
+    @property
+    def flow_id(self) -> Optional[str]:
+        """Simulation flow tag, if any."""
+        return self.meta.get("flow_id")
+
+    # -- mutation helpers ------------------------------------------------------
+
+    def record_hop(self, node_name: str) -> None:
+        """Append a node to the hop trace."""
+        self.hops.append(node_name)
+
+    def copy(self) -> "Packet":
+        """Deep-enough copy for fan-out middleboxes (headers are immutable)."""
+        return Packet(
+            ip=self.ip,
+            shim=self.shim,
+            udp=self.udp,
+            payload=self.payload,
+            meta=dict(self.meta),
+            hops=list(self.hops),
+            created_at=self.created_at,
+        )
+
+    def replace_ip(self, **kwargs: Any) -> "Packet":
+        """Return a copy of this packet with IP header fields replaced.
+
+        The neutralizer uses this for its address swap; everything else
+        (shim, payload, metadata) is carried over untouched.
+        """
+        new = self.copy()
+        source = kwargs.pop("source", None)
+        destination = kwargs.pop("destination", None)
+        header = new.ip.with_addresses(source=source, destination=destination)
+        for key, value in kwargs.items():
+            header = type(header)(**{**header.__dict__, key: value})
+        new.ip = header
+        new._sync_lengths()
+        return new
+
+    def with_shim(self, shim: ShimHeader) -> "Packet":
+        """Return a copy carrying ``shim`` and the fixed shim protocol number."""
+        new = self.copy()
+        new.shim = shim
+        new.ip = IPv4Header(
+            source=new.ip.source,
+            destination=new.ip.destination,
+            protocol=PROTO_NEUTRALIZER_SHIM,
+            dscp=new.ip.dscp,
+            ecn=new.ip.ecn,
+            identification=new.ip.identification,
+            ttl=new.ip.ttl,
+        )
+        new._sync_lengths()
+        return new
+
+    def without_shim(self, next_protocol: Optional[int] = None) -> "Packet":
+        """Return a copy with the shim removed (used at the receiving host)."""
+        new = self.copy()
+        protocol = next_protocol
+        if protocol is None:
+            protocol = new.shim.next_protocol if new.shim is not None else PROTO_UDP
+        new.shim = None
+        new.ip = IPv4Header(
+            source=new.ip.source,
+            destination=new.ip.destination,
+            protocol=protocol,
+            dscp=new.ip.dscp,
+            ecn=new.ip.ecn,
+            identification=new.ip.identification,
+            ttl=new.ip.ttl,
+        )
+        new._sync_lengths()
+        return new
+
+    # -- serialization ---------------------------------------------------------
+
+    def serialize(self) -> bytes:
+        """Encode the packet to its on-the-wire byte representation."""
+        self._sync_lengths()
+        parts = [self.ip.pack()]
+        if self.shim is not None:
+            parts.append(self.shim.pack())
+        if self.udp is not None:
+            parts.append(self.udp.pack())
+        parts.append(self.payload)
+        return b"".join(parts)
+
+    @classmethod
+    def deserialize(cls, data: bytes) -> "Packet":
+        """Parse bytes produced by :meth:`serialize`."""
+        ip_header = IPv4Header.unpack(data)
+        if len(data) < ip_header.total_length:
+            raise TruncatedPacketError("buffer shorter than IP total length")
+        offset = IPV4_HEADER_LEN
+        shim = None
+        udp = None
+        next_protocol = ip_header.protocol
+        if ip_header.protocol == PROTO_NEUTRALIZER_SHIM:
+            shim = ShimHeader.unpack(data[offset:])
+            offset += shim.length
+            next_protocol = shim.next_protocol
+        if next_protocol == PROTO_UDP and offset + UDP_HEADER_LEN <= ip_header.total_length:
+            udp = UdpHeader.unpack(data[offset:])
+            offset += UDP_HEADER_LEN
+        payload = data[offset:ip_header.total_length]
+        packet = cls(ip=ip_header, shim=shim, udp=udp, payload=payload)
+        # Deserialization must not "fix up" a header that lied about lengths.
+        if packet.size_bytes != ip_header.total_length:
+            raise HeaderError(
+                f"inconsistent lengths: header says {ip_header.total_length}, "
+                f"components say {packet.size_bytes}"
+            )
+        return packet
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        shim_part = f" shim={self.shim.shim_type}" if self.shim else ""
+        return (
+            f"<Packet #{self.packet_id} {self.source}->{self.destination} "
+            f"proto={self.ip.protocol}{shim_part} {self.size_bytes}B>"
+        )

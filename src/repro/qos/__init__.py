@@ -1,0 +1,38 @@
+"""QoS substrate: schedulers, DiffServ per-hop behaviours, IntServ reservations."""
+
+from .diffserv import (
+    DiffServDomain,
+    PerHopBehaviour,
+    ServiceLevelAgreement,
+    expected_priority_order,
+    phb_of,
+)
+from .intserv import DynamicAddressPool, FlowSpec, Reservation, ReservationTable
+from .schedulers import (
+    DEFAULT_QUEUE_CAPACITY,
+    DeficitRoundRobinScheduler,
+    FifoScheduler,
+    PriorityScheduler,
+    Scheduler,
+    TokenBucket,
+    TokenBucketScheduler,
+)
+
+__all__ = [
+    "DiffServDomain",
+    "PerHopBehaviour",
+    "ServiceLevelAgreement",
+    "expected_priority_order",
+    "phb_of",
+    "DynamicAddressPool",
+    "FlowSpec",
+    "Reservation",
+    "ReservationTable",
+    "DEFAULT_QUEUE_CAPACITY",
+    "DeficitRoundRobinScheduler",
+    "FifoScheduler",
+    "PriorityScheduler",
+    "Scheduler",
+    "TokenBucket",
+    "TokenBucketScheduler",
+]

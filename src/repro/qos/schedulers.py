@@ -1,0 +1,265 @@
+"""Packet schedulers and policers used on link egress.
+
+The paper's §3.4 argument is that tiered service survives neutralization
+because the DSCP stays visible.  To demonstrate that (experiment E9) the
+simulator needs real schedulers: a drop-tail FIFO (the default on every link),
+a strict-priority scheduler keyed on DSCP, a deficit-round-robin scheduler for
+weighted sharing, and a token-bucket policer/shaper that discriminatory ISPs
+use to throttle classes of traffic.
+
+All schedulers implement the same small interface consumed by
+:class:`repro.netsim.link.Link`:
+
+``enqueue(packet) -> bool``
+    Accept a packet or return ``False`` when it must be dropped.
+``dequeue() -> Packet | None``
+    Return the next packet to transmit, or ``None`` when idle.
+``__len__``
+    Number of queued packets.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional
+
+from ..packet.dscp import priority_of
+from ..packet.packet import Packet
+
+#: Default queue capacity (packets) used when a caller does not specify one.
+DEFAULT_QUEUE_CAPACITY = 256
+
+
+class Scheduler:
+    """Interface shared by all egress schedulers."""
+
+    def enqueue(self, packet: Packet) -> bool:
+        raise NotImplementedError
+
+    def dequeue(self) -> Optional[Packet]:
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    @property
+    def drops(self) -> int:
+        """Number of packets this scheduler has refused."""
+        return getattr(self, "_drops", 0)
+
+
+class FifoScheduler(Scheduler):
+    """Single drop-tail FIFO queue (default link behaviour)."""
+
+    def __init__(self, capacity: int = DEFAULT_QUEUE_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        self.capacity = capacity
+        self._queue: Deque[Packet] = deque()
+        self._drops = 0
+
+    def enqueue(self, packet: Packet) -> bool:
+        if len(self._queue) >= self.capacity:
+            self._drops += 1
+            return False
+        self._queue.append(packet)
+        return True
+
+    def dequeue(self) -> Optional[Packet]:
+        if not self._queue:
+            return None
+        return self._queue.popleft()
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+
+class PriorityScheduler(Scheduler):
+    """Strict-priority scheduler over DSCP classes.
+
+    Packets are classified by :func:`repro.packet.dscp.priority_of`; the
+    highest non-empty priority is always served first.  Each priority level
+    has its own drop-tail capacity so a flooded low class cannot starve the
+    queue memory of higher classes.
+    """
+
+    def __init__(self, capacity_per_class: int = DEFAULT_QUEUE_CAPACITY) -> None:
+        if capacity_per_class < 1:
+            raise ValueError("capacity must be at least 1")
+        self.capacity_per_class = capacity_per_class
+        self._queues: Dict[int, Deque[Packet]] = {}
+        self._drops = 0
+
+    def enqueue(self, packet: Packet) -> bool:
+        priority = priority_of(packet.dscp)
+        queue = self._queues.setdefault(priority, deque())
+        if len(queue) >= self.capacity_per_class:
+            self._drops += 1
+            return False
+        queue.append(packet)
+        return True
+
+    def dequeue(self) -> Optional[Packet]:
+        for priority in sorted(self._queues, reverse=True):
+            queue = self._queues[priority]
+            if queue:
+                return queue.popleft()
+        return None
+
+    def __len__(self) -> int:
+        return sum(len(queue) for queue in self._queues.values())
+
+
+@dataclass
+class _DrrClass:
+    queue: Deque[Packet] = field(default_factory=deque)
+    quantum: int = 1500
+    deficit: int = 0
+
+
+class DeficitRoundRobinScheduler(Scheduler):
+    """Deficit round robin: byte-weighted fair sharing across DSCP classes.
+
+    ``weights`` maps a DSCP priority level to a relative weight; the quantum
+    of each class is ``weight * quantum_bytes``.  Unknown levels get weight 1.
+    """
+
+    def __init__(
+        self,
+        weights: Optional[Dict[int, float]] = None,
+        quantum_bytes: int = 1500,
+        capacity_per_class: int = DEFAULT_QUEUE_CAPACITY,
+    ) -> None:
+        self._weights = dict(weights or {})
+        self._quantum = quantum_bytes
+        self._capacity = capacity_per_class
+        self._classes: Dict[int, _DrrClass] = {}
+        self._active: List[int] = []
+        self._drops = 0
+
+    def _class_for(self, packet: Packet) -> int:
+        return priority_of(packet.dscp)
+
+    def enqueue(self, packet: Packet) -> bool:
+        key = self._class_for(packet)
+        drr = self._classes.get(key)
+        if drr is None:
+            weight = self._weights.get(key, 1.0)
+            drr = _DrrClass(quantum=max(1, int(weight * self._quantum)))
+            self._classes[key] = drr
+        if len(drr.queue) >= self._capacity:
+            self._drops += 1
+            return False
+        drr.queue.append(packet)
+        if key not in self._active:
+            self._active.append(key)
+        return True
+
+    def dequeue(self) -> Optional[Packet]:
+        # Round-robin over active classes, spending deficit in bytes.
+        rounds = 0
+        while self._active and rounds < 2 * len(self._active) + 2:
+            key = self._active[0]
+            drr = self._classes[key]
+            if not drr.queue:
+                self._active.pop(0)
+                drr.deficit = 0
+                continue
+            head = drr.queue[0]
+            if drr.deficit < head.size_bytes:
+                drr.deficit += drr.quantum
+                self._active.append(self._active.pop(0))
+                rounds += 1
+                continue
+            drr.deficit -= head.size_bytes
+            packet = drr.queue.popleft()
+            if not drr.queue:
+                drr.deficit = 0
+                self._active.pop(0)
+            return packet
+        # Fallback: serve any non-empty class to guarantee work conservation.
+        for key, drr in self._classes.items():
+            if drr.queue:
+                return drr.queue.popleft()
+        return None
+
+    def __len__(self) -> int:
+        return sum(len(c.queue) for c in self._classes.values())
+
+
+class TokenBucket:
+    """A token-bucket rate limiter used by policers and shapers.
+
+    Time is supplied by the caller (the simulator clock) so the bucket is a
+    pure data structure and is trivially testable.
+    """
+
+    def __init__(self, rate_bytes_per_second: float, burst_bytes: int) -> None:
+        if rate_bytes_per_second <= 0:
+            raise ValueError("rate must be positive")
+        if burst_bytes <= 0:
+            raise ValueError("burst must be positive")
+        self.rate = float(rate_bytes_per_second)
+        self.burst = int(burst_bytes)
+        self._tokens = float(burst_bytes)
+        self._last_update = 0.0
+
+    def _refill(self, now: float) -> None:
+        if now < self._last_update:
+            # The simulator clock never moves backwards; guard anyway.
+            return
+        self._tokens = min(self.burst, self._tokens + (now - self._last_update) * self.rate)
+        self._last_update = now
+
+    def allow(self, size_bytes: int, now: float) -> bool:
+        """Consume tokens for a packet of ``size_bytes`` at time ``now`` if possible."""
+        self._refill(now)
+        if self._tokens >= size_bytes:
+            self._tokens -= size_bytes
+            return True
+        return False
+
+    @property
+    def tokens(self) -> float:
+        """Tokens currently available (mainly for tests)."""
+        return self._tokens
+
+
+class TokenBucketScheduler(Scheduler):
+    """A FIFO scheduler policed by a token bucket (non-conforming packets dropped).
+
+    Discriminatory ISPs use this to model "slow down traffic class X to Y
+    bits/second" policies; the clock must be provided by the owner via
+    :meth:`set_clock` because schedulers are passive objects.
+    """
+
+    def __init__(
+        self,
+        rate_bytes_per_second: float,
+        burst_bytes: int = 30_000,
+        capacity: int = DEFAULT_QUEUE_CAPACITY,
+    ) -> None:
+        self._bucket = TokenBucket(rate_bytes_per_second, burst_bytes)
+        self._fifo = FifoScheduler(capacity)
+        self._drops = 0
+        self._clock = lambda: 0.0
+
+    def set_clock(self, clock) -> None:
+        """Install a zero-argument callable returning the current sim time."""
+        self._clock = clock
+
+    def enqueue(self, packet: Packet) -> bool:
+        if not self._bucket.allow(packet.size_bytes, self._clock()):
+            self._drops += 1
+            return False
+        accepted = self._fifo.enqueue(packet)
+        if not accepted:
+            self._drops += 1
+        return accepted
+
+    def dequeue(self) -> Optional[Packet]:
+        return self._fifo.dequeue()
+
+    def __len__(self) -> int:
+        return len(self._fifo)

@@ -1,0 +1,89 @@
+"""Small unit-conversion helpers used across the simulator and benchmarks.
+
+The simulator keeps time in seconds (floats) and sizes in bytes (ints).  These
+helpers exist so that experiment scripts read naturally (``mbps(100)``,
+``msec(20)``) instead of sprinkling powers of ten around.
+"""
+
+from __future__ import annotations
+
+#: Bits per byte; defined once so packet/rate conversions stay consistent.
+BITS_PER_BYTE = 8
+
+#: One kilo/mega/giga in SI form (network rates are SI, not binary).
+KILO = 1_000
+MEGA = 1_000_000
+GIGA = 1_000_000_000
+
+
+def kbps(value: float) -> float:
+    """Return a rate expressed in kilobits/second as bits/second."""
+    return float(value) * KILO
+
+
+def mbps(value: float) -> float:
+    """Return a rate expressed in megabits/second as bits/second."""
+    return float(value) * MEGA
+
+
+def gbps(value: float) -> float:
+    """Return a rate expressed in gigabits/second as bits/second."""
+    return float(value) * GIGA
+
+
+def usec(value: float) -> float:
+    """Return a duration expressed in microseconds as seconds."""
+    return float(value) / MEGA
+
+
+def msec(value: float) -> float:
+    """Return a duration expressed in milliseconds as seconds."""
+    return float(value) / KILO
+
+
+def seconds(value: float) -> float:
+    """Identity helper; lets experiment configs be explicit about units."""
+    return float(value)
+
+
+def minutes(value: float) -> float:
+    """Return a duration expressed in minutes as seconds."""
+    return float(value) * 60.0
+
+
+def hours(value: float) -> float:
+    """Return a duration expressed in hours as seconds."""
+    return float(value) * 3600.0
+
+
+def kilobytes(value: float) -> int:
+    """Return a size expressed in kilobytes as bytes."""
+    return int(value * KILO)
+
+
+def megabytes(value: float) -> int:
+    """Return a size expressed in megabytes as bytes."""
+    return int(value * MEGA)
+
+
+def transmission_time(size_bytes: int, rate_bps: float) -> float:
+    """Time in seconds to serialize ``size_bytes`` onto a link of ``rate_bps``.
+
+    A zero or negative rate means an infinitely fast link (used by in-process
+    benchmark fixtures), for which the transmission time is zero.
+    """
+    if rate_bps <= 0:
+        return 0.0
+    return (size_bytes * BITS_PER_BYTE) / float(rate_bps)
+
+
+def pps_to_bps(packets_per_second: float, packet_size_bytes: int) -> float:
+    """Convert a packet rate to a bit rate for a fixed packet size."""
+    return packets_per_second * packet_size_bytes * BITS_PER_BYTE
+
+
+def bps_to_pps(rate_bps: float, packet_size_bytes: int) -> float:
+    """Convert a bit rate to a packet rate for a fixed packet size."""
+    if packet_size_bytes <= 0:
+        raise ValueError("packet size must be positive")
+    return rate_bps / (packet_size_bytes * BITS_PER_BYTE)

@@ -1,0 +1,257 @@
+"""Baselines, DoS defenses, application models, extensions, and analysis helpers."""
+
+import pytest
+
+from repro.analysis.metrics import FlowTracker, compare, measure_throughput
+from repro.analysis.report import ExperimentReport, format_series, format_table
+from repro.apps.voip import VoipCall, VoipQualityReport, VoipReceiver
+from repro.apps.web import WebClient, WebServer
+from repro.apps.video import VideoReceiver, VideoStream
+from repro.apps.workloads import ConstantRateSource, KeySetupFlood, PoissonSource
+from repro.baselines import (
+    AccessProvider,
+    OnionClient,
+    OnionRelay,
+    PayEveryIspModel,
+    VanillaForwarder,
+    compare_resources,
+)
+from repro.defense.pushback import AggregateDetector, PushbackController, deploy_pushback
+from repro.defense.ratelimit import GlobalRateLimiter, PerSourceSketchLimiter
+from repro.extensions import (
+    SizeClassifier,
+    TrafficMasker,
+    TradeoffPoint,
+    minimum_safe_key_bits,
+    pad_to_bucket,
+    sweep,
+    unpad,
+)
+from repro.packet import ip, udp_packet
+
+
+class TestVanillaForwarder:
+    def test_forwarding_decrements_ttl_only(self):
+        forwarder = VanillaForwarder()
+        packet = udp_packet(ip("10.1.0.1"), ip("10.3.0.1"), b"x" * 64, ttl=64)
+        out = forwarder.process(packet)[0]
+        assert out.ip.ttl == 63 and out.payload == packet.payload
+        assert forwarder.counters["packets_forwarded"] == 1
+        assert forwarder.state_entries() == 0
+
+
+class TestOnionBaseline:
+    def test_cell_roundtrip_through_three_relays(self, rng):
+        relays = [OnionRelay(f"r{i}", key_bits=512, rng=rng) for i in range(3)]
+        client = OnionClient(rng=rng)
+        circuit = client.build_circuit(relays)
+        assert client.send_through(circuit, b"payload cell") == b"payload cell"
+        assert client.receive_through(circuit, b"return cell") == b"return cell"
+
+    def test_per_circuit_state_and_pk_costs(self, rng):
+        relays = [OnionRelay(f"r{i}", key_bits=512, rng=rng) for i in range(3)]
+        client = OnionClient(rng=rng)
+        for _ in range(4):
+            client.build_circuit(relays)
+        assert all(relay.state_entries() == 4 for relay in relays)
+        assert client.counters["public_key_encryptions"] == 12
+        assert sum(r.counters["public_key_decryptions"] for r in relays) == 12
+
+    def test_teardown_releases_state(self, rng):
+        relays = [OnionRelay("r0", key_bits=512, rng=rng)]
+        client = OnionClient(rng=rng)
+        circuit = client.build_circuit(relays)
+        client.close_circuit(circuit)
+        assert relays[0].state_entries() == 0
+
+    def test_analytic_comparison_favours_neutralizer(self):
+        comparison = compare_resources(flows=100, packets_per_flow=10)
+        rows = dict((name, (a, b)) for name, a, b in comparison.as_rows())
+        assert rows["per-relay/per-box state entries"][0] == 0
+        assert rows["public-key operations"][0] < rows["public-key operations"][1]
+
+
+class TestPayerModel:
+    def test_strategies_compare(self):
+        model = PayEveryIspModel(
+            [AccessProvider("att", subscribers=1000, fee_per_subscriber=2.0),
+             AccessProvider("comcast", subscribers=500, fee_per_subscriber=3.0)],
+            neutral_transit_monthly_cost=100.0,
+        )
+        outcomes = {o.strategy: o for o in model.compare()}
+        assert outcomes["pay every access ISP"].monthly_cost == pytest.approx(3500.0)
+        assert outcomes["neutral ISP + neutralizer"].monthly_cost == 100.0
+        assert outcomes["pay no one (accept degradation)"].users_lost > 0
+        sensitivity = model.monopoly_price_sensitivity([1.0, 2.0])
+        assert sensitivity[2.0] == pytest.approx(7000.0)
+
+
+class TestDefenses:
+    def test_aggregate_detector_flags_floods(self):
+        detector = AggregateDetector(window_seconds=1.0, threshold_pps=100)
+        packet = udp_packet(ip("1.1.1.1"), ip("2.2.2.2"), b"x")
+        state = None
+        for i in range(200):
+            state = detector.observe("key-setup", packet, now=i * 0.001)
+        assert detector.is_misbehaving(state, now=0.2)
+
+    def test_global_rate_limiter(self):
+        limiter = GlobalRateLimiter(operations_per_second=10, burst=10)
+        allowed = sum(1 for _ in range(50) if limiter.allow(now=0.0))
+        assert allowed == 10 and limiter.denied == 40
+        assert limiter.allow(now=2.0)
+
+    def test_sketch_limiter_constant_memory_and_no_underestimate(self):
+        limiter = PerSourceSketchLimiter(limit_per_second=5, columns=64)
+        attacker = ip("10.1.0.66")
+        legit = ip("10.2.0.5")
+        attacker_denied = sum(1 for i in range(200) if not limiter.allow(attacker, now=i * 0.001))
+        assert attacker_denied > 150
+        assert limiter.allow(legit, now=0.5) in (True, False)  # never crashes
+        assert limiter.memory_entries() == 4 * 64
+
+    def test_pushback_deployment_chain(self, small_topology):
+        controllers = deploy_pushback(
+            [small_topology.router("cogent-br"), small_topology.router("att-br")],
+            threshold_pps=10, limit_pps=5,
+        )
+        assert controllers[0].upstream == [controllers[1]]
+        controllers[0].receive_pushback("key-setup", depth=1)
+        assert controllers[0].counters["pushback_requests_received"] == 1
+
+
+class TestApps:
+    def test_voip_mos_degrades_with_loss_and_delay(self):
+        clean = VoipQualityReport(packets_sent=100, packets_received=100,
+                                  mean_latency_seconds=0.02, p95_latency_seconds=0.03,
+                                  jitter_seconds=0.002)
+        lossy = VoipQualityReport(packets_sent=100, packets_received=70,
+                                  mean_latency_seconds=0.3, p95_latency_seconds=0.4,
+                                  jitter_seconds=0.05)
+        assert clean.mos > 4.0 and clean.is_usable
+        assert lossy.mos < 2.5 and not lossy.is_usable
+        assert clean.mos > lossy.mos
+
+    def test_voip_call_over_simulator(self, small_topology):
+        ann = small_topology.host("ann")
+        google = small_topology.host("google")
+        receiver = VoipReceiver(google)
+        call = VoipCall(ann, google.address, receiver, duration_seconds=0.5)
+        call.start()
+        small_topology.run(2.0)
+        report = call.report()
+        assert report.packets_sent == call.total_packets
+        assert report.loss_rate == 0.0 and report.mos > 4.0
+
+    def test_web_transfer_completion(self, small_topology):
+        google = small_topology.host("google")
+        ann = small_topology.host("ann")
+        WebServer(google, response_bytes=30_000, packets_per_second=200)
+        client = WebClient(ann)
+        client.request(google.address, expected_bytes=30_000)
+        small_topology.run(5.0)
+        result = client.result_for(google.address)
+        assert result.complete and 0 < result.completion_seconds < 5.0
+
+    def test_video_stream_quality(self, small_topology):
+        google = small_topology.host("google")
+        ann = small_topology.host("ann")
+        receiver = VideoReceiver(ann)
+        stream = VideoStream(google, ann.address, receiver, bitrate_bps=500_000,
+                             duration_seconds=1.0)
+        stream.start()
+        small_topology.run(4.0)
+        report = stream.report()
+        assert report.segments_received == report.segments_sent
+        assert report.is_watchable
+
+    def test_constant_and_poisson_sources(self, small_topology, rng):
+        ann = small_topology.host("ann")
+        google = small_topology.host("google")
+        got = []
+        google.register_port_handler(40000, lambda p, h: got.append(p))
+        constant = ConstantRateSource(ann, google.address, packets_per_second=100,
+                                      payload_bytes=100)
+        poisson = PoissonSource(ann, google.address, packets_per_second=100,
+                                payload_bytes=100, rng=rng)
+        n1 = constant.start(0.5)
+        n2 = poisson.start(0.5)
+        small_topology.run(3.0)
+        assert n1 == 50 and 20 <= n2 <= 100
+        assert len(got) == n1 + n2
+
+    def test_key_setup_flood_emits_valid_requests(self, small_topology, rng, anycast_address):
+        ann = small_topology.host("ann")
+        hits = []
+        small_topology.router("att-br").attach_local_service(
+            anycast_address, lambda p, r, i: hits.append(p))
+        small_topology.build_routes()
+        flood = KeySetupFlood(ann, anycast_address, requests_per_second=100, rng=rng)
+        flood.start(0.2)
+        small_topology.run(1.0)
+        assert flood.requests_sent == 20 and len(hits) == 20
+
+
+class TestExtensions:
+    def test_padding_roundtrip_and_buckets(self):
+        padded = pad_to_bucket(b"x" * 100)
+        assert len(padded) in (128, 512, 1024, 1400)
+        assert unpad(padded) == b"x" * 100
+
+    def test_masker_defeats_size_classifier(self):
+        classifier = SizeClassifier()
+        classifier.train("voip", 172)
+        classifier.train("web", 1052)
+        assert classifier.classify(175) == "voip"
+        masked_voip = len(pad_to_bucket(b"v" * 160))
+        masked_web = len(pad_to_bucket(b"w" * 460))
+        # Both collapse into the same bucket: the classifier can no longer split them.
+        assert masked_voip == masked_web
+
+    def test_masker_overhead_accounting(self, small_topology):
+        ann = small_topology.host("ann")
+        google = small_topology.host("google")
+        masker = TrafficMasker().install(ann)
+        got = []
+        google.register_port_handler(40000, lambda p, h: got.append(p))
+        ann.send(udp_packet(ann.address, google.address, b"tiny"))
+        small_topology.run(1.0)
+        assert masker.stats.packets_masked == 1 and masker.stats.overhead_ratio > 1.0
+        assert unpad(got[0].payload) == b"tiny"
+
+    def test_tradeoff_sweep_and_minimum_safe_size(self):
+        points = sweep(key_sizes=(512, 1024), rtts=(0.1,))
+        assert len(points) == 2
+        weak, strong = points
+        assert strong.factoring_seconds > weak.factoring_seconds
+        assert weak.neutralizer_cost_multiplications == 2
+        assert minimum_safe_key_bits(0.1, attacker_ops_per_second=1e6) <= 1024
+
+
+class TestAnalysisHelpers:
+    def test_measure_throughput_counts(self):
+        result = measure_throughput("noop", lambda: None, iterations=100)
+        assert result.operations == 100 and result.per_second > 0
+
+    def test_flow_tracker(self):
+        tracker = FlowTracker()
+        tracker.record_sent("f1")
+        tracker.record_sent("f1")
+        tracker.record_received("f1", latency_seconds=0.1)
+        summary = tracker.summary("f1")
+        assert summary.delivery_ratio == 0.5 and summary.mean_latency_seconds == 0.1
+
+    def test_compare_rows(self):
+        rows = compare({"pps": 100.0}, {"pps": 200.0})
+        assert rows[0].ratio == pytest.approx(0.5)
+
+    def test_table_and_series_formatting(self):
+        table = format_table(["a", "b"], [[1, 2.5], [3, 4.0]], title="t")
+        assert "t" in table and "2.500" in table
+        series = format_series("x", [1, 2], {"s1": [10, 20]})
+        assert "s1" in series
+        report = ExperimentReport("EX", "demo")
+        report.add_table(["c"], [[1]])
+        report.add_note("n")
+        rendered = report.render()
+        assert "EX" in rendered and "note: n" in rendered

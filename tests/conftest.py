@@ -1,0 +1,44 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.randomness import DeterministicRandom
+from repro.netsim.isp import Relationship
+from repro.netsim.topology import Topology
+from repro.packet.addresses import ip
+from repro.units import mbps, msec
+
+
+@pytest.fixture
+def rng():
+    """A deterministic random source, fresh per test."""
+    return DeterministicRandom(seed=1234)
+
+
+@pytest.fixture
+def small_topology():
+    """A 2-ISP / 2-router / 2-host line topology with routes installed.
+
+    Layout: ann (att) - att-br - cogent-br - google (cogent).
+    """
+    topo = Topology()
+    topo.add_isp("att", 7018, "10.1.0.0/16", discriminatory=True)
+    topo.add_isp("cogent", 174, "10.3.0.0/16")
+    topo.add_router("att-br", "att", border=True)
+    topo.add_router("cogent-br", "cogent", border=True)
+    topo.add_host("ann", "att")
+    topo.add_host("google", "cogent")
+    topo.add_link("ann", "att-br", rate_bps=mbps(100), delay_seconds=msec(1))
+    topo.add_link("att-br", "cogent-br", rate_bps=mbps(1000), delay_seconds=msec(5))
+    topo.add_link("cogent-br", "google", rate_bps=mbps(100), delay_seconds=msec(1))
+    topo.set_relationship("att", "cogent", Relationship.PEER)
+    topo.build_routes()
+    return topo
+
+
+@pytest.fixture
+def anycast_address():
+    """The anycast address used by deployment-style tests."""
+    return ip("10.200.0.1")

@@ -1,0 +1,240 @@
+"""Neutralizer packet-processing tests (the stateless box in isolation)."""
+
+import pytest
+
+from repro.core import (
+    KeySetupRequestBody,
+    KeySetupResponseBody,
+    NeutralizedDataBody,
+    NeutralizerConfig,
+    NeutralizerDomain,
+    ReturnDataBody,
+    ReverseKeyRequestBody,
+    decrypt_address,
+    encrypt_address,
+)
+from repro.core.shim import FLAG_KEY_REQUEST, NONCE_LEN, TAG_LEN
+from repro.crypto import DeterministicRandom, derive_symmetric_key, generate_keypair
+from repro.crypto.kdf import integrity_tag
+from repro.packet import Dscp, IPv4Header, Packet, Prefix, ip
+from repro.packet.headers import (
+    PROTO_NEUTRALIZER_SHIM,
+    SHIM_TYPE_KEY_SETUP_RESPONSE,
+    SHIM_TYPE_NEUTRALIZED_DATA,
+    SHIM_TYPE_RETURN_DATA,
+)
+
+
+@pytest.fixture
+def domain(rng):
+    config = NeutralizerConfig(
+        anycast_address=ip("10.200.0.1"),
+        served_prefix=Prefix.parse("10.3.0.0/16"),
+    )
+    return NeutralizerDomain(config, rng=rng)
+
+
+@pytest.fixture
+def box(domain):
+    return domain.create_neutralizer("n1")
+
+
+def _shim_packet(source, destination, shim, payload=b"", dscp=0):
+    return Packet(
+        ip=IPv4Header(source=source, destination=destination,
+                      protocol=PROTO_NEUTRALIZER_SHIM, dscp=dscp),
+        shim=shim,
+        payload=payload,
+    )
+
+
+def _established_key(domain, source):
+    epoch = domain.master_keys.current_epoch
+    nonce = domain.rng.nonce(NONCE_LEN)
+    key = domain.master_keys.derive_key(nonce, source, epoch)
+    return epoch, nonce, key
+
+
+def _data_packet(domain, source, destination, *, flags=0, payload=b"p" * 64, dscp=0,
+                 key_override=None, nonce_override=None):
+    epoch, nonce, key = _established_key(domain, source)
+    if key_override is not None:
+        key = key_override
+    if nonce_override is not None:
+        nonce = nonce_override
+    enc = encrypt_address(key, nonce, destination)
+    provisional = NeutralizedDataBody(epoch=epoch, nonce=nonce, encrypted_destination=enc,
+                                      tag=b"\x00" * TAG_LEN, flags=flags)
+    body = NeutralizedDataBody(epoch=epoch, nonce=nonce, encrypted_destination=enc,
+                               tag=integrity_tag(key, provisional.tag_input(), TAG_LEN),
+                               flags=flags)
+    return _shim_packet(source, domain.anycast_address, body.to_shim(), payload, dscp), key, nonce
+
+
+class TestKeySetupProcessing:
+    def test_response_decryptable_with_one_time_key(self, domain, box, rng):
+        keypair = generate_keypair(512, rng)
+        request = _shim_packet(ip("10.1.0.5"), domain.anycast_address,
+                               KeySetupRequestBody(public_key=keypair.public).to_shim())
+        outputs = box.process(request)
+        assert len(outputs) == 1
+        response = outputs[0]
+        assert response.destination == ip("10.1.0.5")
+        assert response.source == domain.anycast_address
+        body = KeySetupResponseBody.unpack(response.shim.body)
+        plaintext = keypair.private.decrypt(body.ciphertext)
+        nonce, key = plaintext[:8], plaintext[8:]
+        # The returned key must equal the stateless derivation.
+        assert key == domain.master_keys.derive_key(nonce, ip("10.1.0.5"), body.epoch)
+        assert box.counters["rsa_encryptions"] == 1
+
+    def test_dscp_preserved_on_response(self, domain, box, rng):
+        keypair = generate_keypair(512, rng)
+        request = _shim_packet(ip("10.1.0.5"), domain.anycast_address,
+                               KeySetupRequestBody(public_key=keypair.public).to_shim(),
+                               dscp=int(Dscp.AF21))
+        assert box.process(request)[0].dscp == int(Dscp.AF21)
+
+    def test_offload_forwarding(self, domain, box, rng):
+        domain.config.offload_enabled = True
+        domain.register_offload_helper(ip("10.3.0.9"))
+        keypair = generate_keypair(512, rng)
+        request = _shim_packet(ip("10.1.0.5"), domain.anycast_address,
+                               KeySetupRequestBody(public_key=keypair.public).to_shim())
+        outputs = box.process(request)
+        assert outputs[0].destination == ip("10.3.0.9")
+        body = KeySetupRequestBody.unpack(outputs[0].shim.body)
+        assert body.offload_nonce is not None and body.offload_key is not None
+        assert box.counters["rsa_encryptions"] == 0
+        assert box.counters["offloaded_requests"] == 1
+
+
+class TestForwardDataProcessing:
+    def test_destination_decrypted_and_rewritten(self, domain, box):
+        packet, _key, _nonce = _data_packet(domain, ip("10.1.0.5"), ip("10.3.0.7"))
+        outputs = box.process(packet)
+        assert len(outputs) == 1
+        forwarded = outputs[0]
+        assert forwarded.destination == ip("10.3.0.7")
+        assert forwarded.source == ip("10.1.0.5")
+        assert forwarded.payload == b"p" * 64
+
+    def test_dscp_passthrough_invariant(self, domain, box):
+        packet, _k, _n = _data_packet(domain, ip("10.1.0.5"), ip("10.3.0.7"),
+                                      dscp=int(Dscp.EF))
+        assert box.process(packet)[0].dscp == int(Dscp.EF)
+
+    def test_key_request_gets_refresh_stamped(self, domain, box):
+        packet, _k, _n = _data_packet(domain, ip("10.1.0.5"), ip("10.3.0.7"),
+                                      flags=FLAG_KEY_REQUEST)
+        forwarded = box.process(packet)[0]
+        body = NeutralizedDataBody.unpack(forwarded.shim.body)
+        assert body.has_refresh
+        # The stamped key must itself be statelessly derivable.
+        assert body.refresh_key == domain.master_keys.derive_key(
+            body.refresh_nonce, ip("10.1.0.5"), domain.master_keys.current_epoch)
+
+    def test_bad_tag_dropped(self, domain, box):
+        packet, key, nonce = _data_packet(domain, ip("10.1.0.5"), ip("10.3.0.7"))
+        tampered_body = NeutralizedDataBody.unpack(packet.shim.body)
+        corrupted = NeutralizedDataBody(
+            epoch=tampered_body.epoch, nonce=tampered_body.nonce,
+            encrypted_destination=tampered_body.encrypted_destination,
+            tag=b"\xff" * TAG_LEN)
+        bad = _shim_packet(ip("10.1.0.5"), domain.anycast_address, corrupted.to_shim())
+        assert box.process(bad) == []
+        assert box.counters["tag_failures"] == 1
+
+    def test_wrong_source_cannot_reuse_someone_elses_nonce(self, domain, box):
+        # Ks is bound to the source address: a different source presenting the
+        # same shim decrypts to garbage and is dropped (tag mismatch).
+        packet, _k, _n = _data_packet(domain, ip("10.1.0.5"), ip("10.3.0.7"))
+        stolen = packet.copy()
+        stolen.ip = stolen.ip.with_addresses(source=ip("10.1.0.99"))
+        assert box.process(stolen) == []
+
+    def test_non_customer_destination_dropped(self, domain, box):
+        packet, _k, _n = _data_packet(domain, ip("10.1.0.5"), ip("10.8.0.7"))
+        assert box.process(packet) == []
+
+    def test_expired_epoch_dropped(self, domain, box):
+        packet, _k, _n = _data_packet(domain, ip("10.1.0.5"), ip("10.3.0.7"))
+        domain.master_keys.rotate()
+        domain.master_keys.rotate()  # beyond the retention window
+        assert box.process(packet) == []
+        assert box.counters["unknown_epoch"] == 1
+
+    def test_statelessness_any_box_can_process(self, domain):
+        box_a = domain.create_neutralizer("a")
+        box_b = domain.create_neutralizer("b")
+        packet, _k, _n = _data_packet(domain, ip("10.1.0.5"), ip("10.3.0.7"))
+        assert box_a.process(packet)[0].destination == ip("10.3.0.7")
+        assert box_b.process(packet.copy())[0].destination == ip("10.3.0.7")
+        assert box_a.state_entries() == 0 and box_b.state_entries() == 0
+
+
+class TestReturnProcessing:
+    def test_customer_address_hidden_and_recoverable(self, domain, box):
+        initiator = ip("10.1.0.5")
+        customer = ip("10.3.0.7")
+        epoch, nonce, key = _established_key(domain, initiator)
+        body = ReturnDataBody(epoch=epoch, nonce=nonce, address_field=initiator.packed)
+        packet = _shim_packet(customer, domain.anycast_address, body.to_shim(), b"reply")
+        outputs = box.process(packet)
+        assert len(outputs) == 1
+        outbound = outputs[0]
+        assert outbound.destination == initiator
+        assert outbound.source == domain.anycast_address
+        out_body = ReturnDataBody.unpack(outbound.shim.body)
+        # The customer's address must not appear in clear anywhere.
+        assert out_body.address_field != customer.packed
+        assert decrypt_address(key, nonce, out_body.address_field,
+                               return_direction=True) == customer
+
+    def test_return_from_non_customer_dropped(self, domain, box):
+        body = ReturnDataBody(epoch=1, nonce=b"n" * 8, address_field=ip("10.1.0.5").packed)
+        packet = _shim_packet(ip("10.8.0.9"), domain.anycast_address, body.to_shim())
+        assert box.process(packet) == []
+
+
+class TestReverseKeyRequest:
+    def test_plaintext_key_issued_to_customer(self, domain, box):
+        request = ReverseKeyRequestBody(peer_address=ip("10.1.0.5"))
+        packet = _shim_packet(ip("10.3.0.7"), domain.anycast_address, request.to_shim())
+        response = box.process(packet)[0]
+        assert response.destination == ip("10.3.0.7")
+        body = KeySetupResponseBody.unpack(response.shim.body)
+        assert body.is_plaintext
+        # Bound to the *peer's* address for later stateless processing.
+        assert body.plaintext_key == domain.master_keys.derive_key(
+            body.plaintext_nonce, ip("10.1.0.5"), body.epoch)
+
+    def test_reverse_request_from_outside_dropped(self, domain, box):
+        request = ReverseKeyRequestBody(peer_address=ip("10.1.0.5"))
+        packet = _shim_packet(ip("10.1.0.6"), domain.anycast_address, request.to_shim())
+        assert box.process(packet) == []
+
+
+class TestMisc:
+    def test_non_shim_packet_ignored(self, domain, box):
+        from repro.packet import udp_packet
+
+        assert box.process(udp_packet(ip("10.1.0.1"), ip("10.200.0.1"), b"x")) == []
+        assert box.counters["not_for_us"] == 1
+
+    def test_address_encryption_direction_tweak(self):
+        key, nonce = b"k" * 16, b"n" * 8
+        forward = encrypt_address(key, nonce, ip("10.3.0.7"))
+        backward = encrypt_address(key, nonce, ip("10.3.0.7"), return_direction=True)
+        assert forward != backward
+        assert decrypt_address(key, nonce, forward) == ip("10.3.0.7")
+        assert decrypt_address(key, nonce, backward, return_direction=True) == ip("10.3.0.7")
+
+    def test_domain_counter_aggregation(self, domain, rng):
+        box_a = domain.create_neutralizer("a")
+        keypair = generate_keypair(512, rng)
+        request = _shim_packet(ip("10.1.0.5"), domain.anycast_address,
+                               KeySetupRequestBody(public_key=keypair.public).to_shim())
+        box_a.process(request)
+        totals = domain.total_counters()
+        assert totals["key_setup_requests"] == 1

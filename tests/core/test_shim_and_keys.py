@@ -1,0 +1,185 @@
+"""Core wire formats, master keys, and the source-side key-setup state machine."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    KeySetupContext,
+    KeySetupRequestBody,
+    KeySetupResponseBody,
+    KeySetupState,
+    MasterKeyManager,
+    NeutralizedDataBody,
+    ReturnDataBody,
+    ReverseKeyRequestBody,
+    attacker_window_seconds,
+    expected_data_overhead_bytes,
+    parse_shim_body,
+)
+from repro.core.shim import FLAG_KEY_REQUEST, FLAG_REFRESH_PRESENT, TAG_LEN
+from repro.crypto import generate_keypair
+from repro.exceptions import KeySetupError, MasterKeyExpiredError, ShimError
+from repro.packet import ip
+
+
+class TestShimBodies:
+    def test_key_setup_request_roundtrip(self, rng):
+        keypair = generate_keypair(512, rng)
+        body = KeySetupRequestBody(public_key=keypair.public)
+        parsed = KeySetupRequestBody.unpack(body.pack())
+        assert parsed.public_key == keypair.public
+        assert parsed.offload_nonce is None
+
+    def test_key_setup_request_with_offload_fields(self, rng):
+        keypair = generate_keypair(512, rng)
+        body = KeySetupRequestBody(public_key=keypair.public, epoch_hint=3,
+                                   offload_nonce=b"n" * 8, offload_key=b"k" * 16)
+        parsed = KeySetupRequestBody.unpack(body.pack())
+        assert parsed.offload_nonce == b"n" * 8 and parsed.offload_key == b"k" * 16
+        assert parsed.epoch_hint == 3
+
+    def test_key_setup_response_encrypted_roundtrip(self):
+        body = KeySetupResponseBody(epoch=2, ciphertext=b"c" * 64)
+        parsed = KeySetupResponseBody.unpack(body.pack())
+        assert parsed.ciphertext == b"c" * 64 and not parsed.is_plaintext
+
+    def test_key_setup_response_plaintext_roundtrip(self):
+        body = KeySetupResponseBody(epoch=2, plaintext_nonce=b"n" * 8, plaintext_key=b"k" * 16)
+        parsed = KeySetupResponseBody.unpack(body.pack())
+        assert parsed.is_plaintext and parsed.plaintext_key == b"k" * 16
+
+    def test_neutralized_data_roundtrip_and_refresh(self):
+        body = NeutralizedDataBody(epoch=1, nonce=b"n" * 8, encrypted_destination=b"e" * 4,
+                                   tag=b"t" * TAG_LEN, flags=FLAG_KEY_REQUEST)
+        parsed = NeutralizedDataBody.unpack(body.pack())
+        assert parsed.wants_key_refresh and not parsed.has_refresh
+        stamped = parsed.with_refresh(b"m" * 8, b"K" * 16)
+        reparsed = NeutralizedDataBody.unpack(stamped.pack())
+        assert reparsed.has_refresh and reparsed.refresh_key == b"K" * 16
+
+    def test_refresh_block_not_included_when_absent(self):
+        body = NeutralizedDataBody(epoch=1, nonce=b"n" * 8, encrypted_destination=b"e" * 4,
+                                   tag=b"t" * TAG_LEN)
+        assert len(body.pack()) == expected_data_overhead_bytes() - 4
+
+    def test_return_data_roundtrip(self):
+        body = ReturnDataBody(epoch=1, nonce=b"n" * 8, address_field=ip("10.1.0.1").packed)
+        parsed = ReturnDataBody.unpack(body.pack())
+        assert parsed.clear_address() == ip("10.1.0.1")
+
+    def test_reverse_key_request_roundtrip(self):
+        body = ReverseKeyRequestBody(peer_address=ip("10.1.0.7"), epoch_hint=1)
+        parsed = ReverseKeyRequestBody.unpack(body.pack())
+        assert parsed.peer_address == ip("10.1.0.7")
+
+    def test_parse_shim_body_dispatch(self, rng):
+        keypair = generate_keypair(512, rng)
+        shim = KeySetupRequestBody(public_key=keypair.public).to_shim()
+        assert isinstance(parse_shim_body(shim), KeySetupRequestBody)
+
+    def test_malformed_bodies_rejected(self):
+        with pytest.raises(ShimError):
+            NeutralizedDataBody.unpack(b"\x00\x01")
+        with pytest.raises(ShimError):
+            ReturnDataBody.unpack(b"")
+        with pytest.raises(ShimError):
+            NeutralizedDataBody(epoch=1, nonce=b"short", encrypted_destination=b"e" * 4,
+                                tag=b"t" * TAG_LEN)
+
+    @given(st.integers(min_value=0, max_value=65535), st.binary(min_size=8, max_size=8),
+           st.binary(min_size=4, max_size=4), st.binary(min_size=TAG_LEN, max_size=TAG_LEN))
+    @settings(max_examples=30, deadline=None)
+    def test_neutralized_data_roundtrip_property(self, epoch, nonce, enc_dst, tag):
+        body = NeutralizedDataBody(epoch=epoch, nonce=nonce, encrypted_destination=enc_dst,
+                                   tag=tag)
+        parsed = NeutralizedDataBody.unpack(body.pack())
+        assert parsed.nonce == nonce and parsed.encrypted_destination == enc_dst
+        assert parsed.epoch == epoch and parsed.tag == tag
+
+
+class TestMasterKeys:
+    def test_same_inputs_same_key(self, rng):
+        manager = MasterKeyManager(rng)
+        a = manager.derive_key(b"n" * 8, ip("10.1.0.1"))
+        b = manager.derive_key(b"n" * 8, ip("10.1.0.1"))
+        assert a == b and len(a) == 16
+
+    def test_rotation_changes_keys_but_keeps_grace_epoch(self, rng):
+        manager = MasterKeyManager(rng, retained_epochs=1)
+        old_epoch = manager.current_epoch
+        old_key = manager.derive_key(b"n" * 8, ip("10.1.0.1"), old_epoch)
+        manager.rotate()
+        assert manager.current_epoch == old_epoch + 1
+        # Previous epoch still derivable during the grace window.
+        assert manager.derive_key(b"n" * 8, ip("10.1.0.1"), old_epoch) == old_key
+        manager.rotate()
+        with pytest.raises(MasterKeyExpiredError):
+            manager.key_for_epoch(old_epoch)
+
+    def test_shared_manager_means_any_box_can_decrypt(self, rng):
+        # The anycast fault-tolerance argument: two neutralizers sharing the
+        # manager derive identical keys.
+        manager = MasterKeyManager(rng)
+        assert manager.derive_key(b"n" * 8, ip("10.1.0.1")) == manager.derive_key(
+            b"n" * 8, ip("10.1.0.1"))
+
+    def test_key_setups_per_source_per_day(self, rng):
+        manager = MasterKeyManager(rng, lifetime_seconds=3600.0)
+        assert manager.key_setups_per_source_per_day() == pytest.approx(24.0)
+
+    def test_scheduled_rotation(self, rng):
+        from repro.netsim import Simulator
+
+        sim = Simulator()
+        manager = MasterKeyManager(rng, lifetime_seconds=10.0)
+        manager.schedule_rotation(sim)
+        first = manager.current_epoch
+        sim.run(until=35.0)
+        assert manager.current_epoch == first + 3
+
+
+class TestKeySetupContext:
+    def test_full_state_machine(self, rng):
+        context = KeySetupContext(neutralizer_address=ip("10.200.0.1"),
+                                  source_address=ip("10.1.0.1"))
+        assert context.state == KeySetupState.IDLE
+        request = context.build_request(rng)
+        assert context.state == KeySetupState.PENDING
+        # Simulate the neutralizer: encrypt (nonce || Ks) under the one-time key.
+        ciphertext = request.public_key.encrypt(b"N" * 8 + b"K" * 16, rng)
+        active = context.process_response(KeySetupResponseBody(epoch=1, ciphertext=ciphertext))
+        assert context.is_established and active.key == b"K" * 16
+        assert context.needs_refresh
+        context.apply_refresh(b"M" * 8, b"L" * 16)
+        assert not context.needs_refresh and context.active.refreshed
+
+    def test_response_without_request_rejected(self):
+        context = KeySetupContext(neutralizer_address=ip("10.200.0.1"),
+                                  source_address=ip("10.1.0.1"))
+        with pytest.raises(KeySetupError):
+            context.process_response(KeySetupResponseBody(epoch=1, ciphertext=b"c" * 64))
+
+    def test_refresh_before_establishment_rejected(self):
+        context = KeySetupContext(neutralizer_address=ip("10.200.0.1"),
+                                  source_address=ip("10.1.0.1"))
+        with pytest.raises(KeySetupError):
+            context.apply_refresh(b"M" * 8, b"L" * 16)
+
+    def test_queue_and_drain(self, rng):
+        context = KeySetupContext(neutralizer_address=ip("10.200.0.1"),
+                                  source_address=ip("10.1.0.1"))
+        context.queue_packet(object())
+        context.queue_packet(object())
+        assert len(context.drain_pending()) == 2 and context.pending_packets == []
+
+    def test_one_time_key_discarded_after_use(self, rng):
+        context = KeySetupContext(neutralizer_address=ip("10.200.0.1"),
+                                  source_address=ip("10.1.0.1"))
+        request = context.build_request(rng)
+        ciphertext = request.public_key.encrypt(b"N" * 8 + b"K" * 16, rng)
+        context.process_response(KeySetupResponseBody(epoch=1, ciphertext=ciphertext))
+        assert context.one_time_keypair is None
+
+    def test_attacker_window_is_two_rtts(self):
+        assert attacker_window_seconds(0.05) == pytest.approx(0.1)

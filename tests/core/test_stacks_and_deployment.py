@@ -1,0 +1,270 @@
+"""Host-stack and deployment tests: client/server stacks, offload, multihoming, envelope."""
+
+import pytest
+
+from repro.core import (
+    ENVELOPE_DATA,
+    ENVELOPE_HANDSHAKE_DATA,
+    AdaptiveSelector,
+    FirstChoiceSelector,
+    MultihomedSite,
+    RoundRobinSelector,
+    WeightedSelector,
+    neutralize_isp,
+    pack_envelope,
+    pack_inner,
+    parse_envelope,
+    parse_inner,
+)
+from repro.exceptions import NeutralizerError, ShimError
+from repro.netsim import TraceCollector
+from repro.packet import Dscp, UdpHeader, ip, udp_packet
+from repro.units import mbps, msec
+
+
+@pytest.fixture
+def deployed(small_topology, rng, anycast_address):
+    """A small neutralized deployment with ann (client) and google (server)."""
+    trace = TraceCollector("att")
+    small_topology.router("att-br").ingress_hooks.append(trace.router_hook())
+    deployment = neutralize_isp(small_topology, "cogent", anycast_address, rng=rng)
+    server = deployment.attach_server(small_topology.host("google"), dns_name="www.google.com")
+    client = deployment.attach_client(small_topology.host("ann"), publish_key=True)
+    deployment.bootstrap_client("ann", "google")
+    return small_topology, deployment, client, server, trace
+
+
+def _echo_server(host, port=5000, reply_prefix=b"echo:"):
+    received = []
+
+    def handler(packet, h):
+        received.append(packet)
+        reply = udp_packet(h.address, packet.source, reply_prefix + packet.payload,
+                           source_port=port, destination_port=packet.udp.source_port)
+        h.send(reply)
+
+    host.register_port_handler(port, handler)
+    return received
+
+
+class TestEnvelope:
+    def test_inner_roundtrip_with_udp_and_refresh(self):
+        udp = UdpHeader(source_port=1111, destination_port=2222)
+        inner = pack_inner(b"payload", udp=udp, refresh=(b"n" * 8, b"k" * 16))
+        parsed = parse_inner(inner)
+        assert parsed.payload == b"payload"
+        assert parsed.udp.source_port == 1111
+        assert parsed.refresh == (b"n" * 8, b"k" * 16)
+
+    def test_inner_without_optional_fields(self):
+        parsed = parse_inner(pack_inner(b"just data"))
+        assert parsed.payload == b"just data" and parsed.udp is None and parsed.refresh is None
+
+    def test_envelope_roundtrip(self):
+        data = pack_envelope(ENVELOPE_DATA, b"ciphertext")
+        assert parse_envelope(data).body == b"ciphertext"
+        handshake = pack_envelope(ENVELOPE_HANDSHAKE_DATA, b"ct", prefix=b"blob")
+        parsed = parse_envelope(handshake)
+        assert parsed.prefix == b"blob" and parsed.body == b"ct"
+
+    def test_malformed_envelopes_rejected(self):
+        with pytest.raises(ShimError):
+            parse_envelope(b"")
+        with pytest.raises(ShimError):
+            parse_envelope(b"\x63junk")
+        with pytest.raises(ShimError):
+            pack_envelope(ENVELOPE_DATA, b"x", prefix=b"not allowed")
+
+
+class TestClientServerPath:
+    def test_request_reply_roundtrip_and_privacy(self, deployed):
+        topology, deployment, client, server, trace = deployed
+        ann = topology.host("ann")
+        google = topology.host("google")
+        received = _echo_server(google)
+        replies = []
+        ann.register_port_handler(41000, lambda p, h: replies.append(p))
+
+        ann.send(udp_packet(ann.address, google.address, b"hello", source_port=41000,
+                            destination_port=5000))
+        topology.run(3.0)
+
+        assert [p.payload for p in received] == [b"hello"]
+        assert [p.payload for p in replies] == [b"echo:hello"]
+        # Applications see real addresses...
+        assert received[0].source == ann.address
+        assert replies[0].source == google.address
+        # ...but the discriminatory ISP never does.
+        assert not trace.ever_saw_address(google.address, "att-br")
+        assert not trace.payload_contains(b"hello", "att-br")
+        assert not trace.payload_contains(b"echo", "att-br")
+
+    def test_key_refresh_retires_weak_key(self, deployed):
+        topology, deployment, client, server, trace = deployed
+        ann = topology.host("ann")
+        google = topology.host("google")
+        _echo_server(google)
+        ann.register_port_handler(41000, lambda p, h: None)
+        for _ in range(2):
+            ann.send(udp_packet(ann.address, google.address, b"ping", source_port=41000,
+                                destination_port=5000))
+            topology.run(2.0)
+        active = client.active_key_for(deployment.deployment.anycast_address)
+        assert active is not None and active.refreshed
+        assert client.counters["refreshes_adopted"] >= 1
+        assert server.counters["refresh_echoes_sent"] >= 1
+
+    def test_non_neutralized_destinations_pass_through(self, deployed):
+        topology, deployment, client, server, trace = deployed
+        ann = topology.host("ann")
+        # A destination never registered with the client stack: plain traffic.
+        carol = topology.add_host("carol", "att")
+        topology.add_link("carol", "att-br", rate_bps=mbps(10), delay_seconds=msec(1))
+        topology.build_routes()
+        got = []
+        carol.register_port_handler(6000, lambda p, h: got.append(p))
+        ann.send(udp_packet(ann.address, carol.address, b"plain", destination_port=6000))
+        topology.run(1.0)
+        assert len(got) == 1 and got[0].payload == b"plain"
+        assert client.counters["packets_passed_through"] >= 1
+
+    def test_dscp_preserved_end_to_end(self, deployed):
+        topology, deployment, client, server, trace = deployed
+        ann = topology.host("ann")
+        google = topology.host("google")
+        received = _echo_server(google)
+        ann.send(udp_packet(ann.address, google.address, b"ef", source_port=41000,
+                            destination_port=5000, dscp=int(Dscp.EF)))
+        topology.run(2.0)
+        assert received[0].dscp == int(Dscp.EF)
+        # Every neutralized packet AT&T saw still carried the EF marking.
+        ef_records = [r for r in trace.at_vantage("att-br") if r.dscp == int(Dscp.EF)]
+        assert ef_records
+
+    def test_reverse_direction_initiation(self, deployed):
+        topology, deployment, client, server, trace = deployed
+        ann = topology.host("ann")
+        google = topology.host("google")
+        # Google initiates toward Ann (§3.3): it needs Ann's published key.
+        assert client.host_keypair is not None
+        got_at_ann = []
+        ann.register_port_handler(7000, lambda p, h: got_at_ann.append(p))
+        got_at_google = []
+        google.register_port_handler(7001, lambda p, h: got_at_google.append(p))
+
+        server.initiate_to(ann.address, client.host_keypair.public)
+        topology.run(1.0)
+        google.send(udp_packet(google.address, ann.address, b"from google",
+                               source_port=7001, destination_port=7000))
+        topology.run(2.0)
+        assert [p.payload for p in got_at_ann] == [b"from google"]
+        assert got_at_ann[0].source == google.address
+        assert client.counters["reverse_hellos_accepted"] == 1
+        # Ann replies; Google's address still never visible inside AT&T.
+        ann.send(udp_packet(ann.address, google.address, b"back at you",
+                            source_port=7000, destination_port=7001))
+        topology.run(2.0)
+        assert [p.payload for p in got_at_google] == [b"back at you"]
+        assert not trace.ever_saw_address(google.address, "att-br")
+
+    def test_plaintext_mode_without_e2e(self, small_topology, rng, anycast_address):
+        deployment = neutralize_isp(small_topology, "cogent", anycast_address, rng=rng,
+                                    use_e2e=False)
+        google = small_topology.host("google")
+        ann = small_topology.host("ann")
+        deployment.attach_server(google)
+        deployment.attach_client(ann)
+        deployment.bootstrap_client("ann", "google")
+        received = _echo_server(google)
+        ann.send(udp_packet(ann.address, google.address, b"clear", source_port=41000,
+                            destination_port=5000))
+        small_topology.run(2.0)
+        assert [p.payload for p in received] == [b"clear"]
+
+    def test_client_requires_neutralizer_addresses(self, deployed):
+        topology, deployment, client, server, trace = deployed
+        from repro.core import DestinationInfo
+
+        with pytest.raises(NeutralizerError):
+            client.register_destination(DestinationInfo(address=ip("10.3.0.99")))
+
+    def test_server_attach_rejects_non_customer(self, deployed):
+        topology, deployment, client, server, trace = deployed
+        outsider = topology.host("ann")
+        with pytest.raises(NeutralizerError):
+            deployment.attach_server(outsider)
+
+    def test_bootstrap_from_zone_uses_published_records(self, deployed):
+        topology, deployment, client, server, trace = deployed
+        info = deployment.bootstrap_from_zone("ann", "www.google.com")
+        assert info.address == topology.host("google").address
+        assert deployment.deployment.anycast_address in info.neutralizer_addresses
+
+    def test_counters_report_structure(self, deployed):
+        topology, deployment, client, server, trace = deployed
+        report = deployment.counters()
+        assert "neutralizers" in report and "client:ann" in report and "server:google" in report
+
+
+class TestOffload:
+    def test_offloaded_key_setup_end_to_end(self, deployed):
+        topology, deployment, client, server, trace = deployed
+        ann = topology.host("ann")
+        google = topology.host("google")
+        helper = deployment.attach_offload_helper(google)
+        received = _echo_server(google)
+        ann.send(udp_packet(ann.address, google.address, b"offloaded", source_port=41000,
+                            destination_port=5000))
+        topology.run(3.0)
+        assert [p.payload for p in received] == [b"offloaded"]
+        assert helper.counters["rsa_encryptions"] == 1
+        assert deployment.counters()["neutralizers"]["rsa_encryptions"] == 0
+        assert deployment.counters()["neutralizers"]["offloaded_requests"] == 1
+
+    def test_helper_must_be_a_customer(self, deployed):
+        topology, deployment, client, server, trace = deployed
+        from repro.core import register_helper
+        from repro.exceptions import OffloadError
+
+        with pytest.raises(OffloadError):
+            register_helper(deployment.deployment.domain, topology.host("ann"))
+
+
+class TestSelectors:
+    def test_first_choice(self):
+        selector = FirstChoiceSelector()
+        assert selector.select([ip("10.200.0.1"), ip("10.200.0.2")]) == ip("10.200.0.1")
+
+    def test_round_robin_cycles(self):
+        selector = RoundRobinSelector()
+        candidates = [ip("10.200.0.1"), ip("10.200.0.2")]
+        picks = [selector.select(candidates) for _ in range(4)]
+        assert picks == [candidates[0], candidates[1], candidates[0], candidates[1]]
+
+    def test_weighted_respects_weights(self, rng):
+        a, b = ip("10.200.0.1"), ip("10.200.0.2")
+        selector = WeightedSelector({a: 9.0, b: 1.0}, rng=rng)
+        picks = [selector.select([a, b]) for _ in range(300)]
+        assert picks.count(a) > picks.count(b) * 3
+
+    def test_adaptive_prefers_lower_rtt_and_reacts_to_failures(self):
+        a, b = ip("10.200.0.1"), ip("10.200.0.2")
+        selector = AdaptiveSelector()
+        selector.record_outcome(a, rtt=0.050)
+        selector.record_outcome(b, rtt=0.010)
+        assert selector.select([a, b]) == b
+        for _ in range(3):
+            selector.record_outcome(b, failed=True)
+        assert selector.select([a, b]) == a
+
+    def test_empty_candidate_list_rejected(self):
+        with pytest.raises(NeutralizerError):
+            FirstChoiceSelector().select([])
+
+    def test_multihomed_site_publication(self):
+        site = MultihomedSite(name="google", address=ip("10.3.0.2"))
+        site.add_provider(ip("10.200.0.1"))
+        assert not site.is_multihomed
+        site.add_provider(ip("10.200.0.2"))
+        site.add_provider(ip("10.200.0.2"))
+        assert site.is_multihomed and len(site.neutralizer_addresses) == 2

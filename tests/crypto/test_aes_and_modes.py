@@ -1,0 +1,144 @@
+"""AES-128 reference implementation and mode tests (FIPS-197 vectors + properties)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.aes import BLOCK_SIZE, AesCipher
+from repro.crypto.backend import fast_backend_available, get_cipher
+from repro.crypto.modes import (
+    cbc_decrypt,
+    cbc_encrypt,
+    cbc_mac,
+    ctr_decrypt,
+    ctr_encrypt,
+)
+from repro.exceptions import DecryptionError, KeySizeError, PaddingError
+
+FIPS_KEY = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+FIPS_PLAINTEXT = bytes.fromhex("00112233445566778899aabbccddeeff")
+FIPS_CIPHERTEXT = bytes.fromhex("69c4e0d86a7b0430d8cdb78070b4c55a")
+
+APPENDIX_B_KEY = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+APPENDIX_B_PLAINTEXT = bytes.fromhex("3243f6a8885a308d313198a2e0370734")
+APPENDIX_B_CIPHERTEXT = bytes.fromhex("3925841d02dc09fbdc118597196a0b32")
+
+
+class TestAesBlock:
+    def test_fips197_appendix_c_vector(self):
+        assert AesCipher(FIPS_KEY).encrypt_block(FIPS_PLAINTEXT) == FIPS_CIPHERTEXT
+
+    def test_fips197_appendix_b_vector(self):
+        assert AesCipher(APPENDIX_B_KEY).encrypt_block(APPENDIX_B_PLAINTEXT) == (
+            APPENDIX_B_CIPHERTEXT
+        )
+
+    def test_decrypt_inverts_encrypt(self):
+        cipher = AesCipher(FIPS_KEY)
+        assert cipher.decrypt_block(cipher.encrypt_block(FIPS_PLAINTEXT)) == FIPS_PLAINTEXT
+
+    def test_rejects_bad_key_length(self):
+        with pytest.raises(KeySizeError):
+            AesCipher(b"short")
+
+    def test_rejects_bad_block_length(self):
+        with pytest.raises(ValueError):
+            AesCipher(FIPS_KEY).encrypt_block(b"tiny")
+
+    def test_key_property_returns_original(self):
+        assert AesCipher(FIPS_KEY).key == FIPS_KEY
+
+    @pytest.mark.skipif(not fast_backend_available(), reason="cryptography not installed")
+    def test_fast_backend_matches_reference(self):
+        fast = get_cipher(FIPS_KEY, backend="fast")
+        pure = get_cipher(FIPS_KEY, backend="pure")
+        for i in range(16):
+            block = bytes([i] * BLOCK_SIZE)
+            assert fast.encrypt_block(block) == pure.encrypt_block(block)
+            assert fast.decrypt_block(block) == pure.decrypt_block(block)
+
+    @given(st.binary(min_size=16, max_size=16), st.binary(min_size=16, max_size=16))
+    @settings(max_examples=20, deadline=None)
+    def test_roundtrip_property(self, key, block):
+        cipher = AesCipher(key)
+        assert cipher.decrypt_block(cipher.encrypt_block(block)) == block
+
+
+class TestCtrMode:
+    def test_roundtrip(self):
+        cipher = AesCipher(FIPS_KEY)
+        data = b"destination address and then some longer payload bytes"
+        nonce = b"\x01" * 8
+        assert ctr_decrypt(cipher, nonce, ctr_encrypt(cipher, nonce, data)) == data
+
+    def test_length_preserving(self):
+        cipher = AesCipher(FIPS_KEY)
+        for length in (0, 1, 4, 15, 16, 17, 64):
+            assert len(ctr_encrypt(cipher, b"n" * 8, b"x" * length)) == length
+
+    def test_different_nonces_give_different_ciphertext(self):
+        cipher = AesCipher(FIPS_KEY)
+        data = b"\x0a\x03\x00\x05"
+        assert ctr_encrypt(cipher, b"a" * 8, data) != ctr_encrypt(cipher, b"b" * 8, data)
+
+    @given(st.binary(min_size=0, max_size=200), st.binary(min_size=8, max_size=8))
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip_property(self, data, nonce):
+        cipher = AesCipher(FIPS_KEY)
+        assert ctr_decrypt(cipher, nonce, ctr_encrypt(cipher, nonce, data)) == data
+
+
+class TestCbcMode:
+    def test_roundtrip(self):
+        cipher = AesCipher(FIPS_KEY)
+        iv = b"\x07" * 16
+        data = b"payload protected end to end"
+        assert cbc_decrypt(cipher, iv, cbc_encrypt(cipher, iv, data)) == data
+
+    def test_output_is_block_aligned(self):
+        cipher = AesCipher(FIPS_KEY)
+        ct = cbc_encrypt(cipher, b"\x00" * 16, b"abc")
+        assert len(ct) % 16 == 0
+
+    def test_corrupted_padding_raises(self):
+        cipher = AesCipher(FIPS_KEY)
+        ct = bytearray(cbc_encrypt(cipher, b"\x00" * 16, b"abc"))
+        ct[-1] ^= 0xFF
+        with pytest.raises((PaddingError, DecryptionError)):
+            cbc_decrypt(cipher, b"\x00" * 16, bytes(ct))
+
+    def test_misaligned_ciphertext_raises(self):
+        cipher = AesCipher(FIPS_KEY)
+        with pytest.raises(DecryptionError):
+            cbc_decrypt(cipher, b"\x00" * 16, b"12345")
+
+    def test_bad_iv_length_raises(self):
+        cipher = AesCipher(FIPS_KEY)
+        with pytest.raises(ValueError):
+            cbc_encrypt(cipher, b"short", b"abc")
+
+    @given(st.binary(min_size=0, max_size=100))
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip_property(self, data):
+        cipher = AesCipher(FIPS_KEY)
+        iv = b"\x42" * 16
+        assert cbc_decrypt(cipher, iv, cbc_encrypt(cipher, iv, data)) == data
+
+
+class TestCbcMac:
+    def test_deterministic(self):
+        cipher = AesCipher(FIPS_KEY)
+        assert cbc_mac(cipher, b"hello") == cbc_mac(cipher, b"hello")
+
+    def test_different_messages_differ(self):
+        cipher = AesCipher(FIPS_KEY)
+        assert cbc_mac(cipher, b"hello") != cbc_mac(cipher, b"hellp")
+
+    def test_length_prefix_breaks_extension(self):
+        cipher = AesCipher(FIPS_KEY)
+        # Same content split differently must not collide thanks to the length prefix.
+        assert cbc_mac(cipher, b"ab") != cbc_mac(cipher, b"ab\x00\x00")
+
+    def test_tag_is_one_block(self):
+        cipher = AesCipher(FIPS_KEY)
+        assert len(cbc_mac(cipher, b"anything at all")) == BLOCK_SIZE

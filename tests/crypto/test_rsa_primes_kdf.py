@@ -1,0 +1,180 @@
+"""RSA, prime generation, KDF and randomness tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.kdf import (
+    constant_time_equal,
+    derive_symmetric_key,
+    derive_symmetric_key_aes,
+    integrity_tag,
+)
+from repro.crypto.primes import generate_prime, is_probable_prime
+from repro.crypto.randomness import DeterministicRandom, SystemRandom
+from repro.crypto.rsa import (
+    RsaPublicKey,
+    encryption_cost_multiplications,
+    estimate_factoring_cost,
+    generate_keypair,
+    symmetric_equivalent_bits,
+)
+from repro.exceptions import KeySizeError, PaddingError
+
+
+class TestPrimes:
+    def test_small_primes_recognized(self):
+        for p in (2, 3, 5, 7, 97, 65537):
+            assert is_probable_prime(p)
+
+    def test_composites_rejected(self):
+        for c in (1, 4, 561, 8911, 65536):  # includes Carmichael numbers
+            assert not is_probable_prime(c)
+
+    def test_generated_prime_has_requested_width(self, rng):
+        p = generate_prime(128, rng)
+        assert p.bit_length() == 128
+        assert is_probable_prime(p)
+
+    def test_too_small_width_rejected(self, rng):
+        with pytest.raises(ValueError):
+            generate_prime(4, rng)
+
+
+class TestRsa:
+    def test_keypair_roundtrip_512(self, rng):
+        pair = generate_keypair(512, rng)
+        message = b"nonce and Ks payload"
+        assert pair.private.decrypt(pair.public.encrypt(message, rng)) == message
+
+    def test_keypair_roundtrip_1024(self, rng):
+        pair = generate_keypair(1024, rng)
+        message = b"m" * 64
+        assert pair.private.decrypt(pair.public.encrypt(message, rng)) == message
+
+    def test_default_exponent_is_three(self, rng):
+        pair = generate_keypair(512, rng)
+        assert pair.public.exponent == 3
+
+    def test_unsupported_size_rejected(self, rng):
+        with pytest.raises(KeySizeError):
+            generate_keypair(300, rng)
+
+    def test_oversized_plaintext_rejected(self, rng):
+        pair = generate_keypair(512, rng)
+        with pytest.raises(ValueError):
+            pair.public.encrypt(b"x" * 200, rng)
+
+    def test_tampered_ciphertext_fails_padding(self, rng):
+        pair = generate_keypair(512, rng)
+        ciphertext = bytearray(pair.public.encrypt(b"secret", rng))
+        ciphertext[5] ^= 0xFF
+        with pytest.raises(PaddingError):
+            pair.private.decrypt(bytes(ciphertext))
+
+    def test_public_key_wire_roundtrip(self, rng):
+        pair = generate_keypair(512, rng)
+        parsed, consumed = RsaPublicKey.from_wire(pair.public.wire_bytes() + b"extra")
+        assert parsed == pair.public
+        assert consumed == len(pair.public.wire_bytes())
+
+    def test_sign_verify(self, rng):
+        pair = generate_keypair(1024, rng)
+        signature = pair.private.sign(b"dns record data")
+        assert pair.public.verify(b"dns record data", signature)
+        assert not pair.public.verify(b"tampered", signature)
+
+    def test_symmetric_equivalent_matches_paper_claim(self):
+        # "A 512-bit RSA key is only as secure as a 56-bit symmetric key."
+        assert symmetric_equivalent_bits(512) == pytest.approx(56.0)
+        assert symmetric_equivalent_bits(1024) == pytest.approx(80.0)
+
+    def test_factoring_cost_monotone_in_key_size(self):
+        assert estimate_factoring_cost(512) < estimate_factoring_cost(1024)
+
+    def test_encryption_cost_two_multiplications_for_e3(self):
+        # The efficiency argument of §3.2.
+        assert encryption_cost_multiplications(3, 512) == 2
+
+    def test_deterministic_keygen_same_seed(self):
+        a = generate_keypair(512, DeterministicRandom(9))
+        b = generate_keypair(512, DeterministicRandom(9))
+        assert a.public.modulus == b.public.modulus
+
+
+class TestKdf:
+    def test_derivation_is_deterministic(self):
+        a = derive_symmetric_key(b"M" * 16, b"n" * 8, b"\x0a\x01\x00\x01")
+        b = derive_symmetric_key(b"M" * 16, b"n" * 8, b"\x0a\x01\x00\x01")
+        assert a == b
+        assert len(a) == 16
+
+    def test_changing_any_input_changes_key(self):
+        base = derive_symmetric_key(b"M" * 16, b"n" * 8, b"\x0a\x01\x00\x01")
+        assert derive_symmetric_key(b"X" * 16, b"n" * 8, b"\x0a\x01\x00\x01") != base
+        assert derive_symmetric_key(b"M" * 16, b"m" * 8, b"\x0a\x01\x00\x01") != base
+        assert derive_symmetric_key(b"M" * 16, b"n" * 8, b"\x0a\x01\x00\x02") != base
+
+    def test_aes_variant_is_deterministic_and_distinct_per_source(self):
+        a = derive_symmetric_key_aes(b"M" * 16, b"n" * 8, b"\x01\x02\x03\x04")
+        b = derive_symmetric_key_aes(b"M" * 16, b"n" * 8, b"\x01\x02\x03\x05")
+        assert len(a) == 16 and a != b
+
+    def test_integrity_tag_length_and_sensitivity(self):
+        tag = integrity_tag(b"k" * 16, b"header bytes", 8)
+        assert len(tag) == 8
+        assert tag != integrity_tag(b"k" * 16, b"header bytez", 8)
+
+    def test_integrity_tag_length_bounds(self):
+        with pytest.raises(ValueError):
+            integrity_tag(b"k" * 16, b"x", 2)
+
+    def test_constant_time_equal(self):
+        assert constant_time_equal(b"abc", b"abc")
+        assert not constant_time_equal(b"abc", b"abd")
+
+    @given(st.binary(min_size=8, max_size=8), st.binary(min_size=4, max_size=4),
+           st.binary(min_size=8, max_size=8), st.binary(min_size=4, max_size=4))
+    @settings(max_examples=50, deadline=None)
+    def test_no_accidental_collisions(self, nonce_a, src_a, nonce_b, src_b):
+        key_a = derive_symmetric_key(b"M" * 16, nonce_a, src_a)
+        key_b = derive_symmetric_key(b"M" * 16, nonce_b, src_b)
+        if (nonce_a, src_a) != (nonce_b, src_b):
+            assert key_a != key_b
+        else:
+            assert key_a == key_b
+
+
+class TestRandomness:
+    def test_same_seed_same_stream(self):
+        assert DeterministicRandom(5).random_bytes(32) == DeterministicRandom(5).random_bytes(32)
+
+    def test_fork_gives_independent_streams(self):
+        root = DeterministicRandom(5)
+        assert root.fork("a").random_bytes(8) != root.fork("b").random_bytes(8)
+
+    def test_random_int_width(self, rng):
+        value = rng.random_int(64)
+        assert value.bit_length() == 64
+
+    def test_random_below_bounds(self, rng):
+        for _ in range(100):
+            assert 0 <= rng.random_below(7) < 7
+
+    def test_random_range(self, rng):
+        for _ in range(50):
+            assert 10 <= rng.random_range(10, 20) < 20
+
+    def test_choice_and_shuffle(self, rng):
+        items = [1, 2, 3, 4, 5]
+        assert rng.choice(items) in items
+        assert sorted(rng.shuffle(items)) == items
+
+    def test_system_random_basics(self):
+        sys_rng = SystemRandom()
+        assert len(sys_rng.random_bytes(16)) == 16
+        assert 0.0 <= sys_rng.random_float() < 1.0
+
+    def test_negative_length_rejected(self, rng):
+        with pytest.raises(ValueError):
+            rng.random_bytes(-1)

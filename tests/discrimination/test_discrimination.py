@@ -1,0 +1,186 @@
+"""Discrimination substrate tests: DPI, match criteria, policies, enforcement."""
+
+import pytest
+
+from repro.discrimination import (
+    Action,
+    DiscriminationPolicy,
+    DiscriminationRule,
+    MatchCriteria,
+    criteria_for_destination,
+    criteria_for_dns_name,
+    criteria_for_encrypted_traffic,
+    criteria_for_key_setup,
+    criteria_for_prefix,
+    degrade_competitor_policy,
+    delay_dns_policy,
+    inspect,
+    install_policy,
+    throttle_neutral_isp_policy,
+)
+from repro.dns import DnsQuery
+from repro.packet import Dscp, Prefix, ShimHeader, ip, shim_packet, udp_packet
+from repro.packet.headers import (
+    PROTO_UDP,
+    SHIM_TYPE_KEY_SETUP_REQUEST,
+    SHIM_TYPE_NEUTRALIZED_DATA,
+)
+
+
+def _voip_packet():
+    return udp_packet(ip("10.1.0.1"), ip("10.3.0.5"), b"RTP" + b"\x00" * 100,
+                      source_port=16384, destination_port=16384)
+
+
+def _dns_packet(name="www.google.com"):
+    return udp_packet(ip("10.1.0.1"), ip("10.1.0.200"),
+                      DnsQuery(query_id=1, name=name).pack(), destination_port=53)
+
+
+def _neutralized_packet(shim_type=SHIM_TYPE_NEUTRALIZED_DATA):
+    shim = ShimHeader(shim_type, PROTO_UDP, b"B" * 19)
+    return shim_packet(ip("10.1.0.1"), ip("10.200.0.1"), shim, payload=b"ciphertext")
+
+
+class TestDpi:
+    def test_voip_recognized_by_port(self):
+        report = inspect(_voip_packet())
+        assert report.application == "voip" and not report.is_encrypted
+
+    def test_dns_query_name_visible_in_cleartext(self):
+        report = inspect(_dns_packet())
+        assert report.dns_query_name == "www.google.com" and report.application == "dns"
+
+    def test_neutralized_packet_hides_application(self):
+        report = inspect(_neutralized_packet())
+        assert report.is_encrypted and report.is_neutralized
+        assert report.application is None and report.dns_query_name is None
+
+    def test_key_setup_recognized_as_such(self):
+        report = inspect(_neutralized_packet(SHIM_TYPE_KEY_SETUP_REQUEST))
+        assert report.is_key_setup
+
+
+class TestCriteria:
+    def test_involves_address_matches_either_direction(self):
+        criteria = criteria_for_destination(ip("10.3.0.5"))
+        toward = udp_packet(ip("10.1.0.1"), ip("10.3.0.5"), b"x")
+        backward = udp_packet(ip("10.3.0.5"), ip("10.1.0.1"), b"x")
+        unrelated = udp_packet(ip("10.1.0.1"), ip("10.3.0.6"), b"x")
+        assert criteria.matches(toward) and criteria.matches(backward)
+        assert not criteria.matches(unrelated)
+
+    def test_prefix_criteria(self):
+        criteria = criteria_for_prefix(Prefix.parse("10.3.0.0/16"))
+        assert criteria.matches(udp_packet(ip("10.1.0.1"), ip("10.3.9.9"), b"x"))
+        assert not criteria.matches(udp_packet(ip("10.1.0.1"), ip("10.4.0.1"), b"x"))
+
+    def test_dns_name_criteria(self):
+        criteria = criteria_for_dns_name("www.google.com")
+        assert criteria.matches(_dns_packet("www.google.com"))
+        assert not criteria.matches(_dns_packet("www.bing.com"))
+
+    def test_encrypted_and_keysetup_criteria(self):
+        assert criteria_for_encrypted_traffic().matches(_neutralized_packet())
+        assert criteria_for_key_setup().matches(
+            _neutralized_packet(SHIM_TYPE_KEY_SETUP_REQUEST))
+        assert not criteria_for_key_setup().matches(_neutralized_packet())
+
+    def test_dscp_and_size_criteria(self):
+        criteria = MatchCriteria(name="big-ef", dscp=int(Dscp.EF), minimum_size_bytes=100)
+        big = udp_packet(ip("1.1.1.1"), ip("2.2.2.2"), b"x" * 200, dscp=int(Dscp.EF))
+        small = udp_packet(ip("1.1.1.1"), ip("2.2.2.2"), b"x" * 10, dscp=int(Dscp.EF))
+        assert criteria.matches(big) and not criteria.matches(small)
+
+    def test_crucial_property_neutralization_defeats_targeting(self):
+        # Once traffic is neutralized, a rule keyed on the competitor's
+        # address can never match again: the address is simply not visible.
+        competitor = ip("10.3.0.5")
+        criteria = criteria_for_destination(competitor)
+        assert not criteria.matches(_neutralized_packet())
+
+
+class TestPolicy:
+    def test_first_match_and_statistics(self):
+        policy = degrade_competitor_policy(ip("10.3.0.5"))
+        packet = udp_packet(ip("10.1.0.1"), ip("10.3.0.5"), b"x")
+        matches = policy.evaluate_all(packet)
+        assert len(matches) == 2
+        stats = policy.stats_for(matches[0].name)
+        assert stats.matched_packets == 1
+
+    def test_rule_parameter_validation(self):
+        with pytest.raises(ValueError):
+            DiscriminationRule(criteria=MatchCriteria(), action=Action.DELAY)
+        with pytest.raises(ValueError):
+            DiscriminationRule(criteria=MatchCriteria(), action=Action.THROTTLE)
+        with pytest.raises(ValueError):
+            DiscriminationRule(criteria=MatchCriteria(), action=Action.DROP,
+                               drop_probability=1.5)
+
+    def test_describe_mentions_rules(self):
+        policy = delay_dns_policy("www.google.com")
+        assert "dns" in policy.describe()
+
+
+class TestEnforcement:
+    def test_drop_policy_blocks_traffic(self, small_topology, rng):
+        google = small_topology.host("google")
+        ann = small_topology.host("ann")
+        policy = DiscriminationPolicy("block", [
+            DiscriminationRule(criteria=criteria_for_destination(google.address),
+                               action=Action.DROP),
+        ])
+        deployment = install_policy(small_topology, "att", policy, rng=rng)
+        got = []
+        google.register_port_handler(5000, lambda p, h: got.append(p))
+        for _ in range(10):
+            ann.send(udp_packet(ann.address, google.address, b"x", destination_port=5000))
+        small_topology.run(2.0)
+        assert got == []
+        assert deployment.total_dropped == 10
+        assert "att" in deployment.describe()
+
+    def test_delay_policy_adds_latency(self, small_topology, rng):
+        google = small_topology.host("google")
+        ann = small_topology.host("ann")
+        policy = DiscriminationPolicy("slow", [
+            DiscriminationRule(criteria=criteria_for_destination(google.address),
+                               action=Action.DELAY, delay_seconds=0.2),
+        ])
+        install_policy(small_topology, "att", policy, rng=rng)
+        arrivals = []
+        google.register_port_handler(5000, lambda p, h: arrivals.append(h.sim.now))
+        ann.send(udp_packet(ann.address, google.address, b"x", destination_port=5000))
+        small_topology.run(2.0)
+        assert len(arrivals) == 1 and arrivals[0] > 0.2
+
+    def test_throttle_policy_caps_rate(self, small_topology, rng):
+        google = small_topology.host("google")
+        ann = small_topology.host("ann")
+        policy = throttle_neutral_isp_policy(Prefix.parse("10.3.0.0/16"), rate_bps=8_000)
+        install_policy(small_topology, "att", policy, rng=rng)
+        got = []
+        google.register_port_handler(5000, lambda p, h: got.append(p))
+        for i in range(100):
+            small_topology.sim.schedule(
+                i * 0.01,
+                lambda: ann.send(udp_packet(ann.address, google.address, b"y" * 500,
+                                            destination_port=5000)))
+        small_topology.run(3.0)
+        assert 0 < len(got) < 60  # roughly 1 kB/s through a 500-byte-packet stream
+
+    def test_deprioritize_rewrites_dscp(self, small_topology, rng):
+        google = small_topology.host("google")
+        ann = small_topology.host("ann")
+        policy = DiscriminationPolicy("scavenge", [
+            DiscriminationRule(criteria=criteria_for_destination(google.address),
+                               action=Action.DEPRIORITIZE),
+        ])
+        install_policy(small_topology, "att", policy, rng=rng)
+        got = []
+        google.register_port_handler(5000, lambda p, h: got.append(p))
+        ann.send(udp_packet(ann.address, google.address, b"x", destination_port=5000,
+                            dscp=int(Dscp.EF)))
+        small_topology.run(1.0)
+        assert got[0].dscp == int(Dscp.CS1)

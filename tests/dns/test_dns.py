@@ -1,0 +1,169 @@
+"""DNS substrate tests: records, zones, messages, secure transport, resolver/stub."""
+
+import pytest
+
+from repro.crypto import DeterministicRandom, generate_keypair
+from repro.dns import (
+    BootstrapInfo,
+    DnsQuery,
+    DnsResolverService,
+    DnsResponse,
+    RecordType,
+    ResolverConfig,
+    ResourceRecord,
+    StubResolver,
+    Zone,
+    decrypt_query,
+    decrypt_response,
+    encrypt_query,
+    encrypt_response,
+    is_secure_payload,
+    query_name_from_payload,
+)
+from repro.exceptions import DnsError, NxDomainError
+from repro.packet import ip
+
+
+class TestRecordsAndZone:
+    def test_a_record_roundtrip(self):
+        record = ResourceRecord.a("www.google.com", ip("10.3.0.2"))
+        parsed, consumed = ResourceRecord.unpack(record.pack())
+        assert parsed == record and consumed == len(record.pack())
+        assert parsed.as_address() == ip("10.3.0.2")
+
+    def test_neut_record_roundtrip(self):
+        record = ResourceRecord.neut("www.google.com", [ip("10.200.0.1"), ip("10.200.0.2")])
+        parsed, _ = ResourceRecord.unpack(record.pack())
+        assert parsed.as_neutralizer_addresses() == [ip("10.200.0.1"), ip("10.200.0.2")]
+
+    def test_key_record_roundtrip(self, rng):
+        keypair = generate_keypair(512, rng)
+        record = ResourceRecord.key("www.google.com", keypair.public)
+        parsed, _ = ResourceRecord.unpack(record.pack())
+        assert parsed.as_public_key() == keypair.public
+
+    def test_neut_record_requires_addresses(self):
+        with pytest.raises(DnsError):
+            ResourceRecord.neut("x", [])
+
+    def test_bootstrap_info_from_records(self, rng):
+        keypair = generate_keypair(512, rng)
+        records = [
+            ResourceRecord.a("www.google.com", ip("10.3.0.2")),
+            ResourceRecord.key("www.google.com", keypair.public),
+            ResourceRecord.neut("www.google.com", [ip("10.200.0.1")]),
+            ResourceRecord.a("other.example", ip("10.9.0.9")),
+        ]
+        info = BootstrapInfo.from_records("www.google.com", records)
+        assert info.address == ip("10.3.0.2")
+        assert info.public_key == keypair.public
+        assert info.neutralizer_addresses == [ip("10.200.0.1")]
+        assert info.is_neutralized and info.is_complete
+
+    def test_zone_lookup_and_nxdomain(self):
+        zone = Zone()
+        zone.register_host("www.google.com", ip("10.3.0.2"))
+        assert len(zone.lookup("www.google.com", RecordType.A)) == 1
+        assert zone.lookup("www.google.com", RecordType.KEY) == []
+        with pytest.raises(NxDomainError):
+            zone.lookup("missing.example")
+        zone.remove_name("www.google.com")
+        assert "www.google.com" not in zone
+
+
+class TestMessages:
+    def test_query_roundtrip(self):
+        query = DnsQuery(query_id=7, name="www.google.com", rtype=RecordType.A)
+        assert DnsQuery.unpack(query.pack()) == query
+
+    def test_response_roundtrip(self):
+        response = DnsResponse.ok(9, [ResourceRecord.a("a.example", ip("10.0.0.1"))])
+        parsed = DnsResponse.unpack(response.pack())
+        assert parsed.query_id == 9 and parsed.is_ok and len(parsed.records) == 1
+
+    def test_nxdomain_response(self):
+        parsed = DnsResponse.unpack(DnsResponse.nxdomain(3).pack())
+        assert not parsed.is_ok
+
+    def test_query_name_extraction_is_the_dpi_attack_surface(self):
+        query = DnsQuery(query_id=1, name="www.google.com")
+        assert query_name_from_payload(query.pack()) == "www.google.com"
+        assert query_name_from_payload(b"\xd5 encrypted junk") is None
+
+
+class TestSecureTransport:
+    def test_query_and_response_roundtrip(self, rng):
+        resolver_keys = generate_keypair(1024, rng)
+        query_bytes = DnsQuery(query_id=4, name="www.google.com").pack()
+        payload, client_state = encrypt_query(resolver_keys.public, query_bytes, rng)
+        assert is_secure_payload(payload)
+        recovered, server_state = decrypt_query(resolver_keys.private, payload)
+        assert recovered == query_bytes
+        response_bytes = DnsResponse.nxdomain(4).pack()
+        encrypted = encrypt_response(server_state, response_bytes)
+        assert decrypt_response(client_state, encrypted) == response_bytes
+
+    def test_query_name_not_visible_in_ciphertext(self, rng):
+        resolver_keys = generate_keypair(1024, rng)
+        query_bytes = DnsQuery(query_id=4, name="www.google.com").pack()
+        payload, _ = encrypt_query(resolver_keys.public, query_bytes, rng)
+        assert b"google" not in payload
+
+    def test_non_secure_payload_rejected(self, rng):
+        resolver_keys = generate_keypair(1024, rng)
+        with pytest.raises(DnsError):
+            decrypt_query(resolver_keys.private, b"plain query bytes")
+
+
+class TestResolverOverNetwork:
+    def _build(self, small_topology, rng, secure):
+        google = small_topology.host("google")
+        resolver_host = small_topology.add_host("resolver", "cogent")
+        small_topology.add_link("resolver", "cogent-br")
+        small_topology.build_routes()
+        zone = Zone()
+        zone.register_host("www.google.com", google.address,
+                           neutralizer_addresses=[ip("10.200.0.1")])
+        keypair = generate_keypair(1024, rng)
+        service = DnsResolverService(zone, keypair=keypair).attach(resolver_host)
+        config = ResolverConfig(address=resolver_host.address,
+                                public_key=keypair.public if secure else None,
+                                use_secure_transport=secure)
+        stub = StubResolver(small_topology.host("ann"), config, rng=rng)
+        return service, stub
+
+    def test_cleartext_lookup(self, small_topology, rng):
+        service, stub = self._build(small_topology, rng, secure=False)
+        results = []
+        stub.lookup_bootstrap("www.google.com", lambda info, err: results.append((info, err)))
+        small_topology.run(3.0)
+        info, error = results[0]
+        assert error is None and info.address == small_topology.host("google").address
+        assert service.queries_served == 1 and service.secure_queries_served == 0
+
+    def test_secure_lookup(self, small_topology, rng):
+        service, stub = self._build(small_topology, rng, secure=True)
+        results = []
+        stub.lookup("www.google.com", lambda records, err: results.append((records, err)))
+        small_topology.run(3.0)
+        records, error = results[0]
+        assert error is None and len(records) >= 1
+        assert service.secure_queries_served == 1
+        assert stub.mean_latency > 0
+
+    def test_nxdomain_reported(self, small_topology, rng):
+        _service, stub = self._build(small_topology, rng, secure=False)
+        results = []
+        stub.lookup("nope.example", lambda records, err: results.append((records, err)))
+        small_topology.run(3.0)
+        assert results[0][0] == [] and "rcode" in results[0][1]
+
+    def test_timeout_when_resolver_unreachable(self, small_topology, rng):
+        ann = small_topology.host("ann")
+        config = ResolverConfig(address=ip("10.99.0.1"))
+        stub = StubResolver(ann, config, rng=rng, timeout_seconds=0.5)
+        results = []
+        stub.lookup("www.google.com", lambda records, err: results.append((records, err)))
+        small_topology.run(2.0)
+        assert "timeout" in results[0][1]
+        assert stub.timeouts == 1 and stub.pending_count == 0

@@ -1,0 +1,84 @@
+"""End-to-end encryption layer tests (ESP-like SAs and the handshake)."""
+
+import pytest
+
+from repro.e2e import (
+    EspSecurityAssociation,
+    E2eInitiator,
+    E2eResponder,
+    establish_pair,
+    generate_host_keypair,
+    overhead_bytes,
+    sessions_from_secret,
+)
+from repro.exceptions import DecryptionError, SignatureError
+
+
+def _sa(spi=1, key=b"k" * 16, integrity=b"i" * 32):
+    return EspSecurityAssociation(spi=spi, encryption_key=key, integrity_key=integrity)
+
+
+class TestEsp:
+    def test_protect_unprotect_roundtrip(self, rng):
+        sender = _sa()
+        receiver = _sa()
+        payload = sender.protect(b"application bytes", rng)
+        assert receiver.unprotect(payload) == b"application bytes"
+
+    def test_integrity_failure_detected(self, rng):
+        sender, receiver = _sa(), _sa()
+        payload = bytearray(sender.protect(b"application bytes", rng))
+        payload[12] ^= 0xFF
+        with pytest.raises(SignatureError):
+            receiver.unprotect(bytes(payload))
+
+    def test_replay_detected(self, rng):
+        sender, receiver = _sa(), _sa()
+        payload = sender.protect(b"data", rng)
+        receiver.unprotect(payload)
+        with pytest.raises(DecryptionError):
+            receiver.unprotect(payload)
+
+    def test_wrong_spi_rejected(self, rng):
+        sender = _sa(spi=1)
+        receiver = _sa(spi=2)
+        with pytest.raises(DecryptionError):
+            receiver.unprotect(sender.protect(b"data", rng))
+
+    def test_overhead_accounted(self, rng):
+        sender = _sa()
+        payload = sender.protect(b"x" * 10, rng)
+        assert len(payload) >= 10 + overhead_bytes()
+
+    def test_key_length_validation(self):
+        with pytest.raises(ValueError):
+            EspSecurityAssociation(spi=1, encryption_key=b"short", integrity_key=b"i" * 32)
+
+
+class TestHandshake:
+    def test_full_handshake(self, rng):
+        keypair = generate_host_keypair(1024, rng)
+        initiator_session, responder_session = establish_pair(keypair, rng)
+        ct = initiator_session.protect(b"hello responder", rng)
+        assert responder_session.unprotect(ct) == b"hello responder"
+        ct2 = responder_session.protect(b"hello initiator", rng)
+        assert initiator_session.unprotect(ct2) == b"hello initiator"
+
+    def test_establish_before_handshake_fails(self, rng):
+        with pytest.raises(DecryptionError):
+            E2eInitiator(rng=rng).establish()
+
+    def test_responder_rejects_garbage(self, rng):
+        keypair = generate_host_keypair(1024, rng)
+        responder = E2eResponder(keypair)
+        with pytest.raises(Exception):
+            responder.accept_handshake(b"\x00" * keypair.private.byte_length)
+
+    def test_sessions_from_secret_interoperate(self):
+        initiator, responder = sessions_from_secret(b"s" * 16)
+        assert responder.unprotect(initiator.protect(b"reverse direction")) == b"reverse direction"
+        assert initiator.unprotect(responder.protect(b"and back")) == b"and back"
+
+    def test_sessions_from_short_secret_rejected(self):
+        with pytest.raises(DecryptionError):
+            sessions_from_secret(b"short")

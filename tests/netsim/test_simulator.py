@@ -1,0 +1,224 @@
+"""Simulator substrate tests: engine, links, schedulers-on-links, routing, trace."""
+
+import pytest
+
+from repro.exceptions import RoutingError, SchedulingError, TopologyError
+from repro.netsim import Relationship, Simulator, Topology, TraceCollector
+from repro.netsim.stats import Counters, LatencySampler
+from repro.packet import ip, udp_packet
+from repro.qos.schedulers import FifoScheduler
+from repro.units import mbps, msec, transmission_time
+
+
+class TestEngine:
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(0.2, seen.append, "b")
+        sim.schedule(0.1, seen.append, "a")
+        sim.schedule(0.3, seen.append, "c")
+        sim.run()
+        assert seen == ["a", "b", "c"]
+
+    def test_ties_break_by_insertion_order(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(0.1, seen.append, 1)
+        sim.schedule(0.1, seen.append, 2)
+        sim.run()
+        assert seen == [1, 2]
+
+    def test_run_until_is_inclusive_and_advances_clock(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.0, seen.append, "x")
+        sim.schedule(2.0, seen.append, "y")
+        sim.run(until=1.0)
+        assert seen == ["x"] and sim.now == 1.0
+        sim.run()
+        assert seen == ["x", "y"]
+
+    def test_cancelled_events_are_skipped(self):
+        sim = Simulator()
+        seen = []
+        event = sim.schedule(0.1, seen.append, "x")
+        event.cancel()
+        sim.run()
+        assert seen == []
+
+    def test_cannot_schedule_in_the_past(self):
+        sim = Simulator()
+        with pytest.raises(SchedulingError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_nested_scheduling(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(0.1, lambda: sim.schedule(0.1, seen.append, "nested"))
+        sim.run()
+        assert seen == ["nested"] and sim.now == pytest.approx(0.2)
+
+    def test_max_events_limit(self):
+        sim = Simulator()
+        for i in range(10):
+            sim.schedule(0.01 * i, lambda: None)
+        executed = sim.run(max_events=4)
+        assert executed == 4 and sim.pending_events == 6
+
+
+class TestStats:
+    def test_counters(self):
+        counters = Counters()
+        counters.increment("x")
+        counters.increment("x", 2)
+        assert counters.get("x") == 3 and counters.get("missing") == 0
+
+    def test_latency_sampler(self):
+        sampler = LatencySampler()
+        for value in (0.1, 0.2, 0.3, 0.4):
+            sampler.record(value)
+        assert sampler.mean == pytest.approx(0.25)
+        assert sampler.percentile(1.0) == pytest.approx(0.4)
+        assert sampler.jitter == pytest.approx(0.1)
+
+    def test_empty_sampler_is_zero(self):
+        sampler = LatencySampler()
+        assert sampler.mean == 0.0 and sampler.percentile(0.5) == 0.0
+
+
+class TestLinksAndDelivery:
+    def test_end_to_end_latency_matches_link_parameters(self, small_topology):
+        ann = small_topology.host("ann")
+        google = small_topology.host("google")
+        arrivals = []
+        google.register_port_handler(5000, lambda p, h: arrivals.append(h.sim.now))
+        packet = udp_packet(ann.address, google.address, b"x" * 100, destination_port=5000)
+        ann.send(packet)
+        small_topology.run(1.0)
+        expected_prop = msec(1) + msec(5) + msec(1)
+        expected_tx = (
+            transmission_time(packet.size_bytes, mbps(100)) * 2
+            + transmission_time(packet.size_bytes, mbps(1000))
+        )
+        assert len(arrivals) == 1
+        assert arrivals[0] == pytest.approx(expected_prop + expected_tx, rel=0.01)
+
+    def test_queue_drops_when_scheduler_full(self):
+        topo = Topology()
+        topo.add_isp("a", 1, "10.1.0.0/16")
+        topo.add_isp("b", 2, "10.2.0.0/16")
+        topo.add_router("r1", "a", border=True)
+        topo.add_router("r2", "b", border=True)
+        sender = topo.add_host("s", "a")
+        receiver = topo.add_host("d", "b")
+        topo.add_link("s", "r1", rate_bps=mbps(100), delay_seconds=msec(1))
+        # Tiny bottleneck with a 4-packet queue.
+        topo.add_link("r1", "r2", rate_bps=mbps(0.5), delay_seconds=msec(1),
+                      scheduler_a_to_b=FifoScheduler(capacity=4))
+        topo.add_link("r2", "d", rate_bps=mbps(100), delay_seconds=msec(1))
+        topo.build_routes()
+        got = []
+        receiver.register_port_handler(5000, lambda p, h: got.append(p))
+        for _ in range(50):
+            sender.send(udp_packet(sender.address, receiver.address, b"y" * 1000,
+                                   destination_port=5000))
+        topo.run(5.0)
+        bottleneck = topo.link_between("r1", "r2")
+        r1_end = next(e for e in bottleneck.ends if e.node.name == "r1")
+        assert bottleneck.stats_from(r1_end).packets_dropped > 0
+        assert 0 < len(got) < 50
+
+    def test_ttl_expiry_drops_packet(self, small_topology):
+        ann = small_topology.host("ann")
+        google = small_topology.host("google")
+        packet = udp_packet(ann.address, google.address, b"x", ttl=1)
+        ann.send(packet)
+        small_topology.run(1.0)
+        routers = [small_topology.router("att-br"), small_topology.router("cogent-br")]
+        assert sum(r.counters.get("packets_ttl_expired") for r in routers) >= 1
+
+    def test_unroutable_packet_counted(self, small_topology):
+        ann = small_topology.host("ann")
+        ann.send(udp_packet(ann.address, ip("10.99.0.1"), b"x"))
+        small_topology.run(1.0)
+        assert small_topology.router("att-br").counters.get("packets_unroutable") == 1
+
+
+class TestTopologyAndRouting:
+    def test_duplicate_node_rejected(self):
+        topo = Topology()
+        topo.add_isp("a", 1, "10.1.0.0/16")
+        topo.add_host("h", "a")
+        with pytest.raises(TopologyError):
+            topo.add_host("h", "a")
+
+    def test_host_requires_isp_or_address(self):
+        topo = Topology()
+        with pytest.raises(TopologyError):
+            topo.add_host("lonely")
+
+    def test_single_homed_host_cannot_connect_twice(self, small_topology):
+        with pytest.raises(TopologyError):
+            small_topology.add_link("ann", "cogent-br")
+
+    def test_isp_address_ownership(self, small_topology):
+        att = small_topology.isps.get("att")
+        ann = small_topology.host("ann")
+        assert att.owns_address(ann.address)
+        assert small_topology.isps.owner_of(ann.address).name == "att"
+
+    def test_relationships_are_symmetric(self, small_topology):
+        att = small_topology.isps.get("att")
+        cogent = small_topology.isps.get("cogent")
+        assert att.is_peer_isp("cogent") and cogent.is_peer_isp("att")
+
+    def test_anycast_routes_to_nearest_member(self):
+        topo = Topology()
+        topo.add_isp("a", 1, "10.1.0.0/16")
+        topo.add_isp("c", 3, "10.3.0.0/16")
+        topo.add_router("left", "a", border=True)
+        topo.add_router("mid", "a")
+        topo.add_router("east", "c", border=True)
+        topo.add_router("west", "c", border=True)
+        sender = topo.add_host("src", "a")
+        topo.add_link("src", "left")
+        topo.add_link("left", "mid")
+        # east is closer (1 hop from mid), west is farther (via east).
+        topo.add_link("mid", "east", delay_seconds=msec(1))
+        topo.add_link("east", "west", delay_seconds=msec(50))
+        anycast = ip("10.200.0.1")
+        topo.join_anycast_group(anycast, "east")
+        topo.join_anycast_group(anycast, "west")
+        topo.build_routes()
+        hits = []
+        topo.router("east").attach_local_service(anycast, lambda p, r, i: hits.append(r.name))
+        topo.router("west").attach_local_service(anycast, lambda p, r, i: hits.append(r.name))
+        sender.send(udp_packet(sender.address, anycast, b"probe"))
+        topo.run(1.0)
+        assert hits == ["east"]
+
+    def test_shortest_path_and_reachability(self, small_topology):
+        routing = small_topology.routing
+        path = routing.shortest_path("ann", "google")
+        assert path == ["ann", "att-br", "cogent-br", "google"]
+        with pytest.raises(RoutingError):
+            routing.shortest_path("ann", "nonexistent")
+
+    def test_describe_contains_isps(self, small_topology):
+        text = small_topology.describe()
+        assert "att" in text and "cogent" in text
+
+
+class TestTrace:
+    def test_trace_records_addresses_and_payload(self, small_topology):
+        trace = TraceCollector()
+        small_topology.router("att-br").ingress_hooks.append(trace.router_hook())
+        ann = small_topology.host("ann")
+        google = small_topology.host("google")
+        ann.send(udp_packet(ann.address, google.address, b"needle-payload"))
+        small_topology.run(1.0)
+        assert trace.ever_saw_address(google.address, "att-br")
+        assert trace.payload_contains(b"needle", "att-br")
+        assert len(trace.at_vantage("att-br")) == 1
+        trace.clear()
+        assert len(trace) == 0

@@ -1,0 +1,188 @@
+"""Packet model tests: addresses, prefixes, headers, serialization, DSCP."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import AddressError, HeaderError, TruncatedPacketError
+from repro.packet import (
+    AddressAllocator,
+    AnycastGroup,
+    AnycastAddress,
+    Dscp,
+    IPv4Address,
+    IPv4Header,
+    Packet,
+    Prefix,
+    ShimHeader,
+    UdpHeader,
+    class_of,
+    internet_checksum,
+    ip,
+    is_valid_dscp,
+    prefix,
+    priority_of,
+    shim_packet,
+    udp_packet,
+)
+from repro.packet.headers import PROTO_NEUTRALIZER_SHIM, PROTO_UDP
+
+
+class TestAddresses:
+    def test_parse_and_str_roundtrip(self):
+        assert str(ip("10.1.2.3")) == "10.1.2.3"
+
+    def test_packed_roundtrip(self):
+        address = ip("192.168.0.1")
+        assert IPv4Address.from_bytes(address.packed) == address
+
+    def test_invalid_addresses_rejected(self):
+        for text in ("1.2.3", "1.2.3.4.5", "256.0.0.1", "a.b.c.d"):
+            with pytest.raises(AddressError):
+                ip(text)
+
+    def test_ordering_and_hashing(self):
+        assert ip("10.0.0.1") < ip("10.0.0.2")
+        assert len({ip("10.0.0.1"), ip("10.0.0.1")}) == 1
+
+    def test_prefix_contains(self):
+        p = prefix("10.3.0.0/16")
+        assert p.contains(ip("10.3.200.1"))
+        assert not p.contains(ip("10.4.0.1"))
+
+    def test_prefix_host_bits_rejected(self):
+        with pytest.raises(AddressError):
+            prefix("10.3.0.1/16")
+
+    def test_prefix_host_indexing(self):
+        p = prefix("10.3.0.0/24")
+        assert str(p.host(1)) == "10.3.0.1"
+        with pytest.raises(AddressError):
+            p.host(300)
+
+    def test_allocator_is_sequential_and_bounded(self):
+        allocator = AddressAllocator(prefix("10.5.0.0/30"))
+        first = allocator.allocate()
+        second = allocator.allocate()
+        assert (first.value, second.value) == (ip("10.5.0.1").value, ip("10.5.0.2").value)
+        with pytest.raises(AddressError):
+            allocator.allocate()
+
+    def test_anycast_group_membership(self):
+        group = AnycastGroup(AnycastAddress(ip("10.200.0.1")))
+        group.add_member("r1")
+        group.add_member("r2")
+        group.add_member("r1")
+        assert len(group) == 2 and "r1" in group
+        group.remove_member("r1")
+        assert "r1" not in group
+
+
+class TestDscp:
+    def test_priority_ordering(self):
+        assert priority_of(Dscp.EF) > priority_of(Dscp.AF21) > priority_of(Dscp.CS1)
+
+    def test_unknown_value_defaults_to_best_effort_priority(self):
+        assert priority_of(63) == priority_of(Dscp.BEST_EFFORT)
+
+    def test_class_names(self):
+        assert class_of(Dscp.EF) == "voice"
+        assert class_of(Dscp.BEST_EFFORT) == "best-effort"
+
+    def test_validity(self):
+        assert is_valid_dscp(0) and is_valid_dscp(63) and not is_valid_dscp(64)
+
+
+class TestHeaders:
+    def test_ipv4_pack_unpack_roundtrip(self):
+        header = IPv4Header(source=ip("10.1.0.1"), destination=ip("10.3.0.2"),
+                            protocol=PROTO_UDP, dscp=46, ttl=61, total_length=40)
+        assert IPv4Header.unpack(header.pack()) == header
+
+    def test_checksum_validates(self):
+        header = IPv4Header(source=ip("1.2.3.4"), destination=ip("5.6.7.8"))
+        raw = bytearray(header.pack())
+        raw[8] ^= 0xFF  # corrupt TTL
+        with pytest.raises(HeaderError):
+            IPv4Header.unpack(bytes(raw))
+        assert internet_checksum(header.pack()) == 0
+
+    def test_field_validation(self):
+        with pytest.raises(HeaderError):
+            IPv4Header(source=ip("1.1.1.1"), destination=ip("2.2.2.2"), dscp=70)
+        with pytest.raises(HeaderError):
+            IPv4Header(source=ip("1.1.1.1"), destination=ip("2.2.2.2"), ttl=300)
+
+    def test_ttl_decrement(self):
+        header = IPv4Header(source=ip("1.1.1.1"), destination=ip("2.2.2.2"), ttl=2)
+        assert header.decremented_ttl().ttl == 1
+        with pytest.raises(HeaderError):
+            IPv4Header(source=ip("1.1.1.1"), destination=ip("2.2.2.2"), ttl=0).decremented_ttl()
+
+    def test_udp_roundtrip(self):
+        header = UdpHeader(source_port=1234, destination_port=53, length=20)
+        assert UdpHeader.unpack(header.pack()) == header
+
+    def test_shim_roundtrip(self):
+        shim = ShimHeader(shim_type=3, next_protocol=17, body=b"opaque body")
+        assert ShimHeader.unpack(shim.pack()) == shim
+
+    def test_shim_truncation_detected(self):
+        shim = ShimHeader(shim_type=3, next_protocol=17, body=b"opaque body")
+        with pytest.raises(TruncatedPacketError):
+            ShimHeader.unpack(shim.pack()[:-3])
+
+
+class TestPacket:
+    def test_udp_packet_sizes(self):
+        packet = udp_packet(ip("10.1.0.1"), ip("10.3.0.2"), b"x" * 64)
+        assert packet.size_bytes == 20 + 8 + 64
+
+    def test_serialize_deserialize_roundtrip(self):
+        packet = udp_packet(ip("10.1.0.1"), ip("10.3.0.2"), b"hello", dscp=int(Dscp.EF))
+        restored = Packet.deserialize(packet.serialize())
+        assert restored.source == packet.source
+        assert restored.destination == packet.destination
+        assert restored.payload == b"hello"
+        assert restored.dscp == int(Dscp.EF)
+
+    def test_shim_packet_roundtrip(self):
+        shim = ShimHeader(shim_type=3, next_protocol=PROTO_UDP, body=b"B" * 19)
+        packet = shim_packet(ip("10.1.0.1"), ip("10.200.0.1"), shim, payload=b"payload")
+        assert packet.ip.protocol == PROTO_NEUTRALIZER_SHIM
+        restored = Packet.deserialize(packet.serialize())
+        assert restored.shim is not None and restored.shim.body == b"B" * 19
+
+    def test_with_and_without_shim(self):
+        packet = udp_packet(ip("10.1.0.1"), ip("10.3.0.2"), b"data")
+        shimmed = packet.with_shim(ShimHeader(1, PROTO_UDP, b"zz"))
+        assert shimmed.ip.protocol == PROTO_NEUTRALIZER_SHIM
+        plain = shimmed.without_shim()
+        assert plain.shim is None and plain.ip.protocol == PROTO_UDP
+
+    def test_replace_ip_preserves_everything_else(self):
+        packet = udp_packet(ip("10.1.0.1"), ip("10.3.0.2"), b"data", dscp=34)
+        rewritten = packet.replace_ip(destination=ip("10.9.9.9"))
+        assert rewritten.destination == ip("10.9.9.9")
+        assert rewritten.source == packet.source
+        assert rewritten.dscp == 34
+        assert rewritten.payload == b"data"
+
+    def test_copy_is_independent(self):
+        packet = udp_packet(ip("10.1.0.1"), ip("10.3.0.2"), b"data", flow_id="f")
+        clone = packet.copy()
+        clone.meta["flow_id"] = "other"
+        clone.record_hop("r1")
+        assert packet.meta["flow_id"] == "f" and packet.hops == []
+
+    def test_truncated_buffer_rejected(self):
+        packet = udp_packet(ip("10.1.0.1"), ip("10.3.0.2"), b"data")
+        with pytest.raises(TruncatedPacketError):
+            Packet.deserialize(packet.serialize()[:-2])
+
+    @given(st.binary(min_size=0, max_size=300), st.integers(min_value=0, max_value=63))
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip_property(self, payload, dscp):
+        packet = udp_packet(ip("10.1.0.1"), ip("10.3.0.2"), payload, dscp=dscp)
+        restored = Packet.deserialize(packet.serialize())
+        assert restored.payload == payload and restored.dscp == dscp

@@ -1,0 +1,192 @@
+"""QoS substrate tests: schedulers, token buckets, DiffServ, IntServ."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ReservationError
+from repro.packet import Dscp, ip, udp_packet
+from repro.qos import (
+    DeficitRoundRobinScheduler,
+    DiffServDomain,
+    DynamicAddressPool,
+    FifoScheduler,
+    FlowSpec,
+    PriorityScheduler,
+    ReservationTable,
+    ServiceLevelAgreement,
+    TokenBucket,
+    TokenBucketScheduler,
+    expected_priority_order,
+    phb_of,
+    PerHopBehaviour,
+)
+
+
+def _packet(dscp=0, size=100):
+    return udp_packet(ip("10.1.0.1"), ip("10.3.0.1"), b"x" * size, dscp=dscp)
+
+
+class TestFifoScheduler:
+    def test_fifo_order(self):
+        fifo = FifoScheduler(capacity=10)
+        packets = [_packet() for _ in range(3)]
+        for p in packets:
+            assert fifo.enqueue(p)
+        assert [fifo.dequeue() for _ in range(3)] == packets
+
+    def test_capacity_enforced_and_drops_counted(self):
+        fifo = FifoScheduler(capacity=2)
+        assert fifo.enqueue(_packet()) and fifo.enqueue(_packet())
+        assert not fifo.enqueue(_packet())
+        assert fifo.drops == 1 and len(fifo) == 2
+
+    def test_empty_dequeue_returns_none(self):
+        assert FifoScheduler().dequeue() is None
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            FifoScheduler(capacity=0)
+
+
+class TestPriorityScheduler:
+    def test_higher_dscp_served_first(self):
+        scheduler = PriorityScheduler()
+        low = _packet(dscp=int(Dscp.BEST_EFFORT))
+        high = _packet(dscp=int(Dscp.EF))
+        scheduler.enqueue(low)
+        scheduler.enqueue(high)
+        assert scheduler.dequeue() is high
+        assert scheduler.dequeue() is low
+
+    def test_per_class_capacity(self):
+        scheduler = PriorityScheduler(capacity_per_class=1)
+        assert scheduler.enqueue(_packet(dscp=0))
+        assert not scheduler.enqueue(_packet(dscp=0))
+        assert scheduler.enqueue(_packet(dscp=int(Dscp.EF)))
+
+    @given(st.lists(st.sampled_from([0, 8, 18, 34, 46]), min_size=1, max_size=30))
+    @settings(max_examples=20, deadline=None)
+    def test_dequeue_order_is_non_increasing_priority(self, dscps):
+        scheduler = PriorityScheduler()
+        for dscp in dscps:
+            scheduler.enqueue(_packet(dscp=dscp))
+        out = []
+        while True:
+            packet = scheduler.dequeue()
+            if packet is None:
+                break
+            out.append(packet.dscp)
+        assert expected_priority_order(out)
+        assert len(out) == len(dscps)
+
+
+class TestDrrScheduler:
+    def test_work_conserving(self):
+        drr = DeficitRoundRobinScheduler()
+        for dscp in (0, 46, 0, 46):
+            drr.enqueue(_packet(dscp=dscp, size=500))
+        seen = 0
+        while drr.dequeue() is not None:
+            seen += 1
+        assert seen == 4
+
+    def test_weighted_share(self):
+        # EF weighted 4x against best effort; over many dequeues EF should
+        # receive roughly 4x the bytes while both queues stay backlogged.
+        from repro.packet.dscp import priority_of
+
+        drr = DeficitRoundRobinScheduler(weights={priority_of(int(Dscp.EF)): 4.0,
+                                                  priority_of(0): 1.0},
+                                         quantum_bytes=600)
+        for _ in range(100):
+            drr.enqueue(_packet(dscp=int(Dscp.EF), size=500))
+            drr.enqueue(_packet(dscp=0, size=500))
+        counts = {int(Dscp.EF): 0, 0: 0}
+        for _ in range(50):
+            packet = drr.dequeue()
+            counts[packet.dscp] += 1
+        assert counts[int(Dscp.EF)] > counts[0]
+
+
+class TestTokenBucket:
+    def test_allows_within_rate(self):
+        bucket = TokenBucket(rate_bytes_per_second=1000, burst_bytes=1000)
+        assert bucket.allow(500, now=0.0)
+        assert bucket.allow(500, now=0.0)
+        assert not bucket.allow(500, now=0.0)
+
+    def test_refills_over_time(self):
+        bucket = TokenBucket(rate_bytes_per_second=1000, burst_bytes=1000)
+        assert bucket.allow(1000, now=0.0)
+        assert not bucket.allow(1000, now=0.1)
+        assert bucket.allow(1000, now=1.5)
+
+    def test_scheduler_wrapper_drops_nonconforming(self):
+        scheduler = TokenBucketScheduler(rate_bytes_per_second=200, burst_bytes=200)
+        scheduler.set_clock(lambda: 0.0)
+        assert scheduler.enqueue(_packet(size=100))
+        assert not scheduler.enqueue(_packet(size=1000))
+        assert scheduler.drops == 1
+
+
+class TestDiffServ:
+    def test_phb_classification(self):
+        assert phb_of(int(Dscp.EF)) == PerHopBehaviour.EXPEDITED_FORWARDING
+        assert phb_of(int(Dscp.AF21)) == PerHopBehaviour.ASSURED_FORWARDING
+        assert phb_of(0) == PerHopBehaviour.DEFAULT
+
+    def test_remarking_follows_sla(self):
+        domain = DiffServDomain("att")
+        domain.add_sla(ServiceLevelAgreement(customer="ann", dscp=int(Dscp.EF), rate_bps=1e6))
+        marked = domain.remark(_packet(dscp=0), "ann")
+        assert marked.dscp == int(Dscp.EF)
+        unmarked = domain.remark(_packet(dscp=int(Dscp.EF)), "stranger")
+        assert unmarked.dscp == int(Dscp.BEST_EFFORT)
+
+    def test_scheduler_factory(self):
+        assert isinstance(DiffServDomain.build_scheduler("fifo"), FifoScheduler)
+        assert isinstance(DiffServDomain.build_scheduler("priority"), PriorityScheduler)
+        with pytest.raises(ValueError):
+            DiffServDomain.build_scheduler("wfq2")
+
+
+class TestIntServ:
+    def test_admission_control(self):
+        table = ReservationTable(capacity_bps=1_000_000)
+        spec = FlowSpec(ip("10.1.0.1"), ip("10.3.0.1"), rate_bps=600_000)
+        table.admit(spec)
+        with pytest.raises(ReservationError):
+            table.admit(FlowSpec(ip("10.1.0.2"), ip("10.3.0.1"), rate_bps=600_000))
+        table.release(spec)
+        table.admit(FlowSpec(ip("10.1.0.2"), ip("10.3.0.1"), rate_bps=600_000))
+
+    def test_lookup_fails_for_anonymized_source(self):
+        # The §3.4 problem: per-flow state keyed on (src, dst) cannot match
+        # once the source is the neutralizer's anycast address.
+        table = ReservationTable(capacity_bps=1_000_000)
+        table.admit(FlowSpec(ip("10.1.0.1"), ip("10.3.0.1"), rate_bps=100_000))
+        original = udp_packet(ip("10.1.0.1"), ip("10.3.0.1"), b"x")
+        anonymized = udp_packet(ip("10.200.0.1"), ip("10.3.0.1"), b"x")
+        assert table.lookup(original) is not None
+        assert table.lookup(anonymized) is None
+
+    def test_duplicate_reservation_rejected(self):
+        table = ReservationTable(capacity_bps=1_000_000)
+        spec = FlowSpec(ip("10.1.0.1"), ip("10.3.0.1"), rate_bps=100_000)
+        table.admit(spec)
+        with pytest.raises(ReservationError):
+            table.admit(spec)
+
+    def test_dynamic_address_pool(self):
+        pool = DynamicAddressPool([ip("10.3.255.1"), ip("10.3.255.2")])
+        customer = ip("10.3.0.9")
+        dynamic = pool.assign(customer)
+        assert pool.assign(customer) == dynamic  # idempotent
+        assert pool.owner_of(dynamic) == customer
+        other = pool.assign(ip("10.3.0.10"))
+        assert other != dynamic
+        with pytest.raises(ReservationError):
+            pool.assign(ip("10.3.0.11"))
+        pool.release(dynamic)
+        assert pool.owner_of(dynamic) is None
