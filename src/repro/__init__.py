@@ -26,6 +26,12 @@ Subpackages
 ``repro.baselines`` / ``repro.defense`` / ``repro.apps`` / ``repro.analysis``
     Baselines (vanilla forwarding, onion routing), pushback, application
     models and the experiment/report harness.
+``repro.scale``
+    Flow-level (fluid) fleet simulator: client populations as vectorized
+    aggregate demand, consistent-hash fleets over :mod:`repro.core.anycast`,
+    a numpy max-min fair capacity solver, a campaign runner sweeping
+    10^3–10^6 clients, and cross-validation against the packet-level
+    simulator.
 """
 
 __version__ = "1.0.0"

@@ -1,4 +1,4 @@
-"""Experiment runners: one function per reproduced result (E1–E11).
+"""Experiment runners: one function per reproduced result (E1–E11, plus E12).
 
 Each runner builds the workload, runs it, and returns a small result object
 plus an :class:`repro.analysis.report.ExperimentReport`.  The benchmark
@@ -914,3 +914,69 @@ def run_pushback_experiment(*, call_seconds: float = 3.0, flood_pps: float = 300
     report.add_note("pushback rate-limits the key-setup aggregate upstream, protecting both "
                     "the shared links (victim call quality) and the neutralizer's CPU budget")
     return PushbackResult(arms=arms, report=report)
+
+
+# ---------------------------------------------------------------------------
+# E12: fleet scale (flow-level fluid simulator)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class FleetScaleExperimentResult:
+    """E12 outputs: the sweep campaign plus its cross-validation."""
+
+    sweep: "FleetScaleResult"
+    validation: Optional["CrossValidationResult"]
+    report: ExperimentReport
+
+    @property
+    def validated(self) -> bool:
+        """Whether fluid and packet-level goodput agreed within 10 %."""
+        return self.validation is not None and self.validation.within_tolerance
+
+
+def run_fleet_scale(
+    client_counts: Optional[Tuple[int, ...]] = None,
+    *,
+    n_sites: int = 16,
+    seed: int = 81,
+    validate: bool = True,
+    failed_sites: Tuple[str, ...] = (),
+) -> FleetScaleExperimentResult:
+    """E12: fluid goodput vs population size, cross-checked against netsim.
+
+    The packet-level experiments stop at thousands of packets; this one uses
+    the :mod:`repro.scale` fluid model to push the same deployment shape to a
+    million clients against a ``n_sites``-site fleet, after validating the
+    model against the event engine on a small shared scenario.
+    """
+    from ..scale import CrossValidationResult, FleetScaleRunner, FleetScaleResult  # noqa: F401
+    from ..scale.runner import DEFAULT_CLIENT_COUNTS
+
+    runner = FleetScaleRunner(
+        client_counts=client_counts if client_counts is not None else DEFAULT_CLIENT_COUNTS,
+        n_sites=n_sites, seed=seed, failed_sites=failed_sites,
+    )
+    sweep = runner.run()
+
+    validation = None
+    if validate:
+        from ..scale import cross_validate
+
+        validation = cross_validate(seed=seed)
+
+    report = ExperimentReport(
+        "E12", "Fleet scale: million-client fluid sweep (+ packet-level cross-check)"
+    )
+    report.tables.extend(sweep.report.tables)
+    report.notes.extend(sweep.report.notes)
+    if validation is not None:
+        report.tables.extend(validation.report.tables)
+        report.notes.extend(validation.report.notes)
+        report.add_note(
+            f"fluid vs packet-level max relative error: "
+            f"{validation.max_relative_error:.4f} (acceptance bound 0.10)"
+        )
+    report.add_note("the paper's scaling argument is per-box cost times anycast spread; "
+                    "the fluid sweep shows where CPU and uplink knees sit for a whole fleet")
+    return FleetScaleExperimentResult(sweep=sweep, validation=validation, report=report)

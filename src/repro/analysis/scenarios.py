@@ -162,6 +162,59 @@ def build_figure1(
     )
 
 
+@dataclass
+class ScaleValidationScenario:
+    """The small shared scenario both simulators run (see :mod:`repro.scale.validate`)."""
+
+    topology: Topology
+    deployment: NetNeutralityDeployment
+    client_names: List[str]
+    server_name: str
+    bottleneck_rate_bps: float
+
+    @property
+    def server(self):
+        """The single receiving host behind the neutralizer."""
+        return self.topology.host(self.server_name)
+
+    def bottleneck_stats(self):
+        """Link stats of the bottleneck in the client→server direction."""
+        link = self.topology.link_between("left-gw", "right-gw")
+        end = next(e for e in link.ends if e.node.name == "left-gw")
+        return link.stats_from(end)
+
+
+def build_scale_validation_scenario(
+    *,
+    clients: int = 4,
+    bottleneck_rate_bps: float = mbps(0.5),
+    seed: int = 2006,
+) -> ScaleValidationScenario:
+    """A dumbbell with the neutralizer deployed, shared with the fluid model.
+
+    ``repro.scale.validate`` runs this topology packet by packet and rebuilds
+    the same structure as a :class:`repro.scale.solver.CapacityProblem`; the
+    two goodputs must agree within 10 %.
+    """
+    topology = build_dumbbell(
+        clients=clients, servers=1, bottleneck_rate_bps=bottleneck_rate_bps, seed=seed
+    )
+    rng = DeterministicRandom(seed)
+    deployment = neutralize_isp(topology, "right", ip("10.200.0.9"), rng=rng)
+    deployment.attach_server(topology.host("server0"))
+    client_names = [f"client{index}" for index in range(clients)]
+    for name in client_names:
+        deployment.attach_client(topology.host(name))
+        deployment.bootstrap_client(name, "server0")
+    return ScaleValidationScenario(
+        topology=topology,
+        deployment=deployment,
+        client_names=client_names,
+        server_name="server0",
+        bottleneck_rate_bps=bottleneck_rate_bps,
+    )
+
+
 def build_dumbbell(
     *,
     clients: int = 2,

@@ -1,6 +1,6 @@
 """Core contribution of the paper: the neutralizer protocol and host stacks."""
 
-from .anycast import NeutralizerDeployment, deploy_neutralizer_service
+from .anycast import ConsistentHashRing, NeutralizerDeployment, deploy_neutralizer_service
 from .api import NetNeutralityDeployment, neutralize_isp
 from .client import DestinationInfo, NeutralizedClientStack
 from .envelope import (
@@ -56,6 +56,7 @@ from .shim import (
 )
 
 __all__ = [
+    "ConsistentHashRing",
     "NeutralizerDeployment",
     "deploy_neutralizer_service",
     "NetNeutralityDeployment",

@@ -13,8 +13,10 @@ anycast address to its *nearest* entry point into the neutral domain.
 
 from __future__ import annotations
 
+import hashlib
+from bisect import bisect_left
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Tuple, Union
 
 from ..crypto.randomness import DEFAULT_SOURCE, RandomSource
 from ..exceptions import TopologyError
@@ -23,6 +25,76 @@ from ..packet.addresses import IPv4Address
 from ..qos.intserv import DynamicAddressPool
 from .master_key import MasterKeyManager
 from .neutralizer import Neutralizer, NeutralizerConfig, NeutralizerDomain
+
+
+class ConsistentHashRing:
+    """Consistent hashing of opaque keys onto named sites.
+
+    IP anycast gives *topological* nearest-entry routing; inside a domain the
+    operators still need a stable way to spread sources over boxes so caches
+    and rate-limit state stay warm.  This ring hashes each site name onto
+    ``replicas`` points of the 2^64 circle (blake2b keyed with ``salt``) and
+    assigns a key to the first site point at or after the key's position.
+    Removing a site moves only that site's keys — the property fleet failover
+    relies on.  The position table is exposed so vectorized callers
+    (:mod:`repro.scale.fleet`) can do the same lookup with ``searchsorted``.
+    """
+
+    _SPACE_BITS = 64
+
+    def __init__(self, site_names: Optional[List[str]] = None, *, replicas: int = 64,
+                 salt: bytes = b"neutralizer-ring") -> None:
+        if replicas <= 0:
+            raise TopologyError("ring replicas must be positive")
+        self.replicas = replicas
+        self.salt = salt
+        self._points: List[Tuple[int, str]] = []
+        for name in site_names or []:
+            self.add_site(name)
+
+    def _position(self, data: bytes) -> int:
+        digest = hashlib.blake2b(data, digest_size=8, key=self.salt).digest()
+        return int.from_bytes(digest, "big")
+
+    def add_site(self, name: str) -> None:
+        """Insert ``replicas`` points for ``name`` (idempotent)."""
+        if any(owner == name for _, owner in self._points):
+            return
+        for replica in range(self.replicas):
+            point = (self._position(f"{name}#{replica}".encode()), name)
+            self._points.insert(bisect_left(self._points, point), point)
+
+    def remove_site(self, name: str) -> None:
+        """Withdraw every point of ``name`` (simulated failure or drain)."""
+        self._points = [point for point in self._points if point[1] != name]
+
+    @property
+    def site_names(self) -> List[str]:
+        """Distinct member sites, sorted."""
+        return sorted({owner for _, owner in self._points})
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def key_position(self, key: Union[str, bytes]) -> int:
+        """Ring position of ``key`` (same space as :meth:`table` positions)."""
+        data = key.encode() if isinstance(key, str) else key
+        return self._position(data)
+
+    def site_for(self, key: Union[str, bytes]) -> str:
+        """The site owning ``key``: first point clockwise from its position."""
+        if not self._points:
+            raise TopologyError("hash ring has no sites")
+        index = bisect_left(self._points, (self.key_position(key), ""))
+        if index == len(self._points):
+            index = 0
+        return self._points[index][1]
+
+    def table(self) -> Tuple[List[int], List[str]]:
+        """Sorted ring positions and their owning sites, for vectorized lookup."""
+        positions = [position for position, _ in self._points]
+        owners = [owner for _, owner in self._points]
+        return positions, owners
 
 
 @dataclass

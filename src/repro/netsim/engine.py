@@ -21,7 +21,8 @@ class Event:
     """A scheduled callback.
 
     Ordering is (time, sequence) so simultaneous events fire in the order they
-    were scheduled.  ``cancelled`` events stay in the heap but are skipped.
+    were scheduled.  ``cancelled`` events stay in the heap until the engine
+    pops them or compacts the queue — they are never executed.
     """
 
     time: float
@@ -29,14 +30,22 @@ class Event:
     callback: Callable[..., None] = field(compare=False)
     args: tuple = field(compare=False, default=())
     cancelled: bool = field(compare=False, default=False)
+    _on_cancel: Optional[Callable[[], None]] = field(compare=False, default=None, repr=False)
 
     def cancel(self) -> None:
         """Mark the event so the engine skips it."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            if self._on_cancel is not None:
+                self._on_cancel()
 
 
 class Simulator:
     """The discrete-event scheduler shared by every simulated component."""
+
+    #: Below this queue size, cancelled entries are left for run() to skip;
+    #: compaction only pays for itself on long-lived queues.
+    _COMPACT_MIN_EVENTS = 64
 
     def __init__(self) -> None:
         self._now = 0.0
@@ -44,6 +53,7 @@ class Simulator:
         self._sequence = itertools.count()
         self._running = False
         self._processed = 0
+        self._cancelled_pending = 0
 
     @property
     def now(self) -> float:
@@ -57,8 +67,30 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        """Number of events still queued (including cancelled placeholders)."""
+        """Number of events still queued (including cancelled placeholders).
+
+        On queues of at least ``_COMPACT_MIN_EVENTS``, cancelled placeholders
+        never accumulate past half the queue: the engine compacts the heap
+        lazily once they would.  Smaller queues keep their placeholders until
+        :meth:`run` pops them.
+        """
         return len(self._heap)
+
+    def _note_cancelled(self) -> None:
+        """Record one cancellation; compact when placeholders dominate.
+
+        Long-running simulations cancel events constantly (retransmit timers,
+        DNS timeouts), and a cancelled entry used to stay in the heap until
+        its deadline — an unbounded leak for timers far in the future.  When
+        cancelled entries exceed half of a non-trivial queue, rebuilding the
+        heap without them is cheaper than carrying them.
+        """
+        self._cancelled_pending += 1
+        if (len(self._heap) >= self._COMPACT_MIN_EVENTS
+                and self._cancelled_pending * 2 > len(self._heap)):
+            self._heap = [event for event in self._heap if not event.cancelled]
+            heapq.heapify(self._heap)
+            self._cancelled_pending = 0
 
     def schedule(self, delay: float, callback: Callable[..., None], *args: Any) -> Event:
         """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
@@ -73,6 +105,7 @@ class Simulator:
                 f"cannot schedule at {time:.9f}, simulation time is already {self._now:.9f}"
             )
         event = Event(time=time, sequence=next(self._sequence), callback=callback, args=args)
+        event._on_cancel = self._note_cancelled
         heapq.heappush(self._heap, event)
         return event
 
@@ -95,7 +128,11 @@ class Simulator:
                 if until is not None and event.time > until:
                     break
                 heapq.heappop(self._heap)
+                # Once popped the event is no longer heap-resident: a late
+                # cancel() must not count toward the compaction trigger.
+                event._on_cancel = None
                 if event.cancelled:
+                    self._cancelled_pending = max(0, self._cancelled_pending - 1)
                     continue
                 self._now = event.time
                 event.callback(*event.args)
@@ -113,6 +150,11 @@ class Simulator:
 
     def reset(self) -> None:
         """Drop all pending events and rewind the clock (test helper)."""
+        for event in self._heap:
+            # Discarded events must not feed the new run's compaction counter
+            # if a stale handle cancels them later.
+            event._on_cancel = None
         self._heap.clear()
         self._now = 0.0
         self._processed = 0
+        self._cancelled_pending = 0

@@ -1,0 +1,130 @@
+"""CPU cost model of the neutralizer fast path, in crypto operations.
+
+The fluid simulator needs one number per site: how many neutralized data
+packets (and key setups) a box can push per second.  The paper derives that
+from primitive rates (2.35 M AES ops/s on the evaluation Opteron); the
+reproduction does the same against its own substrate.  The per-packet
+operation counts mirror :class:`repro.core.neutralizer.Neutralizer`'s data
+path — one Ks derivation, one address decryption (a single AES-CTR block),
+and a tag verification — and the per-setup count is one RSA-512 encryption
+plus one Ks derivation.
+
+:meth:`CryptoCostModel.default` carries rates measured once with
+``benchmarks/bench_crypto.py`` on the development container (fast AES
+backend); :meth:`CryptoCostModel.calibrated` re-measures them in-process with
+the same :func:`repro.analysis.metrics.measure_throughput` harness, so a
+scale experiment can be pinned to the hardware it actually runs on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..analysis.metrics import measure_throughput
+from ..crypto.backend import fast_backend_available, get_cipher
+from ..crypto.kdf import derive_symmetric_key
+from ..crypto.randomness import DeterministicRandom
+from ..crypto.rsa import generate_keypair
+from ..exceptions import WorkloadError
+
+
+@dataclass(frozen=True)
+class CryptoCostModel:
+    """Primitive rates plus per-operation counts for the neutralizer fast path."""
+
+    #: Single-block AES encryptions per second (one core).
+    aes_blocks_per_second: float
+    #: Stateless ``Ks = hash(KM, nonce, srcIP)`` derivations per second.
+    kdf_ops_per_second: float
+    #: RSA-512 public-key encryptions (e = 3) per second.
+    rsa512_encryptions_per_second: float
+    #: AES block operations on the data path (address decrypt + tag verify).
+    aes_blocks_per_data_packet: float = 3.0
+    #: Ks derivations per data packet (exactly one: statelessness).
+    kdf_ops_per_data_packet: float = 1.0
+    #: Ks derivations per key setup (nonce chosen, key derived once).
+    kdf_ops_per_key_setup: float = 1.0
+    #: RSA encryptions per key setup (the chosen cheap direction, §3.2).
+    rsa_encryptions_per_key_setup: float = 1.0
+
+    def __post_init__(self) -> None:
+        if min(self.aes_blocks_per_second, self.kdf_ops_per_second,
+               self.rsa512_encryptions_per_second) <= 0:
+            raise WorkloadError("primitive rates must be positive")
+
+    @property
+    def data_packet_cost_seconds(self) -> float:
+        """CPU seconds one core spends forwarding one neutralized data packet."""
+        return (
+            self.aes_blocks_per_data_packet / self.aes_blocks_per_second
+            + self.kdf_ops_per_data_packet / self.kdf_ops_per_second
+        )
+
+    @property
+    def key_setup_cost_seconds(self) -> float:
+        """CPU seconds one core spends answering one key-setup request."""
+        return (
+            self.rsa_encryptions_per_key_setup / self.rsa512_encryptions_per_second
+            + self.kdf_ops_per_key_setup / self.kdf_ops_per_second
+        )
+
+    def data_packets_per_second(self, cores: float = 1.0) -> float:
+        """Sustainable data-path forwarding rate for ``cores`` dedicated cores."""
+        return cores / self.data_packet_cost_seconds
+
+    def key_setups_per_second(self, cores: float = 1.0) -> float:
+        """Sustainable key-setup answer rate for ``cores`` dedicated cores."""
+        return cores / self.key_setup_cost_seconds
+
+    def scaled(self, factor: float) -> "CryptoCostModel":
+        """A model whose primitives run ``factor`` times faster (what-if box)."""
+        if factor <= 0:
+            raise WorkloadError("speed factor must be positive")
+        return replace(
+            self,
+            aes_blocks_per_second=self.aes_blocks_per_second * factor,
+            kdf_ops_per_second=self.kdf_ops_per_second * factor,
+            rsa512_encryptions_per_second=self.rsa512_encryptions_per_second * factor,
+        )
+
+    @classmethod
+    def default(cls) -> "CryptoCostModel":
+        """Rates measured once on the development container (fast AES backend).
+
+        These are the same quantities ``benchmarks/bench_crypto.py`` times;
+        use :meth:`calibrated` to re-measure on the current machine.
+        """
+        return cls(
+            aes_blocks_per_second=1_700_000.0,
+            kdf_ops_per_second=330_000.0,
+            rsa512_encryptions_per_second=150_000.0,
+        )
+
+    @classmethod
+    def calibrated(cls, *, iterations: int = 500, seed: int = 303) -> "CryptoCostModel":
+        """Measure the primitive rates in-process on the current machine."""
+        rng = DeterministicRandom(seed)
+        key = rng.random_bytes(16)
+        block = rng.random_bytes(16)
+        source = rng.random_bytes(4)
+        nonce = rng.nonce()
+        cipher = get_cipher(key, backend="fast" if fast_backend_available() else None)
+        keypair = generate_keypair(512, rng)
+        payload = rng.random_bytes(24)
+
+        aes = measure_throughput(
+            "aes block", lambda: cipher.encrypt_block(block), iterations=iterations * 4
+        )
+        kdf = measure_throughput(
+            "ks derivation", lambda: derive_symmetric_key(key, nonce, source),
+            iterations=iterations * 4,
+        )
+        rsa = measure_throughput(
+            "rsa-512 encrypt", lambda: keypair.public.encrypt(payload, rng),
+            iterations=iterations,
+        )
+        return cls(
+            aes_blocks_per_second=aes.per_second,
+            kdf_ops_per_second=kdf.per_second,
+            rsa512_encryptions_per_second=rsa.per_second,
+        )

@@ -1,0 +1,167 @@
+"""The neutralizer fleet: sites, capacity, health, and client assignment.
+
+A *site* is one anycast entry point into the neutral domain — in the
+packet-level simulator, one :class:`repro.core.neutralizer.Neutralizer` on a
+border router; here, a CPU budget (cores × the calibrated per-packet cost)
+plus an uplink.  Clients are spread over healthy sites with the
+:class:`repro.core.anycast.ConsistentHashRing`, evaluated vectorized: the
+ring's position table is pulled into numpy arrays once and a million clients
+are assigned with a single ``searchsorted``.  Failing a site withdraws its
+ring points, so exactly the failed site's clients move — the fleet-level
+analogue of a router withdrawing its anycast route.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..core.anycast import ConsistentHashRing, NeutralizerDeployment
+from ..exceptions import TopologyError
+from ..units import gbps
+from .costmodel import CryptoCostModel
+
+
+@dataclass
+class FleetSite:
+    """One neutralizer site: a point of presence with CPU and uplink budgets."""
+
+    name: str
+    cores: float = 8.0
+    uplink_bps: float = gbps(10)
+    healthy: bool = True
+
+    def __post_init__(self) -> None:
+        if self.cores <= 0 or self.uplink_bps <= 0:
+            raise TopologyError(f"site {self.name!r} needs positive cores and uplink")
+
+
+class NeutralizerFleet:
+    """A set of sites plus the consistent-hash ring that spreads clients."""
+
+    def __init__(
+        self,
+        sites: List[FleetSite],
+        *,
+        cost_model: Optional[CryptoCostModel] = None,
+        replicas: int = 64,
+    ) -> None:
+        if not sites:
+            raise TopologyError("a fleet needs at least one site")
+        names = [site.name for site in sites]
+        if len(set(names)) != len(names):
+            raise TopologyError("site names must be unique")
+        self.sites = list(sites)
+        self.cost_model = cost_model or CryptoCostModel.default()
+        self.replicas = replicas
+        self._index_by_name: Dict[str, int] = {name: i for i, name in enumerate(names)}
+        self._rebuild_ring()
+
+    @classmethod
+    def build(cls, n_sites: int, *, cores: float = 8.0, uplink_bps: float = gbps(10),
+              cost_model: Optional[CryptoCostModel] = None,
+              replicas: int = 64) -> "NeutralizerFleet":
+        """A homogeneous fleet of ``n_sites`` identical sites."""
+        sites = [FleetSite(f"site{i:02d}", cores=cores, uplink_bps=uplink_bps)
+                 for i in range(n_sites)]
+        return cls(sites, cost_model=cost_model, replicas=replicas)
+
+    @classmethod
+    def from_deployment(
+        cls,
+        deployment: NeutralizerDeployment,
+        *,
+        cores: float = 8.0,
+        uplink_bps: float = gbps(10),
+        cost_model: Optional[CryptoCostModel] = None,
+        replicas: int = 64,
+    ) -> "NeutralizerFleet":
+        """Mirror a packet-level anycast deployment: one site per deployed box."""
+        sites = [FleetSite(name, cores=cores, uplink_bps=uplink_bps)
+                 for name in deployment.router_names]
+        return cls(sites, cost_model=cost_model, replicas=replicas)
+
+    # -- health ----------------------------------------------------------------------
+
+    def _rebuild_ring(self) -> None:
+        healthy = [site.name for site in self.sites if site.healthy]
+        if not healthy:
+            raise TopologyError("every site of the fleet is down")
+        self.ring = ConsistentHashRing(healthy, replicas=self.replicas)
+        positions, owners = self.ring.table()
+        self._ring_positions = np.asarray(positions, dtype=np.uint64)
+        self._ring_owner_index = np.asarray(
+            [self._index_by_name[name] for name in owners], dtype=np.int64
+        )
+
+    def site(self, name: str) -> FleetSite:
+        """Look up one site by name."""
+        try:
+            return self.sites[self._index_by_name[name]]
+        except KeyError:
+            raise TopologyError(
+                f"unknown site {name!r}; fleet has {', '.join(self._index_by_name)}"
+            ) from None
+
+    def fail_site(self, name: str) -> None:
+        """Take a site down; its ring points are withdrawn immediately."""
+        self.site(name).healthy = False
+        self._rebuild_ring()
+
+    def restore_site(self, name: str) -> None:
+        """Bring a failed site back; it reclaims exactly its old ring points."""
+        self.site(name).healthy = True
+        self._rebuild_ring()
+
+    @property
+    def healthy_site_names(self) -> List[str]:
+        """Names of sites currently in the ring."""
+        return [site.name for site in self.sites if site.healthy]
+
+    # -- vectorized assignment -------------------------------------------------------
+
+    def assign_sites(self, ring_positions: np.ndarray) -> np.ndarray:
+        """Map client ring positions to site indices (into :attr:`sites`).
+
+        The successor lookup of :meth:`ConsistentHashRing.site_for`, done for
+        the whole population at once with ``searchsorted`` (wrapping past the
+        last ring point back to the first).
+        """
+        slots = np.searchsorted(self._ring_positions, ring_positions, side="left")
+        slots[slots == len(self._ring_positions)] = 0
+        return self._ring_owner_index[slots]
+
+    # -- capacity --------------------------------------------------------------------
+
+    @property
+    def n_sites(self) -> int:
+        """Number of sites, healthy or not (indices are stable across failures)."""
+        return len(self.sites)
+
+    def cpu_capacity_cores(self) -> np.ndarray:
+        """Per-site CPU budget in cores (zero when down)."""
+        return np.array(
+            [site.cores if site.healthy else 0.0 for site in self.sites], dtype=np.float64
+        )
+
+    def uplink_capacity_bps(self) -> np.ndarray:
+        """Per-site uplink budget in bits/s (zero when down)."""
+        return np.array(
+            [site.uplink_bps if site.healthy else 0.0 for site in self.sites],
+            dtype=np.float64,
+        )
+
+    def data_capacity_pps(self) -> np.ndarray:
+        """Per-site data-path forwarding budget in packets/s."""
+        return self.cpu_capacity_cores() / self.cost_model.data_packet_cost_seconds
+
+    def describe(self) -> str:
+        """One-line summary used by reports and examples."""
+        healthy = self.healthy_site_names
+        per_site = self.cost_model.data_packets_per_second(self.sites[0].cores)
+        return (
+            f"fleet of {len(self.sites)} sites ({len(healthy)} healthy), "
+            f"~{per_site:,.0f} pkt/s per site data path"
+        )

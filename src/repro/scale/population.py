@@ -1,0 +1,231 @@
+"""Client populations as vectorized aggregate demand.
+
+A population is millions of clients, each belonging to one *demand class*
+(VoIP, web, video — rates and packet sizes taken from the corresponding
+:mod:`repro.apps` models plus the neutralizer's wire overhead) and one access
+*region* (an aggregate of access links sharing a regional uplink).  Nothing
+is simulated per client; the population is three numpy arrays — class index,
+region index, ring position — drawn deterministically from a seed, and every
+downstream consumer (fleet assignment, demand aggregation) is a vectorized
+reduction over them.  A million clients fit in a few megabytes and aggregate
+in milliseconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..apps.voip import DEFAULT_PACKET_INTERVAL, DEFAULT_PAYLOAD_BYTES
+from ..core.shim import expected_data_overhead_bytes
+from ..exceptions import WorkloadError
+from ..packet.headers import IPV4_HEADER_LEN, UDP_HEADER_LEN
+from ..units import BITS_PER_BYTE
+
+#: Bytes the neutralized data shim adds on the wire, straight from the shim
+#: layout so the fluid model can never drift from the packet-level one.
+SHIM_DATA_OVERHEAD_BYTES = expected_data_overhead_bytes()
+
+
+def neutralized_wire_bytes(payload_bytes: int) -> int:
+    """On-the-wire size of a neutralized UDP payload of ``payload_bytes``."""
+    return IPV4_HEADER_LEN + SHIM_DATA_OVERHEAD_BYTES + UDP_HEADER_LEN + payload_bytes
+
+
+@dataclass(frozen=True)
+class DemandClass:
+    """Aggregate traffic description of one application class.
+
+    ``packets_per_second`` and ``packet_bytes`` describe one *active* client;
+    ``duty_cycle`` is the fraction of subscribed clients active at the busy
+    instant, so a class's fluid demand is ``clients × duty × rate``.
+    """
+
+    name: str
+    packets_per_second: float
+    packet_bytes: int
+    duty_cycle: float = 1.0
+    #: Fresh key setups per client-hour (sessions, refreshes, mobility).
+    key_setups_per_hour: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.packets_per_second <= 0 or self.packet_bytes <= 0:
+            raise WorkloadError("demand class rate and packet size must be positive")
+        if not 0.0 < self.duty_cycle <= 1.0:
+            raise WorkloadError("duty cycle must be in (0, 1]")
+
+    @property
+    def bits_per_second(self) -> float:
+        """Wire bits per second of one active client."""
+        return self.packets_per_second * self.packet_bytes * BITS_PER_BYTE
+
+    @property
+    def mean_packets_per_second(self) -> float:
+        """Busy-instant mean rate of one subscribed client (duty applied)."""
+        return self.packets_per_second * self.duty_cycle
+
+
+def voip_class() -> DemandClass:
+    """G.711-like VoIP: the codec of :mod:`repro.apps.voip`, always on-call."""
+    return DemandClass(
+        name="voip",
+        packets_per_second=1.0 / DEFAULT_PACKET_INTERVAL,
+        packet_bytes=neutralized_wire_bytes(DEFAULT_PAYLOAD_BYTES),
+        duty_cycle=0.05,
+        key_setups_per_hour=6.0,
+    )
+
+
+def web_class() -> DemandClass:
+    """Bursty page fetches: the paced 1200-byte responses of :mod:`repro.apps.web`."""
+    return DemandClass(
+        name="web",
+        packets_per_second=40.0,
+        packet_bytes=neutralized_wire_bytes(1200),
+        duty_cycle=0.08,
+        key_setups_per_hour=12.0,
+    )
+
+
+def video_class() -> DemandClass:
+    """CBR streaming: the 2 Mb/s, 1200-byte segments of :mod:`repro.apps.video`."""
+    segment_bytes = 1200
+    bitrate_bps = 2_000_000.0
+    return DemandClass(
+        name="video",
+        packets_per_second=bitrate_bps / (segment_bytes * BITS_PER_BYTE),
+        packet_bytes=neutralized_wire_bytes(segment_bytes),
+        duty_cycle=0.10,
+        key_setups_per_hour=2.0,
+    )
+
+
+@dataclass(frozen=True)
+class PopulationMix:
+    """Named demand classes plus the fraction of clients subscribed to each."""
+
+    classes: Tuple[DemandClass, ...]
+    fractions: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.classes) != len(self.fractions) or not self.classes:
+            raise WorkloadError("mix needs one fraction per class")
+        total = sum(self.fractions)
+        if abs(total - 1.0) > 1e-9 or min(self.fractions) < 0:
+            raise WorkloadError(f"mix fractions must be non-negative and sum to 1, got {total}")
+
+    @property
+    def names(self) -> List[str]:
+        """Class names in mix order."""
+        return [cls.name for cls in self.classes]
+
+
+def default_mix() -> PopulationMix:
+    """The default subscriber mix: mostly web, a video tail, some VoIP."""
+    return PopulationMix(
+        classes=(voip_class(), web_class(), video_class()),
+        fractions=(0.2, 0.5, 0.3),
+    )
+
+
+def _splitmix64(values: np.ndarray) -> np.ndarray:
+    """The splitmix64 mixer, vectorized: uniform uint64 ring positions."""
+    z = (values + np.uint64(0x9E3779B97F4A7C15)).astype(np.uint64)
+    z = (z ^ (z >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+    z = (z ^ (z >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+    return z ^ (z >> np.uint64(31))
+
+
+class ClientPopulation:
+    """A seeded population of clients, materialized as numpy arrays."""
+
+    def __init__(
+        self,
+        n_clients: int,
+        *,
+        mix: Optional[PopulationMix] = None,
+        regions: int = 8,
+        seed: int = 2006,
+    ) -> None:
+        if n_clients <= 0:
+            raise WorkloadError("population must have at least one client")
+        if regions <= 0:
+            raise WorkloadError("population needs at least one access region")
+        self.n_clients = int(n_clients)
+        self.mix = mix or default_mix()
+        self.regions = int(regions)
+        self.seed = int(seed)
+
+        rng = np.random.default_rng(self.seed)
+        self.class_index = rng.choice(
+            len(self.mix.classes), size=self.n_clients, p=np.asarray(self.mix.fractions)
+        ).astype(np.int32)
+        # Regions are deliberately uneven (metro vs rural): weights 1/(k+1).
+        weights = 1.0 / (np.arange(self.regions, dtype=np.float64) + 1.0)
+        self.region_index = rng.choice(
+            self.regions, size=self.n_clients, p=weights / weights.sum()
+        ).astype(np.int32)
+        # Ring positions come from client identity, not the rng stream, so a
+        # client keeps its site when the population is re-drawn larger.
+        identities = np.arange(self.n_clients, dtype=np.uint64) + np.uint64(self.seed) * np.uint64(
+            0x1000003
+        )
+        self.ring_positions = _splitmix64(identities)
+
+    # -- aggregation -----------------------------------------------------------------
+
+    @property
+    def n_classes(self) -> int:
+        """Number of demand classes in the mix."""
+        return len(self.mix.classes)
+
+    def class_counts(self) -> np.ndarray:
+        """Subscribed clients per demand class."""
+        return np.bincount(self.class_index, minlength=self.n_classes)
+
+    def region_counts(self) -> np.ndarray:
+        """Subscribed clients per access region."""
+        return np.bincount(self.region_index, minlength=self.regions)
+
+    def group_counts(self, site_index: np.ndarray, n_sites: int) -> np.ndarray:
+        """Client counts per (region, class, site) given a site assignment.
+
+        Returns a dense ``(regions, classes, sites)`` array computed by one
+        ``bincount`` over a fused index — the only per-client pass needed to
+        build a fluid problem.
+        """
+        if site_index.shape != (self.n_clients,):
+            raise WorkloadError("site assignment must cover every client")
+        fused = (
+            (self.region_index.astype(np.int64) * self.n_classes + self.class_index)
+            * n_sites
+            + site_index.astype(np.int64)
+        )
+        counts = np.bincount(fused, minlength=self.regions * self.n_classes * n_sites)
+        return counts.reshape(self.regions, self.n_classes, n_sites)
+
+    def demand_pps_per_client(self) -> np.ndarray:
+        """Busy-instant packets/s of one subscribed client, per class."""
+        return np.array([cls.mean_packets_per_second for cls in self.mix.classes])
+
+    def packet_bits(self) -> np.ndarray:
+        """Wire bits per packet, per class."""
+        return np.array(
+            [cls.packet_bytes * BITS_PER_BYTE for cls in self.mix.classes], dtype=np.float64
+        )
+
+    def key_setup_rate_per_client(self) -> np.ndarray:
+        """Key-setup requests per second of one subscribed client, per class."""
+        return np.array([cls.key_setups_per_hour / 3600.0 for cls in self.mix.classes])
+
+    def describe(self) -> str:
+        """One-line summary used by reports and examples."""
+        per_class = ", ".join(
+            f"{name}={count}" for name, count in zip(self.mix.names, self.class_counts())
+        )
+        return (
+            f"population of {self.n_clients} clients over {self.regions} regions "
+            f"(seed {self.seed}): {per_class}"
+        )

@@ -1,0 +1,216 @@
+"""Campaign runner for fleet-scale sweeps, ExperimentRunnerProtocol-style.
+
+The runner owns one configured campaign — a client-count sweep against a
+fixed fleet shape — and exposes the same contract as the experiment-runner
+pattern in SNIPPETS.md: ``run()`` produces a frozen result object with a run
+id, timing, per-point records, and a rendered report, while
+``get_current_state()`` can be polled for progress.  Everything the
+*simulation* produces is deterministic from the seed; only the wall-clock
+fields reflect the machine the campaign ran on.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Protocol, Sequence, Tuple
+
+from ..analysis.report import ExperimentReport, format_series
+from ..exceptions import WorkloadError
+from ..units import gbps
+from .costmodel import CryptoCostModel
+from .fleet import NeutralizerFleet
+from .population import ClientPopulation, PopulationMix, default_mix
+from .scenario import FluidResult, ScaleScenario
+
+#: The default campaign sweep: three decades up to a million clients.
+DEFAULT_CLIENT_COUNTS: Tuple[int, ...] = (1_000, 10_000, 100_000, 1_000_000)
+
+
+class ExperimentRunnerProtocol(Protocol):
+    """The runner contract shared with the campaign harness pattern."""
+
+    def run(self) -> "FleetScaleResult":
+        """Run the campaign to completion and return its result."""
+        ...
+
+    def get_current_state(self) -> "ScaleExperimentState":
+        """Snapshot campaign progress."""
+        ...
+
+
+@dataclass(frozen=True)
+class SweepRecord:
+    """One sweep point: a solved population size against the fleet."""
+
+    clients: int
+    wall_seconds: float
+    solver_iterations: int
+    goodput_bps: Dict[str, float]
+    demand_bps: Dict[str, float]
+    delivered_fraction: float
+    peak_cpu_utilization: float
+    peak_uplink_utilization: float
+    key_setup_pps: float
+
+
+@dataclass(frozen=True)
+class ScaleExperimentState:
+    """Progress snapshot of a running campaign."""
+
+    completed_points: int
+    total_points: int
+    current_clients: Optional[int]
+
+    @property
+    def done(self) -> bool:
+        """Whether every sweep point has been solved."""
+        return self.completed_points >= self.total_points
+
+
+@dataclass(frozen=True)
+class FleetScaleResult:
+    """Final result of one campaign run."""
+
+    run_id: str
+    experiment_name: str
+    started_at: float
+    completed_at: float
+    duration_seconds: float
+    records: Tuple[SweepRecord, ...]
+    report: ExperimentReport
+
+    @property
+    def largest_point(self) -> SweepRecord:
+        """The record with the most clients (the headline number)."""
+        return max(self.records, key=lambda record: record.clients)
+
+
+class FleetScaleRunner:
+    """Sweeps client counts against a neutralizer fleet and tabulates results."""
+
+    def __init__(
+        self,
+        *,
+        client_counts: Sequence[int] = DEFAULT_CLIENT_COUNTS,
+        n_sites: int = 16,
+        cores_per_site: float = 8.0,
+        uplink_bps: float = gbps(10),
+        regions: int = 8,
+        region_uplink_bps: Optional[float] = None,
+        mix: Optional[PopulationMix] = None,
+        cost_model: Optional[CryptoCostModel] = None,
+        failed_sites: Sequence[str] = (),
+        seed: int = 2006,
+    ) -> None:
+        if not client_counts or min(client_counts) <= 0:
+            raise WorkloadError("the sweep needs at least one positive client count")
+        self.client_counts = tuple(sorted(client_counts))
+        self.n_sites = n_sites
+        self.cores_per_site = cores_per_site
+        self.uplink_bps = uplink_bps
+        self.regions = regions
+        self.region_uplink_bps = region_uplink_bps
+        self.mix = mix or default_mix()
+        self.cost_model = cost_model or CryptoCostModel.default()
+        self.failed_sites = tuple(failed_sites)
+        self.seed = seed
+        self.run_id = f"fleet-scale-{seed:08x}-{n_sites}x{len(self.client_counts)}"
+        self.experiment_name = "fleet_scale_sweep"
+        self._completed = 0
+        self._current: Optional[int] = None
+
+    # -- protocol --------------------------------------------------------------------
+
+    def get_current_state(self) -> ScaleExperimentState:
+        """Snapshot campaign progress (poll-safe, cheap)."""
+        return ScaleExperimentState(
+            completed_points=self._completed,
+            total_points=len(self.client_counts),
+            current_clients=self._current,
+        )
+
+    def solve_point(self, clients: int) -> Tuple[FluidResult, float]:
+        """Solve one sweep point; returns the fluid result and its wall time."""
+        start = time.perf_counter()
+        population = ClientPopulation(
+            clients, mix=self.mix, regions=self.regions, seed=self.seed
+        )
+        fleet = NeutralizerFleet.build(
+            self.n_sites,
+            cores=self.cores_per_site,
+            uplink_bps=self.uplink_bps,
+            cost_model=self.cost_model,
+        )
+        for name in self.failed_sites:
+            fleet.fail_site(name)
+        scenario = ScaleScenario(
+            population, fleet, region_uplink_bps=self.region_uplink_bps
+        )
+        result = scenario.solve()
+        return result, time.perf_counter() - start
+
+    def run(self) -> FleetScaleResult:
+        """Run the whole sweep and render the campaign report."""
+        started_at = time.time()
+        records: List[SweepRecord] = []
+        self._completed = 0
+        for clients in self.client_counts:
+            self._current = clients
+            fluid, wall = self.solve_point(clients)
+            records.append(SweepRecord(
+                clients=clients,
+                wall_seconds=wall,
+                solver_iterations=fluid.solver_iterations,
+                goodput_bps=dict(fluid.goodput_bps),
+                demand_bps=dict(fluid.demand_bps),
+                delivered_fraction=fluid.delivered_fraction,
+                peak_cpu_utilization=float(fluid.cpu_utilization.max()),
+                peak_uplink_utilization=float(fluid.uplink_utilization.max()),
+                key_setup_pps=fluid.key_setup_pps,
+            ))
+            self._completed += 1
+        self._current = None
+        completed_at = time.time()
+
+        report = self._render_report(records)
+        return FleetScaleResult(
+            run_id=self.run_id,
+            experiment_name=self.experiment_name,
+            started_at=started_at,
+            completed_at=completed_at,
+            duration_seconds=completed_at - started_at,
+            records=tuple(records),
+            report=report,
+        )
+
+    def _render_report(self, records: List[SweepRecord]) -> ExperimentReport:
+        report = ExperimentReport(
+            "E12",
+            f"Fleet-scale fluid sweep ({self.n_sites} sites x "
+            f"{self.cores_per_site:g} cores, seed {self.seed})",
+        )
+        class_names = self.mix.names
+        counts = [record.clients for record in records]
+        series = {
+            f"{name} goodput Mb/s": [record.goodput_bps[name] / 1e6 for record in records]
+            for name in class_names
+        }
+        series["delivered fraction"] = [record.delivered_fraction for record in records]
+        report.tables.append(format_series("clients", counts, series,
+                                           title="goodput vs population size"))
+        report.add_table(
+            ["clients", "peak cpu util", "peak uplink util", "key setups/s",
+             "solver passes", "wall s"],
+            [[record.clients, record.peak_cpu_utilization, record.peak_uplink_utilization,
+              record.key_setup_pps, record.solver_iterations, record.wall_seconds]
+             for record in records],
+        )
+        if self.failed_sites:
+            report.add_note(f"failed sites: {', '.join(self.failed_sites)}")
+        report.add_note(
+            "fluid model: max-min fair allocation over regional uplinks, site "
+            "uplinks and site CPUs; absolute capacity comes from the calibrated "
+            "crypto cost model, so the shape (where the knee sits) is the claim"
+        )
+        return report

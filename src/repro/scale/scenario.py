@@ -1,0 +1,212 @@
+"""From (population, fleet, access network) to a solved fluid operating point.
+
+The scenario builds the :class:`repro.scale.solver.CapacityProblem` for one
+busy instant:
+
+* one flow per non-empty (region, class, site) client group, whose rate
+  variable is *one client's bandwidth* (the group's size enters the usage
+  coefficients instead), so max-min fairness is fairness between clients,
+  not between aggregates of different sizes — a 1000-client group and a
+  10-client group crossing the same bottleneck leave every client with the
+  same allocation;
+* one resource per access region (the regional uplink, bits/s), per site
+  uplink (bits/s), and per site CPU (core-seconds/s, data path priced by the
+  :class:`repro.scale.costmodel.CryptoCostModel`);
+* the steady key-setup load (sessions per client-hour, one RSA encryption
+  each) is inelastic and small, so it is charged against site CPU capacity
+  up front rather than entering the max-min fill.
+
+Solving yields :class:`FluidResult`: per-class goodput, per-site CPU and
+uplink utilization, and bottleneck attribution — the quantities the campaign
+runner sweeps and tabulates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..exceptions import WorkloadError
+from ..units import gbps
+from .fleet import NeutralizerFleet
+from .population import ClientPopulation
+from .solver import CapacityProblem, max_min_allocation
+
+
+@dataclass
+class FluidResult:
+    """The solved busy-instant operating point of one scenario."""
+
+    n_clients: int
+    demand_pps: Dict[str, float]
+    goodput_pps: Dict[str, float]
+    demand_bps: Dict[str, float]
+    goodput_bps: Dict[str, float]
+    #: Fraction of each class's demand that was served (min over groups).
+    worst_group_satisfaction: Dict[str, float]
+    cpu_utilization: np.ndarray
+    uplink_utilization: np.ndarray
+    region_utilization: np.ndarray
+    key_setup_pps: float
+    clients_per_site: np.ndarray
+    solver_iterations: int
+
+    @property
+    def total_goodput_bps(self) -> float:
+        """Delivered bits/s across every class."""
+        return sum(self.goodput_bps.values())
+
+    @property
+    def total_demand_bps(self) -> float:
+        """Offered bits/s across every class."""
+        return sum(self.demand_bps.values())
+
+    @property
+    def delivered_fraction(self) -> float:
+        """Overall goodput/demand ratio."""
+        if self.total_demand_bps <= 0:
+            return 1.0
+        return self.total_goodput_bps / self.total_demand_bps
+
+
+class ScaleScenario:
+    """A population facing a fleet through a regional access network."""
+
+    def __init__(
+        self,
+        population: ClientPopulation,
+        fleet: NeutralizerFleet,
+        *,
+        region_uplink_bps: Optional[float] = None,
+    ) -> None:
+        self.population = population
+        self.fleet = fleet
+        #: Default regional uplink: generous enough that the fleet, not the
+        #: access network, is the interesting constraint unless overridden.
+        self.region_uplink_bps = region_uplink_bps if region_uplink_bps is not None else gbps(40)
+        if self.region_uplink_bps <= 0:
+            raise WorkloadError("region uplink must be positive")
+
+    # -- problem construction --------------------------------------------------------
+
+    def build_problem(self) -> CapacityProblem:
+        """Assemble the flow/resource structure for the current fleet health."""
+        population = self.population
+        fleet = self.fleet
+        site_index = fleet.assign_sites(population.ring_positions)
+        counts = population.group_counts(site_index, fleet.n_sites).astype(np.float64)
+
+        pps_per_client = population.demand_pps_per_client()
+        bits_per_packet = population.packet_bits()
+        cost = fleet.cost_model
+
+        regions, classes, sites = counts.shape
+        region_of, class_of, site_of = np.unravel_index(
+            np.flatnonzero(counts), counts.shape
+        )
+        group_clients = counts[region_of, class_of, site_of]
+
+        # Flow rate variable = bps of ONE client of the group; the group's
+        # size multiplies the usage coefficients, so the max-min water level
+        # is a per-client bandwidth shared by every client behind a resource.
+        demand_bps_per_client = pps_per_client[class_of] * bits_per_packet[class_of]
+        # CPU seconds consumed per bit of one client's traffic.
+        cpu_per_bit = cost.data_packet_cost_seconds / bits_per_packet[class_of]
+
+        n_flows = group_clients.size
+        n_resources = regions + 2 * sites
+        usage = np.zeros((n_resources, n_flows))
+        usage[region_of, np.arange(n_flows)] = group_clients
+        usage[regions + site_of, np.arange(n_flows)] = group_clients
+        usage[regions + sites + site_of, np.arange(n_flows)] = group_clients * cpu_per_bit
+
+        # Key setups: inelastic control load charged against site CPU up front.
+        setup_rate_per_client = population.key_setup_rate_per_client()
+        setups_per_site = np.zeros(sites)
+        np.add.at(
+            setups_per_site, site_of,
+            group_clients * setup_rate_per_client[class_of],
+        )
+        cpu_capacity = fleet.cpu_capacity_cores() - setups_per_site * cost.key_setup_cost_seconds
+        cpu_capacity = np.maximum(cpu_capacity, 0.0)
+
+        capacities = np.concatenate([
+            np.full(regions, self.region_uplink_bps),
+            fleet.uplink_capacity_bps(),
+            cpu_capacity,
+        ])
+        flow_labels = [
+            f"r{r}/{population.mix.names[c]}/{fleet.sites[s].name}"
+            for r, c, s in zip(region_of, class_of, site_of)
+        ]
+        resource_labels = (
+            [f"region{r}-uplink" for r in range(regions)]
+            + [f"{site.name}-uplink" for site in fleet.sites]
+            + [f"{site.name}-cpu" for site in fleet.sites]
+        )
+        problem = CapacityProblem(
+            demands=demand_bps_per_client,
+            usage=usage,
+            capacities=capacities,
+            flow_labels=flow_labels,
+            resource_labels=resource_labels,
+        )
+        # Stash the per-flow structure the result interpretation needs.
+        self._last_meta = {
+            "class_of": class_of,
+            "site_of": site_of,
+            "group_clients": group_clients,
+            "bits_per_packet": bits_per_packet[class_of],
+            "setups_per_site": setups_per_site,
+            "site_index": site_index,
+            "regions": regions,
+            "sites": sites,
+        }
+        return problem
+
+    # -- solving ---------------------------------------------------------------------
+
+    def solve(self) -> FluidResult:
+        """Build and solve the problem, interpreting rates as class goodputs."""
+        population = self.population
+        problem = self.build_problem()
+        allocation = max_min_allocation(problem)
+        meta = self._last_meta
+        class_of = meta["class_of"]
+        regions, sites = meta["regions"], meta["sites"]
+
+        names = population.mix.names
+        demand_pps: Dict[str, float] = {}
+        goodput_pps: Dict[str, float] = {}
+        demand_bps: Dict[str, float] = {}
+        goodput_bps: Dict[str, float] = {}
+        worst: Dict[str, float] = {}
+        satisfaction = allocation.satisfaction(problem)
+        group_clients = meta["group_clients"]
+        bits = meta["bits_per_packet"]
+        for index, name in enumerate(names):
+            members = class_of == index
+            demand_bps[name] = float((problem.demands * group_clients)[members].sum())
+            goodput_bps[name] = float((allocation.rates * group_clients)[members].sum())
+            demand_pps[name] = float((problem.demands * group_clients / bits)[members].sum())
+            goodput_pps[name] = float((allocation.rates * group_clients / bits)[members].sum())
+            worst[name] = float(satisfaction[members].min()) if members.any() else 1.0
+
+        utilization = allocation.utilization(problem)
+        clients_per_site = np.bincount(meta["site_index"], minlength=sites).astype(np.int64)
+        return FluidResult(
+            n_clients=population.n_clients,
+            demand_pps=demand_pps,
+            goodput_pps=goodput_pps,
+            demand_bps=demand_bps,
+            goodput_bps=goodput_bps,
+            worst_group_satisfaction=worst,
+            cpu_utilization=utilization[regions + sites:],
+            uplink_utilization=utilization[regions:regions + sites],
+            region_utilization=utilization[:regions],
+            key_setup_pps=float(meta["setups_per_site"].sum()),
+            clients_per_site=clients_per_site,
+            solver_iterations=allocation.iterations,
+        )

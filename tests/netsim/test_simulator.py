@@ -65,6 +65,69 @@ class TestEngine:
         executed = sim.run(max_events=4)
         assert executed == 4 and sim.pending_events == 6
 
+    def test_cancelled_events_are_compacted_lazily(self):
+        # Regression: cancelled events used to stay heap-resident until their
+        # deadline, an unbounded leak for far-future timers that are always
+        # cancelled (retransmits, DNS timeouts).
+        sim = Simulator()
+        events = [sim.schedule(1000.0 + i, lambda: None) for i in range(400)]
+        keepers = [sim.schedule(0.001 * i, lambda: None) for i in range(40)]
+        assert sim.pending_events == 440
+        for event in events:
+            event.cancel()
+        # Compaction kicks in once cancelled entries exceed half the queue.
+        assert sim.pending_events <= len(keepers) + len(events) // 2 + 1
+        assert all(not event.cancelled for event in sim._heap if event in keepers)
+
+    def test_compaction_preserves_order_and_survivors(self):
+        sim = Simulator()
+        seen = []
+        doomed = [sim.schedule(500.0 + i, seen.append, "never") for i in range(100)]
+        sim.schedule(0.2, seen.append, "b")
+        sim.schedule(0.1, seen.append, "a")
+        for event in doomed:
+            event.cancel()
+        survivor = sim.schedule(0.3, seen.append, "c")
+        sim.run()
+        assert seen == ["a", "b", "c"] and not survivor.cancelled
+        assert sim.pending_events == 0
+
+    def test_double_cancel_is_idempotent(self):
+        sim = Simulator()
+        event = sim.schedule(0.1, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert sim._cancelled_pending == 1
+        sim.run()
+        assert sim._cancelled_pending == 0
+
+    def test_stale_cancels_after_reset_do_not_count(self):
+        sim = Simulator()
+        stale = [sim.schedule(1.0 + i, lambda: None) for i in range(100)]
+        sim.reset()
+        fresh = [sim.schedule(1.0 + i, lambda: None) for i in range(100)]
+        for event in stale:
+            event.cancel()
+        assert sim._cancelled_pending == 0
+        assert sim.pending_events == len(fresh)
+
+    def test_late_cancel_of_executed_event_does_not_count(self):
+        sim = Simulator()
+        fired = sim.schedule(0.1, lambda: None)
+        sim.run()
+        fired.cancel()
+        assert sim._cancelled_pending == 0
+
+    def test_small_queues_skip_compaction(self):
+        sim = Simulator()
+        events = [sim.schedule(1.0 + i, lambda: None) for i in range(10)]
+        for event in events:
+            event.cancel()
+        # Below the compaction floor the placeholders stay until run() pops them.
+        assert sim.pending_events == 10
+        sim.run()
+        assert sim.pending_events == 0 and sim.processed_events == 0
+
 
 class TestStats:
     def test_counters(self):
@@ -84,6 +147,43 @@ class TestStats:
     def test_empty_sampler_is_zero(self):
         sampler = LatencySampler()
         assert sampler.mean == 0.0 and sampler.percentile(0.5) == 0.0
+        assert sampler.maximum == 0.0 and sampler.jitter == 0.0 and sampler.count == 0
+
+    def test_single_sample_has_no_jitter(self):
+        sampler = LatencySampler()
+        sampler.record(0.25)
+        assert sampler.jitter == 0.0
+        assert sampler.mean == pytest.approx(0.25)
+        assert sampler.percentile(0.0) == pytest.approx(0.25)
+        assert sampler.percentile(1.0) == pytest.approx(0.25)
+
+    def test_percentile_rejects_out_of_range_fractions(self):
+        sampler = LatencySampler()
+        sampler.record(0.1)
+        with pytest.raises(ValueError):
+            sampler.percentile(1.5)
+        with pytest.raises(ValueError):
+            sampler.percentile(-0.1)
+
+    def test_counters_as_dict_is_a_copy(self):
+        counters = Counters()
+        counters.increment("x")
+        snapshot = counters.as_dict()
+        snapshot["x"] = 99
+        assert counters.get("x") == 1
+
+    def test_link_stats_drop_rate(self):
+        from repro.netsim.stats import LinkStats
+
+        stats = LinkStats()
+        assert stats.drop_rate == 0.0  # no offered traffic yet
+        stats.record_sent(100)
+        stats.record_sent(100)
+        stats.record_drop()
+        stats.record_queue_depth(5)
+        stats.record_queue_depth(3)
+        assert stats.drop_rate == pytest.approx(1 / 3)
+        assert stats.queue_peak == 5 and stats.bytes_sent == 200
 
 
 class TestLinksAndDelivery:

@@ -1,0 +1,140 @@
+"""Scenario solving, the campaign runner, and fluid-vs-packet cross-validation."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.experiments import run_fleet_scale
+from repro.scale import (
+    ClientPopulation,
+    CryptoCostModel,
+    FleetScaleRunner,
+    NeutralizerFleet,
+    ScaleScenario,
+    cross_validate,
+)
+from repro.units import mbps
+
+
+def small_scenario(clients=5_000, sites=4, **kwargs):
+    population = ClientPopulation(clients, seed=21)
+    fleet = NeutralizerFleet.build(sites, **kwargs)
+    return ScaleScenario(population, fleet)
+
+
+class TestScenario:
+    def test_uncongested_demand_is_met(self):
+        result = small_scenario().solve()
+        assert result.delivered_fraction == pytest.approx(1.0)
+        assert result.total_goodput_bps == pytest.approx(result.total_demand_bps)
+        assert (result.cpu_utilization <= 1.0 + 1e-9).all()
+
+    def test_tiny_fleet_congests_and_stays_feasible(self):
+        # One weak site for thousands of video-heavy clients: the solver must
+        # shed demand, never exceed capacity.
+        result = small_scenario(clients=20_000, sites=1, cores=0.25,
+                                uplink_bps=mbps(200)).solve()
+        assert result.delivered_fraction < 1.0
+        assert (result.cpu_utilization <= 1.0 + 1e-9).all()
+        assert (result.uplink_utilization <= 1.0 + 1e-9).all()
+        assert max(result.cpu_utilization.max(),
+                   result.uplink_utilization.max()) == pytest.approx(1.0, abs=1e-6)
+
+    def test_site_failure_redistributes_and_costs_capacity(self):
+        population = ClientPopulation(30_000, seed=5)
+        fleet = NeutralizerFleet.build(4, cores=0.5, uplink_bps=mbps(500))
+        healthy = ScaleScenario(population, fleet).solve()
+        fleet.fail_site("site01")
+        degraded = ScaleScenario(population, fleet).solve()
+        assert degraded.clients_per_site[1] == 0
+        assert degraded.clients_per_site.sum() == population.n_clients
+        assert degraded.total_goodput_bps < healthy.total_goodput_bps
+        assert healthy.clients_per_site[1] > 0
+
+    def test_congestion_is_fair_per_client_not_per_group(self):
+        # Regression: groups are different sizes (regions are deliberately
+        # uneven), and max-min must equalize what each *client* gets, not
+        # what each group aggregate gets — a 10x larger group behind the same
+        # bottleneck must not end up with 10x less per client.
+        from repro.scale import PopulationMix, voip_class
+        from repro.scale.solver import max_min_allocation
+
+        population = ClientPopulation(
+            30_000, mix=PopulationMix(classes=(voip_class(),), fractions=(1.0,)),
+            regions=6, seed=8,
+        )
+        fleet = NeutralizerFleet.build(1, uplink_bps=mbps(20))
+        scenario = ScaleScenario(population, fleet)
+        problem = scenario.build_problem()
+        allocation = max_min_allocation(problem)
+        satisfaction = allocation.satisfaction(problem)
+        assert satisfaction[0] < 0.99  # genuinely congested
+        assert np.allclose(satisfaction, satisfaction[0], rtol=1e-6)
+        sizes = np.bincount(population.region_index)
+        assert sizes.max() > 2 * sizes.min()  # groups really are uneven
+
+    def test_solve_is_deterministic(self):
+        first = small_scenario().solve()
+        second = small_scenario().solve()
+        assert first.goodput_bps == second.goodput_bps
+        assert np.array_equal(first.clients_per_site, second.clients_per_site)
+
+
+class TestRunner:
+    def test_sweep_records_and_state(self):
+        runner = FleetScaleRunner(client_counts=(500, 2_000), n_sites=2, seed=3)
+        assert not runner.get_current_state().done
+        result = runner.run()
+        assert runner.get_current_state().done
+        assert [record.clients for record in result.records] == [500, 2_000]
+        assert result.largest_point.clients == 2_000
+        assert result.run_id.startswith("fleet-scale-")
+        assert "E12" == result.report.experiment_id
+        assert result.report.render()
+
+    def test_goodput_grows_with_population_until_saturation(self):
+        runner = FleetScaleRunner(client_counts=(1_000, 8_000, 64_000),
+                                  n_sites=2, cores_per_site=0.5,
+                                  uplink_bps=mbps(300), seed=3)
+        result = runner.run()
+        goodputs = [sum(record.goodput_bps.values()) for record in result.records]
+        assert goodputs[0] < goodputs[1]
+        # The largest point must be capacity-bound, not demand-bound.
+        assert result.records[-1].delivered_fraction < 1.0
+
+    def test_sweep_is_deterministic_from_seed(self):
+        make = lambda: FleetScaleRunner(client_counts=(500, 4_000), n_sites=3, seed=17).run()
+        first, second = make(), make()
+        for a, b in zip(first.records, second.records):
+            assert a.goodput_bps == b.goodput_bps
+            assert a.delivered_fraction == b.delivered_fraction
+
+    def test_failed_sites_option(self):
+        runner = FleetScaleRunner(client_counts=(2_000,), n_sites=3,
+                                  failed_sites=("site00",), seed=3)
+        record = runner.run().records[0]
+        assert record.delivered_fraction <= 1.0
+
+    def test_calibrated_cost_model_plugs_in(self):
+        model = CryptoCostModel.calibrated(iterations=10)
+        runner = FleetScaleRunner(client_counts=(1_000,), n_sites=2,
+                                  cost_model=model, seed=3)
+        assert runner.run().records[0].goodput_bps
+
+
+class TestCrossValidation:
+    def test_fluid_matches_packet_level_within_10_percent(self):
+        # The subsystem's acceptance criterion: both regimes of the shared
+        # dumbbell scenario agree between the event engine and the fluid model.
+        result = cross_validate(duration_seconds=3.0)
+        assert result.within_tolerance, result.report.render()
+        names = [arm.name for arm in result.arms]
+        assert "unloaded" in names and "congested" in names
+        congested = next(arm for arm in result.arms if arm.name == "congested")
+        assert congested.packet_goodput_pps < congested.offered_pps
+
+    def test_e12_wrapper_combines_sweep_and_validation(self):
+        result = run_fleet_scale(client_counts=(500, 2_000), n_sites=2,
+                                 seed=3, validate=False)
+        assert result.validation is None and not result.validated
+        assert result.sweep.largest_point.clients == 2_000
+        assert "E12" in result.report.render()

@@ -1,0 +1,134 @@
+"""Max-min solver tests: known fair allocations, degenerate inputs, invariants."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import WorkloadError
+from repro.scale.solver import CapacityProblem, max_min_allocation
+
+
+def single_bottleneck(demands, capacity, unit=1.0):
+    demands = np.asarray(demands, dtype=float)
+    return CapacityProblem(
+        demands=demands,
+        usage=np.full((1, demands.size), unit),
+        capacities=np.array([capacity], dtype=float),
+    )
+
+
+class TestMaxMin:
+    def test_equal_demands_split_evenly(self):
+        allocation = max_min_allocation(single_bottleneck([10, 10, 10, 10], 20.0))
+        assert np.allclose(allocation.rates, 5.0)
+        assert (allocation.bottleneck == 0).all()
+
+    def test_small_demand_is_met_and_rest_shared(self):
+        # The textbook max-min example: demands 2, 10, 10 on capacity 10
+        # give 2 to the small flow and split the remaining 8 fairly.
+        allocation = max_min_allocation(single_bottleneck([2, 10, 10], 10.0))
+        assert np.allclose(allocation.rates, [2.0, 4.0, 4.0])
+        assert allocation.bottleneck[0] == -1  # demand-limited
+        assert allocation.bottleneck[1] == 0 and allocation.bottleneck[2] == 0
+
+    def test_uncongested_everyone_gets_demand(self):
+        allocation = max_min_allocation(single_bottleneck([3, 4, 5], 100.0))
+        assert np.allclose(allocation.rates, [3, 4, 5])
+        assert (allocation.bottleneck == -1).all()
+
+    def test_heterogeneous_usage_coefficients(self):
+        # Flow 1's packets are twice as big: at the fair point both flows get
+        # the same *rate* r with r + 2r = 12 → r = 4.
+        problem = CapacityProblem(
+            demands=np.array([100.0, 100.0]),
+            usage=np.array([[1.0, 2.0]]),
+            capacities=np.array([12.0]),
+        )
+        allocation = max_min_allocation(problem)
+        assert np.allclose(allocation.rates, [4.0, 4.0])
+
+    def test_two_resource_chain(self):
+        # Flow A crosses both resources, B only the first, C only the second.
+        # Capacities 10 and 6: the second resource is tighter, so A and C
+        # settle at 3 there, then B fills the first resource's remainder.
+        problem = CapacityProblem(
+            demands=np.array([100.0, 100.0, 100.0]),
+            usage=np.array([
+                [1.0, 1.0, 0.0],
+                [1.0, 0.0, 1.0],
+            ]),
+            capacities=np.array([10.0, 6.0]),
+        )
+        allocation = max_min_allocation(problem)
+        assert np.allclose(allocation.rates, [3.0, 7.0, 3.0])
+        assert allocation.bottleneck[0] == 1 and allocation.bottleneck[1] == 0
+
+    def test_feasibility_and_utilization(self):
+        rng = np.random.default_rng(5)
+        problem = CapacityProblem(
+            demands=rng.uniform(0.5, 5.0, size=30),
+            usage=rng.uniform(0.0, 2.0, size=(6, 30)),
+            capacities=rng.uniform(5.0, 30.0, size=6),
+        )
+        allocation = max_min_allocation(problem)
+        used = problem.usage @ allocation.rates
+        assert (used <= problem.capacities * (1 + 1e-6)).all()
+        assert (allocation.rates <= problem.demands * (1 + 1e-6)).all()
+        assert (allocation.utilization(problem) <= 1 + 1e-6).all()
+        # Max-min property: every flow is demand-limited or crosses a
+        # saturated resource.
+        saturated = used >= problem.capacities * (1 - 1e-6)
+        demand_limited = allocation.rates >= problem.demands * (1 - 1e-6)
+        crosses_saturated = (problem.usage[saturated] > 1e-12).any(axis=0)
+        assert (demand_limited | crosses_saturated).all()
+
+    def test_zero_demand_flows_stay_zero(self):
+        allocation = max_min_allocation(single_bottleneck([0.0, 5.0], 4.0))
+        assert allocation.rates[0] == 0.0 and allocation.rates[1] == pytest.approx(4.0)
+
+    def test_zero_capacity_resource_kills_crossing_flows(self):
+        problem = CapacityProblem(
+            demands=np.array([5.0, 5.0]),
+            usage=np.array([[1.0, 0.0], [0.0, 1.0]]),
+            capacities=np.array([0.0, 10.0]),
+        )
+        allocation = max_min_allocation(problem)
+        assert allocation.rates[0] == 0.0
+        assert allocation.rates[1] == pytest.approx(5.0)
+        assert allocation.bottleneck[0] == 0
+
+    def test_tiny_usage_coefficients_still_constrain(self):
+        # Regression: membership tests must be exact-zero, not epsilon — the
+        # scenario's cpu-seconds-per-bit coefficients are ~1e-10 and were once
+        # invisible to the solver, letting it return infeasible rates.
+        problem = CapacityProblem(
+            demands=np.array([1e12]),
+            usage=np.array([[1e-10]]),
+            capacities=np.array([50.0]),
+        )
+        allocation = max_min_allocation(problem)
+        used = (problem.usage @ allocation.rates).item()
+        assert used <= 50.0 * (1 + 1e-6)
+        assert allocation.rates[0] == pytest.approx(50.0 / 1e-10)
+        assert allocation.bottleneck[0] == 0
+
+    def test_determinism(self):
+        problem = single_bottleneck([1, 2, 3, 4, 5], 7.5)
+        first = max_min_allocation(problem)
+        second = max_min_allocation(problem)
+        assert np.array_equal(first.rates, second.rates)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(WorkloadError):
+            CapacityProblem(
+                demands=np.array([1.0, 2.0]),
+                usage=np.ones((1, 3)),
+                capacities=np.array([1.0]),
+            )
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(WorkloadError):
+            CapacityProblem(
+                demands=np.array([-1.0]),
+                usage=np.ones((1, 1)),
+                capacities=np.array([1.0]),
+            )
