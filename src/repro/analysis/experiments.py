@@ -9,7 +9,11 @@ the numbers quoted in EXPERIMENTS.md always come from exactly this code.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+if TYPE_CHECKING:
+    from ..scale.runner import FleetScaleResult, TimelineCampaignResult
+    from ..scale.validate import CrossValidationResult
 
 from ..apps.voip import VoipCall, VoipQualityReport, VoipReceiver
 from ..apps.workloads import ConstantRateSource, KeySetupFlood
@@ -950,7 +954,7 @@ def run_fleet_scale(
     million clients against a ``n_sites``-site fleet, after validating the
     model against the event engine on a small shared scenario.
     """
-    from ..scale import CrossValidationResult, FleetScaleRunner, FleetScaleResult  # noqa: F401
+    from ..scale import FleetScaleRunner
     from ..scale.runner import DEFAULT_CLIENT_COUNTS
 
     runner = FleetScaleRunner(
@@ -980,3 +984,67 @@ def run_fleet_scale(
     report.add_note("the paper's scaling argument is per-box cost times anycast spread; "
                     "the fluid sweep shows where CPU and uplink knees sit for a whole fleet")
     return FleetScaleExperimentResult(sweep=sweep, validation=validation, report=report)
+
+
+# ---------------------------------------------------------------------------
+# E13: timeline scenario catalogue (time-stepped fluid simulator)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class TimelineCatalogueExperimentResult:
+    """E13 outputs: the catalogue campaign with its per-scenario timelines."""
+
+    campaign: "TimelineCampaignResult"
+    report: ExperimentReport
+
+    @property
+    def all_conserved(self) -> bool:
+        """Whether every epoch of every scenario delivered at most its demand."""
+        return all(
+            record.goodput_bps <= record.demand_bps * (1 + 1e-9) or record.demand_bps == 0
+            for result in self.campaign.timelines.values()
+            for record in result.records
+        )
+
+
+def run_timeline_catalogue(
+    *,
+    clients: int = 100_000,
+    seed: int = 2006,
+    scenarios: Optional[Tuple[str, ...]] = None,
+    calibrate_cost_model: bool = False,
+) -> TimelineCatalogueExperimentResult:
+    """E13: the scale scenario catalogue through the time-stepped fluid model.
+
+    E12 answers "where does the steady-state knee sit"; E13 answers "what
+    happens on the way" — flash crowds, outages with hash-ring failover,
+    diurnal weeks, cascading overload, discrimination rollouts.
+    ``calibrate_cost_model=True`` re-measures the crypto primitive rates on
+    the current machine (:meth:`repro.scale.CryptoCostModel.calibrated`) so
+    the reported per-site CPU capacities are pinned to real hardware.
+    """
+    from ..scale import CryptoCostModel
+    from ..scale.runner import TimelineCampaignRunner
+
+    cost_model = CryptoCostModel.calibrated() if calibrate_cost_model else None
+    runner = TimelineCampaignRunner(
+        scenarios=scenarios, clients=clients, seed=seed, cost_model=cost_model
+    )
+    campaign = runner.run()
+
+    report = ExperimentReport(
+        "E13", "Timeline catalogue: fleet transients under the fluid model"
+    )
+    report.tables.extend(campaign.report.tables)
+    report.notes.extend(campaign.report.notes)
+    if cost_model is not None:
+        report.add_note(
+            f"cost model calibrated in-process: "
+            f"{cost_model.aes_blocks_per_second:,.0f} AES blocks/s, "
+            f"{cost_model.kdf_ops_per_second:,.0f} Ks derivations/s, "
+            f"{cost_model.rsa512_encryptions_per_second:,.0f} RSA-512 encryptions/s"
+        )
+    report.add_note("steady-state sweeps hide transients; the catalogue is the "
+                    "regression net for how the fleet rides out events over time")
+    return TimelineCatalogueExperimentResult(campaign=campaign, report=report)

@@ -78,10 +78,20 @@ class ExperimentReport:
 
 
 def format_series(x_label: str, x_values: Sequence[Number],
-                  series: Dict[str, Sequence[Number]], *, title: Optional[str] = None) -> str:
-    """Render a "figure" as a table: one x column and one column per series."""
+                  series: Dict[str, Sequence[Number]], *, title: Optional[str] = None,
+                  max_rows: Optional[int] = None) -> str:
+    """Render a "figure" as a table: one x column and one column per series.
+
+    Long time series (a week of hourly epochs) overwhelm a text table, so
+    ``max_rows`` downsamples to that many evenly spaced rows, always keeping
+    the first and last point; ``None`` prints everything.
+    """
+    indices = range(len(x_values))
+    if max_rows is not None and max_rows >= 2 and len(x_values) > max_rows:
+        picks = [round(i * (len(x_values) - 1) / (max_rows - 1)) for i in range(max_rows)]
+        indices = sorted(set(picks))
     headers = [x_label] + list(series)
     rows = []
-    for index, x in enumerate(x_values):
-        rows.append([x] + [series[name][index] for name in series])
+    for index in indices:
+        rows.append([x_values[index]] + [series[name][index] for name in series])
     return format_table(headers, rows, title=title)

@@ -96,6 +96,94 @@ class ConsistentHashRing:
         owners = [owner for _, owner in self._points]
         return positions, owners
 
+    def snapshot(self) -> "RingSnapshot":
+        """An immutable copy of the current ring, for later diffing."""
+        positions, owners = self.table()
+        return RingSnapshot(positions=tuple(positions), owners=tuple(owners))
+
+
+@dataclass(frozen=True)
+class RingSnapshot:
+    """A frozen consistent-hash ring state: sorted positions and their owners.
+
+    Fleet simulations take a snapshot before and after a membership change and
+    :meth:`diff` the two to account for *remap churn* — the fraction of the
+    key space whose owning site changed.  Consistent hashing's contract is
+    that removing one site moves only that site's arcs, so the diff of a
+    single failure equals the failed site's owned fraction.
+    """
+
+    positions: Tuple[int, ...]
+    owners: Tuple[str, ...]
+
+    _SPACE = 1 << ConsistentHashRing._SPACE_BITS
+
+    @property
+    def site_names(self) -> Tuple[str, ...]:
+        """Distinct member sites, sorted."""
+        return tuple(sorted(set(self.owners)))
+
+    def owner_at(self, position: int) -> str:
+        """The site owning ``position``: first ring point clockwise from it."""
+        if not self.positions:
+            raise TopologyError("snapshot of an empty ring has no owners")
+        index = bisect_left(self.positions, position)
+        if index == len(self.positions):
+            index = 0
+        return self.owners[index]
+
+    def owned_fraction(self, site: str) -> float:
+        """Fraction of the key space currently owned by ``site``."""
+        if not self.positions:
+            raise TopologyError("snapshot of an empty ring has no owners")
+        total = 0
+        previous = 0
+        for position, owner in zip(self.positions, self.owners):
+            if owner == site:
+                total += position - previous
+            previous = position
+        # The wrap-around arc past the last point belongs to the first point.
+        if self.owners[0] == site:
+            total += self._SPACE - previous
+        return total / self._SPACE
+
+    def diff(self, other: "RingSnapshot") -> "RingDiff":
+        """Churn between two snapshots: moved key-space fraction, site delta."""
+        if not self.positions or not other.positions:
+            raise TopologyError("cannot diff an empty ring snapshot")
+        boundaries = sorted(set(self.positions) | set(other.positions))
+        moved = 0
+        for index, start in enumerate(boundaries):
+            end = boundaries[index + 1] if index + 1 < len(boundaries) else (
+                boundaries[0] + self._SPACE
+            )
+            # Every position in (start, end] has the same owner in both rings;
+            # probe the arc's upper end (inclusive successor semantics).
+            probe = end % self._SPACE
+            if self.owner_at(probe) != other.owner_at(probe):
+                moved += end - start
+        before, after = set(self.owners), set(other.owners)
+        return RingDiff(
+            moved_fraction=moved / self._SPACE,
+            sites_added=tuple(sorted(after - before)),
+            sites_removed=tuple(sorted(before - after)),
+        )
+
+
+@dataclass(frozen=True)
+class RingDiff:
+    """The churn one ring membership change caused."""
+
+    #: Fraction of the 2^64 key space whose owning site changed.
+    moved_fraction: float
+    sites_added: Tuple[str, ...]
+    sites_removed: Tuple[str, ...]
+
+    @property
+    def changed(self) -> bool:
+        """Whether anything moved at all."""
+        return self.moved_fraction > 0 or bool(self.sites_added) or bool(self.sites_removed)
+
 
 @dataclass
 class NeutralizerDeployment:

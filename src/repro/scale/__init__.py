@@ -22,23 +22,44 @@ clients as aggregate fluid demand instead:
     client-to-site assignment and failover.
 ``solver``
     Max-min fair capacity allocation over shared links and site CPUs,
-    computed by a numpy-vectorized progressive-filling fixed point.
+    computed by a numpy-vectorized progressive-filling fixed point, with a
+    verified warm-start fast path for sequences of nearby problems.
 ``scenario``
     Glue that turns (population, fleet, access network) into a solver
     problem and interprets the allocation as per-class goodput and
-    per-site utilization.
+    per-site utilization; the O(n_clients) structure is cached in a
+    :class:`ProblemTemplate` reused across epochs and sweep points.
+``timeline``
+    The time-stepped fluid simulator: load curves (diurnal, flash crowd,
+    ramp), fleet events (failure/recovery, degradation, discrimination
+    toggles), warm-started epoch solves, and remap-churn accounting.
+``catalogue``
+    Named timeline scenarios — flash crowd, regional outage, diurnal week,
+    heterogeneous fleet, cascading overload, discrimination rollout — each
+    provisioned relative to the population so any size is interesting.
 ``runner``
-    An experiment-campaign runner in the ``ExperimentRunnerProtocol`` style:
-    sweeps client counts (10^3 → 10^6 and beyond), records per-point results,
-    and renders :class:`repro.analysis.report.ExperimentReport` tables.
+    Experiment-campaign runners in the ``ExperimentRunnerProtocol`` style:
+    the E12 population sweep and the E13 timeline-catalogue campaign, both
+    rendering :class:`repro.analysis.report.ExperimentReport` tables.
 ``validate``
     Cross-validation of the fluid model against the packet-level simulator
     on a small shared scenario (goodput must agree within 10 %).
 
-A million-client, 16-site solve completes in well under a second and is
-deterministic from its seed.
+A million-client, 16-site solve completes in well under a second; a
+100-epoch, million-client timeline solves end-to-end in well under a
+second too (~0.6 s including the population build); both are deterministic
+from their seeds.
 """
 
+from .catalogue import (
+    CATALOGUE,
+    ScenarioSpec,
+    build_scenario,
+    nominal_demand,
+    provisioned_fleet,
+    run_scenario,
+    scenario_names,
+)
 from .costmodel import CryptoCostModel
 from .fleet import FleetSite, NeutralizerFleet
 from .population import (
@@ -50,30 +71,81 @@ from .population import (
     voip_class,
     web_class,
 )
-from .runner import FleetScaleResult, FleetScaleRunner, ScaleExperimentState, SweepRecord
-from .scenario import FluidResult, ScaleScenario
-from .solver import Allocation, CapacityProblem, max_min_allocation
+from .runner import (
+    FleetScaleResult,
+    FleetScaleRunner,
+    ScaleExperimentState,
+    SweepRecord,
+    TimelineCampaignRecord,
+    TimelineCampaignResult,
+    TimelineCampaignRunner,
+)
+from .scenario import EpochProblem, FluidResult, ProblemTemplate, ScaleScenario
+from .solver import Allocation, CapacityProblem, max_min_allocation, verify_max_min
+from .timeline import (
+    CapacityDegradation,
+    CompositeLoad,
+    ConstantLoad,
+    DiscriminationToggle,
+    DiurnalLoad,
+    EpochRecord,
+    FlashCrowdLoad,
+    FleetEvent,
+    FluidTimeline,
+    LinearRampLoad,
+    LoadCurve,
+    SiteFailure,
+    SiteRecovery,
+    TimelineResult,
+)
 from .validate import CrossValidationResult, cross_validate
 
 __all__ = [
     "Allocation",
+    "CATALOGUE",
+    "CapacityDegradation",
     "CapacityProblem",
     "ClientPopulation",
+    "CompositeLoad",
+    "ConstantLoad",
     "CrossValidationResult",
     "CryptoCostModel",
     "DemandClass",
+    "DiscriminationToggle",
+    "DiurnalLoad",
+    "EpochProblem",
+    "EpochRecord",
+    "FlashCrowdLoad",
+    "FleetEvent",
     "FleetSite",
     "FleetScaleResult",
     "FleetScaleRunner",
     "FluidResult",
+    "FluidTimeline",
+    "LinearRampLoad",
+    "LoadCurve",
     "NeutralizerFleet",
     "PopulationMix",
+    "ProblemTemplate",
     "ScaleExperimentState",
     "ScaleScenario",
+    "ScenarioSpec",
+    "SiteFailure",
+    "SiteRecovery",
     "SweepRecord",
+    "TimelineCampaignRecord",
+    "TimelineCampaignResult",
+    "TimelineCampaignRunner",
+    "TimelineResult",
+    "build_scenario",
     "cross_validate",
     "default_mix",
     "max_min_allocation",
+    "nominal_demand",
+    "provisioned_fleet",
+    "run_scenario",
+    "scenario_names",
+    "verify_max_min",
     "video_class",
     "voip_class",
     "web_class",

@@ -1,0 +1,316 @@
+"""A catalogue of named fleet-scale timeline scenarios.
+
+Each entry is a :class:`ScenarioSpec` that builds a ready-to-run
+:class:`repro.scale.timeline.FluidTimeline` for any population size: fleet
+capacity is *provisioned relative to the population's nominal demand* (via
+:func:`provisioned_fleet`), so "flash crowd saturates the fleet" stays true
+whether the catalogue runs with 2,000 clients in a CI smoke job or a million
+in the full E13 campaign.
+
+The six stock scenarios cover the transients the steady-state sweep (E12)
+hides:
+
+``flash_crowd``
+    A 6× demand spike in the two largest metro regions rides up, holds, and
+    decays; the fleet sheds load max-min fairly while untouched regions keep
+    full service.
+``regional_outage``
+    A quarter of the sites fail at once (a regional power event), clients
+    remap through the consistent-hash ring, survivors absorb the load, and
+    recovery returns exactly the old assignment.
+``diurnal_week``
+    168 hourly epochs of timezone-staggered day/night sinusoid: the
+    fast-path showcase — the ring never changes and most epochs are
+    certified feasible straight from the demands vector, skipping the fill.
+``heterogeneous_fleet``
+    Half the fleet is big metro boxes, half small edge boxes, under diurnal
+    load; utilization spreads and the small boxes hit their knees first.
+``cascading_overload``
+    Sites degrade and then fail one after another while demand ramps up —
+    each casualty pushes more load onto fewer survivors.
+``discrimination_rollout``
+    An access-ISP coalition rolls per-region throttling of video/web across
+    the regions one epoch at a time, then repeals it — the fluid-model
+    rendering of the paper's discrimination story at fleet scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..exceptions import WorkloadError
+from .costmodel import CryptoCostModel
+from .fleet import FleetSite, NeutralizerFleet
+from .population import ClientPopulation
+from .timeline import (
+    CapacityDegradation,
+    ConstantLoad,
+    DiurnalLoad,
+    FlashCrowdLoad,
+    FluidTimeline,
+    LinearRampLoad,
+    SiteFailure,
+    SiteRecovery,
+    DiscriminationToggle,
+)
+
+
+def nominal_demand(population: ClientPopulation) -> Tuple[float, float]:
+    """The population's nominal busy-instant load: (total bits/s, total packets/s).
+
+    Callers provisioning a fleet turn packets/s into CPU cores through the
+    cost model's per-packet data-path price and multiply by their headroom;
+    key setups are charged separately by the scenario itself.
+    """
+    counts = population.class_counts().astype(float)
+    pps = population.demand_pps_per_client()
+    bits = population.packet_bits()
+    total_bps = float((counts * pps * bits).sum())
+    total_pps = float((counts * pps).sum())
+    return total_bps, total_pps
+
+
+def provisioned_fleet(
+    population: ClientPopulation,
+    n_sites: int,
+    *,
+    headroom: float = 1.3,
+    cost_model: Optional[CryptoCostModel] = None,
+    heterogeneous: bool = False,
+) -> NeutralizerFleet:
+    """A fleet sized to carry ``headroom`` times the population's nominal load.
+
+    Uplinks and CPU budgets are derived from the population's aggregate
+    demand, so the same scenario is equally interesting at 2 × 10^3 and
+    10^6 clients.  ``heterogeneous=True`` splits the budget 3:1 between big
+    metro boxes (the first half) and small edge boxes (the second half)
+    instead of evenly.
+    """
+    if n_sites <= 0:
+        raise WorkloadError("a fleet needs at least one site")
+    if headroom <= 0:
+        raise WorkloadError("fleet headroom must be positive")
+    model = cost_model or CryptoCostModel.default()
+    total_bps, total_pps = nominal_demand(population)
+    total_uplink = total_bps * headroom
+    total_cores = total_pps * model.data_packet_cost_seconds * headroom
+
+    weights = [1.0] * n_sites
+    if heterogeneous:
+        half = n_sites // 2
+        weights = [3.0] * half + [1.0] * (n_sites - half)
+    weight_sum = sum(weights)
+    sites = [
+        FleetSite(
+            f"site{i:02d}",
+            cores=max(total_cores * weight / weight_sum, 1e-6),
+            uplink_bps=max(total_uplink * weight / weight_sum, 1.0),
+        )
+        for i, weight in enumerate(weights)
+    ]
+    return NeutralizerFleet(sites, cost_model=model)
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One catalogue entry: a named, self-describing timeline builder."""
+
+    name: str
+    title: str
+    description: str
+    build: Callable[..., FluidTimeline]
+
+    def __call__(self, *, clients: int = 100_000, seed: int = 2006,
+                 cost_model: Optional[CryptoCostModel] = None,
+                 population: Optional[ClientPopulation] = None) -> FluidTimeline:
+        return self.build(clients=clients, seed=seed, cost_model=cost_model,
+                          population=population)
+
+
+def _flash_crowd(*, clients: int, seed: int,
+                 cost_model: Optional[CryptoCostModel],
+                 population: Optional[ClientPopulation] = None) -> FluidTimeline:
+    population = population or ClientPopulation(clients, seed=seed)
+    fleet = provisioned_fleet(population, 16, headroom=1.4, cost_model=cost_model)
+    total_bps, _ = nominal_demand(population)
+    return FluidTimeline(
+        population, fleet,
+        epochs=48, epoch_seconds=1800.0,
+        load=FlashCrowdLoad(base=0.9, spike=6.0, start_seconds=8 * 1800.0,
+                            ramp_seconds=2 * 1800.0, hold_seconds=12 * 1800.0,
+                            regions_hit=(0, 1)),
+        # Access uplinks sized so the spiking metro regions also stress the
+        # regional aggregation, not only the fleet.
+        region_uplink_bps=total_bps * 0.6,
+    )
+
+
+def _regional_outage(*, clients: int, seed: int,
+                     cost_model: Optional[CryptoCostModel],
+                     population: Optional[ClientPopulation] = None) -> FluidTimeline:
+    population = population or ClientPopulation(clients, seed=seed)
+    fleet = provisioned_fleet(population, 16, headroom=1.5, cost_model=cost_model)
+    outage = [f"site{i:02d}" for i in range(4)]
+    events: List = [SiteFailure(8, name) for name in outage]
+    events += [SiteRecovery(20, name) for name in outage]
+    return FluidTimeline(
+        population, fleet,
+        epochs=36, epoch_seconds=3600.0,
+        load=ConstantLoad(1.0),
+        events=events,
+    )
+
+
+def _diurnal_week(*, clients: int, seed: int,
+                  cost_model: Optional[CryptoCostModel],
+                  population: Optional[ClientPopulation] = None) -> FluidTimeline:
+    population = population or ClientPopulation(clients, seed=seed)
+    fleet = provisioned_fleet(population, 16, headroom=1.1, cost_model=cost_model)
+    return FluidTimeline(
+        population, fleet,
+        epochs=168, epoch_seconds=3600.0,
+        load=DiurnalLoad(trough=0.35, peak=1.05, timezone_spread=0.25),
+    )
+
+
+def _heterogeneous_fleet(*, clients: int, seed: int,
+                         cost_model: Optional[CryptoCostModel],
+                         population: Optional[ClientPopulation] = None) -> FluidTimeline:
+    population = population or ClientPopulation(clients, seed=seed)
+    fleet = provisioned_fleet(population, 16, headroom=1.25,
+                              cost_model=cost_model, heterogeneous=True)
+    return FluidTimeline(
+        population, fleet,
+        epochs=48, epoch_seconds=3600.0,
+        load=DiurnalLoad(trough=0.4, peak=1.1, timezone_spread=0.3),
+    )
+
+
+def _cascading_overload(*, clients: int, seed: int,
+                        cost_model: Optional[CryptoCostModel],
+                        population: Optional[ClientPopulation] = None) -> FluidTimeline:
+    population = population or ClientPopulation(clients, seed=seed)
+    fleet = provisioned_fleet(population, 12, headroom=1.3, cost_model=cost_model)
+    events: List = []
+    # One box overheats, is derated, then dies; its load pushes the next one
+    # over, and so on — classic cascade, four casualties deep.
+    for wave, site in enumerate(("site03", "site07", "site01", "site09")):
+        events.append(CapacityDegradation(4 + wave * 6, site=site, factor=0.4))
+        events.append(SiteFailure(7 + wave * 6, site))
+    return FluidTimeline(
+        population, fleet,
+        epochs=40, epoch_seconds=1800.0,
+        load=LinearRampLoad(start_level=0.8, end_level=1.15,
+                            t0_seconds=0.0, t1_seconds=40 * 1800.0),
+        events=events,
+    )
+
+
+def _discrimination_rollout(*, clients: int, seed: int,
+                            cost_model: Optional[CryptoCostModel],
+                            population: Optional[ClientPopulation] = None) -> FluidTimeline:
+    population = population or ClientPopulation(clients, seed=seed)
+    fleet = provisioned_fleet(population, 16, headroom=2.0, cost_model=cost_model)
+    events: List = []
+    # One access region per epoch starts throttling video+web to 30%; the
+    # policy spreads across all regions, holds, then is repealed everywhere
+    # (regulatory intervention) eight epochs before the end.
+    for region in range(population.regions):
+        events.append(DiscriminationToggle(
+            2 + region * 2, region=region, factor=0.3,
+            class_names=("video", "web"), until_epoch=24,
+        ))
+    return FluidTimeline(
+        population, fleet,
+        epochs=32, epoch_seconds=3600.0,
+        load=ConstantLoad(1.0),
+        events=events,
+    )
+
+
+CATALOGUE: Dict[str, ScenarioSpec] = {
+    spec.name: spec
+    for spec in (
+        ScenarioSpec(
+            name="flash_crowd",
+            title="Flash crowd in two metro regions (6x spike)",
+            description="demand in regions 0-1 ramps to 6x nominal, holds six "
+                        "hours, and decays; the fleet and the regional uplinks "
+                        "shed load max-min fairly",
+            build=_flash_crowd,
+        ),
+        ScenarioSpec(
+            name="regional_outage",
+            title="Regional outage: 4 of 16 sites fail, then recover",
+            description="a quarter of the fleet fails at epoch 8; the hash ring "
+                        "remaps exactly the failed sites' clients, recovery at "
+                        "epoch 20 restores the old assignment",
+            build=_regional_outage,
+        ),
+        ScenarioSpec(
+            name="diurnal_week",
+            title="A week of timezone-staggered diurnal load",
+            description="168 hourly epochs of day/night sinusoid; the ring never "
+                        "changes, and off-peak epochs certify straight from the "
+                        "demands vector instead of refilling",
+            build=_diurnal_week,
+        ),
+        ScenarioSpec(
+            name="heterogeneous_fleet",
+            title="Heterogeneous fleet: metro boxes 3x the edge boxes",
+            description="half the fleet carries three quarters of the budget; "
+                        "diurnal peaks drive the small edge boxes to their "
+                        "knees first",
+            build=_heterogeneous_fleet,
+        ),
+        ScenarioSpec(
+            name="cascading_overload",
+            title="Cascading overload: degrade-then-fail, four waves",
+            description="under a rising ramp, sites are derated then lost one "
+                        "wave at a time, concentrating load on fewer survivors",
+            build=_cascading_overload,
+        ),
+        ScenarioSpec(
+            name="discrimination_rollout",
+            title="Per-region discrimination rollout and repeal",
+            description="access ISPs throttle video+web to 30% region by "
+                        "region, hold, and repeal — the paper's policy story "
+                        "as a fleet-scale transient",
+            build=_discrimination_rollout,
+        ),
+    )
+}
+
+
+def scenario_names() -> List[str]:
+    """The catalogue's scenario names, in definition order."""
+    return list(CATALOGUE)
+
+
+def build_scenario(name: str, *, clients: int = 100_000, seed: int = 2006,
+                   cost_model: Optional[CryptoCostModel] = None,
+                   population: Optional[ClientPopulation] = None) -> FluidTimeline:
+    """Instantiate one named scenario for the given population size.
+
+    ``population`` short-circuits the O(n_clients) population build — a
+    campaign running several scenarios over the same clients/seed passes one
+    shared :class:`ClientPopulation` instead of re-drawing it per scenario
+    (populations are read-only to the timeline, so sharing is safe).
+    """
+    try:
+        spec = CATALOGUE[name]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown scenario {name!r}; catalogue has {', '.join(CATALOGUE)}"
+        ) from None
+    return spec(clients=clients, seed=seed, cost_model=cost_model,
+                population=population)
+
+
+def run_scenario(name: str, *, clients: int = 100_000, seed: int = 2006,
+                 cost_model: Optional[CryptoCostModel] = None,
+                 population: Optional[ClientPopulation] = None):
+    """Build and run one named scenario, returning its TimelineResult."""
+    return build_scenario(name, clients=clients, seed=seed,
+                          cost_model=cost_model, population=population).run()

@@ -14,7 +14,7 @@ analogue of a router withdrawing its anycast route.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -57,6 +57,9 @@ class NeutralizerFleet:
         self.cost_model = cost_model or CryptoCostModel.default()
         self.replicas = replicas
         self._index_by_name: Dict[str, int] = {name: i for i, name in enumerate(names)}
+        #: Bumped on every ring rebuild, so cached client assignments and
+        #: problem templates know when they are stale.
+        self.generation = 0
         self._rebuild_ring()
 
     @classmethod
@@ -95,11 +98,20 @@ class NeutralizerFleet:
         self._ring_owner_index = np.asarray(
             [self._index_by_name[name] for name in owners], dtype=np.int64
         )
+        self.generation += 1
+
+    def ring_snapshot(self):
+        """Freeze the current ring state (see :meth:`ConsistentHashRing.snapshot`)."""
+        return self.ring.snapshot()
 
     def site(self, name: str) -> FleetSite:
         """Look up one site by name."""
+        return self.sites[self.index_of_site(name)]
+
+    def index_of_site(self, name: str) -> int:
+        """A site's index into :attr:`sites` (stable across failures)."""
         try:
-            return self.sites[self._index_by_name[name]]
+            return self._index_by_name[name]
         except KeyError:
             raise TopologyError(
                 f"unknown site {name!r}; fleet has {', '.join(self._index_by_name)}"
@@ -113,6 +125,24 @@ class NeutralizerFleet:
     def restore_site(self, name: str) -> None:
         """Bring a failed site back; it reclaims exactly its old ring points."""
         self.site(name).healthy = True
+        self._rebuild_ring()
+
+    def health_snapshot(self) -> Tuple[bool, ...]:
+        """Per-site health flags, in :attr:`sites` order, for later restore."""
+        return tuple(site.healthy for site in self.sites)
+
+    def restore_health(self, snapshot: Tuple[bool, ...]) -> None:
+        """Reset every site's health to ``snapshot`` (one ring rebuild).
+
+        The undo operation for a sequence of failures/recoveries — timeline
+        runs use it to hand the fleet back in its pre-run state.
+        """
+        if len(snapshot) != len(self.sites):
+            raise TopologyError("health snapshot does not match the fleet's sites")
+        if snapshot == self.health_snapshot():
+            return
+        for site, healthy in zip(self.sites, snapshot):
+            site.healthy = healthy
         self._rebuild_ring()
 
     @property

@@ -1,12 +1,14 @@
-"""Campaign runner for fleet-scale sweeps, ExperimentRunnerProtocol-style.
+"""Campaign runners for fleet-scale sweeps and timeline catalogues.
 
-The runner owns one configured campaign — a client-count sweep against a
-fixed fleet shape — and exposes the same contract as the experiment-runner
-pattern in SNIPPETS.md: ``run()`` produces a frozen result object with a run
-id, timing, per-point records, and a rendered report, while
-``get_current_state()`` can be polled for progress.  Everything the
-*simulation* produces is deterministic from the seed; only the wall-clock
-fields reflect the machine the campaign ran on.
+Each runner owns one configured campaign and exposes the same contract as
+the experiment-runner pattern in SNIPPETS.md: ``run()`` produces a frozen
+result object with a run id, timing, per-point records, and a rendered
+report, while ``get_current_state()`` can be polled for progress.
+:class:`FleetScaleRunner` sweeps population sizes against one fleet shape
+(E12); :class:`TimelineCampaignRunner` runs the named scenarios of
+:mod:`repro.scale.catalogue` through the time-stepped fluid simulator
+(E13).  Everything the *simulation* produces is deterministic from the
+seed; only the wall-clock fields reflect the machine the campaign ran on.
 """
 
 from __future__ import annotations
@@ -22,6 +24,7 @@ from .costmodel import CryptoCostModel
 from .fleet import NeutralizerFleet
 from .population import ClientPopulation, PopulationMix, default_mix
 from .scenario import FluidResult, ScaleScenario
+from .timeline import TimelineResult
 
 #: The default campaign sweep: three decades up to a million clients.
 DEFAULT_CLIENT_COUNTS: Tuple[int, ...] = (1_000, 10_000, 100_000, 1_000_000)
@@ -61,6 +64,9 @@ class ScaleExperimentState:
     completed_points: int
     total_points: int
     current_clients: Optional[int]
+    #: Human-readable label of the in-flight point (e.g. the scenario name
+    #: of a timeline campaign); ``None`` when idle or for plain sweeps.
+    current_label: Optional[str] = None
 
     @property
     def done(self) -> bool:
@@ -119,6 +125,8 @@ class FleetScaleRunner:
         self.experiment_name = "fleet_scale_sweep"
         self._completed = 0
         self._current: Optional[int] = None
+        self._fleet: Optional[NeutralizerFleet] = None
+        self._fleet_config: Optional[tuple] = None
 
     # -- protocol --------------------------------------------------------------------
 
@@ -130,22 +138,40 @@ class FleetScaleRunner:
             current_clients=self._current,
         )
 
+    @property
+    def fleet(self) -> NeutralizerFleet:
+        """The campaign's fleet, built once and shared by every sweep point.
+
+        The fleet's consistent-hash ring (an O(sites × replicas) sorted
+        insert) and its capacity arrays do not depend on the population, so
+        they are constructed a single time instead of once per point; only
+        the population and its group counts are per-point work.  The cache
+        is keyed on the fleet-shaping attributes, so mutating e.g.
+        ``failed_sites`` between runs still takes effect.
+        """
+        config = (self.n_sites, self.cores_per_site, self.uplink_bps,
+                  self.cost_model, tuple(self.failed_sites))
+        if self._fleet is None or self._fleet_config != config:
+            fleet = NeutralizerFleet.build(
+                self.n_sites,
+                cores=self.cores_per_site,
+                uplink_bps=self.uplink_bps,
+                cost_model=self.cost_model,
+            )
+            for name in self.failed_sites:
+                fleet.fail_site(name)
+            self._fleet = fleet
+            self._fleet_config = config
+        return self._fleet
+
     def solve_point(self, clients: int) -> Tuple[FluidResult, float]:
         """Solve one sweep point; returns the fluid result and its wall time."""
         start = time.perf_counter()
         population = ClientPopulation(
             clients, mix=self.mix, regions=self.regions, seed=self.seed
         )
-        fleet = NeutralizerFleet.build(
-            self.n_sites,
-            cores=self.cores_per_site,
-            uplink_bps=self.uplink_bps,
-            cost_model=self.cost_model,
-        )
-        for name in self.failed_sites:
-            fleet.fail_site(name)
         scenario = ScaleScenario(
-            population, fleet, region_uplink_bps=self.region_uplink_bps
+            population, self.fleet, region_uplink_bps=self.region_uplink_bps
         )
         result = scenario.solve()
         return result, time.perf_counter() - start
@@ -212,5 +238,190 @@ class FleetScaleRunner:
             "fluid model: max-min fair allocation over regional uplinks, site "
             "uplinks and site CPUs; absolute capacity comes from the calibrated "
             "crypto cost model, so the shape (where the knee sits) is the claim"
+        )
+        return report
+
+
+# ---------------------------------------------------------------------------
+# E13: the timeline scenario catalogue
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TimelineCampaignRecord:
+    """Summary of one catalogue scenario's solved timeline."""
+
+    scenario: str
+    title: str
+    epochs: int
+    wall_seconds: float
+    solve_seconds: float
+    min_delivered_fraction: float
+    mean_delivered_fraction: float
+    total_clients_remapped: int
+    peak_remap_epoch: Optional[int]
+    warm_fraction: float
+    fast_fraction: float
+    peak_cpu_utilization: float
+    peak_uplink_utilization: float
+
+
+@dataclass(frozen=True)
+class TimelineCampaignResult:
+    """Final result of one E13 catalogue run."""
+
+    run_id: str
+    experiment_name: str
+    started_at: float
+    completed_at: float
+    duration_seconds: float
+    records: Tuple[TimelineCampaignRecord, ...]
+    #: Full per-epoch results, keyed by scenario name.
+    timelines: Dict[str, TimelineResult]
+    report: ExperimentReport
+
+    @property
+    def worst_scenario(self) -> TimelineCampaignRecord:
+        """The scenario with the deepest delivered-fraction dip."""
+        return min(self.records, key=lambda record: record.min_delivered_fraction)
+
+
+class TimelineCampaignRunner:
+    """Runs every named catalogue scenario through the fluid timeline (E13)."""
+
+    def __init__(
+        self,
+        *,
+        scenarios: Optional[Sequence[str]] = None,
+        clients: int = 100_000,
+        seed: int = 2006,
+        cost_model: Optional[CryptoCostModel] = None,
+        flagship: str = "flash_crowd",
+        series_rows: int = 16,
+    ) -> None:
+        from .catalogue import CATALOGUE, scenario_names
+
+        self.scenario_names = list(scenarios) if scenarios is not None else scenario_names()
+        if not self.scenario_names:
+            raise WorkloadError("the campaign needs at least one scenario")
+        unknown = [name for name in self.scenario_names if name not in CATALOGUE]
+        if unknown:
+            # Fail fast: a typo'd last entry must not surface only after the
+            # earlier scenarios have been fully solved.
+            raise WorkloadError(
+                f"unknown scenario(s) {', '.join(unknown)}; "
+                f"catalogue has {', '.join(CATALOGUE)}"
+            )
+        if flagship not in CATALOGUE:
+            raise WorkloadError(
+                f"unknown flagship scenario {flagship!r}; "
+                f"catalogue has {', '.join(CATALOGUE)}"
+            )
+        if clients <= 0:
+            raise WorkloadError("the campaign needs a positive population size")
+        self.clients = int(clients)
+        self.seed = seed
+        self.cost_model = cost_model
+        self.flagship = flagship
+        self.series_rows = series_rows
+        self.run_id = f"timeline-{seed:08x}-{self.clients}x{len(self.scenario_names)}"
+        self.experiment_name = "timeline_catalogue"
+        self._completed = 0
+        self._current: Optional[str] = None
+
+    # -- protocol --------------------------------------------------------------------
+
+    def get_current_state(self) -> ScaleExperimentState:
+        """Snapshot campaign progress (poll-safe, cheap)."""
+        return ScaleExperimentState(
+            completed_points=self._completed,
+            total_points=len(self.scenario_names),
+            current_clients=self.clients if self._current is not None else None,
+            current_label=self._current,
+        )
+
+    def run(self) -> TimelineCampaignResult:
+        """Run every scenario and render the campaign report."""
+        from .catalogue import CATALOGUE, build_scenario
+
+        started_at = time.time()
+        records: List[TimelineCampaignRecord] = []
+        timelines: Dict[str, TimelineResult] = {}
+        # One O(n_clients) population build shared by every scenario — the
+        # catalogue re-derives only the fleet and events per scenario.
+        population = ClientPopulation(self.clients, seed=self.seed)
+        self._completed = 0
+        for name in self.scenario_names:
+            self._current = name
+            timeline = build_scenario(
+                name, clients=self.clients, seed=self.seed,
+                cost_model=self.cost_model, population=population,
+            )
+            result = timeline.run()
+            timelines[name] = result
+            records.append(TimelineCampaignRecord(
+                scenario=name,
+                title=CATALOGUE[name].title,
+                epochs=result.epochs,
+                wall_seconds=result.wall_seconds,
+                solve_seconds=result.solve_seconds_total,
+                min_delivered_fraction=result.min_delivered_fraction,
+                mean_delivered_fraction=result.mean_delivered_fraction,
+                total_clients_remapped=result.total_clients_remapped,
+                peak_remap_epoch=result.peak_remap_epoch,
+                warm_fraction=result.warm_fraction,
+                fast_fraction=result.fast_fraction,
+                peak_cpu_utilization=float(result.cpu_utilization.max()),
+                peak_uplink_utilization=float(result.uplink_utilization.max()),
+            ))
+            self._completed += 1
+        self._current = None
+        completed_at = time.time()
+
+        report = self._render_report(records, timelines)
+        return TimelineCampaignResult(
+            run_id=self.run_id,
+            experiment_name=self.experiment_name,
+            started_at=started_at,
+            completed_at=completed_at,
+            duration_seconds=completed_at - started_at,
+            records=tuple(records),
+            timelines=timelines,
+            report=report,
+        )
+
+    def _render_report(self, records: List[TimelineCampaignRecord],
+                       timelines: Dict[str, TimelineResult]) -> ExperimentReport:
+        report = ExperimentReport(
+            "E13",
+            f"Timeline scenario catalogue ({self.clients:,} clients, seed {self.seed})",
+        )
+        report.add_table(
+            ["scenario", "epochs", "min deliv", "mean deliv", "remapped",
+             "warm frac", "fast frac", "peak cpu", "wall s"],
+            [[record.scenario, record.epochs, record.min_delivered_fraction,
+              record.mean_delivered_fraction, record.total_clients_remapped,
+              record.warm_fraction, record.fast_fraction,
+              record.peak_cpu_utilization,
+              record.wall_seconds] for record in records],
+            title="scenario summaries",
+        )
+        flagship = timelines.get(self.flagship)
+        if flagship is not None:
+            report.tables.append(format_series(
+                "epoch", [record.epoch for record in flagship.records],
+                flagship.series(),
+                title=f"flagship timeline: {self.flagship}",
+                max_rows=self.series_rows,
+            ))
+        report.add_note(
+            "each scenario provisions its fleet relative to the population's "
+            "nominal demand, so the shapes are population-size invariant"
+        )
+        report.add_note(
+            "warm frac: epochs solved by certifying the previous allocation "
+            "(bottleneck condition) — fires on steady congested load; fast "
+            "frac: all epochs that skipped the fill, including uncongested "
+            "epochs certified directly from the demands vector"
         )
         return report

@@ -19,11 +19,19 @@ busy instant:
 Solving yields :class:`FluidResult`: per-class goodput, per-site CPU and
 uplink utilization, and bottleneck attribution — the quantities the campaign
 runner sweeps and tabulates.
+
+Time-stepped callers solve the *same* structure many times with perturbed
+demands and capacities, so problem construction is split in two: the
+O(n_clients) part (site assignment, group counting, the usage matrix) lives
+in a :class:`ProblemTemplate` that stays valid until the fleet's hash ring
+changes, and the per-epoch part (:meth:`ProblemTemplate.instantiate`) only
+scales small per-flow/per-site vectors — a few hundred elements regardless
+of population size.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Optional
 
 import numpy as np
@@ -32,7 +40,7 @@ from ..exceptions import WorkloadError
 from ..units import gbps
 from .fleet import NeutralizerFleet
 from .population import ClientPopulation
-from .solver import CapacityProblem, max_min_allocation
+from .solver import Allocation, CapacityProblem, max_min_allocation
 
 
 @dataclass
@@ -71,30 +79,55 @@ class FluidResult:
         return self.total_goodput_bps / self.total_demand_bps
 
 
-class ScaleScenario:
-    """A population facing a fleet through a regional access network."""
+@dataclass
+class EpochProblem:
+    """One instantiated solver problem plus the scaled side-quantities."""
 
-    def __init__(
-        self,
-        population: ClientPopulation,
-        fleet: NeutralizerFleet,
-        *,
-        region_uplink_bps: Optional[float] = None,
-    ) -> None:
-        self.population = population
-        self.fleet = fleet
-        #: Default regional uplink: generous enough that the fleet, not the
-        #: access network, is the interesting constraint unless overridden.
-        self.region_uplink_bps = region_uplink_bps if region_uplink_bps is not None else gbps(40)
-        if self.region_uplink_bps <= 0:
-            raise WorkloadError("region uplink must be positive")
+    problem: CapacityProblem
+    #: Key-setup requests per second charged against each site's CPU.
+    setups_per_site: np.ndarray
 
-    # -- problem construction --------------------------------------------------------
 
-    def build_problem(self) -> CapacityProblem:
-        """Assemble the flow/resource structure for the current fleet health."""
-        population = self.population
-        fleet = self.fleet
+@dataclass
+class ProblemTemplate:
+    """The population×fleet flow structure, frozen for one hash-ring state.
+
+    Everything that costs O(n_clients) — client-to-site assignment, group
+    counting, the usage matrix — is computed once here.
+    :meth:`instantiate` then produces a :class:`CapacityProblem` for any
+    per-flow demand scaling (load curves, discrimination throttles) and
+    per-site capacity scaling (degradation, failure) by touching only
+    per-flow and per-site vectors.  The template is valid until the fleet's
+    ring changes (``fleet.generation`` moves), after which clients must be
+    reassigned.
+    """
+
+    population: ClientPopulation
+    fleet: NeutralizerFleet
+    fleet_generation: int
+    region_uplink_bps: float
+    #: Per-client site assignment under this ring state.
+    site_index: np.ndarray
+    #: Per-flow (region, class, site) structure.
+    region_of: np.ndarray
+    class_of: np.ndarray
+    site_of: np.ndarray
+    group_clients: np.ndarray
+    #: Per-flow base demand (bps of one client) and wire bits per packet.
+    base_demands: np.ndarray
+    bits_per_packet: np.ndarray
+    #: Per-flow key-setup rate (requests/s of the whole group).
+    base_setups_per_flow: np.ndarray
+    usage: np.ndarray
+    regions: int
+    sites: int
+    flow_labels: list = field(default_factory=list)
+    resource_labels: list = field(default_factory=list)
+
+    @classmethod
+    def build(cls, population: ClientPopulation, fleet: NeutralizerFleet,
+              *, region_uplink_bps: float) -> "ProblemTemplate":
+        """The one O(n_clients) pass: assign, count, and lay out the matrix."""
         site_index = fleet.assign_sites(population.ring_positions)
         counts = population.group_counts(site_index, fleet.n_sites).astype(np.float64)
 
@@ -122,21 +155,7 @@ class ScaleScenario:
         usage[regions + site_of, np.arange(n_flows)] = group_clients
         usage[regions + sites + site_of, np.arange(n_flows)] = group_clients * cpu_per_bit
 
-        # Key setups: inelastic control load charged against site CPU up front.
         setup_rate_per_client = population.key_setup_rate_per_client()
-        setups_per_site = np.zeros(sites)
-        np.add.at(
-            setups_per_site, site_of,
-            group_clients * setup_rate_per_client[class_of],
-        )
-        cpu_capacity = fleet.cpu_capacity_cores() - setups_per_site * cost.key_setup_cost_seconds
-        cpu_capacity = np.maximum(cpu_capacity, 0.0)
-
-        capacities = np.concatenate([
-            np.full(regions, self.region_uplink_bps),
-            fleet.uplink_capacity_bps(),
-            cpu_capacity,
-        ])
         flow_labels = [
             f"r{r}/{population.mix.names[c]}/{fleet.sites[s].name}"
             for r, c, s in zip(region_of, class_of, site_of)
@@ -146,48 +165,94 @@ class ScaleScenario:
             + [f"{site.name}-uplink" for site in fleet.sites]
             + [f"{site.name}-cpu" for site in fleet.sites]
         )
-        problem = CapacityProblem(
-            demands=demand_bps_per_client,
+        return cls(
+            population=population,
+            fleet=fleet,
+            fleet_generation=fleet.generation,
+            region_uplink_bps=region_uplink_bps,
+            site_index=site_index,
+            region_of=region_of,
+            class_of=class_of,
+            site_of=site_of,
+            group_clients=group_clients,
+            base_demands=demand_bps_per_client,
+            bits_per_packet=bits_per_packet[class_of],
+            base_setups_per_flow=group_clients * setup_rate_per_client[class_of],
             usage=usage,
-            capacities=capacities,
+            regions=regions,
+            sites=sites,
             flow_labels=flow_labels,
             resource_labels=resource_labels,
         )
-        # Stash the per-flow structure the result interpretation needs.
-        self._last_meta = {
-            "class_of": class_of,
-            "site_of": site_of,
-            "group_clients": group_clients,
-            "bits_per_packet": bits_per_packet[class_of],
-            "setups_per_site": setups_per_site,
-            "site_index": site_index,
-            "regions": regions,
-            "sites": sites,
-        }
-        return problem
 
-    # -- solving ---------------------------------------------------------------------
+    @property
+    def stale(self) -> bool:
+        """Whether the fleet's ring changed since this template was built."""
+        return self.fleet.generation != self.fleet_generation
 
-    def solve(self) -> FluidResult:
-        """Build and solve the problem, interpreting rates as class goodputs."""
-        population = self.population
-        problem = self.build_problem()
-        allocation = max_min_allocation(problem)
-        meta = self._last_meta
-        class_of = meta["class_of"]
-        regions, sites = meta["regions"], meta["sites"]
+    def instantiate(
+        self,
+        demand_scale: Optional[np.ndarray] = None,
+        site_capacity_scale: Optional[np.ndarray] = None,
+    ) -> EpochProblem:
+        """A solver problem with scaled demands/capacities, O(flows + sites).
 
-        names = population.mix.names
+        ``demand_scale`` multiplies each flow's per-client demand (and its
+        key-setup load — session churn tracks activity); ``site_capacity_scale``
+        multiplies each site's CPU and uplink budgets.  ``None`` means 1.0.
+        """
+        cost = self.fleet.cost_model
+        if demand_scale is None:
+            demands = self.base_demands
+            setups_per_flow = self.base_setups_per_flow
+        else:
+            if np.any(demand_scale < 0):
+                raise WorkloadError("demand scale must be non-negative")
+            demands = self.base_demands * demand_scale
+            setups_per_flow = self.base_setups_per_flow * demand_scale
+        setups_per_site = np.bincount(
+            self.site_of, weights=setups_per_flow, minlength=self.sites
+        )
+
+        site_uplink = self.fleet.uplink_capacity_bps()
+        site_cores = self.fleet.cpu_capacity_cores()
+        if site_capacity_scale is not None:
+            if np.any(site_capacity_scale < 0):
+                raise WorkloadError("site capacity scale must be non-negative")
+            site_uplink = site_uplink * site_capacity_scale
+            site_cores = site_cores * site_capacity_scale
+        # Key setups: inelastic control load charged against site CPU up front.
+        cpu_capacity = np.maximum(
+            site_cores - setups_per_site * cost.key_setup_cost_seconds, 0.0
+        )
+        capacities = np.concatenate([
+            np.full(self.regions, self.region_uplink_bps),
+            site_uplink,
+            cpu_capacity,
+        ])
+        problem = CapacityProblem(
+            demands=demands,
+            usage=self.usage,
+            capacities=capacities,
+            flow_labels=self.flow_labels,
+            resource_labels=self.resource_labels,
+        )
+        return EpochProblem(problem=problem, setups_per_site=setups_per_site)
+
+    def interpret(self, epoch: EpochProblem, allocation: Allocation) -> FluidResult:
+        """Turn a solved allocation into the per-class/per-site result object."""
+        problem = epoch.problem
+        names = self.population.mix.names
         demand_pps: Dict[str, float] = {}
         goodput_pps: Dict[str, float] = {}
         demand_bps: Dict[str, float] = {}
         goodput_bps: Dict[str, float] = {}
         worst: Dict[str, float] = {}
         satisfaction = allocation.satisfaction(problem)
-        group_clients = meta["group_clients"]
-        bits = meta["bits_per_packet"]
+        group_clients = self.group_clients
+        bits = self.bits_per_packet
         for index, name in enumerate(names):
-            members = class_of == index
+            members = self.class_of == index
             demand_bps[name] = float((problem.demands * group_clients)[members].sum())
             goodput_bps[name] = float((allocation.rates * group_clients)[members].sum())
             demand_pps[name] = float((problem.demands * group_clients / bits)[members].sum())
@@ -195,9 +260,10 @@ class ScaleScenario:
             worst[name] = float(satisfaction[members].min()) if members.any() else 1.0
 
         utilization = allocation.utilization(problem)
-        clients_per_site = np.bincount(meta["site_index"], minlength=sites).astype(np.int64)
+        regions, sites = self.regions, self.sites
+        clients_per_site = np.bincount(self.site_index, minlength=sites).astype(np.int64)
         return FluidResult(
-            n_clients=population.n_clients,
+            n_clients=self.population.n_clients,
             demand_pps=demand_pps,
             goodput_pps=goodput_pps,
             demand_bps=demand_bps,
@@ -206,7 +272,50 @@ class ScaleScenario:
             cpu_utilization=utilization[regions + sites:],
             uplink_utilization=utilization[regions:regions + sites],
             region_utilization=utilization[:regions],
-            key_setup_pps=float(meta["setups_per_site"].sum()),
+            key_setup_pps=float(epoch.setups_per_site.sum()),
             clients_per_site=clients_per_site,
             solver_iterations=allocation.iterations,
         )
+
+
+class ScaleScenario:
+    """A population facing a fleet through a regional access network."""
+
+    def __init__(
+        self,
+        population: ClientPopulation,
+        fleet: NeutralizerFleet,
+        *,
+        region_uplink_bps: Optional[float] = None,
+    ) -> None:
+        self.population = population
+        self.fleet = fleet
+        #: Default regional uplink: generous enough that the fleet, not the
+        #: access network, is the interesting constraint unless overridden.
+        self.region_uplink_bps = region_uplink_bps if region_uplink_bps is not None else gbps(40)
+        if self.region_uplink_bps <= 0:
+            raise WorkloadError("region uplink must be positive")
+        self._template: Optional[ProblemTemplate] = None
+
+    # -- problem construction --------------------------------------------------------
+
+    def build_template(self) -> ProblemTemplate:
+        """The cached flow/resource structure, rebuilt when the ring changes."""
+        if self._template is None or self._template.stale:
+            self._template = ProblemTemplate.build(
+                self.population, self.fleet, region_uplink_bps=self.region_uplink_bps
+            )
+        return self._template
+
+    def build_problem(self) -> CapacityProblem:
+        """Assemble the flow/resource structure for the current fleet health."""
+        return self.build_template().instantiate().problem
+
+    # -- solving ---------------------------------------------------------------------
+
+    def solve(self, *, warm_start: Optional[np.ndarray] = None) -> FluidResult:
+        """Build and solve the problem, interpreting rates as class goodputs."""
+        template = self.build_template()
+        epoch = template.instantiate()
+        allocation = max_min_allocation(epoch.problem, warm_start=warm_start)
+        return template.interpret(epoch, allocation)

@@ -1,0 +1,658 @@
+"""Time-stepped fluid simulation: a fleet riding out events over epochs.
+
+One :class:`ScaleScenario` solve is a busy *instant*; deployments live
+through *days* — diurnal load swings, flash crowds, regional outages with
+failover, staged discrimination rollouts.  :class:`FluidTimeline` advances
+the max-min solver through a sequence of epochs:
+
+* demand is driven by a pluggable :class:`LoadCurve` returning a per-region
+  multiplier for each epoch (sinusoidal diurnal cycles with timezone spread,
+  flash-crowd spikes, linear ramps, compositions thereof);
+* the fleet evolves through :class:`FleetEvent` items — site failure and
+  recovery remap clients through the consistent-hash ring, capacity
+  degradation scales a site's budgets, discrimination toggles throttle a
+  region's served classes;
+* each epoch is solved *warm*: the flow structure is a cached
+  :class:`repro.scale.scenario.ProblemTemplate` (rebuilt only when the ring
+  actually changes) and the previous epoch's allocation is offered to
+  :func:`repro.scale.solver.max_min_allocation` as a verified warm start,
+  so an event-free epoch costs a few vectorized passes over per-flow
+  vectors, independent of population size.
+
+The result is a :class:`TimelineResult`: per-epoch goodput, delivered
+fraction, per-site utilization matrices, and remap churn (clients moved plus
+the hash-space fraction the ring diff says changed owner).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import WorkloadError
+from .fleet import NeutralizerFleet
+from .population import ClientPopulation
+from .scenario import ProblemTemplate, ScaleScenario
+from .solver import max_min_allocation
+
+DAY_SECONDS = 86_400.0
+
+
+# ---------------------------------------------------------------------------
+# Load curves
+# ---------------------------------------------------------------------------
+
+
+class LoadCurve:
+    """Demand multiplier over time, possibly different per access region.
+
+    ``multipliers(t, regions)`` returns one non-negative factor per region;
+    a factor of 1.0 means the population's nominal busy-instant demand.
+    """
+
+    def multipliers(self, t_seconds: float, regions: int) -> np.ndarray:
+        """Per-region demand multipliers at absolute time ``t_seconds``."""
+        raise NotImplementedError
+
+    def __mul__(self, other: "LoadCurve") -> "CompositeLoad":
+        return CompositeLoad((self, other))
+
+
+@dataclass(frozen=True)
+class ConstantLoad(LoadCurve):
+    """Flat demand at ``level`` times nominal."""
+
+    level: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.level < 0:
+            raise WorkloadError("load level must be non-negative")
+
+    def multipliers(self, t_seconds: float, regions: int) -> np.ndarray:
+        return np.full(regions, self.level)
+
+
+@dataclass(frozen=True)
+class DiurnalLoad(LoadCurve):
+    """A day-night sinusoid between ``trough`` and ``peak``.
+
+    ``peak_time_seconds`` places the daily maximum; ``timezone_spread``
+    staggers the regions' peaks uniformly across that fraction of the period
+    (regions of a continental deployment do not peak together).
+    """
+
+    trough: float = 0.4
+    peak: float = 1.0
+    period_seconds: float = DAY_SECONDS
+    peak_time_seconds: float = DAY_SECONDS * 20 / 24  # 8 pm local
+    timezone_spread: float = 0.25
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.trough <= self.peak:
+            raise WorkloadError("diurnal load needs 0 <= trough <= peak")
+        if self.period_seconds <= 0:
+            raise WorkloadError("diurnal period must be positive")
+        if not 0 <= self.timezone_spread <= 1:
+            raise WorkloadError("timezone spread is a fraction of the period")
+
+    def multipliers(self, t_seconds: float, regions: int) -> np.ndarray:
+        mean = (self.peak + self.trough) / 2.0
+        amplitude = (self.peak - self.trough) / 2.0
+        offsets = np.arange(regions) / max(regions, 1) * self.timezone_spread
+        phase = (t_seconds - self.peak_time_seconds) / self.period_seconds - offsets
+        return mean + amplitude * np.cos(2.0 * math.pi * phase)
+
+
+@dataclass(frozen=True)
+class FlashCrowdLoad(LoadCurve):
+    """A sudden spike on top of a base level, optionally region-targeted.
+
+    Demand ramps linearly from ``base`` to ``base × spike`` over
+    ``ramp_seconds``, holds for ``hold_seconds``, and decays back over
+    ``ramp_seconds``.  ``regions_hit`` restricts the spike to those region
+    indices (the rest stay at ``base``); ``None`` hits everyone.
+    """
+
+    base: float = 1.0
+    spike: float = 6.0
+    start_seconds: float = 0.0
+    ramp_seconds: float = 1800.0
+    hold_seconds: float = 3600.0
+    regions_hit: Optional[Tuple[int, ...]] = None
+
+    def __post_init__(self) -> None:
+        if self.base < 0 or self.spike < 1.0:
+            raise WorkloadError("flash crowd needs base >= 0 and spike >= 1")
+        if self.ramp_seconds < 0 or self.hold_seconds < 0:
+            raise WorkloadError("flash crowd ramp/hold must be non-negative")
+        if self.regions_hit is not None and any(r < 0 for r in self.regions_hit):
+            raise WorkloadError("flash crowd region indices must be non-negative")
+
+    def _level(self, t: float) -> float:
+        dt = t - self.start_seconds
+        if dt < 0 or dt > 2 * self.ramp_seconds + self.hold_seconds:
+            return self.base
+        if dt < self.ramp_seconds:
+            fraction = dt / self.ramp_seconds if self.ramp_seconds else 1.0
+        elif dt <= self.ramp_seconds + self.hold_seconds:
+            fraction = 1.0
+        else:
+            fraction = (2 * self.ramp_seconds + self.hold_seconds - dt) / self.ramp_seconds
+        return self.base * (1.0 + (self.spike - 1.0) * fraction)
+
+    def multipliers(self, t_seconds: float, regions: int) -> np.ndarray:
+        out = np.full(regions, self.base)
+        level = self._level(t_seconds)
+        if self.regions_hit is None:
+            out[:] = level
+        else:
+            # A typo'd region index must fail loudly, not flatten the spike.
+            bad = [r for r in self.regions_hit if r >= regions]
+            if bad:
+                raise WorkloadError(
+                    f"flash crowd hits region(s) {bad}, only {regions} exist"
+                )
+            out[list(self.regions_hit)] = level
+        return out
+
+
+@dataclass(frozen=True)
+class LinearRampLoad(LoadCurve):
+    """Linear growth from ``start_level`` to ``end_level`` over the window."""
+
+    start_level: float = 1.0
+    end_level: float = 2.0
+    t0_seconds: float = 0.0
+    t1_seconds: float = DAY_SECONDS
+
+    def __post_init__(self) -> None:
+        if self.start_level < 0 or self.end_level < 0:
+            raise WorkloadError("ramp levels must be non-negative")
+        if self.t1_seconds <= self.t0_seconds:
+            raise WorkloadError("ramp needs t1 > t0")
+
+    def multipliers(self, t_seconds: float, regions: int) -> np.ndarray:
+        fraction = (t_seconds - self.t0_seconds) / (self.t1_seconds - self.t0_seconds)
+        fraction = min(max(fraction, 0.0), 1.0)
+        level = self.start_level + (self.end_level - self.start_level) * fraction
+        return np.full(regions, level)
+
+
+@dataclass(frozen=True)
+class CompositeLoad(LoadCurve):
+    """Pointwise product of several curves (e.g. diurnal × flash crowd)."""
+
+    curves: Tuple[LoadCurve, ...]
+
+    def __post_init__(self) -> None:
+        if not self.curves:
+            raise WorkloadError("composite load needs at least one curve")
+
+    def multipliers(self, t_seconds: float, regions: int) -> np.ndarray:
+        out = np.ones(regions)
+        for curve in self.curves:
+            out = out * curve.multipliers(t_seconds, regions)
+        return out
+
+
+# ---------------------------------------------------------------------------
+# Fleet events
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FleetEvent:
+    """Something that happens to the fleet at the start of one epoch."""
+
+    at_epoch: int
+
+    def __post_init__(self) -> None:
+        if self.at_epoch < 0:
+            raise WorkloadError("events must be scheduled at epoch >= 0")
+
+    def describe(self) -> str:
+        """Short label recorded on the epoch the event fired."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class SiteFailure(FleetEvent):
+    """A site goes dark; the ring withdraws its points and clients move."""
+
+    site: str = ""
+
+    def describe(self) -> str:
+        return f"fail {self.site}"
+
+
+@dataclass(frozen=True)
+class SiteRecovery(FleetEvent):
+    """A failed site returns and reclaims exactly its old ring points."""
+
+    site: str = ""
+
+    def describe(self) -> str:
+        return f"recover {self.site}"
+
+
+@dataclass(frozen=True)
+class CapacityDegradation(FleetEvent):
+    """A site's CPU and uplink budgets shrink to ``factor`` of nominal.
+
+    The site stays in the ring (clients do not move); ``until_epoch`` ends
+    the degradation, ``None`` leaves it in place for the rest of the run.
+    """
+
+    site: str = ""
+    factor: float = 0.5
+    until_epoch: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not 0 <= self.factor <= 1:
+            raise WorkloadError("degradation factor must be in [0, 1]")
+        if self.until_epoch is not None and self.until_epoch <= self.at_epoch:
+            raise WorkloadError("degradation must end after it starts")
+
+    def describe(self) -> str:
+        return f"degrade {self.site} x{self.factor:g}"
+
+
+@dataclass(frozen=True)
+class DiscriminationToggle(FleetEvent):
+    """An access region's ISP starts throttling classes to ``factor``.
+
+    This is the fluid-model form of the paper's discriminatory ISP: traffic
+    of the named classes originating in ``region`` is served at ``factor``
+    of its demand from this epoch on (``until_epoch`` repeals the policy).
+    ``class_names=None`` throttles every class.
+    """
+
+    region: int = 0
+    factor: float = 0.5
+    class_names: Optional[Tuple[str, ...]] = None
+    until_epoch: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.region < 0:
+            raise WorkloadError("discrimination region must be a valid index")
+        if not 0 <= self.factor <= 1:
+            raise WorkloadError("discrimination factor must be in [0, 1]")
+        if self.until_epoch is not None and self.until_epoch <= self.at_epoch:
+            raise WorkloadError("policy must be repealed after it starts")
+
+    def describe(self) -> str:
+        classes = ",".join(self.class_names) if self.class_names else "all"
+        return f"discriminate r{self.region} {classes} x{self.factor:g}"
+
+
+# ---------------------------------------------------------------------------
+# Results
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class EpochRecord:
+    """One solved epoch of a timeline."""
+
+    epoch: int
+    t_seconds: float
+    #: Labels of the events that fired entering this epoch.
+    events: Tuple[str, ...]
+    #: Population-weighted mean demand multiplier in effect.
+    demand_multiplier: float
+    demand_bps: float
+    goodput_bps: float
+    goodput_bps_by_class: Dict[str, float]
+    delivered_fraction: float
+    peak_cpu_utilization: float
+    peak_uplink_utilization: float
+    key_setup_pps: float
+    #: Clients whose site changed entering this epoch (ring remap churn).
+    clients_remapped: int
+    #: Hash-space fraction the ring diff says changed owner (0 if no change).
+    ring_moved_fraction: float
+    warm_started: bool
+    solver_iterations: int
+    solve_seconds: float
+
+
+@dataclass(frozen=True)
+class TimelineResult:
+    """A fully solved timeline: per-epoch records plus per-site matrices."""
+
+    n_clients: int
+    epoch_seconds: float
+    site_names: Tuple[str, ...]
+    class_names: Tuple[str, ...]
+    records: Tuple[EpochRecord, ...]
+    #: ``[epoch, site]`` matrices.
+    cpu_utilization: np.ndarray
+    uplink_utilization: np.ndarray
+    clients_per_site: np.ndarray
+    wall_seconds: float
+
+    @property
+    def epochs(self) -> int:
+        """Number of solved epochs."""
+        return len(self.records)
+
+    @property
+    def goodput_bps(self) -> np.ndarray:
+        """Delivered bits/s per epoch."""
+        return np.array([record.goodput_bps for record in self.records])
+
+    @property
+    def demand_bps(self) -> np.ndarray:
+        """Offered bits/s per epoch."""
+        return np.array([record.demand_bps for record in self.records])
+
+    @property
+    def delivered_fraction(self) -> np.ndarray:
+        """Goodput/demand ratio per epoch."""
+        return np.array([record.delivered_fraction for record in self.records])
+
+    @property
+    def min_delivered_fraction(self) -> float:
+        """The worst epoch's delivered fraction (the headline of an outage)."""
+        return float(self.delivered_fraction.min())
+
+    @property
+    def mean_delivered_fraction(self) -> float:
+        """Average delivered fraction across epochs."""
+        return float(self.delivered_fraction.mean())
+
+    @property
+    def total_clients_remapped(self) -> int:
+        """Total remap churn over the run (client·moves)."""
+        return int(sum(record.clients_remapped for record in self.records))
+
+    @property
+    def peak_remap_epoch(self) -> Optional[int]:
+        """Epoch with the most churn, or ``None`` if nothing ever moved."""
+        churn = [record.clients_remapped for record in self.records]
+        if not churn or max(churn) == 0:
+            return None
+        return int(np.argmax(churn))
+
+    @property
+    def warm_fraction(self) -> float:
+        """Fraction of epochs solved by reusing the previous allocation."""
+        if not self.records:
+            return 0.0
+        return sum(record.warm_started for record in self.records) / len(self.records)
+
+    @property
+    def fast_fraction(self) -> float:
+        """Fraction of epochs that skipped the fill entirely (iterations 0).
+
+        Covers both fast paths: the demand certificate (uncongested epochs,
+        available in warm and cold modes alike) and warm-start reuse.
+        """
+        if not self.records:
+            return 0.0
+        return (sum(record.solver_iterations == 0 for record in self.records)
+                / len(self.records))
+
+    @property
+    def solve_seconds_total(self) -> float:
+        """Cumulative time spent inside the max-min solver."""
+        return float(sum(record.solve_seconds for record in self.records))
+
+    def series(self) -> Dict[str, List[float]]:
+        """Per-epoch columns for :func:`repro.analysis.report.format_series`."""
+        out: Dict[str, List[float]] = {
+            "demand Mb/s": [record.demand_bps / 1e6 for record in self.records],
+            "goodput Mb/s": [record.goodput_bps / 1e6 for record in self.records],
+            "delivered": [record.delivered_fraction for record in self.records],
+            "peak cpu": [record.peak_cpu_utilization for record in self.records],
+            "remapped": [float(record.clients_remapped) for record in self.records],
+        }
+        return out
+
+
+# ---------------------------------------------------------------------------
+# The timeline engine
+# ---------------------------------------------------------------------------
+
+
+class FluidTimeline:
+    """Advance a population×fleet scenario through epochs of load and events."""
+
+    def __init__(
+        self,
+        population: ClientPopulation,
+        fleet: NeutralizerFleet,
+        *,
+        epochs: int,
+        epoch_seconds: float = 3600.0,
+        load: Optional[LoadCurve] = None,
+        events: Sequence[FleetEvent] = (),
+        region_uplink_bps: Optional[float] = None,
+        warm_start: bool = True,
+    ) -> None:
+        if epochs <= 0:
+            raise WorkloadError("a timeline needs at least one epoch")
+        if epoch_seconds <= 0:
+            raise WorkloadError("epoch length must be positive")
+        self.population = population
+        self.fleet = fleet
+        self.epochs = int(epochs)
+        self.epoch_seconds = float(epoch_seconds)
+        self.load = load if load is not None else ConstantLoad()
+        self.events = tuple(sorted(events, key=lambda event: event.at_epoch))
+        #: The per-epoch problems come from this scenario's cached template,
+        #: which also supplies the region-uplink default and validation.
+        self._scenario = ScaleScenario(
+            population, fleet, region_uplink_bps=region_uplink_bps
+        )
+        self.region_uplink_bps = self._scenario.region_uplink_bps
+        self.warm_start = warm_start
+        self._validate_events()
+
+    def _validate_events(self) -> None:
+        names = {site.name for site in self.fleet.sites}
+        for event in self.events:
+            if event.at_epoch >= self.epochs:
+                raise WorkloadError(
+                    f"event {event.describe()!r} at epoch {event.at_epoch} is "
+                    f"beyond the {self.epochs}-epoch horizon"
+                )
+            site = getattr(event, "site", None)
+            if site is not None and site not in names:
+                raise WorkloadError(f"event names unknown site {site!r}")
+            region = getattr(event, "region", None)
+            if region is not None and region >= self.population.regions:
+                raise WorkloadError(
+                    f"event names region {region}, population has "
+                    f"{self.population.regions}"
+                )
+            class_names = getattr(event, "class_names", None)
+            if class_names:
+                known = set(self.population.mix.names)
+                unknown = set(class_names) - known
+                if unknown:
+                    raise WorkloadError(f"event names unknown classes {sorted(unknown)}")
+
+    # -- stepping --------------------------------------------------------------------
+
+    def _fire(self, event: FleetEvent, throttles: List[DiscriminationToggle],
+              degradations: List[CapacityDegradation]) -> bool:
+        """Apply one event; returns whether the hash ring changed."""
+        if isinstance(event, SiteFailure):
+            self.fleet.fail_site(event.site)
+            return True
+        if isinstance(event, SiteRecovery):
+            self.fleet.restore_site(event.site)
+            return True
+        if isinstance(event, CapacityDegradation):
+            degradations.append(event)
+            return False
+        if isinstance(event, DiscriminationToggle):
+            throttles.append(event)
+            return False
+        raise WorkloadError(f"unknown fleet event {event!r}")
+
+    def _demand_scale(self, template: ProblemTemplate, epoch: int, t: float,
+                      throttles: Sequence[DiscriminationToggle],
+                      ) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-flow (offered, served) demand multipliers for this epoch.
+
+        The load curve scales what clients *offer*; discrimination throttles
+        further cap what the access ISP lets through.  Delivered fraction is
+        judged against the offered demand, so a rollout shows up as harm
+        rather than as demand conveniently disappearing.
+        """
+        regional = self.load.multipliers(t, self.population.regions)
+        if regional.shape != (self.population.regions,):
+            raise WorkloadError("load curve returned the wrong number of regions")
+        if np.any(regional < 0):
+            raise WorkloadError("load curve returned a negative multiplier")
+        offered = regional[template.region_of].astype(np.float64)
+        served = offered.copy()
+        for toggle in throttles:
+            if toggle.until_epoch is not None and epoch >= toggle.until_epoch:
+                continue
+            hit = template.region_of == toggle.region
+            if toggle.class_names is not None:
+                class_ids = [self.population.mix.names.index(name)
+                             for name in toggle.class_names]
+                hit &= np.isin(template.class_of, class_ids)
+            served[hit] *= toggle.factor
+        return offered, served
+
+    def _capacity_scale(self, epoch: int,
+                        degradations: Sequence[CapacityDegradation]) -> Optional[np.ndarray]:
+        if not degradations:
+            return None
+        scale = np.ones(self.fleet.n_sites)
+        for event in degradations:
+            if event.until_epoch is not None and epoch >= event.until_epoch:
+                continue
+            index = self.fleet.index_of_site(event.site)
+            scale[index] = min(scale[index], event.factor)
+        if (scale == 1.0).all():
+            return None
+        return scale
+
+    def run(self) -> TimelineResult:
+        """Solve every epoch and assemble the result.
+
+        The fleet's health is restored to its pre-run state afterwards, so a
+        timeline whose events leave sites failed can be re-run (or its fleet
+        reused) without silently simulating an already-degraded fleet.
+        """
+        initial_health = self.fleet.health_snapshot()
+        try:
+            return self._run()
+        finally:
+            self.fleet.restore_health(initial_health)
+
+    def _run(self) -> TimelineResult:
+        started = time.perf_counter()
+        population = self.population
+        fleet = self.fleet
+        sites = fleet.n_sites
+
+        throttles: List[DiscriminationToggle] = []
+        degradations: List[CapacityDegradation] = []
+        pending = list(self.events)
+
+        template: Optional[ProblemTemplate] = None
+        previous_rates: Optional[np.ndarray] = None
+        previous_site_index: Optional[np.ndarray] = None
+        base_demand_bps: Optional[float] = None
+
+        records: List[EpochRecord] = []
+        cpu_util = np.zeros((self.epochs, sites))
+        uplink_util = np.zeros((self.epochs, sites))
+        clients_matrix = np.zeros((self.epochs, sites), dtype=np.int64)
+
+        for epoch in range(self.epochs):
+            t = epoch * self.epoch_seconds
+
+            fired: List[str] = []
+            ring_before = None
+            while pending and pending[0].at_epoch == epoch:
+                event = pending.pop(0)
+                # Snapshot lazily: only ring-changing events pay for the copy.
+                if ring_before is None and isinstance(event, (SiteFailure, SiteRecovery)):
+                    ring_before = fleet.ring_snapshot()
+                self._fire(event, throttles, degradations)
+                fired.append(event.describe())
+
+            ring_moved = 0.0
+            if ring_before is not None:
+                ring_moved = ring_before.diff(fleet.ring_snapshot()).moved_fraction
+
+            new_template = self._scenario.build_template()
+            if new_template is not template:
+                previous_rates = None  # flow structure changed; rates misaligned
+            template = new_template
+            if base_demand_bps is None:
+                base_demand_bps = float(
+                    (template.base_demands * template.group_clients).sum()
+                )
+
+            remapped = 0
+            if previous_site_index is not None:
+                remapped = int((previous_site_index != template.site_index).sum())
+            previous_site_index = template.site_index
+
+            offered_scale, served_scale = self._demand_scale(template, epoch, t, throttles)
+            capacity_scale = self._capacity_scale(epoch, degradations)
+            epoch_problem = template.instantiate(served_scale, capacity_scale)
+            offered_bps = float(
+                (template.base_demands * offered_scale * template.group_clients).sum()
+            )
+
+            solve_started = time.perf_counter()
+            allocation = max_min_allocation(
+                epoch_problem.problem,
+                warm_start=previous_rates if self.warm_start else None,
+            )
+            solve_seconds = time.perf_counter() - solve_started
+            previous_rates = allocation.rates
+
+            fluid = template.interpret(epoch_problem, allocation)
+            cpu_util[epoch] = fluid.cpu_utilization
+            uplink_util[epoch] = fluid.uplink_utilization
+            clients_matrix[epoch] = fluid.clients_per_site
+
+            records.append(EpochRecord(
+                epoch=epoch,
+                t_seconds=t,
+                events=tuple(fired),
+                demand_multiplier=(offered_bps / base_demand_bps
+                                   if base_demand_bps else 0.0),
+                demand_bps=offered_bps,
+                goodput_bps=fluid.total_goodput_bps,
+                goodput_bps_by_class=dict(fluid.goodput_bps),
+                delivered_fraction=(fluid.total_goodput_bps / offered_bps
+                                    if offered_bps > 0 else 1.0),
+                peak_cpu_utilization=float(fluid.cpu_utilization.max()),
+                peak_uplink_utilization=float(fluid.uplink_utilization.max()),
+                key_setup_pps=fluid.key_setup_pps,
+                clients_remapped=remapped,
+                ring_moved_fraction=ring_moved,
+                warm_started=allocation.warm_started,
+                solver_iterations=allocation.iterations,
+                solve_seconds=solve_seconds,
+            ))
+
+        return TimelineResult(
+            n_clients=population.n_clients,
+            epoch_seconds=self.epoch_seconds,
+            site_names=tuple(site.name for site in fleet.sites),
+            class_names=tuple(population.mix.names),
+            records=tuple(records),
+            cpu_utilization=cpu_util,
+            uplink_utilization=uplink_util,
+            clients_per_site=clients_matrix,
+            wall_seconds=time.perf_counter() - started,
+        )

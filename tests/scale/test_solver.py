@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.exceptions import WorkloadError
-from repro.scale.solver import CapacityProblem, max_min_allocation
+from repro.scale.solver import CapacityProblem, max_min_allocation, verify_max_min
 
 
 def single_bottleneck(demands, capacity, unit=1.0):
@@ -132,3 +132,80 @@ class TestMaxMin:
                 usage=np.ones((1, 1)),
                 capacities=np.array([1.0]),
             )
+
+
+class TestVerifyMaxMin:
+    """The optimality certificate gating the warm-start fast path."""
+
+    def test_accepts_the_fair_split_with_attribution(self):
+        problem = single_bottleneck([10, 10], 10.0)
+        bottleneck = verify_max_min(problem, np.array([5.0, 5.0]))
+        assert bottleneck is not None and (bottleneck == 0).all()
+
+    def test_accepts_met_demands_as_demand_limited(self):
+        problem = single_bottleneck([3, 4], 100.0)
+        bottleneck = verify_max_min(problem, np.array([3.0, 4.0]))
+        assert bottleneck is not None and (bottleneck == -1).all()
+
+    def test_rejects_feasible_but_unfair(self):
+        # [3, 7] saturates the link but is not max-min: flow 0 could be
+        # raised by lowering the better-off flow 1.
+        problem = single_bottleneck([10, 10], 10.0)
+        assert verify_max_min(problem, np.array([3.0, 7.0])) is None
+
+    def test_rejects_underfull(self):
+        problem = single_bottleneck([10, 10], 10.0)
+        assert verify_max_min(problem, np.array([4.0, 4.0])) is None
+
+    def test_rejects_infeasible_and_overdemand(self):
+        problem = single_bottleneck([10, 10], 10.0)
+        assert verify_max_min(problem, np.array([6.0, 6.0])) is None
+        problem2 = single_bottleneck([2, 2], 10.0)
+        assert verify_max_min(problem2, np.array([3.0, 3.0])) is None
+
+    def test_rejects_wrong_shape(self):
+        problem = single_bottleneck([10, 10], 10.0)
+        assert verify_max_min(problem, np.array([5.0, 5.0, 5.0])) is None
+
+    def test_certifies_every_cold_solution_on_random_problems(self):
+        rng = np.random.default_rng(17)
+        for trial in range(100):
+            flows = int(rng.integers(2, 30))
+            resources = int(rng.integers(1, 8))
+            problem = CapacityProblem(
+                demands=rng.uniform(0.1, 5.0, flows),
+                usage=rng.uniform(0, 2.0, (resources, flows))
+                * (rng.random((resources, flows)) < 0.6),
+                capacities=rng.uniform(1.0, 30.0, resources),
+            )
+            allocation = max_min_allocation(problem)
+            assert verify_max_min(problem, allocation.rates) is not None, trial
+            # And a perturbed copy must not certify when congested.
+            if (allocation.rates < problem.demands * 0.99).any():
+                skewed = allocation.rates * rng.uniform(0.5, 0.95, flows)
+                assert verify_max_min(problem, skewed) is None
+
+
+class TestWarmStart:
+    def test_demand_certificate_fires_without_a_hint(self):
+        allocation = max_min_allocation(single_bottleneck([3, 4, 5], 100.0))
+        assert allocation.iterations == 0
+        assert not allocation.warm_started
+        assert np.allclose(allocation.rates, [3, 4, 5])
+
+    def test_hint_reuse_returns_the_exact_optimum(self):
+        problem = single_bottleneck([2, 10, 10], 10.0)
+        cold = max_min_allocation(problem)
+        warm = max_min_allocation(problem, warm_start=cold.rates)
+        assert warm.warm_started and warm.iterations == 0
+        assert np.array_equal(warm.rates, cold.rates)
+        assert np.array_equal(warm.bottleneck, cold.bottleneck)
+
+    def test_bad_hints_fall_back_to_the_cold_fill(self):
+        problem = single_bottleneck([2, 10, 10], 10.0)
+        for hint in (np.array([9.0, 9.0, 9.0]),       # infeasible
+                     np.array([1.0, 1.0, 1.0]),        # underfull
+                     np.array([1.0, 2.0])):            # wrong shape
+            allocation = max_min_allocation(problem, warm_start=hint)
+            assert not allocation.warm_started
+            assert np.allclose(allocation.rates, [2.0, 4.0, 4.0])
