@@ -1,4 +1,5 @@
-"""Experiment runners: one function per reproduced result (E1–E11, plus E12).
+"""Experiment runners: one function per reproduced result (E1–E11, plus the
+fleet-scale campaigns E12–E14).
 
 Each runner builds the workload, runs it, and returns a small result object
 plus an :class:`repro.analysis.report.ExperimentReport`.  The benchmark
@@ -12,7 +13,12 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 if TYPE_CHECKING:
-    from ..scale.runner import FleetScaleResult, TimelineCampaignResult
+    from ..scale.runner import (
+        FleetScaleResult,
+        FrontierResult,
+        StochasticCampaignResult,
+        TimelineCampaignResult,
+    )
     from ..scale.validate import CrossValidationResult
 
 from ..apps.voip import VoipCall, VoipQualityReport, VoipReceiver
@@ -1048,3 +1054,88 @@ def run_timeline_catalogue(
     report.add_note("steady-state sweeps hide transients; the catalogue is the "
                     "regression net for how the fleet rides out events over time")
     return TimelineCatalogueExperimentResult(campaign=campaign, report=report)
+
+
+# ---------------------------------------------------------------------------
+# E14: Monte-Carlo stochastic availability campaign (autoscaled fleet)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class StochasticCampaignExperimentResult:
+    """E14 outputs: the Monte-Carlo campaign, optionally with its frontier."""
+
+    campaign: "StochasticCampaignResult"
+    frontier: Optional["FrontierResult"]
+    report: ExperimentReport
+
+    @property
+    def distributions_ordered(self) -> bool:
+        """Percentile sanity: every distribution's tail is ordered correctly.
+
+        For low-tail (availability-like) metrics P50 >= P95 >= P99 >= worst;
+        for high-tail (cost-like) metrics the reverse.
+        """
+        for dist in self.campaign.distributions.values():
+            if dist.tail == "low":
+                if not dist.p50 >= dist.p95 >= dist.p99 >= dist.worst:
+                    return False
+            else:
+                if not dist.p50 <= dist.p95 <= dist.p99 <= dist.worst:
+                    return False
+        return True
+
+
+def run_stochastic_campaign(
+    *,
+    clients: int = 1_000_000,
+    epochs: int = 200,
+    replicas: int = 32,
+    seed: int = 2006,
+    slo: float = 0.95,
+    frontier: bool = False,
+    frontier_targets: Tuple[float, ...] = (0.45, 0.6, 0.75, 0.9),
+) -> StochasticCampaignExperimentResult:
+    """E14: availability as a *distribution* under seeded stochastic churn.
+
+    E13 replays hand-written transients; E14 draws them from seeded random
+    processes (Poisson site failures, correlated regional outages, DoS
+    attack onsets) and runs ``replicas`` independent timelines against an
+    autoscaled elastic fleet, reporting P50/P95/P99 availability, churn, and
+    dollar-cost distributions plus per-replica churn-vs-SLO numbers.
+    ``frontier=True`` additionally sweeps the autoscaler's utilization
+    target over ``frontier_targets`` (a smaller campaign per target) to
+    chart the churn-vs-SLO frontier.
+    """
+    from ..scale.runner import StochasticCampaignRunner, run_churn_slo_frontier
+
+    runner = StochasticCampaignRunner(
+        clients=clients, epochs=epochs, replicas=replicas, seed=seed, slo=slo,
+    )
+    campaign = runner.run()
+
+    frontier_result = None
+    if frontier:
+        frontier_result = run_churn_slo_frontier(
+            targets=frontier_targets,
+            clients=min(clients, 200_000),
+            replicas=max(replicas // 4, 2),
+            seed=seed, slo=slo,
+        )
+
+    report = ExperimentReport(
+        "E14", "Stochastic availability: Monte-Carlo campaigns on an autoscaled fleet"
+    )
+    report.tables.extend(campaign.report.tables)
+    report.notes.extend(campaign.report.notes)
+    if frontier_result is not None:
+        report.tables.extend(frontier_result.report.tables)
+        report.notes.extend(frontier_result.report.notes)
+    report.add_note(
+        "availability here is delivered fraction per epoch; quoting its P99 "
+        "as tail risk (the value 99% of epochs exceed) is what distinguishes "
+        "a fleet that merely averages well from one that rides out churn"
+    )
+    return StochasticCampaignExperimentResult(
+        campaign=campaign, frontier=frontier_result, report=report,
+    )

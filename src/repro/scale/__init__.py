@@ -28,29 +28,53 @@ clients as aggregate fluid demand instead:
     Glue that turns (population, fleet, access network) into a solver
     problem and interprets the allocation as per-class goodput and
     per-site utilization; the O(n_clients) structure is cached in a
-    :class:`ProblemTemplate` reused across epochs and sweep points.
+    :class:`ProblemTemplate` reused across epochs and sweep points, and a
+    ring change rebuilds it *incrementally* in O(moved clients) via the
+    population's sorted-position segment view.
 ``timeline``
     The time-stepped fluid simulator: load curves (diurnal, flash crowd,
     ramp), fleet events (failure/recovery, degradation, discrimination
-    toggles), warm-started epoch solves, and remap-churn accounting.
+    toggles), warm-started epoch solves, closed-loop autoscaling, and
+    remap-churn plus dollar-cost accounting.
+``autoscale``
+    The closed-loop controller: target-utilization, step/hysteresis and
+    predictive policies, warm-up and cooldown, elastic fleets with drained
+    spares commissioned and drained through the hash ring mid-run.
+``stochastic``
+    Seeded stochastic event processes — Poisson site failures, correlated
+    regional outages, DoS attack onsets — compiled to fleet-event lists so
+    availability can be measured as a distribution, not a curve.
 ``catalogue``
     Named timeline scenarios — flash crowd, regional outage, diurnal week,
-    heterogeneous fleet, cascading overload, discrimination rollout — each
-    provisioned relative to the population so any size is interesting.
+    heterogeneous fleet, cascading overload, discrimination rollout,
+    autoscaled diurnal, stochastic unreliable month — each provisioned
+    relative to the population so any size is interesting.
 ``runner``
     Experiment-campaign runners in the ``ExperimentRunnerProtocol`` style:
-    the E12 population sweep and the E13 timeline-catalogue campaign, both
-    rendering :class:`repro.analysis.report.ExperimentReport` tables.
+    the E12 population sweep, the E13 timeline-catalogue campaign, and the
+    E14 Monte-Carlo stochastic-availability campaign with its
+    churn-vs-SLO frontier, all rendering
+    :class:`repro.analysis.report.ExperimentReport` tables.
 ``validate``
     Cross-validation of the fluid model against the packet-level simulator
     on a small shared scenario (goodput must agree within 10 %).
 
 A million-client, 16-site solve completes in well under a second; a
 100-epoch, million-client timeline solves end-to-end in well under a
-second too (~0.6 s including the population build); both are deterministic
-from their seeds.
+second; a 200-epoch, 32-replica, million-client Monte-Carlo campaign
+completes in a few seconds — all deterministic from their seeds.
 """
 
+from .autoscale import (
+    Autoscaler,
+    AutoscaleObservation,
+    AutoscalePolicy,
+    EpochMetrics,
+    PredictiveLoadPolicy,
+    StepPolicy,
+    TargetUtilizationPolicy,
+    elastic_fleet,
+)
 from .catalogue import (
     CATALOGUE,
     ScenarioSpec,
@@ -60,8 +84,16 @@ from .catalogue import (
     run_scenario,
     scenario_names,
 )
-from .costmodel import CryptoCostModel
+from .costmodel import CryptoCostModel, ProvisioningCostModel
 from .fleet import FleetSite, NeutralizerFleet
+from .stochastic import (
+    AttackOnset,
+    CorrelatedRegionalOutage,
+    EventProcess,
+    PoissonSiteFailures,
+    compile_events,
+    default_processes,
+)
 from .population import (
     ClientPopulation,
     DemandClass,
@@ -74,11 +106,18 @@ from .population import (
 from .runner import (
     FleetScaleResult,
     FleetScaleRunner,
+    FrontierPoint,
+    FrontierResult,
+    MetricDistribution,
     ScaleExperimentState,
+    StochasticCampaignResult,
+    StochasticCampaignRunner,
+    StochasticReplicaRecord,
     SweepRecord,
     TimelineCampaignRecord,
     TimelineCampaignResult,
     TimelineCampaignRunner,
+    run_churn_slo_frontier,
 )
 from .scenario import EpochProblem, FluidResult, ProblemTemplate, ScaleScenario
 from .solver import Allocation, CapacityProblem, max_min_allocation, verify_max_min
@@ -102,19 +141,26 @@ from .validate import CrossValidationResult, cross_validate
 
 __all__ = [
     "Allocation",
+    "AttackOnset",
+    "AutoscaleObservation",
+    "AutoscalePolicy",
+    "Autoscaler",
     "CATALOGUE",
     "CapacityDegradation",
     "CapacityProblem",
     "ClientPopulation",
     "CompositeLoad",
     "ConstantLoad",
+    "CorrelatedRegionalOutage",
     "CrossValidationResult",
     "CryptoCostModel",
     "DemandClass",
     "DiscriminationToggle",
     "DiurnalLoad",
+    "EpochMetrics",
     "EpochProblem",
     "EpochRecord",
+    "EventProcess",
     "FlashCrowdLoad",
     "FleetEvent",
     "FleetSite",
@@ -122,27 +168,42 @@ __all__ = [
     "FleetScaleRunner",
     "FluidResult",
     "FluidTimeline",
+    "FrontierPoint",
+    "FrontierResult",
     "LinearRampLoad",
     "LoadCurve",
+    "MetricDistribution",
     "NeutralizerFleet",
+    "PoissonSiteFailures",
     "PopulationMix",
+    "PredictiveLoadPolicy",
     "ProblemTemplate",
+    "ProvisioningCostModel",
     "ScaleExperimentState",
     "ScaleScenario",
     "ScenarioSpec",
     "SiteFailure",
     "SiteRecovery",
+    "StepPolicy",
+    "StochasticCampaignResult",
+    "StochasticCampaignRunner",
+    "StochasticReplicaRecord",
     "SweepRecord",
+    "TargetUtilizationPolicy",
     "TimelineCampaignRecord",
     "TimelineCampaignResult",
     "TimelineCampaignRunner",
     "TimelineResult",
     "build_scenario",
+    "compile_events",
     "cross_validate",
     "default_mix",
+    "default_processes",
+    "elastic_fleet",
     "max_min_allocation",
     "nominal_demand",
     "provisioned_fleet",
+    "run_churn_slo_frontier",
     "run_scenario",
     "scenario_names",
     "verify_max_min",

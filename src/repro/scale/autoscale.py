@@ -1,0 +1,378 @@
+"""Closed-loop autoscaling of the neutralizer fleet.
+
+The paper's scaling story (§4 of the HotNets paper: per-box crypto cost ×
+anycast spread) is usually read as a *static* provisioning exercise; this
+module closes the loop instead.  A fleet is built with spare, drained sites
+(:func:`elastic_fleet`), and each epoch of a
+:class:`repro.scale.timeline.FluidTimeline` run the controller observes the
+previous epoch's utilization and commissions or drains sites through the
+consistent-hash ring — paying real churn (remapped clients re-do key setup)
+and real dollars (:class:`repro.scale.costmodel.ProvisioningCostModel`) for
+every decision.
+
+Three stock policies cover the classic control shapes:
+
+:class:`TargetUtilizationPolicy`
+    Proportional control toward a utilization set point, with a deadband so
+    steady load does not flap.
+:class:`StepPolicy`
+    Threshold/hysteresis control: step up above ``high``, step down below
+    ``low``, hold inside the band.
+:class:`PredictiveLoadPolicy`
+    Feed-forward from the scenario's load curve: scales the observed
+    utilization by the forecast demand ``lead_epochs`` ahead, so capacity
+    lands when the diurnal peak does rather than one warm-up late.
+
+The split between :class:`Autoscaler` (the frozen configuration: policy,
+bounds, warm-up and cooldown) and :class:`AutoscaleRun` (the mutable per-run
+state: the warming queue, the activation order, the cooldown clock) keeps
+timelines re-runnable — ``FluidTimeline.run()`` builds a fresh
+:class:`AutoscaleRun` every time, exactly as it restores fleet health.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from ..exceptions import WorkloadError
+from .costmodel import CryptoCostModel
+from .fleet import FleetSite, NeutralizerFleet
+from .population import ClientPopulation
+
+#: A demand forecast: offered-demand multiplier (1.0 = the population's
+#: nominal busy instant) ``lead`` epochs ahead of the current one.
+Forecast = Callable[[int], float]
+
+
+@dataclass(frozen=True)
+class EpochMetrics:
+    """The solved operating point of one epoch, as the controller measures it.
+
+    Produced by the timeline after every solve and consumed one epoch later
+    (real controllers read yesterday's telemetry too).  Utilization is the
+    per-site max of CPU and uplink load, summarized over the
+    ``served_sites`` that were actually in service when it was measured.
+    """
+
+    served_sites: int
+    mean_utilization: float
+    peak_utilization: float
+    delivered_fraction: float
+    #: Offered demand relative to the population's nominal busy instant.
+    demand_multiplier: float
+
+
+@dataclass(frozen=True)
+class AutoscaleObservation:
+    """What a policy decides from: lagged measurements plus current commitment.
+
+    ``served_sites`` and the utilizations describe the *previous* epoch's
+    operating point (the basis for inverting toward a utilization target);
+    ``committed`` is the *current* paid-for fleet — in-service plus warming —
+    which is what "hold" decisions should return, so capacity already on its
+    way is not ordered twice.
+    """
+
+    epoch: int
+    #: Sites that served the measured epoch (basis of the utilizations).
+    served_sites: int
+    #: Sites currently paid for: in service plus warming.
+    committed: int
+    #: Mean over serving sites of max(CPU, uplink) utilization.
+    mean_utilization: float
+    #: Max over serving sites of max(CPU, uplink) utilization.
+    peak_utilization: float
+    delivered_fraction: float
+    #: Offered demand relative to the population's nominal busy instant.
+    demand_multiplier: float
+
+
+class AutoscalePolicy:
+    """Strategy interface: how many sites should be committed next epoch."""
+
+    def desired_sites(self, observation: AutoscaleObservation,
+                      forecast: Forecast) -> int:
+        """Target committed-site count (clamped to bounds by the engine)."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class TargetUtilizationPolicy(AutoscalePolicy):
+    """Drive mean utilization toward ``target``, ignoring a ``deadband``.
+
+    The set-point inversion ``in_service × utilization / target`` is exact
+    for the homogeneous fleets :func:`elastic_fleet` builds (consistent
+    hashing spreads clients near-uniformly); the deadband keeps steady load
+    from flapping one site up and down around the fixed point.
+    """
+
+    target: float = 0.6
+    deadband: float = 0.08
+
+    def __post_init__(self) -> None:
+        if not 0 < self.target <= 1:
+            raise WorkloadError("utilization target must be in (0, 1]")
+        if not 0 <= self.deadband < self.target:
+            raise WorkloadError("deadband must be non-negative and below the target")
+
+    def desired_sites(self, observation: AutoscaleObservation,
+                      forecast: Forecast) -> int:
+        utilization = observation.mean_utilization
+        if abs(utilization - self.target) <= self.deadband:
+            return observation.committed
+        return math.ceil(observation.served_sites * utilization / self.target)
+
+
+@dataclass(frozen=True)
+class StepPolicy(AutoscalePolicy):
+    """Hysteresis control: ``step`` up above ``high``, down below ``low``.
+
+    The band between the thresholds is the hysteresis that keeps the fleet
+    from oscillating when load sits near one threshold; peak (not mean)
+    utilization is used so a single hot site is enough to trigger growth.
+    """
+
+    high: float = 0.8
+    low: float = 0.35
+    step: int = 1
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.low < self.high:
+            raise WorkloadError("step policy needs 0 <= low < high")
+        if self.step < 1:
+            raise WorkloadError("step size must be at least one site")
+
+    def desired_sites(self, observation: AutoscaleObservation,
+                      forecast: Forecast) -> int:
+        if observation.peak_utilization > self.high:
+            return observation.committed + self.step
+        if observation.peak_utilization < self.low:
+            return observation.committed - self.step
+        return observation.committed
+
+
+@dataclass(frozen=True)
+class PredictiveLoadPolicy(AutoscalePolicy):
+    """Feed-forward from the load curve: provision for ``lead_epochs`` ahead.
+
+    Reactive policies are always one warm-up late on a rising edge; this one
+    multiplies the observed utilization by the forecast demand ratio so the
+    scale-up is issued *before* the peak arrives.  With ``lead_epochs`` equal
+    to the autoscaler's warm-up, capacity lands exactly when the load does.
+    """
+
+    target: float = 0.6
+    lead_epochs: int = 2
+    deadband: float = 0.05
+
+    def __post_init__(self) -> None:
+        if not 0 < self.target <= 1:
+            raise WorkloadError("utilization target must be in (0, 1]")
+        if self.lead_epochs < 1:
+            raise WorkloadError("predictive policy needs lead_epochs >= 1")
+        if not 0 <= self.deadband < self.target:
+            raise WorkloadError("deadband must be non-negative and below the target")
+
+    def desired_sites(self, observation: AutoscaleObservation,
+                      forecast: Forecast) -> int:
+        current = max(observation.demand_multiplier, 1e-9)
+        expected = observation.mean_utilization * forecast(self.lead_epochs) / current
+        if abs(expected - self.target) <= self.deadband:
+            return observation.committed
+        return math.ceil(observation.served_sites * expected / self.target)
+
+
+@dataclass(frozen=True)
+class Autoscaler:
+    """The frozen controller configuration a timeline runs with.
+
+    ``min_sites``/``max_sites`` bound the *committed* fleet (in-service plus
+    warming); ``warmup_epochs`` is the provisioning lag between a scale-up
+    decision and the site joining the ring (0 = instant); ``cooldown_epochs``
+    is how many epochs the controller holds still after acting, the standard
+    guard against control-loop ringing.  ``max_sites=None`` means the whole
+    fleet (every site, drained spares included) is available.
+    """
+
+    policy: AutoscalePolicy
+    min_sites: int = 1
+    max_sites: Optional[int] = None
+    warmup_epochs: int = 1
+    cooldown_epochs: int = 0
+
+    def __post_init__(self) -> None:
+        if self.min_sites < 1:
+            raise WorkloadError("autoscaler needs min_sites >= 1")
+        if self.max_sites is not None and self.max_sites < self.min_sites:
+            raise WorkloadError("autoscaler needs max_sites >= min_sites")
+        if self.warmup_epochs < 0 or self.cooldown_epochs < 0:
+            raise WorkloadError("warm-up and cooldown must be non-negative")
+
+
+class AutoscaleRun:
+    """Mutable controller state for one timeline run.
+
+    Owns the warming queue (site → epoch it becomes ready), the LIFO
+    activation order used to pick drain victims, and the cooldown clock.
+    Created by ``FluidTimeline.run()`` so that re-running a timeline starts
+    from a clean controller, mirroring the fleet-health restore.
+    """
+
+    def __init__(self, spec: Autoscaler, fleet: NeutralizerFleet) -> None:
+        self.spec = spec
+        self.fleet = fleet
+        self.max_sites = min(spec.max_sites or fleet.n_sites, fleet.n_sites)
+        self.min_sites = min(spec.min_sites, self.max_sites)
+        #: site name -> epoch at which its warm-up completes.
+        self.warming: Dict[str, int] = {}
+        #: Active sites, oldest first; drains pop from the end (LIFO).
+        self.active_order: List[str] = [
+            site.name for site in fleet.sites if site.active
+        ]
+        self.cooldown_until = 0
+
+    # -- bookkeeping -----------------------------------------------------------------
+
+    @property
+    def committed(self) -> int:
+        """Sites being paid for: in service, plus warming ones."""
+        return self._in_service_count() + len(self.warming)
+
+    def _in_service_count(self) -> int:
+        return self.fleet.n_in_service
+
+    def _spare_candidates(self) -> List[str]:
+        """Healthy, drained, not-yet-warming sites, in stable site order."""
+        return [
+            site.name for site in self.fleet.sites
+            if site.healthy and not site.active and site.name not in self.warming
+        ]
+
+    # -- the control step ------------------------------------------------------------
+
+    def step(self, epoch: int, metrics: Optional[EpochMetrics],
+             forecast: Forecast, ring_guard: Callable[[], None]) -> List[str]:
+        """One controller tick at the top of ``epoch``.
+
+        Completes due warm-ups, then (outside cooldown, once a previous
+        epoch's :class:`EpochMetrics` exists) asks the policy for a
+        committed-site target and commissions or drains toward it.
+        ``ring_guard`` is called before the first ring-changing action so the
+        timeline can lazily snapshot the ring for churn accounting.  Returns
+        human-readable action labels for the epoch record.
+        """
+        actions: List[str] = []
+        for name in [n for n, ready in self.warming.items() if epoch >= ready]:
+            del self.warming[name]
+            # A spare that failed while warming is still commissioned (it is
+            # paid for and counts toward committed once repaired), but it
+            # does not enter the ring, so no snapshot is needed and the
+            # action log must not claim it went live.
+            healthy = self.fleet.site(name).healthy
+            if healthy:
+                ring_guard()
+            self.fleet.activate_site(name)
+            self.active_order.append(name)
+            actions.append(f"up {name} live" if healthy else f"up {name} failed")
+
+        if metrics is None or epoch < self.cooldown_until:
+            return actions
+
+        observation = AutoscaleObservation(
+            epoch=epoch,
+            served_sites=metrics.served_sites,
+            committed=self.committed,
+            mean_utilization=metrics.mean_utilization,
+            peak_utilization=metrics.peak_utilization,
+            delivered_fraction=metrics.delivered_fraction,
+            demand_multiplier=metrics.demand_multiplier,
+        )
+        desired = self.spec.policy.desired_sites(observation, forecast)
+        desired = max(self.min_sites, min(desired, self.max_sites))
+        committed = self.committed
+        decided = len(actions)  # warm-up completions don't restart cooldown
+        if desired > committed:
+            self._scale_up(epoch, desired - committed, actions)
+        elif desired < committed:
+            self._scale_down(committed - desired, actions, ring_guard)
+        if len(actions) > decided:
+            self.cooldown_until = epoch + 1 + self.spec.cooldown_epochs
+        return actions
+
+    def _scale_up(self, epoch: int, count: int, actions: List[str]) -> None:
+        for name in self._spare_candidates()[:count]:
+            if self.spec.warmup_epochs == 0:
+                self.fleet.activate_site(name)
+                self.active_order.append(name)
+                actions.append(f"up {name} live")
+            else:
+                self.warming[name] = epoch + self.spec.warmup_epochs
+                actions.append(f"up {name} warming")
+
+    def _scale_down(self, count: int, actions: List[str],
+                    ring_guard: Callable[[], None]) -> None:
+        # Cancelling a warm-up is free (the site never joined the ring), so
+        # newest warm-ups go first; then drain serving sites LIFO, failed
+        # ones first — they contribute nothing, so dropping them costs no
+        # churn and frees budget for a healthy replacement.
+        for name in list(reversed(self.warming))[:count]:
+            del self.warming[name]
+            actions.append(f"cancel {name}")
+            count -= 1
+        if count <= 0:
+            return
+        failed_active = [name for name in self.active_order
+                         if not self.fleet.site(name).healthy]
+        healthy_active = [name for name in self.active_order
+                          if self.fleet.site(name).healthy]
+        victims = (failed_active[::-1] + healthy_active[::-1])[:count]
+        for name in victims:
+            if self._in_service_count() <= 1 and self.fleet.site(name).in_service:
+                break  # never drain the last serving site
+            ring_guard()
+            self.fleet.drain_site(name)
+            self.active_order.remove(name)
+            actions.append(f"drain {name}")
+
+
+def elastic_fleet(
+    population: ClientPopulation,
+    max_sites: int,
+    *,
+    nominal_sites: int,
+    at_utilization: float = 0.65,
+    cost_model: Optional[CryptoCostModel] = None,
+) -> NeutralizerFleet:
+    """A homogeneous fleet with drained spares, sized for autoscaling.
+
+    Each site's CPU and uplink budget is fixed so that ``nominal_sites``
+    in-service sites carry the population's nominal busy-instant demand at
+    ``at_utilization`` — the autoscaler's working range, provisioned relative
+    to the population like :func:`repro.scale.catalogue.provisioned_fleet`.
+    The first ``nominal_sites`` sites start active; the rest are drained
+    spares the controller can commission.
+    """
+    from .catalogue import nominal_demand
+
+    if max_sites <= 0 or not 0 < nominal_sites <= max_sites:
+        raise WorkloadError("elastic fleet needs 0 < nominal_sites <= max_sites")
+    if not 0 < at_utilization <= 1:
+        raise WorkloadError("nominal operating utilization must be in (0, 1]")
+    model = cost_model or CryptoCostModel.default()
+    total_bps, total_pps = nominal_demand(population)
+    per_site_uplink = total_bps / (nominal_sites * at_utilization)
+    per_site_cores = total_pps * model.data_packet_cost_seconds / (
+        nominal_sites * at_utilization
+    )
+    sites = [
+        FleetSite(
+            f"site{i:02d}",
+            cores=max(per_site_cores, 1e-6),
+            uplink_bps=max(per_site_uplink, 1.0),
+            active=i < nominal_sites,
+        )
+        for i in range(max_sites)
+    ]
+    return NeutralizerFleet(sites, cost_model=model)

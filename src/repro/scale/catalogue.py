@@ -7,7 +7,7 @@ capacity is *provisioned relative to the population's nominal demand* (via
 whether the catalogue runs with 2,000 clients in a CI smoke job or a million
 in the full E13 campaign.
 
-The six stock scenarios cover the transients the steady-state sweep (E12)
+The eight stock scenarios cover the transients the steady-state sweep (E12)
 hides:
 
 ``flash_crowd``
@@ -32,6 +32,12 @@ hides:
     An access-ISP coalition rolls per-region throttling of video/web across
     the regions one epoch at a time, then repeals it — the fluid-model
     rendering of the paper's discrimination story at fleet scale.
+``autoscaled_diurnal``
+    An elastic fleet with drained spares tracks the diurnal sinusoid under
+    a predictive utilization policy — the closed-loop showcase.
+``stochastic_unreliable``
+    One seeded draw of the E14 stochastic processes (failures, a correlated
+    outage, attack onsets) with a step-policy autoscaler backfilling.
 """
 
 from __future__ import annotations
@@ -40,9 +46,16 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..exceptions import WorkloadError
+from .autoscale import (
+    Autoscaler,
+    PredictiveLoadPolicy,
+    StepPolicy,
+    elastic_fleet,
+)
 from .costmodel import CryptoCostModel
 from .fleet import FleetSite, NeutralizerFleet
 from .population import ClientPopulation
+from .stochastic import compile_events, default_processes
 from .timeline import (
     CapacityDegradation,
     ConstantLoad,
@@ -229,6 +242,55 @@ def _discrimination_rollout(*, clients: int, seed: int,
     )
 
 
+def _autoscaled_diurnal(*, clients: int, seed: int,
+                        cost_model: Optional[CryptoCostModel],
+                        population: Optional[ClientPopulation] = None) -> FluidTimeline:
+    population = population or ClientPopulation(clients, seed=seed)
+    # 16 nominal sites at 60% utilization, 8 drained spares; the predictive
+    # policy reads the diurnal curve two epochs ahead so capacity lands when
+    # the evening peak does, not one warm-up after it.
+    fleet = elastic_fleet(population, 24, nominal_sites=16, at_utilization=0.6,
+                          cost_model=cost_model)
+    autoscaler = Autoscaler(
+        PredictiveLoadPolicy(target=0.6, lead_epochs=2, deadband=0.06),
+        min_sites=8, warmup_epochs=2, cooldown_epochs=1,
+    )
+    return FluidTimeline(
+        population, fleet,
+        epochs=72, epoch_seconds=3600.0,
+        load=DiurnalLoad(trough=0.3, peak=1.15, timezone_spread=0.25),
+        autoscaler=autoscaler,
+    )
+
+
+def _stochastic_unreliable(*, clients: int, seed: int,
+                           cost_model: Optional[CryptoCostModel],
+                           population: Optional[ClientPopulation] = None) -> FluidTimeline:
+    population = population or ClientPopulation(clients, seed=seed)
+    fleet = elastic_fleet(population, 20, nominal_sites=16, at_utilization=0.7,
+                          cost_model=cost_model)
+    # One draw of the E14 processes, pinned to the scenario seed — a single
+    # unlucky month: random single-site failures, one or two correlated
+    # outages, and DoS onsets, with a step autoscaler backfilling from the
+    # spare pool whenever a survivor runs hot.
+    events = compile_events(
+        default_processes(failure_rate=0.004, outage_rate=0.02, attack_rate=0.03),
+        seed=seed, epochs=60,
+        site_names=[site.name for site in fleet.sites],
+    )
+    autoscaler = Autoscaler(
+        StepPolicy(high=0.85, low=0.45, step=2),
+        min_sites=12, warmup_epochs=1, cooldown_epochs=1,
+    )
+    return FluidTimeline(
+        population, fleet,
+        epochs=60, epoch_seconds=1800.0,
+        load=ConstantLoad(1.0),
+        events=events,
+        autoscaler=autoscaler,
+    )
+
+
 CATALOGUE: Dict[str, ScenarioSpec] = {
     spec.name: spec
     for spec in (
@@ -278,6 +340,25 @@ CATALOGUE: Dict[str, ScenarioSpec] = {
                         "region, hold, and repeal — the paper's policy story "
                         "as a fleet-scale transient",
             build=_discrimination_rollout,
+        ),
+        ScenarioSpec(
+            name="autoscaled_diurnal",
+            title="Predictive autoscaler riding three diurnal days",
+            description="an elastic fleet (16 nominal sites, 8 drained "
+                        "spares) tracks the day/night sinusoid under a "
+                        "predictive utilization policy: spares warm up ahead "
+                        "of the evening peak and drain off overnight, paying "
+                        "remap churn for the saved core-hours",
+            build=_autoscaled_diurnal,
+        ),
+        ScenarioSpec(
+            name="stochastic_unreliable",
+            title="One unlucky month: seeded failures, outages, attacks",
+            description="a single draw of the E14 stochastic processes "
+                        "(Poisson site failures, a correlated regional "
+                        "outage, DoS onsets) against a step-policy "
+                        "autoscaler backfilling from the spare pool",
+            build=_stochastic_unreliable,
         ),
     )
 }

@@ -128,3 +128,46 @@ class CryptoCostModel:
             kdf_ops_per_second=kdf.per_second,
             rsa512_encryptions_per_second=rsa.per_second,
         )
+
+
+@dataclass(frozen=True)
+class ProvisioningCostModel:
+    """Dollar cost of running (and churning) the fleet, per epoch.
+
+    :class:`CryptoCostModel` prices the fast path in CPU seconds; this model
+    prices the *deployment* in dollars, so autoscaling and Monte-Carlo
+    campaigns can report a cost distribution next to availability instead of
+    assuming capacity is free.  The defaults are commodity-cloud shaped
+    (general-purpose core-hours, transit per Gb/s-hour, a fixed per-PoP
+    overhead for space/power/peering) — the absolute level is a knob, the
+    *ratios* are what make churn-vs-SLO frontiers meaningful.  Remapped
+    clients are charged too: every client the hash ring moves performs a
+    fresh key setup against its new site (the paper's stateless design makes
+    the remap cheap, not free).
+    """
+
+    #: Dollars per provisioned core-hour (charged for in-service and
+    #: warming sites alike — a box being provisioned is a box being paid for).
+    core_hour_usd: float = 0.05
+    #: Dollars per Gb/s-hour of provisioned uplink.
+    gbps_hour_usd: float = 0.08
+    #: Fixed dollars per site-hour (space, power, peering).
+    site_hour_usd: float = 0.50
+    #: Dollars per thousand remapped clients (fresh key setups at the new site).
+    remap_usd_per_thousand: float = 0.01
+
+    def __post_init__(self) -> None:
+        if min(self.core_hour_usd, self.gbps_hour_usd, self.site_hour_usd,
+               self.remap_usd_per_thousand) < 0:
+            raise WorkloadError("provisioning prices must be non-negative")
+
+    def epoch_cost(self, *, cores: float, uplink_bps: float, sites: float,
+                   epoch_seconds: float, clients_remapped: int = 0) -> float:
+        """Dollars one epoch costs for the committed capacity plus its churn."""
+        hours = epoch_seconds / 3600.0
+        return (
+            (self.core_hour_usd * cores
+             + self.gbps_hour_usd * uplink_bps / 1e9
+             + self.site_hour_usd * sites) * hours
+            + self.remap_usd_per_thousand * clients_remapped / 1000.0
+        )

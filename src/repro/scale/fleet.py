@@ -1,6 +1,8 @@
 """The neutralizer fleet: sites, capacity, health, and client assignment.
 
-A *site* is one anycast entry point into the neutral domain — in the
+This is the supply side of the paper's §4 scaling argument (neutralizer
+boxes at the neutral ISP's borders, reached by anycast).  A *site* is one
+anycast entry point into the neutral domain — in the
 packet-level simulator, one :class:`repro.core.neutralizer.Neutralizer` on a
 border router; here, a CPU budget (cores × the calibrated per-packet cost)
 plus an uplink.  Clients are spread over healthy sites with the
@@ -26,16 +28,31 @@ from .costmodel import CryptoCostModel
 
 @dataclass
 class FleetSite:
-    """One neutralizer site: a point of presence with CPU and uplink budgets."""
+    """One neutralizer site: a point of presence with CPU and uplink budgets.
+
+    Two independent flags gate whether the site serves clients: ``healthy``
+    is involuntary (failures and recoveries, flipped by fleet events) and
+    ``active`` is voluntary (commissioned vs drained, flipped by the
+    autoscaler).  A site is *in service* — present in the hash ring,
+    contributing capacity — only when both are true, so a drained site that
+    fails, recovers, and is reactivated passes through every state exactly
+    once.
+    """
 
     name: str
     cores: float = 8.0
     uplink_bps: float = gbps(10)
     healthy: bool = True
+    active: bool = True
 
     def __post_init__(self) -> None:
         if self.cores <= 0 or self.uplink_bps <= 0:
             raise TopologyError(f"site {self.name!r} needs positive cores and uplink")
+
+    @property
+    def in_service(self) -> bool:
+        """Whether the site currently serves clients (healthy AND active)."""
+        return self.healthy and self.active
 
 
 class NeutralizerFleet:
@@ -57,6 +74,30 @@ class NeutralizerFleet:
         self.cost_model = cost_model or CryptoCostModel.default()
         self.replicas = replicas
         self._index_by_name: Dict[str, int] = {name: i for i, name in enumerate(names)}
+        # Every site's ring points are hashed once here (through an empty
+        # ring, so the hash stays the single source of truth); membership
+        # changes then assemble the in-service table from these cached
+        # arrays instead of re-hashing, so a failover epoch costs an argsort
+        # over ~10^3 points, not thousands of blake2b calls plus sorted
+        # list inserts.
+        hasher = ConsistentHashRing([], replicas=replicas)
+        self._site_points: Dict[str, np.ndarray] = {}
+        for name in names:
+            points = np.fromiter(
+                (hasher._position(f"{name}#{replica}".encode())
+                 for replica in range(replicas)),
+                dtype=np.uint64, count=replicas,
+            )
+            points.sort()
+            self._site_points[name] = points
+        self._ring_object: Optional[ConsistentHashRing] = None
+        self._cpu_capacity: Optional[np.ndarray] = None
+        self._uplink_capacity: Optional[np.ndarray] = None
+        self._service_mask: Optional[np.ndarray] = None
+        #: Bumped whenever any site's ``active`` flag flips — unlike
+        #: :attr:`generation` this moves even when the ring does not (e.g.
+        #: draining an already-failed site), so billing caches can key on it.
+        self.active_version = 0
         #: Bumped on every ring rebuild, so cached client assignments and
         #: problem templates know when they are stale.
         self.generation = 0
@@ -86,23 +127,104 @@ class NeutralizerFleet:
                  for name in deployment.router_names]
         return cls(sites, cost_model=cost_model, replicas=replicas)
 
-    # -- health ----------------------------------------------------------------------
+    # -- health and commissioning ----------------------------------------------------
 
     def _rebuild_ring(self) -> None:
-        healthy = [site.name for site in self.sites if site.healthy]
-        if not healthy:
-            raise TopologyError("every site of the fleet is down")
-        self.ring = ConsistentHashRing(healthy, replicas=self.replicas)
-        positions, owners = self.ring.table()
-        self._ring_positions = np.asarray(positions, dtype=np.uint64)
-        self._ring_owner_index = np.asarray(
-            [self._index_by_name[name] for name in owners], dtype=np.int64
-        )
+        serving = [site.name for site in self.sites if site.in_service]
+        if not serving:
+            raise TopologyError("every site of the fleet is out of service")
+        positions = np.concatenate([self._site_points[name] for name in serving])
+        owners = np.concatenate([
+            np.full(self._site_points[name].size, self._index_by_name[name],
+                    dtype=np.int64)
+            for name in serving
+        ])
+        order = np.argsort(positions, kind="stable")
+        self._ring_positions = positions[order]
+        self._ring_owner_index = owners[order]
+        self._ring_object = None
+        self._cpu_capacity = None
+        self._uplink_capacity = None
+        self._service_mask = None
         self.generation += 1
+
+    @property
+    def ring(self) -> ConsistentHashRing:
+        """The in-service consistent-hash ring as a full ring object.
+
+        The vectorized paths use the cached position table directly; this
+        object form (built lazily, for ``site_for``-style point lookups)
+        always agrees with it because both hash the same site names.
+        """
+        if self._ring_object is None:
+            self._ring_object = ConsistentHashRing(
+                self.in_service_names, replicas=self.replicas
+            )
+        return self._ring_object
+
+    def _set_site_state(self, name: str, *, healthy: Optional[bool] = None,
+                        active: Optional[bool] = None) -> None:
+        """Flip one site's flags, rebuilding the ring only on membership change.
+
+        A drain of an already-failed site (or a recovery of a drained one)
+        leaves the in-service set untouched, so cached problem templates stay
+        valid and no churn is charged — the ring moves only when a site
+        actually enters or leaves service.
+        """
+        site = self.site(name)
+        was_serving = site.in_service
+        will_be_healthy = site.healthy if healthy is None else healthy
+        will_be_active = site.active if active is None else active
+        will_serve = will_be_healthy and will_be_active
+        # Refuse before mutating anything: a rejected transition must leave
+        # the flags, the ring, and every cached array exactly as they were.
+        if was_serving and not will_serve and self.n_in_service == 1:
+            raise TopologyError(
+                f"refusing to take {name!r} out of service: it is the "
+                f"fleet's last serving site"
+            )
+        if will_be_active != site.active:
+            self.active_version += 1
+        site.healthy = will_be_healthy
+        site.active = will_be_active
+        if will_serve != was_serving:
+            self._rebuild_ring()
 
     def ring_snapshot(self):
         """Freeze the current ring state (see :meth:`ConsistentHashRing.snapshot`)."""
-        return self.ring.snapshot()
+        from ..core.anycast import RingSnapshot
+
+        return RingSnapshot(
+            positions=tuple(int(p) for p in self._ring_positions),
+            owners=tuple(self.sites[i].name for i in self._ring_owner_index),
+        )
+
+    def ring_state(self) -> Tuple[np.ndarray, np.ndarray]:
+        """The ring's (positions, owner indices) arrays, cheap to snapshot.
+
+        Rebuilds allocate fresh arrays, so holding the returned references
+        across a membership change is a valid zero-copy snapshot — the fast
+        path timelines use for per-epoch churn accounting (the tuple-based
+        :meth:`ring_snapshot` stays for API/diagnostic use).
+        """
+        return self._ring_positions, self._ring_owner_index
+
+    @staticmethod
+    def ring_moved_fraction(before: Tuple[np.ndarray, np.ndarray],
+                            after: Tuple[np.ndarray, np.ndarray]) -> float:
+        """Hash-space fraction whose owner differs between two ring states.
+
+        Same arc semantics as :meth:`repro.core.anycast.RingSnapshot.diff` —
+        both delegate to :func:`repro.core.anycast.arc_moved_fraction` —
+        but operating directly on the position/owner-index arrays from
+        :meth:`ring_state`, with no tuple conversion.
+        """
+        from ..core.anycast import ConsistentHashRing, arc_moved_fraction
+
+        return arc_moved_fraction(
+            before[0], before[1], after[0], after[1],
+            1 << ConsistentHashRing._SPACE_BITS,
+        )
 
     def site(self, name: str) -> FleetSite:
         """Look up one site by name."""
@@ -119,36 +241,69 @@ class NeutralizerFleet:
 
     def fail_site(self, name: str) -> None:
         """Take a site down; its ring points are withdrawn immediately."""
-        self.site(name).healthy = False
-        self._rebuild_ring()
+        self._set_site_state(name, healthy=False)
 
     def restore_site(self, name: str) -> None:
-        """Bring a failed site back; it reclaims exactly its old ring points."""
-        self.site(name).healthy = True
-        self._rebuild_ring()
+        """Bring a failed site back; it reclaims exactly its old ring points
+        (unless it was drained meanwhile, in which case it stays out)."""
+        self._set_site_state(name, healthy=True)
 
-    def health_snapshot(self) -> Tuple[bool, ...]:
-        """Per-site health flags, in :attr:`sites` order, for later restore."""
-        return tuple(site.healthy for site in self.sites)
+    def drain_site(self, name: str) -> None:
+        """Decommission a site voluntarily (autoscaler scale-down)."""
+        self._set_site_state(name, active=False)
 
-    def restore_health(self, snapshot: Tuple[bool, ...]) -> None:
-        """Reset every site's health to ``snapshot`` (one ring rebuild).
+    def activate_site(self, name: str) -> None:
+        """Commission a site (autoscaler scale-up after its warm-up)."""
+        self._set_site_state(name, active=True)
 
-        The undo operation for a sequence of failures/recoveries — timeline
-        runs use it to hand the fleet back in its pre-run state.
+    def health_snapshot(self) -> Tuple[Tuple[bool, bool], ...]:
+        """Per-site ``(healthy, active)`` flags, in :attr:`sites` order."""
+        return tuple((site.healthy, site.active) for site in self.sites)
+
+    def restore_health(self, snapshot: Tuple[Tuple[bool, bool], ...]) -> None:
+        """Reset every site's flags to ``snapshot`` (at most one ring rebuild).
+
+        The undo operation for a sequence of failures/recoveries/autoscale
+        actions — timeline runs use it to hand the fleet back in its pre-run
+        state.
         """
         if len(snapshot) != len(self.sites):
             raise TopologyError("health snapshot does not match the fleet's sites")
         if snapshot == self.health_snapshot():
             return
-        for site, healthy in zip(self.sites, snapshot):
+        before = [site.in_service for site in self.sites]
+        for site, (healthy, active) in zip(self.sites, snapshot):
             site.healthy = healthy
-        self._rebuild_ring()
+            site.active = active
+        if [site.in_service for site in self.sites] != before:
+            self._rebuild_ring()
 
     @property
     def healthy_site_names(self) -> List[str]:
-        """Names of sites currently in the ring."""
+        """Names of healthy sites (failed excluded; drained ones included)."""
         return [site.name for site in self.sites if site.healthy]
+
+    @property
+    def in_service_names(self) -> List[str]:
+        """Names of sites currently in the ring (healthy AND active)."""
+        return [site.name for site in self.sites if site.in_service]
+
+    def in_service_mask(self) -> np.ndarray:
+        """Boolean per-site in-service flags, in :attr:`sites` order.
+
+        Cached per ring state (like the capacity arrays) — treat as
+        read-only.
+        """
+        if self._service_mask is None:
+            self._service_mask = np.array(
+                [site.in_service for site in self.sites], dtype=bool
+            )
+        return self._service_mask
+
+    @property
+    def n_in_service(self) -> int:
+        """Number of sites currently serving."""
+        return int(self.in_service_mask().sum())
 
     # -- vectorized assignment -------------------------------------------------------
 
@@ -163,6 +318,30 @@ class NeutralizerFleet:
         slots[slots == len(self._ring_positions)] = 0
         return self._ring_owner_index[slots]
 
+    def assignment_segments(self, positions_sorted: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """The ring assignment of *sorted* client positions, as segments.
+
+        Instead of looking up every client (O(n_clients log ring)), invert
+        the lookup: ``searchsorted`` the ring's points into the sorted client
+        positions, which costs O(ring points × log n_clients) and describes
+        the whole assignment as contiguous segments.  Returns ``(cuts,
+        owners)`` where clients ``cuts[i]:cuts[i + 1]`` of the sorted order
+        belong to site index ``owners[i]`` (the final segment wraps past the
+        last ring point back to the first).  Equivalent to
+        :meth:`assign_sites` on the same positions, verified by tests;
+        :class:`repro.scale.scenario.ProblemTemplate` diffs two segment
+        structures to update group counts in O(moved clients) after a ring
+        change.
+        """
+        bounds = np.searchsorted(positions_sorted, self._ring_positions, side="right")
+        cuts = np.concatenate([
+            np.zeros(1, dtype=np.int64),
+            bounds.astype(np.int64),
+            np.array([positions_sorted.size], dtype=np.int64),
+        ])
+        owners = np.concatenate([self._ring_owner_index, self._ring_owner_index[:1]])
+        return cuts, owners
+
     # -- capacity --------------------------------------------------------------------
 
     @property
@@ -171,17 +350,29 @@ class NeutralizerFleet:
         return len(self.sites)
 
     def cpu_capacity_cores(self) -> np.ndarray:
-        """Per-site CPU budget in cores (zero when down)."""
-        return np.array(
-            [site.cores if site.healthy else 0.0 for site in self.sites], dtype=np.float64
-        )
+        """Per-site CPU budget in cores (zero when failed or drained).
+
+        Cached per ring state and rebuilt lazily; epoch loops call this
+        every step, so treat the returned array as read-only.
+        """
+        if self._cpu_capacity is None:
+            self._cpu_capacity = np.array(
+                [site.cores if site.in_service else 0.0 for site in self.sites],
+                dtype=np.float64,
+            )
+        return self._cpu_capacity
 
     def uplink_capacity_bps(self) -> np.ndarray:
-        """Per-site uplink budget in bits/s (zero when down)."""
-        return np.array(
-            [site.uplink_bps if site.healthy else 0.0 for site in self.sites],
-            dtype=np.float64,
-        )
+        """Per-site uplink budget in bits/s (zero when failed or drained).
+
+        Cached per ring state, like :meth:`cpu_capacity_cores`.
+        """
+        if self._uplink_capacity is None:
+            self._uplink_capacity = np.array(
+                [site.uplink_bps if site.in_service else 0.0 for site in self.sites],
+                dtype=np.float64,
+            )
+        return self._uplink_capacity
 
     def data_capacity_pps(self) -> np.ndarray:
         """Per-site data-path forwarding budget in packets/s."""
@@ -189,9 +380,9 @@ class NeutralizerFleet:
 
     def describe(self) -> str:
         """One-line summary used by reports and examples."""
-        healthy = self.healthy_site_names
+        serving = self.in_service_names
         per_site = self.cost_model.data_packets_per_second(self.sites[0].cores)
         return (
-            f"fleet of {len(self.sites)} sites ({len(healthy)} healthy), "
+            f"fleet of {len(self.sites)} sites ({len(serving)} in service), "
             f"~{per_site:,.0f} pkt/s per site data path"
         )

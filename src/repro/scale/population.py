@@ -1,6 +1,8 @@
 """Client populations as vectorized aggregate demand.
 
-A population is millions of clients, each belonging to one *demand class*
+This is the demand side of the paper's §4 scaling argument ("an ISP with
+millions of subscribers"): a population is millions of clients, each
+belonging to one *demand class*
 (VoIP, web, video — rates and packet sizes taken from the corresponding
 :mod:`repro.apps` models plus the neutralizer's wire overhead) and one access
 *region* (an aggregate of access links sharing a regional uplink).  Nothing
@@ -173,6 +175,7 @@ class ClientPopulation:
             0x1000003
         )
         self.ring_positions = _splitmix64(identities)
+        self._ring_sorted: Optional[Tuple[np.ndarray, ...]] = None
 
     # -- aggregation -----------------------------------------------------------------
 
@@ -205,6 +208,32 @@ class ClientPopulation:
         )
         counts = np.bincount(fused, minlength=self.regions * self.n_classes * n_sites)
         return counts.reshape(self.regions, self.n_classes, n_sites)
+
+    def ring_sorted(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """The population reordered by ring position, cached after first use.
+
+        Returns ``(positions, region_index, class_index, region_class)``, all
+        in ascending ring-position order; ``region_class`` is the fused
+        ``region * n_classes + class`` index used for group counting.  With
+        clients sorted this way, a consistent-hash assignment is a *segment
+        structure* — ``searchsorted`` of the ring's points into the client
+        positions — so fleet membership changes cost O(ring points + moved
+        clients) instead of a full O(n_clients) pass
+        (:meth:`repro.scale.fleet.NeutralizerFleet.assignment_segments`).
+        The one O(n log n) sort is paid once and shared by every scenario,
+        timeline, and Monte-Carlo replica built on this population.
+        """
+        if self._ring_sorted is None:
+            order = np.argsort(self.ring_positions, kind="stable")
+            region_sorted = self.region_index[order].astype(np.int64)
+            class_sorted = self.class_index[order].astype(np.int64)
+            self._ring_sorted = (
+                self.ring_positions[order],
+                region_sorted,
+                class_sorted,
+                region_sorted * self.n_classes + class_sorted,
+            )
+        return self._ring_sorted
 
     def demand_pps_per_client(self) -> np.ndarray:
         """Busy-instant packets/s of one subscribed client, per class."""

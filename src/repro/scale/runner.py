@@ -1,14 +1,19 @@
-"""Campaign runners for fleet-scale sweeps and timeline catalogues.
+"""Campaign runners: fleet-scale sweeps, timeline catalogues, Monte Carlo.
 
 Each runner owns one configured campaign and exposes the same contract as
 the experiment-runner pattern in SNIPPETS.md: ``run()`` produces a frozen
 result object with a run id, timing, per-point records, and a rendered
 report, while ``get_current_state()`` can be polled for progress.
 :class:`FleetScaleRunner` sweeps population sizes against one fleet shape
-(E12); :class:`TimelineCampaignRunner` runs the named scenarios of
+(E12, the paper's §4 scaling argument as a curve);
+:class:`TimelineCampaignRunner` runs the named scenarios of
 :mod:`repro.scale.catalogue` through the time-stepped fluid simulator
-(E13).  Everything the *simulation* produces is deterministic from the
-seed; only the wall-clock fields reflect the machine the campaign ran on.
+(E13); :class:`StochasticCampaignRunner` runs Monte-Carlo replicas of one
+autoscaled scenario against seeded stochastic event sequences and
+aggregates availability/churn/cost *distributions* (E14), with
+:func:`run_churn_slo_frontier` sweeping the autoscaler's operating point.
+Everything the *simulation* produces is deterministic from the seed; only
+the wall-clock fields reflect the machine the campaign ran on.
 """
 
 from __future__ import annotations
@@ -17,14 +22,18 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Protocol, Sequence, Tuple
 
+import numpy as np
+
 from ..analysis.report import ExperimentReport, format_series
 from ..exceptions import WorkloadError
 from ..units import gbps
-from .costmodel import CryptoCostModel
+from .autoscale import Autoscaler, TargetUtilizationPolicy, elastic_fleet
+from .costmodel import CryptoCostModel, ProvisioningCostModel
 from .fleet import NeutralizerFleet
 from .population import ClientPopulation, PopulationMix, default_mix
 from .scenario import FluidResult, ScaleScenario
-from .timeline import TimelineResult
+from .stochastic import EventProcess, compile_events, default_processes
+from .timeline import FluidTimeline, LoadCurve, TimelineResult
 
 #: The default campaign sweep: three decades up to a million clients.
 DEFAULT_CLIENT_COUNTS: Tuple[int, ...] = (1_000, 10_000, 100_000, 1_000_000)
@@ -425,3 +434,391 @@ class TimelineCampaignRunner:
             "epochs certified directly from the demands vector"
         )
         return report
+
+
+# ---------------------------------------------------------------------------
+# E14: Monte-Carlo stochastic availability campaigns
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MetricDistribution:
+    """P50/P95/P99 summary of one campaign metric.
+
+    ``tail`` records which direction is the risk: for availability-like
+    metrics (``'low'``) the P95/P99 columns are the values *exceeded by* 95%
+    and 99% of samples (the 5th and 1st percentiles — tail risk), while for
+    cost-like metrics (``'high'``) they are the classic upper percentiles.
+    ``worst`` is the corresponding extreme.
+    """
+
+    metric: str
+    tail: str
+    p50: float
+    p95: float
+    p99: float
+    mean: float
+    worst: float
+    samples: int
+
+    @classmethod
+    def from_samples(cls, metric: str, samples: Sequence[float],
+                     *, tail: str = "high") -> "MetricDistribution":
+        if tail not in ("low", "high"):
+            raise WorkloadError("distribution tail must be 'low' or 'high'")
+        values = np.asarray(list(samples), dtype=np.float64)
+        if values.size == 0:
+            raise WorkloadError(f"metric {metric!r} has no samples")
+        if tail == "low":
+            p95, p99, worst = (np.percentile(values, 5), np.percentile(values, 1),
+                               values.min())
+        else:
+            p95, p99, worst = (np.percentile(values, 95), np.percentile(values, 99),
+                               values.max())
+        return cls(metric=metric, tail=tail, p50=float(np.percentile(values, 50)),
+                   p95=float(p95), p99=float(p99), mean=float(values.mean()),
+                   worst=float(worst), samples=int(values.size))
+
+
+@dataclass(frozen=True)
+class StochasticReplicaRecord:
+    """One Monte-Carlo replica: a full stochastic timeline, summarized."""
+
+    replica: int
+    #: Seed the replica's event sequence was compiled from.
+    event_seed: int
+    events_fired: int
+    mean_delivered: float
+    worst_delivered: float
+    #: Fraction of epochs at or above the campaign's SLO threshold.
+    slo_attainment: float
+    clients_remapped: int
+    autoscale_actions: int
+    peak_sites: int
+    trough_sites: int
+    provision_cost: float
+    wall_seconds: float
+
+
+@dataclass(frozen=True)
+class StochasticCampaignResult:
+    """Final result of one E14 Monte-Carlo campaign."""
+
+    run_id: str
+    experiment_name: str
+    started_at: float
+    completed_at: float
+    duration_seconds: float
+    slo: float
+    records: Tuple[StochasticReplicaRecord, ...]
+    #: Named P50/P95/P99 summaries; see the runner for the metric set.
+    distributions: Dict[str, MetricDistribution]
+    report: ExperimentReport
+
+    @property
+    def availability(self) -> MetricDistribution:
+        """The headline distribution: per-epoch delivered fraction, pooled."""
+        return self.distributions["availability"]
+
+    @property
+    def worst_replica(self) -> StochasticReplicaRecord:
+        """The replica with the deepest availability dip."""
+        return min(self.records, key=lambda record: record.worst_delivered)
+
+    def churn_slo_points(self) -> List[Tuple[int, float]]:
+        """Per-replica (churn, SLO attainment) pairs — the raw frontier cloud."""
+        return [(record.clients_remapped, record.slo_attainment)
+                for record in self.records]
+
+
+class StochasticCampaignRunner:
+    """E14: Monte-Carlo availability campaigns over stochastic fleets.
+
+    Runs ``replicas`` independent timelines of the same scenario — one
+    shared population, one autoscaled elastic fleet shape, one load curve —
+    each with a freshly drawn stochastic event sequence (Poisson site
+    failures, correlated regional outages, DoS attack onsets), and
+    aggregates the per-replica and per-epoch metrics into P50/P95/P99
+    distributions plus churn-vs-SLO numbers.  Everything is deterministic
+    from ``seed``: replica event streams are spawned from it, so the same
+    seed always reproduces the identical distributions, bit for bit.
+    """
+
+    def __init__(
+        self,
+        *,
+        clients: int = 1_000_000,
+        epochs: int = 200,
+        replicas: int = 32,
+        seed: int = 2006,
+        regions: int = 8,
+        max_sites: int = 40,
+        nominal_sites: int = 32,
+        at_utilization: float = 0.65,
+        epoch_seconds: float = 900.0,
+        slo: float = 0.95,
+        load: Optional[LoadCurve] = None,
+        processes: Optional[Sequence[EventProcess]] = None,
+        autoscaler: Optional[Autoscaler] = None,
+        mix: Optional[PopulationMix] = None,
+        cost_model: Optional[CryptoCostModel] = None,
+        provisioning_cost: Optional[ProvisioningCostModel] = None,
+        population: Optional[ClientPopulation] = None,
+    ) -> None:
+        if clients <= 0 or epochs <= 0 or replicas <= 0:
+            raise WorkloadError("campaign needs positive clients, epochs and replicas")
+        if not 0 < slo <= 1:
+            raise WorkloadError("SLO threshold must be in (0, 1]")
+        if population is not None and population.n_clients != clients:
+            raise WorkloadError("shared population does not match the client count")
+        self.clients = int(clients)
+        self.epochs = int(epochs)
+        self.replicas = int(replicas)
+        self.seed = seed
+        self.regions = regions
+        self.max_sites = max_sites
+        self.nominal_sites = nominal_sites
+        self.at_utilization = at_utilization
+        self.epoch_seconds = epoch_seconds
+        self.slo = slo
+        self.load = load
+        self.processes = tuple(processes) if processes is not None else default_processes()
+        self.autoscaler = autoscaler if autoscaler is not None else Autoscaler(
+            TargetUtilizationPolicy(target=at_utilization, deadband=0.08),
+            min_sites=max(nominal_sites // 2, 1),
+            warmup_epochs=1,
+            cooldown_epochs=1,
+        )
+        self.mix = mix
+        self.cost_model = cost_model
+        self.provisioning_cost = provisioning_cost
+        self._population = population
+        self.run_id = f"stochastic-{seed:08x}-{self.clients}x{self.replicas}"
+        self.experiment_name = "stochastic_availability"
+        self._completed = 0
+        self._current: Optional[int] = None
+
+    # -- protocol --------------------------------------------------------------------
+
+    def get_current_state(self) -> ScaleExperimentState:
+        """Snapshot campaign progress (poll-safe, cheap)."""
+        return ScaleExperimentState(
+            completed_points=self._completed,
+            total_points=self.replicas,
+            current_clients=self.clients if self._current is not None else None,
+            current_label=(f"replica {self._current}"
+                           if self._current is not None else None),
+        )
+
+    def _build_fleet(self, population: ClientPopulation) -> NeutralizerFleet:
+        return elastic_fleet(
+            population, self.max_sites, nominal_sites=self.nominal_sites,
+            at_utilization=self.at_utilization, cost_model=self.cost_model,
+        )
+
+    def run_replica(self, population: ClientPopulation,
+                    event_seed: int) -> TimelineResult:
+        """One stochastic timeline: compiled events + autoscaler, solved."""
+        fleet = self._build_fleet(population)
+        events = compile_events(
+            self.processes, seed=event_seed, epochs=self.epochs,
+            site_names=[site.name for site in fleet.sites],
+        )
+        timeline = FluidTimeline(
+            population, fleet,
+            epochs=self.epochs, epoch_seconds=self.epoch_seconds,
+            load=self.load, events=events,
+            autoscaler=self.autoscaler,
+            provisioning_cost=self.provisioning_cost,
+        )
+        return timeline.run()
+
+    def run(self) -> StochasticCampaignResult:
+        """Run every replica and aggregate the distributions."""
+        started_at = time.time()
+        population = self._population or ClientPopulation(
+            self.clients, mix=self.mix, regions=self.regions, seed=self.seed,
+        )
+        population.ring_sorted()  # warm the shared sort before timing replicas
+
+        streams = np.random.SeedSequence(self.seed).spawn(self.replicas)
+        records: List[StochasticReplicaRecord] = []
+        pooled_delivered: List[np.ndarray] = []
+        self._completed = 0
+        for replica in range(self.replicas):
+            self._current = replica
+            event_seed = int(streams[replica].generate_state(1)[0])
+            wall_started = time.perf_counter()
+            result = self.run_replica(population, event_seed)
+            wall = time.perf_counter() - wall_started
+            pooled_delivered.append(result.delivered_fraction)
+            records.append(StochasticReplicaRecord(
+                replica=replica,
+                event_seed=event_seed,
+                events_fired=sum(len(record.events) for record in result.records),
+                mean_delivered=result.mean_delivered_fraction,
+                worst_delivered=result.min_delivered_fraction,
+                slo_attainment=result.slo_attainment(self.slo),
+                clients_remapped=result.total_clients_remapped,
+                autoscale_actions=result.total_autoscale_actions,
+                peak_sites=int(result.sites_in_service.max()),
+                trough_sites=int(result.sites_in_service.min()),
+                provision_cost=result.total_provision_cost,
+                wall_seconds=wall,
+            ))
+            self._completed += 1
+        self._current = None
+        completed_at = time.time()
+
+        distributions = {
+            "availability": MetricDistribution.from_samples(
+                "availability", np.concatenate(pooled_delivered), tail="low"),
+            "replica availability": MetricDistribution.from_samples(
+                "replica availability",
+                [record.mean_delivered for record in records], tail="low"),
+            "worst-epoch availability": MetricDistribution.from_samples(
+                "worst-epoch availability",
+                [record.worst_delivered for record in records], tail="low"),
+            f"slo attainment (>= {self.slo:g})": MetricDistribution.from_samples(
+                f"slo attainment (>= {self.slo:g})",
+                [record.slo_attainment for record in records], tail="low"),
+            "remap churn (client-moves)": MetricDistribution.from_samples(
+                "remap churn (client-moves)",
+                [float(record.clients_remapped) for record in records], tail="high"),
+            "provision cost (usd)": MetricDistribution.from_samples(
+                "provision cost (usd)",
+                [record.provision_cost for record in records], tail="high"),
+        }
+        report = self._render_report(records, distributions)
+        return StochasticCampaignResult(
+            run_id=self.run_id,
+            experiment_name=self.experiment_name,
+            started_at=started_at,
+            completed_at=completed_at,
+            duration_seconds=completed_at - started_at,
+            slo=self.slo,
+            records=tuple(records),
+            distributions=distributions,
+            report=report,
+        )
+
+    def _render_report(self, records: List[StochasticReplicaRecord],
+                       distributions: Dict[str, MetricDistribution]) -> ExperimentReport:
+        report = ExperimentReport(
+            "E14",
+            f"Stochastic availability campaign ({self.clients:,} clients, "
+            f"{self.replicas} replicas x {self.epochs} epochs, seed {self.seed})",
+        )
+        report.add_table(
+            ["metric", "p50", "p95", "p99", "mean", "worst", "samples"],
+            [[dist.metric, dist.p50, dist.p95, dist.p99, dist.mean, dist.worst,
+              dist.samples] for dist in distributions.values()],
+            title="distributions (availability-like rows quote tail-risk percentiles)",
+        )
+        report.add_table(
+            ["replica", "events", "mean deliv", "worst deliv", "slo att",
+             "churn", "actions", "sites lo-hi", "cost usd"],
+            [[record.replica, record.events_fired, record.mean_delivered,
+              record.worst_delivered, record.slo_attainment,
+              record.clients_remapped, record.autoscale_actions,
+              f"{record.trough_sites}-{record.peak_sites}",
+              record.provision_cost] for record in records],
+            title="churn vs SLO, replica by replica",
+        )
+        report.add_note(
+            f"elastic fleet: {self.nominal_sites} nominal of {self.max_sites} max "
+            f"sites at {self.at_utilization:g} target utilization; autoscaler "
+            f"policy {type(self.autoscaler.policy).__name__}, warm-up "
+            f"{self.autoscaler.warmup_epochs} epoch(s), cooldown "
+            f"{self.autoscaler.cooldown_epochs}"
+        )
+        report.add_note(
+            "every replica replays the same load against a fresh seeded event "
+            "sequence (Poisson failures, correlated outages, attack onsets); "
+            "identical campaign seeds reproduce identical distributions"
+        )
+        return report
+
+
+@dataclass(frozen=True)
+class FrontierPoint:
+    """One autoscaler operating point on the churn-vs-SLO frontier."""
+
+    target_utilization: float
+    availability_p50: float
+    availability_p99: float
+    mean_slo_attainment: float
+    mean_churn: float
+    mean_cost_usd: float
+
+
+@dataclass(frozen=True)
+class FrontierResult:
+    """The churn-vs-SLO frontier swept over autoscaler utilization targets."""
+
+    points: Tuple[FrontierPoint, ...]
+    report: ExperimentReport
+
+
+def run_churn_slo_frontier(
+    *,
+    targets: Sequence[float] = (0.45, 0.6, 0.75, 0.9),
+    clients: int = 200_000,
+    epochs: int = 96,
+    replicas: int = 8,
+    seed: int = 2006,
+    slo: float = 0.95,
+    **campaign_kwargs,
+) -> FrontierResult:
+    """Sweep the autoscaler's utilization target and chart churn against SLO.
+
+    Running hotter (higher target) saves sites and dollars but eats the
+    headroom that absorbs failures — SLO attainment falls; running colder
+    buys availability with money and scale churn.  One shared population
+    feeds every point; each point is a full (smaller) E14 campaign with the
+    same seed, so the frontier isolates the policy knob from the noise.
+    """
+    if not targets:
+        raise WorkloadError("the frontier needs at least one utilization target")
+    population = ClientPopulation(
+        clients, mix=campaign_kwargs.get("mix"),
+        regions=campaign_kwargs.get("regions", 8), seed=seed,
+    )
+    points: List[FrontierPoint] = []
+    for target in targets:
+        runner = StochasticCampaignRunner(
+            clients=clients, epochs=epochs, replicas=replicas, seed=seed,
+            slo=slo, at_utilization=target, population=population,
+            **campaign_kwargs,
+        )
+        campaign = runner.run()
+        availability = campaign.availability
+        points.append(FrontierPoint(
+            target_utilization=target,
+            availability_p50=availability.p50,
+            availability_p99=availability.p99,
+            mean_slo_attainment=float(np.mean(
+                [record.slo_attainment for record in campaign.records])),
+            mean_churn=float(np.mean(
+                [record.clients_remapped for record in campaign.records])),
+            mean_cost_usd=float(np.mean(
+                [record.provision_cost for record in campaign.records])),
+        ))
+    report = ExperimentReport(
+        "E14",
+        f"Churn-vs-SLO frontier ({clients:,} clients, {replicas} replicas "
+        f"per target, seed {seed})",
+    )
+    report.add_table(
+        ["target util", "avail p50", "avail p99", "slo att", "mean churn",
+         "mean cost usd"],
+        [[point.target_utilization, point.availability_p50,
+          point.availability_p99, point.mean_slo_attainment, point.mean_churn,
+          point.mean_cost_usd] for point in points],
+        title=f"frontier (SLO threshold {slo:g})",
+    )
+    report.add_note(
+        "hotter fleets are cheaper but lose SLO headroom to the same failure "
+        "sequences; the elbow is where the deployment should sit"
+    )
+    return FrontierResult(points=tuple(points), report=report)

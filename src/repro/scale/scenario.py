@@ -32,7 +32,7 @@ of population size.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -98,16 +98,30 @@ class ProblemTemplate:
     per-flow demand scaling (load curves, discrimination throttles) and
     per-site capacity scaling (degradation, failure) by touching only
     per-flow and per-site vectors.  The template is valid until the fleet's
-    ring changes (``fleet.generation`` moves), after which clients must be
-    reassigned.
+    ring changes (``fleet.generation`` moves), after which
+    :meth:`rebuilt` derives a successor template in O(moved clients): the
+    assignment is held as the *segment structure* of the ring over the
+    population's sorted positions (:meth:`ClientPopulation.ring_sorted` /
+    :meth:`NeutralizerFleet.assignment_segments`), so the diff of two ring
+    states is a walk over merged segment boundaries and the group counts
+    move only for the clients whose arc changed owner.
     """
 
     population: ClientPopulation
     fleet: NeutralizerFleet
     fleet_generation: int
     region_uplink_bps: float
-    #: Per-client site assignment under this ring state.
-    site_index: np.ndarray
+    #: Segment assignment over the ring-sorted population: sorted clients
+    #: ``cuts[i]:cuts[i+1]`` belong to site index ``seg_owners[i]``.
+    cuts: np.ndarray
+    seg_owners: np.ndarray
+    #: Exact client counts per (region, class, site) under this ring state.
+    counts3d: np.ndarray
+    #: Clients per site (``counts3d`` summed over regions and classes).
+    clients_per_site: np.ndarray
+    #: Clients whose site changed relative to the parent template (0 for a
+    #: from-scratch build) — the timeline's remap-churn figure.
+    remapped_from_parent: int
     #: Per-flow (region, class, site) structure.
     region_of: np.ndarray
     class_of: np.ndarray
@@ -121,16 +135,91 @@ class ProblemTemplate:
     usage: np.ndarray
     regions: int
     sites: int
-    flow_labels: list = field(default_factory=list)
-    resource_labels: list = field(default_factory=list)
+    #: Per-class flow index arrays (precomputed: interpret() runs per epoch).
+    class_members: List[np.ndarray] = field(default_factory=list)
+    _flow_labels: Optional[List[str]] = field(default=None, repr=False)
+
+    @property
+    def flow_labels(self) -> List[str]:
+        """Human-readable flow names, built lazily (debugging/report use only)."""
+        if self._flow_labels is None:
+            self._flow_labels = [
+                f"r{r}/{self.population.mix.names[c]}/{self.fleet.sites[s].name}"
+                for r, c, s in zip(self.region_of, self.class_of, self.site_of)
+            ]
+        return self._flow_labels
+
+    @property
+    def resource_labels(self) -> List[str]:
+        """Human-readable resource names, in capacity-vector order."""
+        return (
+            [f"region{r}-uplink" for r in range(self.regions)]
+            + [f"{site.name}-uplink" for site in self.fleet.sites]
+            + [f"{site.name}-cpu" for site in self.fleet.sites]
+        )
 
     @classmethod
     def build(cls, population: ClientPopulation, fleet: NeutralizerFleet,
               *, region_uplink_bps: float) -> "ProblemTemplate":
         """The one O(n_clients) pass: assign, count, and lay out the matrix."""
-        site_index = fleet.assign_sites(population.ring_positions)
-        counts = population.group_counts(site_index, fleet.n_sites).astype(np.float64)
+        positions, _, _, region_class = population.ring_sorted()
+        cuts, seg_owners = fleet.assignment_segments(positions)
+        site_sorted = np.repeat(seg_owners, np.diff(cuts))
+        fused = region_class * fleet.n_sites + site_sorted
+        counts3d = np.bincount(
+            fused, minlength=population.regions * population.n_classes * fleet.n_sites
+        ).reshape(population.regions, population.n_classes, fleet.n_sites)
+        return cls._assemble(
+            population, fleet, region_uplink_bps=region_uplink_bps,
+            cuts=cuts, seg_owners=seg_owners, counts3d=counts3d,
+            remapped_from_parent=0,
+        )
 
+    def rebuilt(self) -> "ProblemTemplate":
+        """A successor template for the fleet's *current* ring, incrementally.
+
+        Walks the merged segment boundaries of the old and new assignments;
+        wherever the owning site differs, the affected slice of the sorted
+        population is histogrammed once (O(slice)) and its counts move from
+        the old site to the new one.  An unchanged arc costs nothing, so a
+        single site failing out of a large fleet reassigns only that site's
+        clients — consistent hashing's contract, now also the rebuild cost.
+        """
+        population = self.population
+        fleet = self.fleet
+        positions, _, _, region_class = population.ring_sorted()
+        new_cuts, new_owners = fleet.assignment_segments(positions)
+
+        merged = np.unique(np.concatenate([self.cuts, new_cuts]))
+        starts, ends = merged[:-1], merged[1:]
+        old_of = self.seg_owners[np.searchsorted(self.cuts, starts, side="right") - 1]
+        new_of = new_owners[np.searchsorted(new_cuts, starts, side="right") - 1]
+        changed = np.flatnonzero((old_of != new_of) & (ends > starts))
+
+        counts3d = self.counts3d.copy()
+        bins = population.regions * population.n_classes
+        moved = 0
+        for k in changed:
+            lo, hi = int(starts[k]), int(ends[k])
+            hist = np.bincount(region_class[lo:hi], minlength=bins).reshape(
+                population.regions, population.n_classes
+            )
+            counts3d[:, :, old_of[k]] -= hist
+            counts3d[:, :, new_of[k]] += hist
+            moved += hi - lo
+        return type(self)._assemble(
+            population, fleet, region_uplink_bps=self.region_uplink_bps,
+            cuts=new_cuts, seg_owners=new_owners, counts3d=counts3d,
+            remapped_from_parent=moved,
+        )
+
+    @classmethod
+    def _assemble(cls, population: ClientPopulation, fleet: NeutralizerFleet,
+                  *, region_uplink_bps: float, cuts: np.ndarray,
+                  seg_owners: np.ndarray, counts3d: np.ndarray,
+                  remapped_from_parent: int) -> "ProblemTemplate":
+        """Lay out flows, usage matrix, and labels from the group counts."""
+        counts = counts3d.astype(np.float64)
         pps_per_client = population.demand_pps_per_client()
         bits_per_packet = population.packet_bits()
         cost = fleet.cost_model
@@ -156,21 +245,16 @@ class ProblemTemplate:
         usage[regions + sites + site_of, np.arange(n_flows)] = group_clients * cpu_per_bit
 
         setup_rate_per_client = population.key_setup_rate_per_client()
-        flow_labels = [
-            f"r{r}/{population.mix.names[c]}/{fleet.sites[s].name}"
-            for r, c, s in zip(region_of, class_of, site_of)
-        ]
-        resource_labels = (
-            [f"region{r}-uplink" for r in range(regions)]
-            + [f"{site.name}-uplink" for site in fleet.sites]
-            + [f"{site.name}-cpu" for site in fleet.sites]
-        )
         return cls(
             population=population,
             fleet=fleet,
             fleet_generation=fleet.generation,
             region_uplink_bps=region_uplink_bps,
-            site_index=site_index,
+            cuts=cuts,
+            seg_owners=seg_owners,
+            counts3d=counts3d,
+            clients_per_site=counts3d.sum(axis=(0, 1)).astype(np.int64),
+            remapped_from_parent=remapped_from_parent,
             region_of=region_of,
             class_of=class_of,
             site_of=site_of,
@@ -181,8 +265,8 @@ class ProblemTemplate:
             usage=usage,
             regions=regions,
             sites=sites,
-            flow_labels=flow_labels,
-            resource_labels=resource_labels,
+            class_members=[np.flatnonzero(class_of == index)
+                           for index in range(classes)],
         )
 
     @property
@@ -230,12 +314,12 @@ class ProblemTemplate:
             site_uplink,
             cpu_capacity,
         ])
+        # Labels are omitted from the per-epoch problem (they are never read
+        # on the hot path); ``template.flow_labels`` builds them on demand.
         problem = CapacityProblem(
             demands=demands,
             usage=self.usage,
             capacities=capacities,
-            flow_labels=self.flow_labels,
-            resource_labels=self.resource_labels,
         )
         return EpochProblem(problem=problem, setups_per_site=setups_per_site)
 
@@ -250,18 +334,20 @@ class ProblemTemplate:
         worst: Dict[str, float] = {}
         satisfaction = allocation.satisfaction(problem)
         group_clients = self.group_clients
-        bits = self.bits_per_packet
+        flow_demand_bps = problem.demands * group_clients
+        flow_goodput_bps = allocation.rates * group_clients
+        flow_packets = group_clients / self.bits_per_packet
         for index, name in enumerate(names):
-            members = self.class_of == index
-            demand_bps[name] = float((problem.demands * group_clients)[members].sum())
-            goodput_bps[name] = float((allocation.rates * group_clients)[members].sum())
-            demand_pps[name] = float((problem.demands * group_clients / bits)[members].sum())
-            goodput_pps[name] = float((allocation.rates * group_clients / bits)[members].sum())
-            worst[name] = float(satisfaction[members].min()) if members.any() else 1.0
+            members = self.class_members[index]
+            demand_bps[name] = float(flow_demand_bps[members].sum())
+            goodput_bps[name] = float(flow_goodput_bps[members].sum())
+            demand_pps[name] = float((problem.demands[members] * flow_packets[members]).sum())
+            goodput_pps[name] = float((allocation.rates[members] * flow_packets[members]).sum())
+            worst[name] = float(satisfaction[members].min()) if members.size else 1.0
 
         utilization = allocation.utilization(problem)
         regions, sites = self.regions, self.sites
-        clients_per_site = np.bincount(self.site_index, minlength=sites).astype(np.int64)
+        clients_per_site = self.clients_per_site
         return FluidResult(
             n_clients=self.population.n_clients,
             demand_pps=demand_pps,
@@ -300,11 +386,18 @@ class ScaleScenario:
     # -- problem construction --------------------------------------------------------
 
     def build_template(self) -> ProblemTemplate:
-        """The cached flow/resource structure, rebuilt when the ring changes."""
-        if self._template is None or self._template.stale:
+        """The cached flow/resource structure, rebuilt when the ring changes.
+
+        The first build pays one O(n_clients) counting pass; every later ring
+        change is absorbed by :meth:`ProblemTemplate.rebuilt`, which touches
+        only the clients whose arc of the hash ring changed owner.
+        """
+        if self._template is None:
             self._template = ProblemTemplate.build(
                 self.population, self.fleet, region_uplink_bps=self.region_uplink_bps
             )
+        elif self._template.stale:
+            self._template = self._template.rebuilt()
         return self._template
 
     def build_problem(self) -> CapacityProblem:

@@ -1,6 +1,10 @@
 """Max-min fair capacity allocation, vectorized over flows × resources.
 
-The fluid model reduces a deployment to a small linear structure: each *flow*
+This is the fairness model under the paper's claim that the neutral domain
+serves everyone alike: when demand exceeds a neutralizer fleet's capacity,
+load is shed max-min fairly per client rather than by the access ISP's
+preferences.  The fluid model reduces a deployment to a small linear
+structure: each *flow*
 is an aggregate of identical clients (one (region, class, site) group) with a
 demand rate, and each *resource* is a shared capacity (a regional uplink in
 bits/s, a site uplink in bits/s, a site CPU in core-seconds/s).  The usage

@@ -1,0 +1,271 @@
+"""Seeded stochastic event processes for availability campaigns.
+
+The timeline catalogue replays *hand-written* transients; real availability
+is a distribution over random ones.  This module draws fleet-event sequences
+from seeded random processes and compiles them to the existing
+:class:`repro.scale.timeline.FleetEvent` machinery, so a Monte-Carlo
+campaign (:class:`repro.scale.runner.StochasticCampaignRunner`, E14) can run
+many replicas of the same scenario and report availability/churn/cost
+percentiles instead of single curves — the "availability is a distribution
+over correlated failure events" view of the backbone-operations literature
+in PAPERS.md.
+
+Three processes cover the failure families the paper's deployment would
+face:
+
+:class:`PoissonSiteFailures`
+    Independent per-site failures (hardware, operator error) with geometric
+    downtime — the memoryless baseline.
+:class:`CorrelatedRegionalOutage`
+    A contiguous block of sites fails *together* (regional power or transit
+    event) and recovers together; correlation is what makes tail
+    availability much worse than independent-failure math predicts.
+:class:`AttackOnset`
+    A DoS flood of junk key-setup requests eats a random subset of sites'
+    CPU for a while — compiled to :class:`CapacityDegradation` windows, the
+    fluid rendering of the paper's attack-resilience story (§3.2's cheap
+    RSA direction is what keeps the degradation factor survivable).
+
+Determinism: :func:`compile_events` derives one independent substream per
+process from the campaign seed via ``numpy.random.SeedSequence``, so the
+same seed always yields the identical event list, regardless of how many
+replicas run or in what order.  Overlapping downtime windows for the same
+site (two processes, or one process re-failing early) are merged into their
+union before emitting ``SiteFailure``/``SiteRecovery`` pairs, so the
+compiled sequence is always well-formed: one failure, one recovery, in
+order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import WorkloadError
+from .timeline import CapacityDegradation, FleetEvent, SiteFailure, SiteRecovery
+
+#: One site-downtime window: (site index, first down epoch, first up epoch).
+#: ``until`` may exceed the horizon — the site then stays down to the end.
+DowntimeWindow = Tuple[int, int, int]
+
+
+@dataclass(frozen=True)
+class SampledEvents:
+    """What one process contributes: downtime windows plus direct events."""
+
+    downtime: Tuple[DowntimeWindow, ...] = ()
+    events: Tuple[FleetEvent, ...] = ()
+
+
+class EventProcess:
+    """A seeded generator of fleet events over a fixed horizon."""
+
+    def sample(self, rng: np.random.Generator, *, epochs: int,
+               site_names: Sequence[str]) -> SampledEvents:
+        """Draw this process's contribution for one replica."""
+        raise NotImplementedError
+
+
+def _geometric_epochs(rng: np.random.Generator, mean: float) -> int:
+    """A downtime duration of at least one epoch with the given mean."""
+    if mean <= 1.0:
+        return 1
+    return int(rng.geometric(1.0 / mean))
+
+
+@dataclass(frozen=True)
+class PoissonSiteFailures(EventProcess):
+    """Independent site failures: each site fails with a per-epoch hazard.
+
+    ``failures_per_site_epoch`` is the Bernoulli-per-epoch approximation of
+    a Poisson hazard (exact for the epoch-quantized timeline); downtime is
+    geometric with ``mean_downtime_epochs`` (memoryless repair).  A site
+    cannot re-fail while still down.
+    """
+
+    failures_per_site_epoch: float = 0.001
+    mean_downtime_epochs: float = 3.0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.failures_per_site_epoch <= 1:
+            raise WorkloadError("failure hazard must be a probability")
+        if self.mean_downtime_epochs < 1:
+            raise WorkloadError("mean downtime must be at least one epoch")
+
+    def sample(self, rng: np.random.Generator, *, epochs: int,
+               site_names: Sequence[str]) -> SampledEvents:
+        windows: List[DowntimeWindow] = []
+        n_sites = len(site_names)
+        # One draw per (site, epoch), sites outer so the stream is stable.
+        draws = rng.random((n_sites, epochs))
+        for site in range(n_sites):
+            up_at = 1
+            for epoch in range(1, epochs):
+                if epoch < up_at or draws[site, epoch] >= self.failures_per_site_epoch:
+                    continue
+                up_at = epoch + _geometric_epochs(rng, self.mean_downtime_epochs)
+                windows.append((site, epoch, up_at))
+        return SampledEvents(downtime=tuple(windows))
+
+
+@dataclass(frozen=True)
+class CorrelatedRegionalOutage(EventProcess):
+    """A whole region's sites fail together and recover together.
+
+    ``outages_per_epoch`` is the fleet-wide hazard of a correlated event;
+    each outage takes down a contiguous block of ``group_fraction`` of the
+    fleet starting at a random site (contiguous site indices stand in for
+    geographic co-location, matching how the catalogue names its fleets).
+    """
+
+    outages_per_epoch: float = 0.01
+    group_fraction: float = 0.25
+    mean_downtime_epochs: float = 4.0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.outages_per_epoch <= 1:
+            raise WorkloadError("outage hazard must be a probability")
+        if not 0 < self.group_fraction <= 1:
+            raise WorkloadError("outage group fraction must be in (0, 1]")
+        if self.mean_downtime_epochs < 1:
+            raise WorkloadError("mean downtime must be at least one epoch")
+
+    def sample(self, rng: np.random.Generator, *, epochs: int,
+               site_names: Sequence[str]) -> SampledEvents:
+        windows: List[DowntimeWindow] = []
+        n_sites = len(site_names)
+        group = max(1, int(round(n_sites * self.group_fraction)))
+        draws = rng.random(epochs)
+        for epoch in range(1, epochs):
+            if draws[epoch] >= self.outages_per_epoch:
+                continue
+            start = int(rng.integers(n_sites))
+            until = epoch + _geometric_epochs(rng, self.mean_downtime_epochs)
+            for offset in range(group):
+                windows.append(((start + offset) % n_sites, epoch, until))
+        return SampledEvents(downtime=tuple(windows))
+
+
+@dataclass(frozen=True)
+class AttackOnset(EventProcess):
+    """A DoS onset: junk key-setup floods eat CPU at a subset of sites.
+
+    Compiled to :class:`CapacityDegradation` windows — the attacked sites
+    stay in the ring (anycast keeps absorbing), but only ``severity`` of
+    their capacity serves legitimate traffic while the attack lasts.
+    """
+
+    attacks_per_epoch: float = 0.02
+    #: Fraction of nominal capacity left for legitimate traffic under attack.
+    severity: float = 0.5
+    mean_duration_epochs: float = 4.0
+    #: Fraction of the fleet each attack wave lands on.
+    sites_hit_fraction: float = 0.375
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.attacks_per_epoch <= 1:
+            raise WorkloadError("attack hazard must be a probability")
+        if not 0 <= self.severity <= 1:
+            raise WorkloadError("attack severity must leave a capacity factor in [0, 1]")
+        if self.mean_duration_epochs < 1:
+            raise WorkloadError("mean attack duration must be at least one epoch")
+        if not 0 < self.sites_hit_fraction <= 1:
+            raise WorkloadError("sites-hit fraction must be in (0, 1]")
+
+    def sample(self, rng: np.random.Generator, *, epochs: int,
+               site_names: Sequence[str]) -> SampledEvents:
+        events: List[FleetEvent] = []
+        n_sites = len(site_names)
+        hit = max(1, int(round(n_sites * self.sites_hit_fraction)))
+        draws = rng.random(epochs)
+        for epoch in range(1, epochs):
+            if draws[epoch] >= self.attacks_per_epoch:
+                continue
+            until = epoch + _geometric_epochs(rng, self.mean_duration_epochs)
+            targets = rng.choice(n_sites, size=hit, replace=False)
+            for site in sorted(int(s) for s in targets):
+                events.append(CapacityDegradation(
+                    epoch, site=site_names[site], factor=self.severity,
+                    until_epoch=until,
+                ))
+        return SampledEvents(events=tuple(events))
+
+
+def _merge_windows(windows: Sequence[DowntimeWindow]) -> List[DowntimeWindow]:
+    """Union overlapping/adjacent downtime windows per site."""
+    by_site: Dict[int, List[Tuple[int, int]]] = {}
+    for site, start, until in windows:
+        by_site.setdefault(site, []).append((start, until))
+    merged: List[DowntimeWindow] = []
+    for site, intervals in by_site.items():
+        intervals.sort()
+        current_start, current_until = intervals[0]
+        for start, until in intervals[1:]:
+            if start <= current_until:
+                current_until = max(current_until, until)
+            else:
+                merged.append((site, current_start, current_until))
+                current_start, current_until = start, until
+        merged.append((site, current_start, current_until))
+    return merged
+
+
+def compile_events(
+    processes: Sequence[EventProcess],
+    *,
+    seed: int,
+    epochs: int,
+    site_names: Sequence[str],
+) -> List[FleetEvent]:
+    """Draw every process and compile one well-formed fleet-event list.
+
+    Each process gets an independent substream spawned from ``seed`` (so
+    adding a process never perturbs the others' draws), downtime windows are
+    merged per site across processes, and the result is a sorted list of
+    plain :class:`FleetEvent` items the :class:`FluidTimeline` machinery
+    already knows how to fire.  Deterministic: same arguments, same list.
+    """
+    if epochs <= 0:
+        raise WorkloadError("stochastic compilation needs a positive horizon")
+    if not site_names:
+        raise WorkloadError("stochastic compilation needs at least one site")
+    streams = np.random.SeedSequence(seed).spawn(max(len(processes), 1))
+    windows: List[DowntimeWindow] = []
+    direct: List[FleetEvent] = []
+    for process, stream in zip(processes, streams):
+        sampled = process.sample(
+            np.random.default_rng(stream), epochs=epochs,
+            site_names=site_names,
+        )
+        windows.extend(sampled.downtime)
+        direct.extend(sampled.events)
+
+    events: List[FleetEvent] = list(direct)
+    for site, start, until in _merge_windows(windows):
+        if start >= epochs:
+            continue
+        events.append(SiteFailure(start, site_names[site]))
+        if until < epochs:
+            events.append(SiteRecovery(until, site_names[site]))
+    events.sort(key=lambda event: event.at_epoch)
+    return events
+
+
+def default_processes(
+    *,
+    failure_rate: float = 0.0005,
+    outage_rate: float = 0.004,
+    attack_rate: float = 0.012,
+) -> Tuple[EventProcess, ...]:
+    """The stock process mix E14 campaigns run: failures, outages, attacks."""
+    return (
+        PoissonSiteFailures(failures_per_site_epoch=failure_rate,
+                            mean_downtime_epochs=3.0),
+        CorrelatedRegionalOutage(outages_per_epoch=outage_rate,
+                                 group_fraction=0.25,
+                                 mean_downtime_epochs=4.0),
+        AttackOnset(attacks_per_epoch=attack_rate, severity=0.5,
+                    mean_duration_epochs=4.0, sites_hit_fraction=0.375),
+    )

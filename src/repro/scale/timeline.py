@@ -12,16 +12,22 @@ the max-min solver through a sequence of epochs:
   recovery remap clients through the consistent-hash ring, capacity
   degradation scales a site's budgets, discrimination toggles throttle a
   region's served classes;
+* an optional closed-loop :class:`repro.scale.autoscale.Autoscaler`
+  observes each epoch's utilization and commissions or drains sites through
+  the same ring-remap machinery, with warm-up delay, cooldown, and dollar
+  accounting via :class:`repro.scale.costmodel.ProvisioningCostModel`;
 * each epoch is solved *warm*: the flow structure is a cached
-  :class:`repro.scale.scenario.ProblemTemplate` (rebuilt only when the ring
-  actually changes) and the previous epoch's allocation is offered to
+  :class:`repro.scale.scenario.ProblemTemplate` (rebuilt incrementally, in
+  O(moved clients), only when the ring actually changes) and the previous
+  epoch's allocation is offered to
   :func:`repro.scale.solver.max_min_allocation` as a verified warm start,
   so an event-free epoch costs a few vectorized passes over per-flow
   vectors, independent of population size.
 
 The result is a :class:`TimelineResult`: per-epoch goodput, delivered
-fraction, per-site utilization matrices, and remap churn (clients moved plus
-the hash-space fraction the ring diff says changed owner).
+fraction, per-site utilization matrices, serving-site counts, provisioning
+cost, and remap churn (clients moved plus the hash-space fraction the ring
+diff says changed owner).
 """
 
 from __future__ import annotations
@@ -34,10 +40,12 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..exceptions import WorkloadError
+from .autoscale import AutoscaleRun, Autoscaler, EpochMetrics
+from .costmodel import ProvisioningCostModel
 from .fleet import NeutralizerFleet
 from .population import ClientPopulation
 from .scenario import ProblemTemplate, ScaleScenario
-from .solver import max_min_allocation
+from .solver import Allocation, max_min_allocation
 
 DAY_SECONDS = 86_400.0
 
@@ -320,6 +328,14 @@ class EpochRecord:
     warm_started: bool
     solver_iterations: int
     solve_seconds: float
+    #: Sites serving this epoch (healthy AND active).
+    sites_in_service: int = 0
+    #: Sites committed by the autoscaler but still warming up.
+    sites_warming: int = 0
+    #: Labels of the autoscaler's actions entering this epoch.
+    autoscale_actions: Tuple[str, ...] = ()
+    #: Dollars this epoch cost (committed capacity + remap churn).
+    provision_cost: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -404,6 +420,28 @@ class TimelineResult:
         """Cumulative time spent inside the max-min solver."""
         return float(sum(record.solve_seconds for record in self.records))
 
+    @property
+    def sites_in_service(self) -> np.ndarray:
+        """Serving-site count per epoch (constant unless autoscaled)."""
+        return np.array([record.sites_in_service for record in self.records])
+
+    @property
+    def total_provision_cost(self) -> float:
+        """Dollars the whole run cost (committed capacity plus churn)."""
+        return float(sum(record.provision_cost for record in self.records))
+
+    @property
+    def total_autoscale_actions(self) -> int:
+        """Controller actions over the run (scale-ups, drains, cancels)."""
+        return sum(len(record.autoscale_actions) for record in self.records)
+
+    def slo_attainment(self, threshold: float = 0.95) -> float:
+        """Fraction of epochs whose delivered fraction met ``threshold``."""
+        if not self.records:
+            return 1.0
+        met = (self.delivered_fraction >= threshold).sum()
+        return float(met) / len(self.records)
+
     def series(self) -> Dict[str, List[float]]:
         """Per-epoch columns for :func:`repro.analysis.report.format_series`."""
         out: Dict[str, List[float]] = {
@@ -411,6 +449,7 @@ class TimelineResult:
             "goodput Mb/s": [record.goodput_bps / 1e6 for record in self.records],
             "delivered": [record.delivered_fraction for record in self.records],
             "peak cpu": [record.peak_cpu_utilization for record in self.records],
+            "sites": [float(record.sites_in_service) for record in self.records],
             "remapped": [float(record.clients_remapped) for record in self.records],
         }
         return out
@@ -435,6 +474,8 @@ class FluidTimeline:
         events: Sequence[FleetEvent] = (),
         region_uplink_bps: Optional[float] = None,
         warm_start: bool = True,
+        autoscaler: Optional[Autoscaler] = None,
+        provisioning_cost: Optional[ProvisioningCostModel] = None,
     ) -> None:
         if epochs <= 0:
             raise WorkloadError("a timeline needs at least one epoch")
@@ -453,6 +494,10 @@ class FluidTimeline:
         )
         self.region_uplink_bps = self._scenario.region_uplink_bps
         self.warm_start = warm_start
+        #: Closed-loop controller configuration; per-run state is created
+        #: fresh inside every run() so timelines stay re-runnable.
+        self.autoscaler = autoscaler
+        self.provisioning_cost = provisioning_cost or ProvisioningCostModel()
         self._validate_events()
 
     def _validate_events(self) -> None:
@@ -540,6 +585,23 @@ class FluidTimeline:
             return None
         return scale
 
+    def _forecast(self, t_now: float, region_demand: Optional[np.ndarray]):
+        """A demand forecast for predictive autoscaling policies.
+
+        Returns offered demand ``lead`` epochs ahead relative to nominal,
+        weighted by each region's share of base demand — exactly the
+        ``demand_multiplier`` the future epoch will record, assuming no
+        discrimination throttles (a forecaster sees load, not policy).
+        """
+        def forecast(lead: int) -> float:
+            future = self.load.multipliers(
+                t_now + lead * self.epoch_seconds, self.population.regions
+            )
+            if region_demand is None or region_demand.sum() <= 0:
+                return float(future.mean())
+            return float((future * region_demand).sum() / region_demand.sum())
+        return forecast
+
     def run(self) -> TimelineResult:
         """Solve every epoch and assemble the result.
 
@@ -562,11 +624,23 @@ class FluidTimeline:
         throttles: List[DiscriminationToggle] = []
         degradations: List[CapacityDegradation] = []
         pending = list(self.events)
+        autoscale = (AutoscaleRun(self.autoscaler, fleet)
+                     if self.autoscaler is not None else None)
 
         template: Optional[ProblemTemplate] = None
         previous_rates: Optional[np.ndarray] = None
-        previous_site_index: Optional[np.ndarray] = None
         base_demand_bps: Optional[float] = None
+        #: Demand-weighted per-region weights for the autoscaler's forecast.
+        region_demand: Optional[np.ndarray] = None
+        last_metrics: Optional[EpochMetrics] = None
+        #: (problem, allocation) of the previous epoch: an epoch whose
+        #: demands and capacities are bit-identical (steady load, no events)
+        #: reuses the allocation outright — same problem, same answer.
+        previous_problem = None
+        previous_allocation = None
+        #: Committed-capacity sums, cached while fleet state is unchanged.
+        committed_key = None
+        committed_totals = (0.0, 0.0, 0)
 
         records: List[EpochRecord] = []
         cpu_util = np.zeros((self.epochs, sites))
@@ -576,33 +650,62 @@ class FluidTimeline:
         for epoch in range(self.epochs):
             t = epoch * self.epoch_seconds
 
+            # The pre-change ring is snapshotted lazily: only epochs where an
+            # event or autoscale action actually touches the ring pay for it
+            # (and the array form is zero-copy — rebuilds allocate anew).
+            ring_before: List = []
+
+            def snapshot_ring() -> None:
+                if not ring_before:
+                    ring_before.append(fleet.ring_state())
+
+            # Expired windows can never re-activate; pruning them keeps the
+            # per-epoch scans bounded by *live* windows even on long runs
+            # with frequent attack onsets.
+            if throttles:
+                throttles[:] = [toggle for toggle in throttles
+                                if toggle.until_epoch is None
+                                or epoch < toggle.until_epoch]
+            if degradations:
+                degradations[:] = [event for event in degradations
+                                   if event.until_epoch is None
+                                   or epoch < event.until_epoch]
+
             fired: List[str] = []
-            ring_before = None
             while pending and pending[0].at_epoch == epoch:
                 event = pending.pop(0)
-                # Snapshot lazily: only ring-changing events pay for the copy.
-                if ring_before is None and isinstance(event, (SiteFailure, SiteRecovery)):
-                    ring_before = fleet.ring_snapshot()
+                if isinstance(event, (SiteFailure, SiteRecovery)):
+                    snapshot_ring()
                 self._fire(event, throttles, degradations)
                 fired.append(event.describe())
 
-            ring_moved = 0.0
-            if ring_before is not None:
-                ring_moved = ring_before.diff(fleet.ring_snapshot()).moved_fraction
+            actions: Tuple[str, ...] = ()
+            if autoscale is not None:
+                actions = tuple(autoscale.step(
+                    epoch, last_metrics, self._forecast(t, region_demand),
+                    snapshot_ring,
+                ))
 
-            new_template = self._scenario.build_template()
-            if new_template is not template:
-                previous_rates = None  # flow structure changed; rates misaligned
-            template = new_template
-            if base_demand_bps is None:
-                base_demand_bps = float(
-                    (template.base_demands * template.group_clients).sum()
+            ring_moved = 0.0
+            if ring_before:
+                ring_moved = NeutralizerFleet.ring_moved_fraction(
+                    ring_before[0], fleet.ring_state()
                 )
 
+            new_template = self._scenario.build_template()
             remapped = 0
-            if previous_site_index is not None:
-                remapped = int((previous_site_index != template.site_index).sum())
-            previous_site_index = template.site_index
+            if new_template is not template:
+                previous_rates = None  # flow structure changed; rates misaligned
+                if template is not None:
+                    remapped = new_template.remapped_from_parent
+            template = new_template
+            if base_demand_bps is None:
+                per_flow_bps = template.base_demands * template.group_clients
+                base_demand_bps = float(per_flow_bps.sum())
+                region_demand = np.bincount(
+                    template.region_of, weights=per_flow_bps,
+                    minlength=population.regions,
+                )
 
             offered_scale, served_scale = self._demand_scale(template, epoch, t, throttles)
             capacity_scale = self._capacity_scale(epoch, degradations)
@@ -612,29 +715,87 @@ class FluidTimeline:
             )
 
             solve_started = time.perf_counter()
-            allocation = max_min_allocation(
-                epoch_problem.problem,
-                warm_start=previous_rates if self.warm_start else None,
-            )
+            problem = epoch_problem.problem
+            if (self.warm_start
+                    and previous_problem is not None
+                    and problem.usage is previous_problem.usage
+                    and np.array_equal(problem.demands, previous_problem.demands)
+                    and np.array_equal(problem.capacities,
+                                       previous_problem.capacities)):
+                # Bit-identical problem (steady load, no fleet change): the
+                # previous answer IS the answer — skip even the certificate.
+                allocation = Allocation(
+                    rates=previous_allocation.rates,
+                    bottleneck=previous_allocation.bottleneck,
+                    iterations=0,
+                    warm_started=True,
+                )
+            else:
+                allocation = max_min_allocation(
+                    problem,
+                    warm_start=previous_rates if self.warm_start else None,
+                )
             solve_seconds = time.perf_counter() - solve_started
             previous_rates = allocation.rates
+            previous_problem = problem
+            previous_allocation = allocation
 
             fluid = template.interpret(epoch_problem, allocation)
             cpu_util[epoch] = fluid.cpu_utilization
             uplink_util[epoch] = fluid.uplink_utilization
             clients_matrix[epoch] = fluid.clients_per_site
 
+            in_service = fleet.in_service_mask()
+            n_in_service = int(in_service.sum())
+            n_warming = len(autoscale.warming) if autoscale is not None else 0
+            demand_multiplier = (offered_bps / base_demand_bps
+                                 if base_demand_bps else 0.0)
+            delivered = (fluid.total_goodput_bps / offered_bps
+                         if offered_bps > 0 else 1.0)
+
+            site_load = np.maximum(fluid.cpu_utilization, fluid.uplink_utilization)
+            serving_load = site_load[in_service]
+            last_metrics = EpochMetrics(
+                served_sites=n_in_service,
+                mean_utilization=float(serving_load.mean()) if n_in_service else 0.0,
+                peak_utilization=float(serving_load.max()) if n_in_service else 0.0,
+                delivered_fraction=delivered,
+                demand_multiplier=demand_multiplier,
+            )
+
+            # Billing covers every *commissioned* site — active (even while
+            # failed: a box being down does not stop its bill) plus warming
+            # ones — unlike the controller's capacity view, which counts
+            # only sites actually serving.
+            warming_names = (tuple(autoscale.warming)
+                             if autoscale is not None else ())
+            epoch_key = (fleet.active_version, warming_names)
+            if epoch_key != committed_key:
+                committed_sites = [site for site in fleet.sites if site.active]
+                committed_sites += [fleet.site(name) for name in warming_names]
+                committed_totals = (
+                    sum(site.cores for site in committed_sites),
+                    sum(site.uplink_bps for site in committed_sites),
+                    len(committed_sites),
+                )
+                committed_key = epoch_key
+            provision_cost = self.provisioning_cost.epoch_cost(
+                cores=committed_totals[0],
+                uplink_bps=committed_totals[1],
+                sites=committed_totals[2],
+                epoch_seconds=self.epoch_seconds,
+                clients_remapped=remapped,
+            )
+
             records.append(EpochRecord(
                 epoch=epoch,
                 t_seconds=t,
                 events=tuple(fired),
-                demand_multiplier=(offered_bps / base_demand_bps
-                                   if base_demand_bps else 0.0),
+                demand_multiplier=demand_multiplier,
                 demand_bps=offered_bps,
                 goodput_bps=fluid.total_goodput_bps,
                 goodput_bps_by_class=dict(fluid.goodput_bps),
-                delivered_fraction=(fluid.total_goodput_bps / offered_bps
-                                    if offered_bps > 0 else 1.0),
+                delivered_fraction=delivered,
                 peak_cpu_utilization=float(fluid.cpu_utilization.max()),
                 peak_uplink_utilization=float(fluid.uplink_utilization.max()),
                 key_setup_pps=fluid.key_setup_pps,
@@ -643,6 +804,10 @@ class FluidTimeline:
                 warm_started=allocation.warm_started,
                 solver_iterations=allocation.iterations,
                 solve_seconds=solve_seconds,
+                sites_in_service=n_in_service,
+                sites_warming=n_warming,
+                autoscale_actions=actions,
+                provision_cost=provision_cost,
             ))
 
         return TimelineResult(

@@ -152,3 +152,147 @@ class TestCostModel:
         assert model.aes_blocks_per_second > 0
         assert model.rsa512_encryptions_per_second > 0
         assert model.data_packet_cost_seconds > 0
+
+
+class TestSegmentAssignment:
+    """The sorted-segment view must agree exactly with per-client lookup."""
+
+    def test_segments_match_assign_sites(self):
+        fleet = NeutralizerFleet.build(7, replicas=32)
+        population = ClientPopulation(30_000, seed=17)
+        positions, _, _, _ = population.ring_sorted()
+        cuts, owners = fleet.assignment_segments(positions)
+        via_segments = np.repeat(owners, np.diff(cuts))
+        order = np.argsort(population.ring_positions, kind="stable")
+        via_lookup = fleet.assign_sites(population.ring_positions)[order]
+        assert np.array_equal(via_segments, via_lookup)
+
+    def test_segments_cover_every_client_once(self):
+        fleet = NeutralizerFleet.build(5)
+        population = ClientPopulation(8_000, seed=21)
+        positions, _, _, _ = population.ring_sorted()
+        cuts, owners = fleet.assignment_segments(positions)
+        assert cuts[0] == 0 and cuts[-1] == population.n_clients
+        assert (np.diff(cuts) >= 0).all()
+        assert owners.size == cuts.size - 1
+
+    def test_ring_sorted_is_cached_and_consistent(self):
+        population = ClientPopulation(1_000, seed=5)
+        first = population.ring_sorted()
+        second = population.ring_sorted()
+        assert first[0] is second[0]  # same arrays, not recomputed
+        assert (np.diff(first[0].astype(object)) >= 0).all()
+
+
+class TestIncrementalTemplate:
+    """rebuilt() must be indistinguishable from building from scratch."""
+
+    @staticmethod
+    def assert_equivalent(incremental, fresh):
+        assert np.array_equal(incremental.counts3d, fresh.counts3d)
+        assert np.array_equal(incremental.clients_per_site, fresh.clients_per_site)
+        assert np.array_equal(incremental.group_clients, fresh.group_clients)
+        assert np.array_equal(incremental.region_of, fresh.region_of)
+        assert np.array_equal(incremental.class_of, fresh.class_of)
+        assert np.array_equal(incremental.site_of, fresh.site_of)
+        assert np.array_equal(incremental.usage, fresh.usage)
+
+    def test_rebuild_after_failure_and_recovery(self):
+        from repro.scale.scenario import ProblemTemplate, ScaleScenario
+
+        population = ClientPopulation(25_000, seed=23)
+        fleet = NeutralizerFleet.build(8)
+        scenario = ScaleScenario(population, fleet)
+        original = scenario.build_template()
+
+        fleet.fail_site("site05")
+        incremental = scenario.build_template()
+        fresh = ProblemTemplate.build(
+            population, fleet, region_uplink_bps=scenario.region_uplink_bps
+        )
+        self.assert_equivalent(incremental, fresh)
+        # Exactly the failed site's clients moved.
+        assert incremental.remapped_from_parent == original.clients_per_site[5]
+        assert incremental.clients_per_site[5] == 0
+
+        fleet.restore_site("site05")
+        restored = scenario.build_template()
+        self.assert_equivalent(restored, original)
+        assert restored.remapped_from_parent == incremental.remapped_from_parent
+
+    def test_rebuild_through_many_membership_changes(self):
+        from repro.scale.scenario import ProblemTemplate, ScaleScenario
+
+        population = ClientPopulation(12_000, seed=29)
+        fleet = NeutralizerFleet.build(10)
+        scenario = ScaleScenario(population, fleet)
+        scenario.build_template()
+        for action, name in [
+            ("fail", "site02"), ("fail", "site07"), ("drain", "site04"),
+            ("restore", "site02"), ("activate", "site04"), ("drain", "site09"),
+            ("restore", "site07"),
+        ]:
+            getattr(fleet, {"fail": "fail_site", "restore": "restore_site",
+                            "drain": "drain_site", "activate": "activate_site"}[action])(name)
+            incremental = scenario.build_template()
+            fresh = ProblemTemplate.build(
+                population, fleet, region_uplink_bps=scenario.region_uplink_bps
+            )
+            self.assert_equivalent(incremental, fresh)
+        assert population.n_clients == incremental.counts3d.sum()
+
+
+class TestDrainLifecycle:
+    def test_drained_site_leaves_the_ring_and_capacity(self):
+        fleet = NeutralizerFleet.build(4, cores=2.0)
+        generation = fleet.generation
+        fleet.drain_site("site03")
+        assert fleet.generation == generation + 1
+        assert "site03" not in fleet.in_service_names
+        assert "site03" in fleet.healthy_site_names  # drained, not failed
+        assert fleet.cpu_capacity_cores()[3] == 0.0
+        fleet.activate_site("site03")
+        assert "site03" in fleet.in_service_names
+
+    def test_drain_while_failed_does_not_touch_the_ring(self):
+        fleet = NeutralizerFleet.build(4)
+        fleet.fail_site("site01")
+        generation = fleet.generation
+        state = fleet.ring_state()
+        fleet.drain_site("site01")  # already out of the ring: no rebuild
+        assert fleet.generation == generation
+        assert NeutralizerFleet.ring_moved_fraction(state, fleet.ring_state()) == 0.0
+        # Recovery of a drained site must NOT rejoin the ring...
+        fleet.restore_site("site01")
+        assert fleet.generation == generation
+        assert "site01" not in fleet.in_service_names
+        # ...until it is explicitly re-activated.
+        fleet.activate_site("site01")
+        assert fleet.generation == generation + 1
+        assert "site01" in fleet.in_service_names
+
+    def test_last_serving_site_cannot_be_drained(self):
+        fleet = NeutralizerFleet.build(2)
+        fleet.drain_site("site01")
+        with pytest.raises(TopologyError):
+            fleet.drain_site("site00")
+
+    def test_health_snapshot_round_trips_both_flags(self):
+        fleet = NeutralizerFleet.build(4)
+        snapshot = fleet.health_snapshot()
+        fleet.fail_site("site00")
+        fleet.drain_site("site02")
+        assert fleet.health_snapshot() != snapshot
+        fleet.restore_health(snapshot)
+        assert fleet.health_snapshot() == snapshot
+        assert fleet.in_service_names == [f"site{i:02d}" for i in range(4)]
+
+    def test_moved_fraction_matches_snapshot_diff(self):
+        fleet = NeutralizerFleet.build(6)
+        before_state = fleet.ring_state()
+        before_snapshot = fleet.ring_snapshot()
+        fleet.fail_site("site04")
+        fast = NeutralizerFleet.ring_moved_fraction(before_state, fleet.ring_state())
+        slow = before_snapshot.diff(fleet.ring_snapshot()).moved_fraction
+        assert fast == pytest.approx(slow, abs=1e-12)
+        assert fast > 0

@@ -215,7 +215,13 @@ class TestWarmStart:
                                     warm_start=warm_start).run()
             assert all(record.solver_iterations == 0 for record in result.records)
             assert result.fast_fraction == 1.0
-            assert result.warm_fraction == 0.0  # demands cert, not hint reuse
+            if warm_start:
+                # Steady bit-identical epochs reuse the previous allocation
+                # outright (same problem, same answer) — every epoch after
+                # the first counts as warm.
+                assert result.warm_fraction == pytest.approx(11 / 12)
+            else:
+                assert result.warm_fraction == 0.0  # demands cert only
 
     def test_event_epoch_falls_back_to_cold(self):
         result = self.congested_timeline(
