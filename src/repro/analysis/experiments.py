@@ -1,5 +1,5 @@
 """Experiment runners: one function per reproduced result (E1–E11, plus the
-fleet-scale campaigns E12–E14).
+fleet-scale campaigns E12–E15).
 
 Each runner builds the workload, runs it, and returns a small result object
 plus an :class:`repro.analysis.report.ExperimentReport`.  The benchmark
@@ -16,10 +16,11 @@ if TYPE_CHECKING:
     from ..scale.runner import (
         FleetScaleResult,
         FrontierResult,
+        LatencyFrontierResult,
         StochasticCampaignResult,
         TimelineCampaignResult,
     )
-    from ..scale.validate import CrossValidationResult
+    from ..scale.validate import CrossValidationResult, LatencyValidationResult
 
 from ..apps.voip import VoipCall, VoipQualityReport, VoipReceiver
 from ..apps.workloads import ConstantRateSource, KeySetupFlood
@@ -1138,4 +1139,103 @@ def run_stochastic_campaign(
     )
     return StochasticCampaignExperimentResult(
         campaign=campaign, frontier=frontier_result, report=report,
+    )
+
+
+# ---------------------------------------------------------------------------
+# E15: Monte-Carlo queueing-latency campaign (elastic mix, latency SLO)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class LatencyCampaignExperimentResult:
+    """E15 outputs: the latency campaign, its frontier, and the validation."""
+
+    campaign: "StochasticCampaignResult"
+    frontier: Optional["LatencyFrontierResult"]
+    validation: Optional["LatencyValidationResult"]
+    report: ExperimentReport
+
+    @property
+    def validated(self) -> bool:
+        """Whether the latency proxy agreed with the packet-level arm (≤15%)."""
+        return self.validation is not None and self.validation.within_tolerance
+
+    @property
+    def latency_distributions(self) -> Dict[str, "object"]:
+        """The campaign's latency-flavored distributions only."""
+        return {name: dist for name, dist in self.campaign.distributions.items()
+                if "latency" in name or "p95" in name}
+
+
+def run_latency_campaign(
+    *,
+    clients: int = 1_000_000,
+    epochs: int = 200,
+    replicas: int = 32,
+    seed: int = 2006,
+    target_p95_seconds: float = 0.06,
+    frontier: bool = False,
+    frontier_targets_seconds: Tuple[float, ...] = (0.045, 0.055, 0.07, 0.1),
+    validate: bool = True,
+) -> LatencyCampaignExperimentResult:
+    """E15: queueing latency as a *distribution* on an elastic-demand fleet.
+
+    E14 asks how much of the offered load is served; E15 asks how long the
+    served traffic waits.  The population mixes TCP-like elastic web/video
+    (alpha-fair congestion response in the solver) with inelastic VoIP, each
+    epoch maps utilization to client-weighted path-delay percentiles through
+    the M/G/1-PS proxy of :mod:`repro.scale.latency`, and a latency-aware
+    autoscaler holds the P95 on ``target_p95_seconds``.  ``frontier=True``
+    additionally sweeps the delay target to chart latency against dollars;
+    ``validate=True`` cross-checks the proxy against the packet-level
+    simulator on a short shared transient (acceptance: within 15%).
+    """
+    from ..scale.runner import LatencyCampaignRunner, run_latency_cost_frontier
+
+    runner = LatencyCampaignRunner(
+        clients=clients, epochs=epochs, replicas=replicas, seed=seed,
+        target_p95_seconds=target_p95_seconds,
+    )
+    campaign = runner.run()
+
+    frontier_result = None
+    if frontier:
+        frontier_result = run_latency_cost_frontier(
+            targets_p95_seconds=frontier_targets_seconds,
+            clients=min(clients, 200_000),
+            replicas=max(replicas // 4, 2),
+            seed=seed,
+        )
+
+    validation = None
+    if validate:
+        from ..scale.validate import cross_validate_latency
+
+        validation = cross_validate_latency(seed=seed)
+
+    report = ExperimentReport(
+        "E15", "Queueing latency: Monte-Carlo campaigns on an elastic-demand fleet"
+    )
+    report.tables.extend(campaign.report.tables)
+    report.notes.extend(campaign.report.notes)
+    if frontier_result is not None:
+        report.tables.extend(frontier_result.report.tables)
+        report.notes.extend(frontier_result.report.notes)
+    if validation is not None:
+        report.tables.extend(validation.report.tables)
+        report.notes.extend(validation.report.notes)
+        report.add_note(
+            f"latency proxy vs packet-level max relative error: "
+            f"{validation.max_relative_error:.4f} (acceptance bound 0.15)"
+        )
+    report.add_note(
+        "the neutrality argument in delay terms: a neutral domain must give "
+        "every class a comparable latency distribution, so E15 quotes "
+        "client-weighted P50/P95/P99 path delay and the SLO-violating client "
+        "fraction, not just delivered throughput"
+    )
+    return LatencyCampaignExperimentResult(
+        campaign=campaign, frontier=frontier_result, validation=validation,
+        report=report,
     )

@@ -83,13 +83,21 @@ def format_series(x_label: str, x_values: Sequence[Number],
     """Render a "figure" as a table: one x column and one column per series.
 
     Long time series (a week of hourly epochs) overwhelm a text table, so
-    ``max_rows`` downsamples to that many evenly spaced rows, always keeping
-    the first and last point; ``None`` prints everything.
+    ``max_rows`` downsamples to that many evenly spaced rows; ``None``
+    prints everything.  Downsampling always keeps the first and last
+    point *and* each series' global extremes — an evenly-spaced grid
+    would silently step over a one-epoch latency spike or availability
+    dip, which is exactly the row such a table exists to show.
     """
     indices = range(len(x_values))
     if max_rows is not None and max_rows >= 2 and len(x_values) > max_rows:
-        picks = [round(i * (len(x_values) - 1) / (max_rows - 1)) for i in range(max_rows)]
-        indices = sorted(set(picks))
+        picks = {round(i * (len(x_values) - 1) / (max_rows - 1)) for i in range(max_rows)}
+        for values in series.values():
+            if len(values) != len(x_values):
+                continue
+            picks.add(max(range(len(values)), key=lambda i: values[i]))
+            picks.add(min(range(len(values)), key=lambda i: values[i]))
+        indices = sorted(picks)
     headers = [x_label] + list(series)
     rows = []
     for index in indices:

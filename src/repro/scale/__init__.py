@@ -21,9 +21,17 @@ clients as aggregate fluid demand instead:
     consistent-hash ring from :mod:`repro.core.anycast`, with vectorized
     client-to-site assignment and failover.
 ``solver``
-    Max-min fair capacity allocation over shared links and site CPUs,
-    computed by a numpy-vectorized progressive-filling fixed point, with a
-    verified warm-start fast path for sequences of nearby problems.
+    Fair capacity allocation over shared links and site CPUs: max-min for
+    inelastic (CBR) flows by a numpy-vectorized progressive-filling fixed
+    point, capped alpha-fair (TCP-like) rates for elastic flows by a
+    sign-adaptive dual-price fixed point, composed for mixed populations —
+    each with a verified (certificate-checked) warm-start fast path for
+    sequences of nearby problems.
+``latency``
+    The utilization → queueing-delay proxy: M/G/1-PS-shaped sojourn per
+    resource, deterministic region↔site base RTT from ring geometry,
+    client-weighted per-class delay percentiles and latency-SLO violation
+    fractions — all O(resources + flows) per epoch.
 ``scenario``
     Glue that turns (population, fleet, access network) into a solver
     problem and interprets the allocation as per-class goodput and
@@ -51,10 +59,11 @@ clients as aggregate fluid demand instead:
     relative to the population so any size is interesting.
 ``runner``
     Experiment-campaign runners in the ``ExperimentRunnerProtocol`` style:
-    the E12 population sweep, the E13 timeline-catalogue campaign, and the
+    the E12 population sweep, the E13 timeline-catalogue campaign, the
     E14 Monte-Carlo stochastic-availability campaign with its
-    churn-vs-SLO frontier, all rendering
-    :class:`repro.analysis.report.ExperimentReport` tables.
+    churn-vs-SLO frontier, and the E15 queueing-latency campaign (elastic
+    mix, latency-aware autoscaler) with its latency-vs-cost frontier, all
+    rendering :class:`repro.analysis.report.ExperimentReport` tables.
 ``validate``
     Cross-validation of the fluid model against the packet-level simulator
     on a small shared scenario (goodput must agree within 10 %).
@@ -72,9 +81,11 @@ from .autoscale import (
     EpochMetrics,
     PredictiveLoadPolicy,
     StepPolicy,
+    TargetLatencyPolicy,
     TargetUtilizationPolicy,
     elastic_fleet,
 )
+from .latency import ClassLatency, LatencyModel, LatencyResult, evaluate_latency
 from .catalogue import (
     CATALOGUE,
     ScenarioSpec,
@@ -99,6 +110,7 @@ from .population import (
     DemandClass,
     PopulationMix,
     default_mix,
+    elastic_mix,
     video_class,
     voip_class,
     web_class,
@@ -108,6 +120,9 @@ from .runner import (
     FleetScaleRunner,
     FrontierPoint,
     FrontierResult,
+    LatencyCampaignRunner,
+    LatencyFrontierPoint,
+    LatencyFrontierResult,
     MetricDistribution,
     ScaleExperimentState,
     StochasticCampaignResult,
@@ -118,9 +133,18 @@ from .runner import (
     TimelineCampaignResult,
     TimelineCampaignRunner,
     run_churn_slo_frontier,
+    run_latency_cost_frontier,
 )
 from .scenario import EpochProblem, FluidResult, ProblemTemplate, ScaleScenario
-from .solver import Allocation, CapacityProblem, max_min_allocation, verify_max_min
+from .solver import (
+    Allocation,
+    CapacityProblem,
+    alpha_fair_allocation,
+    max_min_allocation,
+    solve_allocation,
+    verify_alpha_fair,
+    verify_max_min,
+)
 from .timeline import (
     CapacityDegradation,
     CompositeLoad,
@@ -137,7 +161,12 @@ from .timeline import (
     SiteRecovery,
     TimelineResult,
 )
-from .validate import CrossValidationResult, cross_validate
+from .validate import (
+    CrossValidationResult,
+    LatencyValidationResult,
+    cross_validate,
+    cross_validate_latency,
+)
 
 __all__ = [
     "Allocation",
@@ -148,6 +177,7 @@ __all__ = [
     "CATALOGUE",
     "CapacityDegradation",
     "CapacityProblem",
+    "ClassLatency",
     "ClientPopulation",
     "CompositeLoad",
     "ConstantLoad",
@@ -170,6 +200,12 @@ __all__ = [
     "FluidTimeline",
     "FrontierPoint",
     "FrontierResult",
+    "LatencyCampaignRunner",
+    "LatencyFrontierPoint",
+    "LatencyFrontierResult",
+    "LatencyModel",
+    "LatencyResult",
+    "LatencyValidationResult",
     "LinearRampLoad",
     "LoadCurve",
     "MetricDistribution",
@@ -186,6 +222,7 @@ __all__ = [
     "SiteRecovery",
     "StepPolicy",
     "StochasticCampaignResult",
+    "TargetLatencyPolicy",
     "StochasticCampaignRunner",
     "StochasticReplicaRecord",
     "SweepRecord",
@@ -194,18 +231,25 @@ __all__ = [
     "TimelineCampaignResult",
     "TimelineCampaignRunner",
     "TimelineResult",
+    "alpha_fair_allocation",
     "build_scenario",
     "compile_events",
     "cross_validate",
+    "cross_validate_latency",
     "default_mix",
     "default_processes",
     "elastic_fleet",
+    "elastic_mix",
+    "evaluate_latency",
     "max_min_allocation",
     "nominal_demand",
     "provisioned_fleet",
     "run_churn_slo_frontier",
+    "run_latency_cost_frontier",
     "run_scenario",
     "scenario_names",
+    "solve_allocation",
+    "verify_alpha_fair",
     "verify_max_min",
     "video_class",
     "voip_class",

@@ -22,6 +22,11 @@ Three stock policies cover the classic control shapes:
     Feed-forward from the scenario's load curve: scales the observed
     utilization by the forecast demand ``lead_epochs`` ahead, so capacity
     lands when the diurnal peak does rather than one warm-up late.
+:class:`TargetLatencyPolicy`
+    Set-point control on the *latency SLO itself*: inverts the queueing
+    proxy of :mod:`repro.scale.latency` to find the utilization at which
+    the observed P95 path delay would sit on target, and sizes the fleet
+    for it.
 
 The split between :class:`Autoscaler` (the frozen configuration: policy,
 bounds, warm-up and cooldown) and :class:`AutoscaleRun` (the mutable per-run
@@ -62,6 +67,9 @@ class EpochMetrics:
     delivered_fraction: float
     #: Offered demand relative to the population's nominal busy instant.
     demand_multiplier: float
+    #: Client-weighted P95 path delay of the measured epoch (0.0 when the
+    #: timeline runs without a latency model).
+    latency_p95_seconds: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -87,6 +95,9 @@ class AutoscaleObservation:
     delivered_fraction: float
     #: Offered demand relative to the population's nominal busy instant.
     demand_multiplier: float
+    #: Client-weighted P95 path delay of the measured epoch (0.0 = no
+    #: latency model; latency-aware policies must hold in that case).
+    latency_p95_seconds: float = 0.0
 
 
 class AutoscalePolicy:
@@ -182,6 +193,113 @@ class PredictiveLoadPolicy(AutoscalePolicy):
         if abs(expected - self.target) <= self.deadband:
             return observation.committed
         return math.ceil(observation.served_sites * expected / self.target)
+
+
+@dataclass(frozen=True)
+class TargetLatencyPolicy(AutoscalePolicy):
+    """Drive the client-weighted P95 path delay toward a target.
+
+    Queueing delay is convex in utilization, so the controller works in
+    utilization space: from the observed (P95 delay, mean utilization) pair
+    it infers the epoch's base (uncongestible) delay under the proxy's
+    M/G/1 shape, inverts the same shape to find the utilization at which
+    the P95 would sit exactly on target, and scales the serving-site count
+    proportionally — the latency twin of
+    :class:`TargetUtilizationPolicy`'s set-point inversion.
+    ``utilization_ceiling`` refuses scale-downs that would push utilization
+    into the saturated regime even when the latency headroom looks large
+    (base-delay-dominated paths tolerate high utilization right up until
+    they do not); ``deadband_fraction`` keeps on-target epochs from
+    flapping.  Without latency telemetry (no model attached) the policy
+    holds the committed fleet.
+    """
+
+    target_p95_seconds: float = 0.08
+    deadband_fraction: float = 0.15
+    utilization_ceiling: float = 0.9
+    #: Service-time CV and utilization clamp assumed by the inversion;
+    #: match the timeline's :class:`repro.scale.latency.LatencyModel`
+    #: (its ``service_cv`` / ``max_utilization``) for an exact inverse —
+    #: a mismatched clamp mis-splits the observed P95 into base vs queueing
+    #: exactly in the saturated regime the policy exists to escape.
+    service_cv: float = 1.0
+    max_utilization: float = 0.98
+    #: Actuator deadband: corrections of at most this many sites are held.
+    #: Ring membership itself moves the measured P95 (reassigned clients
+    #: change their geometric base RTT), so single-site nudges can chase
+    #: their own tail forever on small or noisy fleets.
+    hold_sites: int = 1
+    #: Fraction of the computed correction applied per action.  The
+    #: utilization inversion ignores the *geometric* response of the P95 to
+    #: membership (more sites = shorter base RTTs), so a full-gain
+    #: correction overshoots and limit-cycles; half-gain converges on the
+    #: same fixed point without the ringing.
+    gain: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.target_p95_seconds <= 0:
+            raise WorkloadError("the latency target must be positive")
+        if not 0 <= self.deadband_fraction < 1:
+            raise WorkloadError("the deadband must be a fraction in [0, 1)")
+        if not 0 < self.utilization_ceiling < 1:
+            raise WorkloadError("the utilization ceiling must be in (0, 1)")
+        if self.service_cv < 0:
+            raise WorkloadError("service-time CV must be non-negative")
+        if not 0 < self.max_utilization < 1:
+            raise WorkloadError("the utilization clamp must be in (0, 1)")
+        if self.hold_sites < 0:
+            raise WorkloadError("the actuator deadband must be non-negative")
+        if not 0 < self.gain <= 1:
+            raise WorkloadError("the controller gain must be in (0, 1]")
+
+    @classmethod
+    def for_model(cls, model, **kwargs) -> "TargetLatencyPolicy":
+        """A policy calibrated to a :class:`repro.scale.latency.LatencyModel`.
+
+        Copies the model's ``service_cv`` and ``max_utilization`` so the
+        inversion is the exact inverse of the proxy that produced the
+        telemetry; every other knob passes through ``kwargs``.
+        """
+        return cls(service_cv=model.service_cv,
+                   max_utilization=model.max_utilization, **kwargs)
+
+    def _queue_factor(self, rho: float) -> float:
+        from .latency import pollaczek_khinchine_factor
+
+        return float(pollaczek_khinchine_factor(
+            rho, self.service_cv, self.max_utilization
+        ))
+
+    def desired_sites(self, observation: AutoscaleObservation,
+                      forecast: Forecast) -> int:
+        observed = observation.latency_p95_seconds
+        if observed <= 0:
+            return observation.committed  # no telemetry: hold, never guess
+        rho = min(max(observation.mean_utilization, 0.0), self.max_utilization)
+        # Split the observed P95 into base delay and queueing under the
+        # proxy's shape: observed = base x (1 + qf(rho)) approximately,
+        # since queueing delay scales with the same service times that set
+        # the transmission part of the base.
+        base = observed / (1.0 + self._queue_factor(rho))
+        target = self.target_p95_seconds
+        if abs(observed - target) <= target * self.deadband_fraction:
+            return observation.committed
+        if target <= base:
+            # The target is below what geography alone costs: run at the
+            # ceiling — more sites cannot shorten the speed of light.
+            rho_star = self.utilization_ceiling
+        else:
+            # Invert qf(rho*) = target/base - 1 for the utilization that
+            # lands the P95 on target, then cap at the ceiling.
+            need = target / base - 1.0
+            shape = (1.0 + self.service_cv ** 2) / 2.0
+            rho_star = min(need / (need + shape), self.utilization_ceiling)
+        rho_star = max(rho_star, 1e-3)
+        desired = math.ceil(observation.served_sites * rho / rho_star)
+        correction = round((desired - observation.committed) * self.gain)
+        if abs(correction) <= self.hold_sites:
+            return observation.committed
+        return observation.committed + correction
 
 
 @dataclass(frozen=True)
@@ -288,6 +406,7 @@ class AutoscaleRun:
             peak_utilization=metrics.peak_utilization,
             delivered_fraction=metrics.delivered_fraction,
             demand_multiplier=metrics.demand_multiplier,
+            latency_p95_seconds=metrics.latency_p95_seconds,
         )
         desired = self.spec.policy.desired_sites(observation, forecast)
         desired = max(self.min_sites, min(desired, self.max_sites))

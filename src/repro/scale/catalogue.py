@@ -7,7 +7,7 @@ capacity is *provisioned relative to the population's nominal demand* (via
 whether the catalogue runs with 2,000 clients in a CI smoke job or a million
 in the full E13 campaign.
 
-The eight stock scenarios cover the transients the steady-state sweep (E12)
+The ten stock scenarios cover the transients the steady-state sweep (E12)
 hides:
 
 ``flash_crowd``
@@ -38,6 +38,16 @@ hides:
 ``stochastic_unreliable``
     One seeded draw of the E14 stochastic processes (failures, a correlated
     outage, attack onsets) with a step-policy autoscaler backfilling.
+``elastic_web_mix``
+    The elastic demand mix (TCP-like web and video next to CBR VoIP) rides
+    a flash crowd through an undersized fleet: the elastic classes back off
+    alpha-fairly where the inelastic VoIP is shed max-min, and the latency
+    proxy shows the congestion as a displaced delay tail.
+``latency_slo_autoscaled``
+    A latency-SLO fleet: the latency-aware autoscaler holds the
+    client-weighted P95 path delay on target through a diurnal day while
+    the M/G/1-PS proxy records per-epoch delay percentiles and
+    SLO-violating client fractions.
 """
 
 from __future__ import annotations
@@ -50,11 +60,13 @@ from .autoscale import (
     Autoscaler,
     PredictiveLoadPolicy,
     StepPolicy,
+    TargetLatencyPolicy,
     elastic_fleet,
 )
 from .costmodel import CryptoCostModel
 from .fleet import FleetSite, NeutralizerFleet
-from .population import ClientPopulation
+from .latency import LatencyModel
+from .population import ClientPopulation, elastic_mix
 from .stochastic import compile_events, default_processes
 from .timeline import (
     CapacityDegradation,
@@ -291,6 +303,52 @@ def _stochastic_unreliable(*, clients: int, seed: int,
     )
 
 
+def _elastic_web_mix(*, clients: int, seed: int,
+                     cost_model: Optional[CryptoCostModel],
+                     population: Optional[ClientPopulation] = None) -> FluidTimeline:
+    # The elastic mix changes the population's class structure, so this
+    # scenario cannot reuse a shared default-mix population — it draws its
+    # own (the build is O(n_clients), far below one congested solve).
+    population = ClientPopulation(clients, mix=elastic_mix(), seed=seed)
+    fleet = provisioned_fleet(population, 16, headroom=0.95, cost_model=cost_model)
+    return FluidTimeline(
+        population, fleet,
+        epochs=48, epoch_seconds=1800.0,
+        load=FlashCrowdLoad(base=0.85, spike=4.0, start_seconds=10 * 1800.0,
+                            ramp_seconds=3 * 1800.0, hold_seconds=10 * 1800.0,
+                            regions_hit=(0, 1, 2)),
+        latency=LatencyModel(),
+        # Tight enough that the crowd's queueing tail actually breaches it:
+        # the scenario reports a growing violating-client fraction while
+        # the spike holds, not just a throughput dip.
+        latency_slo_seconds=0.04,
+    )
+
+
+def _latency_slo_autoscaled(*, clients: int, seed: int,
+                            cost_model: Optional[CryptoCostModel],
+                            population: Optional[ClientPopulation] = None) -> FluidTimeline:
+    population = population or ClientPopulation(clients, seed=seed)
+    # 16 nominal sites at 60% with 8 drained spares; the controller reads
+    # the previous epoch's client-weighted P95 and inverts the queueing
+    # proxy to hold it at 55 ms through the diurnal swing.
+    fleet = elastic_fleet(population, 24, nominal_sites=16, at_utilization=0.6,
+                          cost_model=cost_model)
+    model = LatencyModel()
+    autoscaler = Autoscaler(
+        TargetLatencyPolicy.for_model(model, target_p95_seconds=0.055),
+        min_sites=8, warmup_epochs=1, cooldown_epochs=2,
+    )
+    return FluidTimeline(
+        population, fleet,
+        epochs=72, epoch_seconds=3600.0,
+        load=DiurnalLoad(trough=0.35, peak=1.2, timezone_spread=0.25),
+        autoscaler=autoscaler,
+        latency=model,
+        latency_slo_seconds=0.08,
+    )
+
+
 CATALOGUE: Dict[str, ScenarioSpec] = {
     spec.name: spec
     for spec in (
@@ -359,6 +417,24 @@ CATALOGUE: Dict[str, ScenarioSpec] = {
                         "outage, DoS onsets) against a step-policy "
                         "autoscaler backfilling from the spare pool",
             build=_stochastic_unreliable,
+        ),
+        ScenarioSpec(
+            name="elastic_web_mix",
+            title="Elastic web/video vs CBR VoIP through a flash crowd",
+            description="TCP-like web and video back off alpha-fairly while "
+                        "inelastic VoIP is shed max-min; the latency proxy "
+                        "shows the spike as a displaced delay tail, not just "
+                        "lost throughput",
+            build=_elastic_web_mix,
+        ),
+        ScenarioSpec(
+            name="latency_slo_autoscaled",
+            title="Latency-SLO fleet: P95 path delay held on target",
+            description="a latency-aware autoscaler inverts the M/G/1-PS "
+                        "queueing proxy each epoch to keep the "
+                        "client-weighted P95 delay at 55 ms across a "
+                        "diurnal day, paying sites for milliseconds",
+            build=_latency_slo_autoscaled,
         ),
     )
 }

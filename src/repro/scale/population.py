@@ -15,7 +15,7 @@ in milliseconds.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import List, Optional, Tuple
 
 import numpy as np
@@ -43,6 +43,12 @@ class DemandClass:
     ``packets_per_second`` and ``packet_bytes`` describe one *active* client;
     ``duty_cycle`` is the fraction of subscribed clients active at the busy
     instant, so a class's fluid demand is ``clients × duty × rate``.
+
+    ``elastic`` marks a congestion-controlled (TCP-like) class: its rate is
+    the *peak* one client takes when uncongested, and under congestion the
+    class backs off to the alpha-fair share (``alpha`` ~2 is TCP-like, 1 is
+    proportional fairness, ``math.inf`` is max-min) instead of having its
+    fixed offered rate shed max-min by the domain.
     """
 
     name: str
@@ -51,12 +57,19 @@ class DemandClass:
     duty_cycle: float = 1.0
     #: Fresh key setups per client-hour (sessions, refreshes, mobility).
     key_setups_per_hour: float = 4.0
+    #: Whether the class adapts to congestion (TCP-like) or offers a fixed
+    #: rate (CBR media).
+    elastic: bool = False
+    #: Fairness parameter of an elastic class's congestion response.
+    alpha: float = 2.0
 
     def __post_init__(self) -> None:
         if self.packets_per_second <= 0 or self.packet_bytes <= 0:
             raise WorkloadError("demand class rate and packet size must be positive")
         if not 0.0 < self.duty_cycle <= 1.0:
             raise WorkloadError("duty cycle must be in (0, 1]")
+        if self.alpha <= 0:
+            raise WorkloadError("alpha must be positive")
 
     @property
     def bits_per_second(self) -> float:
@@ -128,6 +141,23 @@ def default_mix() -> PopulationMix:
     """The default subscriber mix: mostly web, a video tail, some VoIP."""
     return PopulationMix(
         classes=(voip_class(), web_class(), video_class()),
+        fractions=(0.2, 0.5, 0.3),
+    )
+
+
+def elastic_mix(*, web_alpha: float = 2.0, video_alpha: float = 2.0) -> PopulationMix:
+    """The default mix with TCP-like web and video, CBR VoIP kept inelastic.
+
+    The realistic split: page fetches and streaming ride congestion control
+    (their rates are peaks they back off from), while the VoIP codec keeps
+    emitting at its fixed rate and the domain sheds its excess max-min.
+    """
+    return PopulationMix(
+        classes=(
+            voip_class(),
+            replace(web_class(), elastic=True, alpha=web_alpha),
+            replace(video_class(), elastic=True, alpha=video_alpha),
+        ),
         fractions=(0.2, 0.5, 0.3),
     )
 
@@ -248,6 +278,14 @@ class ClientPopulation:
     def key_setup_rate_per_client(self) -> np.ndarray:
         """Key-setup requests per second of one subscribed client, per class."""
         return np.array([cls.key_setups_per_hour / 3600.0 for cls in self.mix.classes])
+
+    def class_elastic(self) -> np.ndarray:
+        """Per-class elasticity flags (True = TCP-like congestion response)."""
+        return np.array([cls.elastic for cls in self.mix.classes], dtype=bool)
+
+    def class_alpha(self) -> np.ndarray:
+        """Per-class alpha-fairness parameters."""
+        return np.array([cls.alpha for cls in self.mix.classes], dtype=np.float64)
 
     def describe(self) -> str:
         """One-line summary used by reports and examples."""

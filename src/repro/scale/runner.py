@@ -11,7 +11,11 @@ report, while ``get_current_state()`` can be polled for progress.
 (E13); :class:`StochasticCampaignRunner` runs Monte-Carlo replicas of one
 autoscaled scenario against seeded stochastic event sequences and
 aggregates availability/churn/cost *distributions* (E14), with
-:func:`run_churn_slo_frontier` sweeping the autoscaler's operating point.
+:func:`run_churn_slo_frontier` sweeping the autoscaler's operating point;
+:class:`LatencyCampaignRunner` is the queueing-latency variant (E15) — an
+elastic demand mix, per-epoch latency percentiles through the
+:mod:`repro.scale.latency` proxy, a latency-aware autoscaler, and
+:func:`run_latency_cost_frontier` charting dollars against delay.
 Everything the *simulation* produces is deterministic from the seed; only
 the wall-clock fields reflect the machine the campaign ran on.
 """
@@ -27,10 +31,16 @@ import numpy as np
 from ..analysis.report import ExperimentReport, format_series
 from ..exceptions import WorkloadError
 from ..units import gbps
-from .autoscale import Autoscaler, TargetUtilizationPolicy, elastic_fleet
+from .autoscale import (
+    Autoscaler,
+    TargetLatencyPolicy,
+    TargetUtilizationPolicy,
+    elastic_fleet,
+)
 from .costmodel import CryptoCostModel, ProvisioningCostModel
 from .fleet import NeutralizerFleet
-from .population import ClientPopulation, PopulationMix, default_mix
+from .latency import LatencyModel
+from .population import ClientPopulation, PopulationMix, default_mix, elastic_mix
 from .scenario import FluidResult, ScaleScenario
 from .stochastic import EventProcess, compile_events, default_processes
 from .timeline import FluidTimeline, LoadCurve, TimelineResult
@@ -496,8 +506,17 @@ class StochasticReplicaRecord:
     autoscale_actions: int
     peak_sites: int
     trough_sites: int
+    #: Per-epoch mean of the serving-site count (the operating point).
+    mean_sites: float
     provision_cost: float
     wall_seconds: float
+    #: Latency telemetry (zeros when the campaign runs without a model).
+    mean_latency_p95_seconds: float = 0.0
+    worst_latency_p95_seconds: float = 0.0
+    #: Mean over epochs of the client fraction violating the latency SLO.
+    latency_slo_violations: float = 0.0
+    #: Fraction of epochs keeping violations within the campaign's budget.
+    latency_slo_attainment: float = 1.0
 
 
 @dataclass(frozen=True)
@@ -564,6 +583,9 @@ class StochasticCampaignRunner:
         cost_model: Optional[CryptoCostModel] = None,
         provisioning_cost: Optional[ProvisioningCostModel] = None,
         population: Optional[ClientPopulation] = None,
+        latency_model: Optional[LatencyModel] = None,
+        latency_slo_seconds: float = 0.1,
+        latency_violation_budget: float = 0.05,
     ) -> None:
         if clients <= 0 or epochs <= 0 or replicas <= 0:
             raise WorkloadError("campaign needs positive clients, epochs and replicas")
@@ -571,6 +593,10 @@ class StochasticCampaignRunner:
             raise WorkloadError("SLO threshold must be in (0, 1]")
         if population is not None and population.n_clients != clients:
             raise WorkloadError("shared population does not match the client count")
+        if latency_slo_seconds <= 0:
+            raise WorkloadError("the latency SLO must be positive")
+        if not 0 <= latency_violation_budget < 1:
+            raise WorkloadError("the violation budget must be a fraction in [0, 1)")
         self.clients = int(clients)
         self.epochs = int(epochs)
         self.replicas = int(replicas)
@@ -593,8 +619,12 @@ class StochasticCampaignRunner:
         self.cost_model = cost_model
         self.provisioning_cost = provisioning_cost
         self._population = population
+        self.latency_model = latency_model
+        self.latency_slo_seconds = latency_slo_seconds
+        self.latency_violation_budget = latency_violation_budget
         self.run_id = f"stochastic-{seed:08x}-{self.clients}x{self.replicas}"
         self.experiment_name = "stochastic_availability"
+        self.experiment_id = "E14"
         self._completed = 0
         self._current: Optional[int] = None
 
@@ -616,10 +646,26 @@ class StochasticCampaignRunner:
             at_utilization=self.at_utilization, cost_model=self.cost_model,
         )
 
+    def _shared_scenario(self, population: ClientPopulation) -> ScaleScenario:
+        """One fleet + scenario shared by every replica of this campaign.
+
+        Replicas only ever mutate the fleet through timeline runs, which
+        restore its pre-run state, so the fleet's hashed ring points and the
+        scenario's O(n_clients) problem template are paid for once; each
+        subsequent replica refreshes the stale template incrementally over
+        zero moved clients.
+        """
+        if getattr(self, "_scenario_cache", None) is None or \
+                self._scenario_cache.population is not population:
+            fleet = self._build_fleet(population)
+            self._scenario_cache = ScaleScenario(population, fleet)
+        return self._scenario_cache
+
     def run_replica(self, population: ClientPopulation,
                     event_seed: int) -> TimelineResult:
         """One stochastic timeline: compiled events + autoscaler, solved."""
-        fleet = self._build_fleet(population)
+        scenario = self._shared_scenario(population)
+        fleet = scenario.fleet
         events = compile_events(
             self.processes, seed=event_seed, epochs=self.epochs,
             site_names=[site.name for site in fleet.sites],
@@ -630,6 +676,9 @@ class StochasticCampaignRunner:
             load=self.load, events=events,
             autoscaler=self.autoscaler,
             provisioning_cost=self.provisioning_cost,
+            latency=self.latency_model,
+            latency_slo_seconds=self.latency_slo_seconds,
+            scenario=scenario,
         )
         return timeline.run()
 
@@ -644,6 +693,7 @@ class StochasticCampaignRunner:
         streams = np.random.SeedSequence(self.seed).spawn(self.replicas)
         records: List[StochasticReplicaRecord] = []
         pooled_delivered: List[np.ndarray] = []
+        pooled_latency_p95: List[np.ndarray] = []
         self._completed = 0
         for replica in range(self.replicas):
             self._current = replica
@@ -652,6 +702,17 @@ class StochasticCampaignRunner:
             result = self.run_replica(population, event_seed)
             wall = time.perf_counter() - wall_started
             pooled_delivered.append(result.delivered_fraction)
+            latency_fields = {}
+            if self.latency_model is not None:
+                latency_p95 = result.latency_p95_seconds
+                pooled_latency_p95.append(latency_p95)
+                latency_fields = dict(
+                    mean_latency_p95_seconds=float(latency_p95.mean()),
+                    worst_latency_p95_seconds=float(latency_p95.max()),
+                    latency_slo_violations=result.mean_latency_slo_violations,
+                    latency_slo_attainment=result.latency_slo_attainment(
+                        self.latency_violation_budget),
+                )
             records.append(StochasticReplicaRecord(
                 replica=replica,
                 event_seed=event_seed,
@@ -663,8 +724,10 @@ class StochasticCampaignRunner:
                 autoscale_actions=result.total_autoscale_actions,
                 peak_sites=int(result.sites_in_service.max()),
                 trough_sites=int(result.sites_in_service.min()),
+                mean_sites=float(result.sites_in_service.mean()),
                 provision_cost=result.total_provision_cost,
                 wall_seconds=wall,
+                **latency_fields,
             ))
             self._completed += 1
         self._current = None
@@ -689,6 +752,21 @@ class StochasticCampaignRunner:
                 "provision cost (usd)",
                 [record.provision_cost for record in records], tail="high"),
         }
+        if self.latency_model is not None:
+            # Latency percentiles are upper-tail risks: the P99 row is the
+            # per-epoch P95 delay only 1% of epochs exceed.
+            distributions["latency p95 (ms)"] = MetricDistribution.from_samples(
+                "latency p95 (ms)",
+                np.concatenate(pooled_latency_p95) * 1e3, tail="high")
+            distributions["replica worst p95 (ms)"] = MetricDistribution.from_samples(
+                "replica worst p95 (ms)",
+                [record.worst_latency_p95_seconds * 1e3 for record in records],
+                tail="high")
+            distributions[
+                f"latency slo attainment (<= {self.latency_violation_budget:g} viol)"
+            ] = MetricDistribution.from_samples(
+                f"latency slo attainment (<= {self.latency_violation_budget:g} viol)",
+                [record.latency_slo_attainment for record in records], tail="low")
         report = self._render_report(records, distributions)
         return StochasticCampaignResult(
             run_id=self.run_id,
@@ -702,19 +780,38 @@ class StochasticCampaignRunner:
             report=report,
         )
 
+    def _campaign_title(self) -> str:
+        return (f"Stochastic availability campaign ({self.clients:,} clients, "
+                f"{self.replicas} replicas x {self.epochs} epochs, seed {self.seed})")
+
     def _render_report(self, records: List[StochasticReplicaRecord],
                        distributions: Dict[str, MetricDistribution]) -> ExperimentReport:
-        report = ExperimentReport(
-            "E14",
-            f"Stochastic availability campaign ({self.clients:,} clients, "
-            f"{self.replicas} replicas x {self.epochs} epochs, seed {self.seed})",
-        )
+        report = ExperimentReport(self.experiment_id, self._campaign_title())
         report.add_table(
             ["metric", "p50", "p95", "p99", "mean", "worst", "samples"],
             [[dist.metric, dist.p50, dist.p95, dist.p99, dist.mean, dist.worst,
               dist.samples] for dist in distributions.values()],
             title="distributions (availability-like rows quote tail-risk percentiles)",
         )
+        if self.latency_model is not None:
+            report.add_table(
+                ["replica", "events", "mean deliv", "p95 ms", "worst p95 ms",
+                 "lat slo att", "churn", "sites lo-hi", "cost usd"],
+                [[record.replica, record.events_fired, record.mean_delivered,
+                  record.mean_latency_p95_seconds * 1e3,
+                  record.worst_latency_p95_seconds * 1e3,
+                  record.latency_slo_attainment,
+                  record.clients_remapped,
+                  f"{record.trough_sites}-{record.peak_sites}",
+                  record.provision_cost] for record in records],
+                title="latency vs cost, replica by replica",
+            )
+            report.add_note(
+                f"latency proxy: M/G/1-PS with service CV "
+                f"{self.latency_model.service_cv:g}, geometry base RTT; SLO "
+                f"{self.latency_slo_seconds * 1e3:g} ms at a "
+                f"{self.latency_violation_budget:g} client-violation budget"
+            )
         report.add_table(
             ["replica", "events", "mean deliv", "worst deliv", "slo att",
              "churn", "actions", "sites lo-hi", "cost usd"],
@@ -822,3 +919,160 @@ def run_churn_slo_frontier(
         "sequences; the elbow is where the deployment should sit"
     )
     return FrontierResult(points=tuple(points), report=report)
+
+
+# ---------------------------------------------------------------------------
+# E15: Monte-Carlo queueing-latency campaigns (elastic mix, latency SLO)
+# ---------------------------------------------------------------------------
+
+
+class LatencyCampaignRunner(StochasticCampaignRunner):
+    """E15: Monte-Carlo latency campaigns on an elastic-demand fleet.
+
+    The same machinery as E14 — seeded stochastic event sequences against an
+    autoscaled fleet, many replicas, distributions — but the question is
+    *delay*, not delivered fraction: the population mixes TCP-like elastic
+    web/video with inelastic VoIP (:func:`repro.scale.population.elastic_mix`),
+    every epoch maps utilization to client-weighted path-delay percentiles
+    through the :class:`repro.scale.latency.LatencyModel` proxy, and the
+    default controller is the latency-aware
+    :class:`repro.scale.autoscale.TargetLatencyPolicy` holding the P95 on
+    target.  Results add pooled P50/P95/P99 latency distributions and
+    per-replica latency-SLO attainment next to the availability numbers.
+    """
+
+    def __init__(
+        self,
+        *,
+        target_p95_seconds: float = 0.06,
+        latency_model: Optional[LatencyModel] = None,
+        latency_slo_seconds: Optional[float] = None,
+        mix: Optional[PopulationMix] = None,
+        autoscaler: Optional[Autoscaler] = None,
+        nominal_sites: int = 32,
+        max_sites: int = 40,
+        **kwargs,
+    ) -> None:
+        if target_p95_seconds <= 0:
+            raise WorkloadError("the latency target must be positive")
+        model = latency_model if latency_model is not None else LatencyModel()
+        slo_seconds = (latency_slo_seconds if latency_slo_seconds is not None
+                       else target_p95_seconds * 1.5)
+        if autoscaler is None:
+            # Latency control wants a calm loop: queueing delay reacts
+            # nonlinearly to every site added or drained, so the default
+            # controller holds two epochs between actions.
+            autoscaler = Autoscaler(
+                TargetLatencyPolicy.for_model(
+                    model, target_p95_seconds=target_p95_seconds,
+                ),
+                min_sites=max(nominal_sites // 2, 1),
+                warmup_epochs=1,
+                cooldown_epochs=2,
+            )
+        super().__init__(
+            latency_model=model,
+            latency_slo_seconds=slo_seconds,
+            mix=mix if mix is not None else elastic_mix(),
+            autoscaler=autoscaler,
+            nominal_sites=nominal_sites,
+            max_sites=max_sites,
+            **kwargs,
+        )
+        self.target_p95_seconds = target_p95_seconds
+        self.run_id = f"latency-{self.seed:08x}-{self.clients}x{self.replicas}"
+        self.experiment_name = "latency_slo"
+        self.experiment_id = "E15"
+
+    def _campaign_title(self) -> str:
+        return (f"Queueing-latency campaign ({self.clients:,} clients, "
+                f"{self.replicas} replicas x {self.epochs} epochs, elastic mix, "
+                f"P95 target {self.target_p95_seconds * 1e3:g} ms, seed {self.seed})")
+
+
+@dataclass(frozen=True)
+class LatencyFrontierPoint:
+    """One latency-target operating point on the latency-vs-cost frontier."""
+
+    target_p95_seconds: float
+    latency_p50_ms: float
+    latency_p95_ms: float
+    latency_p99_ms: float
+    mean_slo_attainment: float
+    mean_sites: float
+    mean_cost_usd: float
+
+
+@dataclass(frozen=True)
+class LatencyFrontierResult:
+    """The latency-vs-cost frontier swept over P95 delay targets."""
+
+    points: Tuple[LatencyFrontierPoint, ...]
+    report: ExperimentReport
+
+
+def run_latency_cost_frontier(
+    *,
+    targets_p95_seconds: Sequence[float] = (0.045, 0.055, 0.07, 0.1),
+    clients: int = 200_000,
+    epochs: int = 96,
+    replicas: int = 8,
+    seed: int = 2006,
+    **campaign_kwargs,
+) -> LatencyFrontierResult:
+    """Sweep the latency-aware autoscaler's P95 target: dollars vs delay.
+
+    A tight delay target forces the controller to hold utilization low —
+    queueing delay is convex, so the last few milliseconds are bought with
+    disproportionately many sites; a loose target lets the fleet run hot
+    and cheap until the tail blows through the SLO.  One shared population
+    feeds every point; each point is a full (smaller) E15 campaign with the
+    same seed, so the frontier isolates the latency knob from the noise.
+    """
+    if not targets_p95_seconds:
+        raise WorkloadError("the frontier needs at least one latency target")
+    population = ClientPopulation(
+        clients, mix=campaign_kwargs.get("mix") or elastic_mix(),
+        regions=campaign_kwargs.get("regions", 8), seed=seed,
+    )
+    campaign_kwargs.setdefault("mix", population.mix)
+    points: List[LatencyFrontierPoint] = []
+    for target in targets_p95_seconds:
+        runner = LatencyCampaignRunner(
+            target_p95_seconds=target, clients=clients, epochs=epochs,
+            replicas=replicas, seed=seed, population=population,
+            **campaign_kwargs,
+        )
+        campaign = runner.run()
+        pooled = campaign.distributions["latency p95 (ms)"]
+        points.append(LatencyFrontierPoint(
+            target_p95_seconds=target,
+            latency_p50_ms=pooled.p50,
+            latency_p95_ms=pooled.p95,
+            latency_p99_ms=pooled.p99,
+            mean_slo_attainment=float(np.mean(
+                [record.latency_slo_attainment for record in campaign.records])),
+            mean_sites=float(np.mean(
+                [record.mean_sites for record in campaign.records])),
+            mean_cost_usd=float(np.mean(
+                [record.provision_cost for record in campaign.records])),
+        ))
+    report = ExperimentReport(
+        "E15",
+        f"Latency-vs-cost frontier ({clients:,} clients, {replicas} replicas "
+        f"per target, seed {seed})",
+    )
+    report.add_table(
+        ["target ms", "p50 ms", "p95 ms", "p99 ms", "lat slo att",
+         "mean sites", "mean cost usd"],
+        [[point.target_p95_seconds * 1e3, point.latency_p50_ms,
+          point.latency_p95_ms, point.latency_p99_ms,
+          point.mean_slo_attainment, point.mean_sites, point.mean_cost_usd]
+         for point in points],
+        title="frontier (per-epoch pooled P95 path delay)",
+    )
+    report.add_note(
+        "queueing delay is convex in utilization: the last milliseconds of "
+        "P95 cost disproportionately many sites — the elbow prices the SLO"
+    )
+    return LatencyFrontierResult(points=tuple(points), report=report)

@@ -40,7 +40,7 @@ from ..exceptions import WorkloadError
 from ..units import gbps
 from .fleet import NeutralizerFleet
 from .population import ClientPopulation
-from .solver import Allocation, CapacityProblem, max_min_allocation
+from .solver import Allocation, CapacityProblem, solve_allocation
 
 
 @dataclass
@@ -135,6 +135,11 @@ class ProblemTemplate:
     usage: np.ndarray
     regions: int
     sites: int
+    #: Per-flow elasticity (from the demand classes); ``None`` when the mix
+    #: is purely inelastic, so the solver takes the classic max-min path.
+    elastic_flows: Optional[np.ndarray] = None
+    #: Per-flow alpha-fairness parameters (meaningful where elastic).
+    flow_alpha: Optional[np.ndarray] = None
     #: Per-class flow index arrays (precomputed: interpret() runs per epoch).
     class_members: List[np.ndarray] = field(default_factory=list)
     _flow_labels: Optional[List[str]] = field(default=None, repr=False)
@@ -244,6 +249,11 @@ class ProblemTemplate:
         usage[regions + site_of, np.arange(n_flows)] = group_clients
         usage[regions + sites + site_of, np.arange(n_flows)] = group_clients * cpu_per_bit
 
+        class_elastic = population.class_elastic()
+        elastic_flows = class_elastic[class_of] if class_elastic.any() else None
+        flow_alpha = (population.class_alpha()[class_of]
+                      if elastic_flows is not None else None)
+
         setup_rate_per_client = population.key_setup_rate_per_client()
         return cls(
             population=population,
@@ -265,6 +275,8 @@ class ProblemTemplate:
             usage=usage,
             regions=regions,
             sites=sites,
+            elastic_flows=elastic_flows,
+            flow_alpha=flow_alpha,
             class_members=[np.flatnonzero(class_of == index)
                            for index in range(classes)],
         )
@@ -316,10 +328,15 @@ class ProblemTemplate:
         ])
         # Labels are omitted from the per-epoch problem (they are never read
         # on the hot path); ``template.flow_labels`` builds them on demand.
+        # Elastic classes ride through as the per-flow mask/alpha, with the
+        # group sizes as utility weights so alpha fairness stays per client.
         problem = CapacityProblem(
             demands=demands,
             usage=self.usage,
             capacities=capacities,
+            elastic=self.elastic_flows,
+            weights=self.group_clients if self.elastic_flows is not None else None,
+            alpha=self.flow_alpha if self.flow_alpha is not None else 2.0,
         )
         return EpochProblem(problem=problem, setups_per_site=setups_per_site)
 
@@ -407,8 +424,13 @@ class ScaleScenario:
     # -- solving ---------------------------------------------------------------------
 
     def solve(self, *, warm_start: Optional[np.ndarray] = None) -> FluidResult:
-        """Build and solve the problem, interpreting rates as class goodputs."""
+        """Build and solve the problem, interpreting rates as class goodputs.
+
+        Dispatches through :func:`repro.scale.solver.solve_allocation`, so a
+        mix with elastic classes gets the composed max-min + alpha-fair
+        solve and a purely inelastic mix takes the classic fill unchanged.
+        """
         template = self.build_template()
         epoch = template.instantiate()
-        allocation = max_min_allocation(epoch.problem, warm_start=warm_start)
+        allocation = solve_allocation(epoch.problem, warm_start=warm_start)
         return template.interpret(epoch, allocation)

@@ -1,4 +1,4 @@
-"""Max-min fair capacity allocation, vectorized over flows × resources.
+"""Fair capacity allocation, vectorized over flows × resources.
 
 This is the fairness model under the paper's claim that the neutral domain
 serves everyone alike: when demand exceeds a neutralizer fleet's capacity,
@@ -11,31 +11,49 @@ bits/s, a site uplink in bits/s, a site CPU in core-seconds/s).  The usage
 matrix says how much of each resource one unit of flow rate consumes, so
 feasibility is ``usage @ rates <= capacities``.
 
-:func:`max_min_allocation` computes the classic max-min fair point by
-progressive filling expressed as a fixed-point iteration on numpy arrays: all
-unfrozen flows are raised by the largest common increment any resource
-allows, flows that hit their demand or cross a newly saturated resource
-freeze, and the loop repeats until every flow is frozen.  Each pass is O(R×F)
-vectorized work and at least one flow freezes per pass, so the iteration
-count is bounded by the number of flows — a few hundred groups even for a
-million-client population.
+Two demand families share the problem structure:
+
+*Inelastic* flows (CBR media, the default) offer a fixed rate and do not
+back off; congestion means the domain sheds their excess max-min fairly.
+:func:`max_min_allocation` computes that point by progressive filling
+expressed as a fixed-point iteration on numpy arrays: all unfrozen flows are
+raised by the largest common increment any resource allows, flows that hit
+their demand or cross a newly saturated resource freeze, and the loop
+repeats until every flow is frozen.  Each pass is O(R×F) vectorized work and
+at least one flow freezes per pass, so the iteration count is bounded by the
+number of flows — a few hundred groups even for a million-client population.
+
+*Elastic* flows (TCP-like transfers) adapt their rate to congestion:
+:func:`alpha_fair_allocation` computes the weighted alpha-fair operating
+point (Mo & Walrand's family — alpha 1 is proportional fairness, alpha ~2 is
+TCP-like, and the alpha → ∞ limit *is* max-min) by a damped dual-price fixed
+point: each resource carries a congestion price, each flow's rate is the
+closed-form utility inverse of its path price capped at its peak demand, and
+prices adapt multiplicatively until loads meet capacities.  Every pass is
+the same O(R×F) matrix-vector work as a fill pass.  Mixed populations are
+composed by :func:`solve_allocation`: inelastic flows are served first
+(CBR sources do not yield), elastic flows share the residual alpha-fairly —
+the same priority a FIFO bottleneck gives non-responsive traffic over
+congestion-controlled flows.
 
 Time-stepped callers (:mod:`repro.scale.timeline`) solve a long sequence of
 nearby problems, so the solver also supports *warm starts*: a candidate
 allocation (the previous epoch's rates clipped to the new demands, or the
 demands themselves) is accepted without any filling if it satisfies the
-max-min optimality condition — feasible, and every flow either meets its
-demand or crosses a saturated resource on which its rate is maximal among
-the resource's users (Bertsekas & Gallager's bottleneck condition).  The
-check is two O(R×F) passes versus tens for a cold fill, and it either
-returns exactly the max-min point or falls back to the cold fill, so warm
-starts can never change the answer, only the time to reach it.
+relevant optimality certificate — the Bertsekas & Gallager bottleneck
+condition for max-min (:func:`verify_max_min`), the KKT conditions
+(stationarity + complementary slackness) for alpha fairness
+(:func:`verify_alpha_fair`).  Each check is a constant number of O(R×F)
+passes versus tens for a cold solve, and it either certifies exactly the
+fair point or falls back to the cold solve, so warm starts can never change
+the answer, only the time to reach it.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -45,6 +63,22 @@ from ..exceptions import WorkloadError
 #: Membership tests (does a flow use a resource at all) are exact-zero
 #: comparisons instead: usage coefficients can be legitimately tiny.
 _TOL = 1e-9
+#: Congestion prices below this floor count as zero (resource unpriced).
+#: The dual iteration keeps prices strictly positive so the multiplicative
+#: update can always move them; the floor is where "positive" ends and
+#: complementary slackness starts being enforced.
+_PRICE_FLOOR = 1e-12
+#: Relative tolerance the alpha-fair fixed point aims for while young.
+_ALPHA_TOL = 1e-6
+#: Relaxed exit tolerance past ``_TIGHT_ITERATIONS``: near-critical problems
+#: converge geometrically but slowly, and a 10^-4 relative operating point
+#: is far below the fluid model's own resolution.
+_ALPHA_EXIT_TOL = 3e-4
+_TIGHT_ITERATIONS = 80
+#: Relative stationarity slack of the KKT warm-start certificate; matches
+#: the relaxed exit (plus the feasibility projection) so a solve's own
+#: output always re-certifies.
+_KKT_RTOL = 1e-2
 
 
 @dataclass
@@ -52,7 +86,8 @@ class CapacityProblem:
     """Flows with demands, resources with capacities, and the usage coupling."""
 
     #: Demand rate per flow (units/s; units are whatever the caller chose,
-    #: e.g. "client-equivalents" so fairness is per client).
+    #: e.g. "client-equivalents" so fairness is per client).  For elastic
+    #: flows this is the *peak* rate — what the flow takes when uncongested.
     demands: np.ndarray
     #: ``usage[r, f]``: resource-r units consumed by one unit of flow f.
     usage: np.ndarray
@@ -60,6 +95,16 @@ class CapacityProblem:
     capacities: np.ndarray
     flow_labels: List[str] = field(default_factory=list)
     resource_labels: List[str] = field(default_factory=list)
+    #: Per-flow elasticity mask: ``True`` flows adapt their rate alpha-fairly
+    #: to congestion (TCP-like), ``False`` flows are served max-min from a
+    #: fixed offered rate.  ``None`` means every flow is inelastic.
+    elastic: Optional[np.ndarray] = None
+    #: Per-flow alpha-fair utility weight (e.g. the client count behind an
+    #: aggregate flow, so fairness stays per client).  ``None`` means 1.0.
+    weights: Optional[np.ndarray] = None
+    #: Fairness parameter for elastic flows: scalar or per-flow array.
+    #: 1 = proportional fairness, ~2 = TCP-like, ``math.inf`` = max-min.
+    alpha: float = 2.0
 
     def __post_init__(self) -> None:
         self.demands = np.asarray(self.demands, dtype=np.float64)
@@ -73,6 +118,30 @@ class CapacityProblem:
             )
         if (self.demands < 0).any() or (self.usage < 0).any() or (self.capacities < 0).any():
             raise WorkloadError("demands, usage and capacities must be non-negative")
+        if self.elastic is not None:
+            self.elastic = np.asarray(self.elastic, dtype=bool)
+            if self.elastic.shape != (flows,):
+                raise WorkloadError("elastic mask must cover every flow")
+            if not self.elastic.any():
+                self.elastic = None
+        if self.weights is not None:
+            self.weights = np.asarray(self.weights, dtype=np.float64)
+            if self.weights.shape != (flows,):
+                raise WorkloadError("weights must cover every flow")
+            if (self.weights <= 0).any():
+                raise WorkloadError("alpha-fair weights must be positive")
+        self.alpha = np.broadcast_to(
+            np.asarray(self.alpha, dtype=np.float64), (flows,)
+        )
+        if (self.alpha <= 0).any():
+            raise WorkloadError("alpha must be positive")
+        if self.elastic is not None:
+            infinite = np.isinf(self.alpha[self.elastic])
+            if infinite.any() and not infinite.all():
+                raise WorkloadError(
+                    "mixing finite and infinite alpha among elastic flows is "
+                    "not supported; mark the max-min flows inelastic instead"
+                )
 
     @property
     def n_flows(self) -> int:
@@ -84,10 +153,21 @@ class CapacityProblem:
         """Number of resources."""
         return self.usage.shape[0]
 
+    @property
+    def has_elastic(self) -> bool:
+        """Whether any flow adapts its rate to congestion."""
+        return self.elastic is not None
+
+    def flow_weights(self) -> np.ndarray:
+        """The per-flow utility weights with the default of 1.0 applied."""
+        if self.weights is None:
+            return np.ones(self.n_flows)
+        return self.weights
+
 
 @dataclass
 class Allocation:
-    """The max-min fair operating point of a :class:`CapacityProblem`."""
+    """The fair operating point of a :class:`CapacityProblem`."""
 
     rates: np.ndarray
     #: Index of the resource that froze each flow (-1: demand-limited).
@@ -96,6 +176,10 @@ class Allocation:
     iterations: int
     #: Whether a warm-start candidate was verified optimal, skipping the fill.
     warm_started: bool = False
+    #: Per-resource congestion prices of the elastic solve (``None`` for
+    #: purely inelastic problems).  Offered back to :func:`solve_allocation`
+    #: as the warm start of the next nearby problem.
+    prices: Optional[np.ndarray] = None
 
     def utilization(self, problem: CapacityProblem) -> np.ndarray:
         """Per-resource load fraction under this allocation."""
@@ -242,3 +326,407 @@ def max_min_allocation(problem: CapacityProblem,
                 active &= ~crossing
 
     return Allocation(rates=rates, bottleneck=bottleneck, iterations=iterations)
+
+
+# ---------------------------------------------------------------------------
+# Elastic (alpha-fair) flows
+# ---------------------------------------------------------------------------
+
+
+def _alpha_rates(demands: np.ndarray, usage: np.ndarray, weights: np.ndarray,
+                 inv_alpha: np.ndarray, prices: np.ndarray) -> np.ndarray:
+    """The KKT-stationary rates for given congestion prices.
+
+    Each flow solves ``max w U_alpha(r) - q r`` over ``0 <= r <= d`` where
+    ``q`` is its path price (``usage.T @ prices``): the closed form is
+    ``min(d, (w / q) ** (1 / alpha))``, and an unpriced path takes the peak.
+    """
+    q = usage.T @ prices
+    with np.errstate(divide="ignore", over="ignore"):
+        unconstrained = np.where(q > 0.0, (weights / np.maximum(q, 1e-300)) ** inv_alpha,
+                                 np.inf)
+    return np.minimum(demands, unconstrained)
+
+
+def _kkt_price_floor(demands: np.ndarray, usage: np.ndarray,
+                     weights: np.ndarray, inv_alpha: np.ndarray) -> float:
+    """The problem-scaled price below which a path counts as unpriced.
+
+    The price at which flow f would sit exactly at its cap is
+    ``w_f d_f^(-alpha_f)``; anything orders of magnitude below the smallest
+    of those is indistinguishable from zero.  Equilibrium prices scale the
+    same way — an absolute constant would misclassify them at large alpha
+    or bps-sized demands (and complementary slackness would silently stop
+    being checked).  Flows with infinite alpha (max-min limit) contribute
+    no scale; with none left the conventional floor stands in.
+    """
+    finite = (inv_alpha > 0) & (demands > 0)
+    if not finite.any():
+        return _PRICE_FLOOR
+    with np.errstate(over="ignore", under="ignore"):
+        q_cap = weights[finite] * np.maximum(demands[finite], 1e-300) ** (
+            -1.0 / inv_alpha[finite]
+        )
+    return max(float(q_cap.min()) * 1e-9 / max(float(usage.max()), 1.0), 1e-290)
+
+
+def _alpha_fair_dual(demands: np.ndarray, usage: np.ndarray,
+                     capacities: np.ndarray, weights: np.ndarray,
+                     inv_alpha: np.ndarray, *,
+                     prices0: Optional[np.ndarray] = None,
+                     max_iterations: int = 4000,
+                     ) -> Tuple[np.ndarray, np.ndarray, int]:
+    """Damped dual-price fixed point for the capped alpha-fair allocation.
+
+    Resources carry multiplicative congestion prices; every pass recomputes
+    the stationary rates from the prices (one O(R×F) pass), measures each
+    resource's load/capacity ratio, and moves prices by ``ratio ** kappa``
+    (one more O(R×F) pass).  The gain ``kappa`` starts near the scalar
+    optimum (price error contracts by ``1 - kappa/alpha`` per pass) and is
+    annealed down whenever convergence stalls, so coupled problems that ring
+    at the aggressive gain always settle at a smaller one.  Converged means
+    feasible and complementary-slack within ``_ALPHA_TOL``; a final per-flow
+    projection removes the residual tolerance-level overshoot so the
+    returned rates are exactly feasible.
+    """
+    resources, flows = usage.shape
+    rates = np.zeros(flows)
+    prices_full = np.zeros(resources)
+
+    # Flows crossing a zero-capacity resource can never move: pin at zero.
+    alive_r = capacities > 0
+    if (~alive_r).any():
+        dead = (usage[~alive_r] > 0).any(axis=0)
+    else:
+        dead = np.zeros(flows, dtype=bool)
+    live = ~dead & (demands > 0)
+    if not live.any():
+        return rates, prices_full, 0
+
+    live_idx = np.flatnonzero(live)
+    alive_idx = np.flatnonzero(alive_r)
+    A = usage[np.ix_(alive_idx, live_idx)]
+    c = capacities[alive_idx]
+    d = demands[live_idx]
+    w = weights[live_idx]
+    ia = inv_alpha[live_idx]
+
+    # Problem-scaled floor: at large alpha or bps-sized demands the
+    # equilibrium prices are far below any fixed constant.
+    floor = _kkt_price_floor(d, A, w, ia)
+
+    prices = np.full(alive_idx.size, floor)
+    warm = prices0 is not None and prices0.shape == (resources,)
+    if warm:
+        prices = np.maximum(prices0[alive_idx], floor)
+
+    # Sign-driven adaptive steps in log-price space (the Rprop idea).  A
+    # gradient-sized step stalls on this dual: an overloaded resource whose
+    # load is mostly *capped* flows has a near-zero local gradient — the
+    # price must travel a long way before the caps release — while a slack
+    # resource's price must decay hundreds of log-decades to ~zero.  Using
+    # only the *sign* of the load error with a per-resource step size that
+    # accelerates while the sign holds and halves when it flips crosses
+    # both plateaus exponentially fast, and the halving-on-flip damps
+    # coupled resources' ringing without any global damping schedule.  Each
+    # pass is two O(R×F) matrix-vector products.  The exit is tiered: tight
+    # (``_ALPHA_TOL``) while the iteration is young, relaxed to
+    # ``_ALPHA_EXIT_TOL`` once past ``_TIGHT_ITERATIONS`` — near-critical
+    # problems creep geometrically, and a 10^-4 operating point is far
+    # below anything the fluid model's own accuracy can resolve.  A final
+    # projection makes the rates exactly feasible either way.
+    iterations = 0
+    # A warm start is presumed near the answer: open with gentle steps so
+    # the hint is refined, not trampled (they re-accelerate 1.6x per pass
+    # if the problem really did move far).
+    step = np.full(c.size, 0.05 if warm else 0.5)
+    last_sign = np.zeros(c.size)
+    r = d.copy()
+    priced_floor = floor * 1e3
+    with np.errstate(divide="ignore", over="ignore"):
+        for iterations in range(1, max_iterations + 1):
+            # The same closed form the KKT certificate checks against —
+            # one source of truth, so warm starts can never be rejected by
+            # a drifted copy of the stationarity formula.
+            r = _alpha_rates(d, A, w, ia, prices)
+            load = A @ r
+            ratio = load / c
+            priced = prices > priced_floor
+            overshoot = ratio.max(initial=0.0) - 1.0
+            undershoot = 1.0 - np.where(priced, ratio, np.inf).min(initial=np.inf)
+            # Cold solves chase the tight tolerance while young; warm
+            # re-solves (mid-timeline transients, already inside a certified
+            # neighborhood) take the relaxed exit immediately — grinding a
+            # transient epoch from 3e-4 to 1e-6 buys nothing the fluid
+            # model can resolve.
+            tol = (_ALPHA_TOL if not warm and iterations <= _TIGHT_ITERATIONS
+                   else _ALPHA_EXIT_TOL)
+            if overshoot <= tol and undershoot <= 10 * tol:
+                break
+            sign = np.where(ratio > 1.0, 1.0, -1.0)
+            # An unpriced resource sitting slack is already where it
+            # belongs: freeze its sign history so it re-enters gently if
+            # load returns.
+            sign[~priced & (ratio <= 1.0)] = 0.0
+            step = np.where(sign == last_sign, step * 1.6, step * 0.5)
+            # Deeply slack resources may decay faster than anything rises.
+            ceiling = np.where((sign < 0) & (ratio < 0.5), 16.0, 2.0)
+            step = np.minimum(np.maximum(step, 1e-7), ceiling)
+            prices = np.maximum(prices * np.exp(sign * step), floor)
+            last_sign = sign
+    # Exact feasibility: shave each flow by its worst crossing overshoot.
+    load = A @ r
+    ratio = load / c
+    if ratio.max(initial=0.0) > 1.0:
+        over = np.maximum(ratio, 1.0)
+        per_flow = np.where(A > 0, over[:, np.newaxis], 1.0).max(axis=0)
+        r = r / per_flow
+
+    rates[live_idx] = r
+    prices_full[alive_idx] = np.where(prices > floor * 1e3, prices, 0.0)
+    return rates, prices_full, iterations
+
+
+def _verify_kkt(demands: np.ndarray, usage: np.ndarray, capacities: np.ndarray,
+                weights: np.ndarray, inv_alpha: np.ndarray,
+                rates: np.ndarray, prices: np.ndarray) -> bool:
+    """Whether ``(rates, prices)`` satisfy the capped-alpha-fair KKT system.
+
+    Three O(R×F) passes: primal feasibility, stationarity of every rate
+    against its path price, and complementary slackness (priced resources
+    are saturated).  Pinned flows (crossing a zero-capacity resource) must
+    sit at zero.
+    """
+    if rates.shape != demands.shape or prices.shape != (capacities.shape[0],):
+        return False
+    if (rates < -_TOL).any():
+        return False
+    if (rates > demands + np.maximum(demands, 1.0) * _ALPHA_TOL).any():
+        return False
+    load = usage @ rates
+    if (load > capacities + np.maximum(capacities, 1.0) * _ALPHA_TOL).any():
+        return False
+
+    dead_r = capacities <= 0
+    if dead_r.any():
+        dead = (usage[dead_r] > 0).any(axis=0)
+        if (rates[dead] > np.maximum(demands[dead], 1.0) * _ALPHA_TOL).any():
+            return False
+    else:
+        dead = np.zeros(rates.shape, dtype=bool)
+
+    live = ~dead
+    target = _alpha_rates(demands[live], usage[:, live][~dead_r],
+                          weights[live], inv_alpha[live], prices[~dead_r])
+    scale = np.maximum(np.maximum(target, rates[live]), 1e-12)
+    if (np.abs(rates[live] - target) > scale * _KKT_RTOL).any():
+        return False
+
+    # "Priced" must use the same problem-scaled threshold as the dual:
+    # equilibrium prices at bps magnitudes sit far below any constant, and
+    # an absolute cutoff would silently stop checking complementary
+    # slackness — certifying stale warm starts that under-serve flows.
+    floor = _kkt_price_floor(demands, usage, weights, inv_alpha)
+    priced = (prices > floor * 1e3) & ~dead_r
+    if priced.any():
+        slack = load[priced] < capacities[priced] * (1.0 - 20 * _ALPHA_EXIT_TOL)
+        if slack.any():
+            return False
+    return True
+
+
+def _elastic_bottlenecks(demands: np.ndarray, usage: np.ndarray,
+                         rates: np.ndarray, prices: np.ndarray) -> np.ndarray:
+    """Attribute each elastic flow to its most expensive crossing resource.
+
+    Demand-limited flows get -1; congested flows get the crossing resource
+    with the highest congestion price — the binding constraint of their KKT
+    stationarity condition.
+    """
+    flows = rates.shape[0]
+    bottleneck = np.full(flows, -1, dtype=np.int64)
+    limited = rates >= demands - np.maximum(demands, 1.0) * 10 * _ALPHA_TOL
+    needs = ~limited
+    if needs.any():
+        priced = np.where(usage[:, needs] > 0, prices[:, np.newaxis], -1.0)
+        bottleneck[needs] = priced.argmax(axis=0)
+    return bottleneck
+
+
+def verify_alpha_fair(problem: CapacityProblem, rates: np.ndarray,
+                      prices: np.ndarray) -> Optional[np.ndarray]:
+    """Certify an all-elastic candidate; return the attribution if optimal.
+
+    The elastic analogue of :func:`verify_max_min`: a feasible ``rates``
+    vector together with resource ``prices`` is *the* capped alpha-fair
+    point iff the KKT conditions hold — every rate is the closed-form
+    best response to its path price, and every priced resource is
+    saturated.  ``alpha = inf`` problems (the max-min limit, which
+    :func:`alpha_fair_allocation` solves by delegation) are certified by
+    the max-min bottleneck condition, mirroring that delegation.  Returns
+    the per-flow bottleneck attribution (-1 for demand-limited flows) when
+    the certificate holds, else ``None``.
+    """
+    if np.isinf(problem.alpha).all():
+        return verify_max_min(problem, rates)
+    if np.isinf(problem.alpha).any():
+        raise WorkloadError(
+            "mixing finite and infinite alpha among elastic flows is not "
+            "supported; mark the max-min flows inelastic instead"
+        )
+    inv_alpha = 1.0 / problem.alpha
+    if not _verify_kkt(problem.demands, problem.usage, problem.capacities,
+                       problem.flow_weights(), inv_alpha, rates, prices):
+        return None
+    return _elastic_bottlenecks(problem.demands, problem.usage, rates, prices)
+
+
+def alpha_fair_allocation(problem: CapacityProblem,
+                          *,
+                          warm_start: Optional[np.ndarray] = None,
+                          warm_prices: Optional[np.ndarray] = None,
+                          max_iterations: Optional[int] = None) -> Allocation:
+    """The capped alpha-fair rate vector, treating every flow as elastic.
+
+    ``problem.alpha`` selects the fairness family (per flow): 1 is
+    proportional fairness, ~2 is TCP-like, and ``math.inf`` delegates to
+    :func:`max_min_allocation` exactly (the Mo–Walrand limit).  Like the
+    max-min solver, two fast paths return with ``iterations == 0``: the
+    demand certificate (the demands vector itself is feasible, so every
+    flow takes its peak) and the verified warm start (``warm_start`` rates
+    plus ``warm_prices`` satisfy the KKT certificate).
+    """
+    if np.isinf(problem.alpha).all():
+        allocation = max_min_allocation(problem, warm_start=warm_start,
+                                        max_iterations=max_iterations)
+        allocation.prices = np.zeros(problem.n_resources)
+        return allocation
+    if np.isinf(problem.alpha).any():
+        raise WorkloadError(
+            "mixing finite and infinite alpha among elastic flows is not "
+            "supported; mark the max-min flows inelastic instead"
+        )
+    demands = problem.demands
+    bottleneck = verify_max_min(problem, demands)
+    if bottleneck is not None and (bottleneck == -1).all():
+        return Allocation(rates=demands.astype(np.float64).copy(),
+                          bottleneck=bottleneck, iterations=0,
+                          prices=np.zeros(problem.n_resources))
+    weights = problem.flow_weights()
+    inv_alpha = 1.0 / problem.alpha
+    if warm_start is not None and warm_prices is not None:
+        hint = np.asarray(warm_start, dtype=np.float64)
+        prices_hint = np.asarray(warm_prices, dtype=np.float64)
+        if hint.shape == demands.shape and prices_hint.shape == (problem.n_resources,):
+            candidate = np.minimum(np.maximum(hint, 0.0), demands)
+            attribution = verify_alpha_fair(problem, candidate, prices_hint)
+            if attribution is not None:
+                return Allocation(rates=candidate, bottleneck=attribution,
+                                  iterations=0, warm_started=True,
+                                  prices=prices_hint.copy())
+    prices0 = None
+    if warm_prices is not None:
+        prices_hint = np.asarray(warm_prices, dtype=np.float64)
+        if prices_hint.shape == (problem.n_resources,):
+            prices0 = prices_hint
+    rates, prices, iterations = _alpha_fair_dual(
+        demands, problem.usage, problem.capacities, weights, inv_alpha,
+        prices0=prices0,
+        max_iterations=max_iterations if max_iterations is not None else 4000,
+    )
+    return Allocation(
+        rates=rates,
+        bottleneck=_elastic_bottlenecks(demands, problem.usage, rates, prices),
+        iterations=iterations,
+        prices=prices,
+    )
+
+
+def _column_subproblem(problem: CapacityProblem, mask: np.ndarray,
+                       capacities: np.ndarray) -> CapacityProblem:
+    """The restriction of ``problem`` to the flows in ``mask``."""
+    return CapacityProblem(
+        demands=problem.demands[mask],
+        usage=problem.usage[:, mask],
+        capacities=capacities,
+        weights=None if problem.weights is None else problem.weights[mask],
+        alpha=problem.alpha[mask],
+    )
+
+
+def solve_allocation(problem: CapacityProblem,
+                     *,
+                     warm_start: Optional[np.ndarray] = None,
+                     warm_prices: Optional[np.ndarray] = None,
+                     max_iterations: Optional[int] = None) -> Allocation:
+    """Solve a problem whose flows may mix inelastic and elastic classes.
+
+    Dispatch: a purely inelastic problem is the classic max-min fill; a
+    purely elastic one is the alpha-fair dual.  A *mixed* problem is
+    composed in two stages that mirror what a FIFO bottleneck does to
+    non-responsive vs congestion-controlled traffic: the inelastic flows
+    are served max-min against the full capacities first (CBR sources do
+    not back off), then the elastic flows share the *residual* capacity
+    alpha-fairly, capped at their peak demands.  ``warm_start`` rates and
+    ``warm_prices`` come from a previous nearby solve (an
+    :class:`Allocation`'s ``rates`` and ``prices``); both fast paths are
+    certificate-checked, so hints never change the answer.
+    """
+    if not problem.has_elastic:
+        return max_min_allocation(problem, warm_start=warm_start,
+                                  max_iterations=max_iterations)
+    elastic = problem.elastic
+    if elastic.all():
+        return alpha_fair_allocation(problem, warm_start=warm_start,
+                                     warm_prices=warm_prices,
+                                     max_iterations=max_iterations)
+
+    demands = problem.demands
+    # Demand certificate for the whole mixed problem: nothing is congested,
+    # both families take their peaks, and no composition is needed.
+    bottleneck = verify_max_min(problem, demands)
+    if bottleneck is not None and (bottleneck == -1).all():
+        return Allocation(rates=demands.astype(np.float64).copy(),
+                          bottleneck=bottleneck, iterations=0,
+                          prices=np.zeros(problem.n_resources))
+
+    inelastic = ~elastic
+    hint = None
+    if warm_start is not None:
+        candidate = np.asarray(warm_start, dtype=np.float64)
+        if candidate.shape == demands.shape:
+            hint = candidate
+
+    sub_inelastic = _column_subproblem(problem, inelastic, problem.capacities)
+    inelastic_allocation = max_min_allocation(
+        sub_inelastic,
+        warm_start=hint[inelastic] if hint is not None else None,
+        max_iterations=max_iterations,
+    )
+
+    residual = problem.capacities - problem.usage[:, inelastic] @ inelastic_allocation.rates
+    residual = np.maximum(residual, 0.0)
+    sub_elastic = _column_subproblem(problem, elastic, residual)
+    elastic_allocation = alpha_fair_allocation(
+        sub_elastic,
+        warm_start=hint[elastic] if hint is not None else None,
+        warm_prices=warm_prices,
+        max_iterations=max_iterations,
+    )
+
+    rates = np.empty(problem.n_flows)
+    rates[inelastic] = inelastic_allocation.rates
+    rates[elastic] = elastic_allocation.rates
+    bottleneck = np.empty(problem.n_flows, dtype=np.int64)
+    bottleneck[inelastic] = inelastic_allocation.bottleneck
+    bottleneck[elastic] = elastic_allocation.bottleneck
+    return Allocation(
+        rates=rates,
+        bottleneck=bottleneck,
+        iterations=inelastic_allocation.iterations + elastic_allocation.iterations,
+        warm_started=(inelastic_allocation.iterations == 0
+                      and elastic_allocation.iterations == 0
+                      and (inelastic_allocation.warm_started
+                           or elastic_allocation.warm_started)),
+        prices=elastic_allocation.prices,
+    )

@@ -13,9 +13,13 @@ the max-min solver through a sequence of epochs:
   degradation scales a site's budgets, discrimination toggles throttle a
   region's served classes;
 * an optional closed-loop :class:`repro.scale.autoscale.Autoscaler`
-  observes each epoch's utilization and commissions or drains sites through
-  the same ring-remap machinery, with warm-up delay, cooldown, and dollar
-  accounting via :class:`repro.scale.costmodel.ProvisioningCostModel`;
+  observes each epoch's utilization (and, with a latency model attached,
+  its P95 path delay) and commissions or drains sites through the same
+  ring-remap machinery, with warm-up delay, cooldown, and dollar accounting
+  via :class:`repro.scale.costmodel.ProvisioningCostModel`;
+* an optional :class:`repro.scale.latency.LatencyModel` maps every epoch's
+  utilization to client-weighted path-delay percentiles (P50/P95/P99) and
+  the fraction of clients violating a latency SLO, recorded per epoch;
 * each epoch is solved *warm*: the flow structure is a cached
   :class:`repro.scale.scenario.ProblemTemplate` (rebuilt incrementally, in
   O(moved clients), only when the ring actually changes) and the previous
@@ -43,9 +47,10 @@ from ..exceptions import WorkloadError
 from .autoscale import AutoscaleRun, Autoscaler, EpochMetrics
 from .costmodel import ProvisioningCostModel
 from .fleet import NeutralizerFleet
+from .latency import LatencyModel, evaluate_latency
 from .population import ClientPopulation
 from .scenario import ProblemTemplate, ScaleScenario
-from .solver import Allocation, max_min_allocation
+from .solver import Allocation, solve_allocation
 
 DAY_SECONDS = 86_400.0
 
@@ -336,6 +341,13 @@ class EpochRecord:
     autoscale_actions: Tuple[str, ...] = ()
     #: Dollars this epoch cost (committed capacity + remap churn).
     provision_cost: float = 0.0
+    #: Client-weighted path-delay percentiles (seconds); 0.0 when the
+    #: timeline runs without a latency model.
+    latency_p50_seconds: float = 0.0
+    latency_p95_seconds: float = 0.0
+    latency_p99_seconds: float = 0.0
+    #: Fraction of clients whose path delay exceeded the latency SLO.
+    latency_slo_violations: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -442,6 +454,44 @@ class TimelineResult:
         met = (self.delivered_fraction >= threshold).sum()
         return float(met) / len(self.records)
 
+    @property
+    def has_latency(self) -> bool:
+        """Whether the timeline ran with a latency model attached."""
+        return any(record.latency_p95_seconds > 0 for record in self.records)
+
+    @property
+    def latency_p95_seconds(self) -> np.ndarray:
+        """Per-epoch client-weighted P95 path delay (zeros without a model)."""
+        return np.array([record.latency_p95_seconds for record in self.records])
+
+    @property
+    def worst_latency_p95_seconds(self) -> float:
+        """The worst epoch's P95 path delay — the headline of a latency SLO."""
+        if not self.records:
+            return 0.0
+        return float(self.latency_p95_seconds.max())
+
+    @property
+    def mean_latency_slo_violations(self) -> float:
+        """Mean over epochs of the client fraction violating the latency SLO."""
+        if not self.records:
+            return 0.0
+        return float(np.mean([record.latency_slo_violations
+                              for record in self.records]))
+
+    def latency_slo_attainment(self, max_violations: float = 0.05) -> float:
+        """Fraction of epochs keeping SLO violations at or under the budget.
+
+        An epoch passes when at most ``max_violations`` of clients exceeded
+        the timeline's ``latency_slo_seconds`` — the latency twin of
+        :meth:`slo_attainment`.
+        """
+        if not self.records:
+            return 1.0
+        met = sum(record.latency_slo_violations <= max_violations
+                  for record in self.records)
+        return float(met) / len(self.records)
+
     def series(self) -> Dict[str, List[float]]:
         """Per-epoch columns for :func:`repro.analysis.report.format_series`."""
         out: Dict[str, List[float]] = {
@@ -452,6 +502,11 @@ class TimelineResult:
             "sites": [float(record.sites_in_service) for record in self.records],
             "remapped": [float(record.clients_remapped) for record in self.records],
         }
+        if self.has_latency:
+            out["p95 ms"] = [record.latency_p95_seconds * 1e3
+                             for record in self.records]
+            out["slo viol"] = [record.latency_slo_violations
+                               for record in self.records]
         return out
 
 
@@ -476,11 +531,16 @@ class FluidTimeline:
         warm_start: bool = True,
         autoscaler: Optional[Autoscaler] = None,
         provisioning_cost: Optional[ProvisioningCostModel] = None,
+        latency: Optional[LatencyModel] = None,
+        latency_slo_seconds: float = 0.1,
+        scenario: Optional[ScaleScenario] = None,
     ) -> None:
         if epochs <= 0:
             raise WorkloadError("a timeline needs at least one epoch")
         if epoch_seconds <= 0:
             raise WorkloadError("epoch length must be positive")
+        if latency_slo_seconds <= 0:
+            raise WorkloadError("the latency SLO must be positive")
         self.population = population
         self.fleet = fleet
         self.epochs = int(epochs)
@@ -489,15 +549,37 @@ class FluidTimeline:
         self.events = tuple(sorted(events, key=lambda event: event.at_epoch))
         #: The per-epoch problems come from this scenario's cached template,
         #: which also supplies the region-uplink default and validation.
-        self._scenario = ScaleScenario(
-            population, fleet, region_uplink_bps=region_uplink_bps
-        )
+        #: Passing a pre-built ``scenario`` shares its cached template
+        #: across timelines (Monte-Carlo campaigns reuse one population x
+        #: fleet structure over many replicas); after a previous run
+        #: restored the fleet, the stale template rebuilds incrementally
+        #: over zero moved clients instead of paying the O(n_clients) pass.
+        if scenario is not None:
+            if scenario.population is not population or scenario.fleet is not fleet:
+                raise WorkloadError(
+                    "a shared scenario must wrap this timeline's population and fleet"
+                )
+            if (region_uplink_bps is not None
+                    and scenario.region_uplink_bps != region_uplink_bps):
+                raise WorkloadError(
+                    "a shared scenario disagrees with region_uplink_bps"
+                )
+            self._scenario = scenario
+        else:
+            self._scenario = ScaleScenario(
+                population, fleet, region_uplink_bps=region_uplink_bps
+            )
         self.region_uplink_bps = self._scenario.region_uplink_bps
         self.warm_start = warm_start
         #: Closed-loop controller configuration; per-run state is created
         #: fresh inside every run() so timelines stay re-runnable.
         self.autoscaler = autoscaler
         self.provisioning_cost = provisioning_cost or ProvisioningCostModel()
+        #: Optional utilization → queueing-delay proxy; when present every
+        #: epoch records client-weighted latency percentiles and the
+        #: fraction of clients violating ``latency_slo_seconds``.
+        self.latency = latency
+        self.latency_slo_seconds = float(latency_slo_seconds)
         self._validate_events()
 
     def _validate_events(self) -> None:
@@ -629,15 +711,28 @@ class FluidTimeline:
 
         template: Optional[ProblemTemplate] = None
         previous_rates: Optional[np.ndarray] = None
+        #: Congestion prices of the previous elastic solve.  Prices are
+        #: per-resource, and the resource list (regions + site uplinks +
+        #: site CPUs, indices stable across failures) never changes shape,
+        #: so unlike the rates they survive template rebuilds.
+        previous_prices: Optional[np.ndarray] = None
         base_demand_bps: Optional[float] = None
         #: Demand-weighted per-region weights for the autoscaler's forecast.
         region_demand: Optional[np.ndarray] = None
         last_metrics: Optional[EpochMetrics] = None
-        #: (problem, allocation) of the previous epoch: an epoch whose
-        #: demands and capacities are bit-identical (steady load, no events)
-        #: reuses the allocation outright — same problem, same answer.
-        previous_problem = None
+        #: The previous epoch's full solved state: an epoch with the same
+        #: template, demand scaling and capacity scaling (steady load, no
+        #: events) is the *same problem*, so the instantiated problem, the
+        #: allocation, the interpreted fluid result and the latency metrics
+        #: are all reused outright — the steady-state epoch costs two small
+        #: array comparisons, independent of anything else.
+        previous_template = None
+        previous_served_scale: Optional[np.ndarray] = None
+        previous_capacity_scale: Optional[np.ndarray] = None
+        previous_epoch_problem = None
         previous_allocation = None
+        previous_fluid = None
+        previous_latency = (0.0, 0.0, 0.0, 0.0)
         #: Committed-capacity sums, cached while fleet state is unchanged.
         committed_key = None
         committed_totals = (0.0, 0.0, 0)
@@ -709,38 +804,69 @@ class FluidTimeline:
 
             offered_scale, served_scale = self._demand_scale(template, epoch, t, throttles)
             capacity_scale = self._capacity_scale(epoch, degradations)
-            epoch_problem = template.instantiate(served_scale, capacity_scale)
             offered_bps = float(
                 (template.base_demands * offered_scale * template.group_clients).sum()
             )
 
             solve_started = time.perf_counter()
-            problem = epoch_problem.problem
-            if (self.warm_start
-                    and previous_problem is not None
-                    and problem.usage is previous_problem.usage
-                    and np.array_equal(problem.demands, previous_problem.demands)
-                    and np.array_equal(problem.capacities,
-                                       previous_problem.capacities)):
-                # Bit-identical problem (steady load, no fleet change): the
-                # previous answer IS the answer — skip even the certificate.
+            scales_unchanged = (
+                self.warm_start
+                and previous_epoch_problem is not None
+                and template is previous_template
+                and np.array_equal(served_scale, previous_served_scale)
+                and ((capacity_scale is None and previous_capacity_scale is None)
+                     or (capacity_scale is not None
+                         and previous_capacity_scale is not None
+                         and np.array_equal(capacity_scale, previous_capacity_scale)))
+            )
+            if scales_unchanged:
+                # Bit-identical problem (steady load, same fleet state): the
+                # previous answer IS the answer — reuse the instantiated
+                # problem, the allocation, the fluid interpretation and the
+                # latency metrics without rebuilding any of them.
+                epoch_problem = previous_epoch_problem
                 allocation = Allocation(
                     rates=previous_allocation.rates,
                     bottleneck=previous_allocation.bottleneck,
                     iterations=0,
                     warm_started=True,
+                    prices=previous_allocation.prices,
+                )
+                fluid = previous_fluid
+                latency_p50, latency_p95, latency_p99, latency_violations = (
+                    previous_latency
                 )
             else:
-                allocation = max_min_allocation(
-                    problem,
+                epoch_problem = template.instantiate(served_scale, capacity_scale)
+                allocation = solve_allocation(
+                    epoch_problem.problem,
                     warm_start=previous_rates if self.warm_start else None,
+                    warm_prices=previous_prices if self.warm_start else None,
                 )
+                fluid = template.interpret(epoch_problem, allocation)
+                latency_p50 = latency_p95 = latency_p99 = latency_violations = 0.0
+                if self.latency is not None:
+                    measured = evaluate_latency(
+                        template, epoch_problem, allocation, self.latency
+                    )
+                    latency_p50, latency_p95, latency_p99 = measured.percentiles(
+                        (0.50, 0.95, 0.99)
+                    )
+                    latency_violations = measured.slo_violation_fraction(
+                        self.latency_slo_seconds
+                    )
             solve_seconds = time.perf_counter() - solve_started
             previous_rates = allocation.rates
-            previous_problem = problem
+            previous_prices = allocation.prices
+            previous_template = template
+            previous_served_scale = served_scale
+            previous_capacity_scale = capacity_scale
+            previous_epoch_problem = epoch_problem
             previous_allocation = allocation
+            previous_fluid = fluid
+            previous_latency = (latency_p50, latency_p95, latency_p99,
+                                latency_violations)
 
-            fluid = template.interpret(epoch_problem, allocation)
             cpu_util[epoch] = fluid.cpu_utilization
             uplink_util[epoch] = fluid.uplink_utilization
             clients_matrix[epoch] = fluid.clients_per_site
@@ -761,6 +887,7 @@ class FluidTimeline:
                 peak_utilization=float(serving_load.max()) if n_in_service else 0.0,
                 delivered_fraction=delivered,
                 demand_multiplier=demand_multiplier,
+                latency_p95_seconds=latency_p95,
             )
 
             # Billing covers every *commissioned* site — active (even while
@@ -808,6 +935,10 @@ class FluidTimeline:
                 sites_warming=n_warming,
                 autoscale_actions=actions,
                 provision_cost=provision_cost,
+                latency_p50_seconds=latency_p50,
+                latency_p95_seconds=latency_p95,
+                latency_p99_seconds=latency_p99,
+                latency_slo_violations=latency_violations,
             ))
 
         return TimelineResult(

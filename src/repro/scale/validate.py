@@ -3,20 +3,34 @@
 Both simulators run the *same* small scenario — the neutralized dumbbell of
 :func:`repro.analysis.scenarios.build_scale_validation_scenario`: N clients
 behind one access ISP, a shared bottleneck, one server behind the
-neutralizer.  The packet-level run measures steady-state goodput at the
-server; the fluid side builds the equivalent one-resource
-:class:`repro.scale.solver.CapacityProblem` using the *measured* wire bytes
-per packet (so shim and envelope overhead enter both models identically) and
-solves it with max-min fairness.  Agreement within 10 % on both the
-congested and the uncongested regime is an acceptance criterion of the
-subsystem — it is what licenses extrapolating the fluid model to populations
-the event engine cannot touch.
+neutralizer.  Two quantities are checked:
+
+*Goodput* (:func:`cross_validate`): the packet-level run measures
+steady-state goodput at the server; the fluid side builds the equivalent
+one-resource :class:`repro.scale.solver.CapacityProblem` using the
+*measured* wire bytes per packet (so shim and envelope overhead enter both
+models identically) and solves it with max-min fairness.  Agreement within
+10 % on both the congested and the uncongested regime is an acceptance
+criterion of the subsystem — it is what licenses extrapolating the fluid
+model to populations the event engine cannot touch.
+
+*Latency* (:func:`cross_validate_latency`): Poisson client sources run the
+same dumbbell below saturation while every data packet's one-way delay is
+measured at the server (send times matched FIFO per source — the path is
+order-preserving and the regime is loss-free, which the harness asserts).
+The proxy side composes the same path from per-hop transmission and
+propagation plus the :class:`repro.scale.latency.LatencyModel`
+Pollaczek–Khinchine term at each hop's measured utilization.  Agreement
+within 15 % on a lightly- and a heavily-loaded transient is the acceptance
+criterion of the latency subsystem (PR 4) — the queueing term is what is
+being validated, so the loaded arm is tuned to make it a material share of
+the path delay.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
 import numpy as np
 
@@ -25,6 +39,8 @@ from ..analysis.scenarios import build_scale_validation_scenario
 from ..apps.workloads import ConstantRateSource
 from ..exceptions import WorkloadError
 from ..packet.builder import udp_packet
+from ..units import BITS_PER_BYTE
+from .latency import LatencyModel
 from .solver import CapacityProblem, max_min_allocation
 
 #: Server port the validation traffic targets.
@@ -33,6 +49,44 @@ _VALIDATION_PORT = 46000
 _PRIME_SECONDS = 1.0
 _WARMUP_SECONDS = 0.5
 _DRAIN_SECONDS = 2.0
+
+
+class _ToleranceReporting:
+    """Shared tolerance/failure plumbing of both validation results.
+
+    Subclasses carry ``arms`` (each with ``relative_error`` and
+    ``describe_disagreement(tolerance)``) and an acceptance ``tolerance``;
+    everything downstream — the worst error, the pass/fail verdict, and
+    the per-arm failure descriptions naming the arm and the side that is
+    off — is identical between the goodput and the latency validation and
+    lives here once.
+    """
+
+    @property
+    def max_relative_error(self) -> float:
+        """Worst disagreement across arms (acceptance: ≤ ``tolerance``)."""
+        return max(arm.relative_error for arm in self.arms)
+
+    @property
+    def within_tolerance(self) -> bool:
+        """Whether every arm agreed within the acceptance bound."""
+        return self.max_relative_error <= self.tolerance
+
+    @property
+    def failures(self) -> List[str]:
+        """Per-arm descriptions of every tolerance violation (empty = pass),
+        each naming the arm and which side was high or low."""
+        return [arm.describe_disagreement(self.tolerance) for arm in self.arms
+                if arm.relative_error > self.tolerance]
+
+    def failure_message(self) -> str:
+        """One line summarizing which arm(s) exceeded tolerance and how."""
+        return "; ".join(self.failures)
+
+    def note_failures(self) -> None:
+        """Append one report note per tolerance violation."""
+        for failure in self.failures:
+            self.report.add_note(f"TOLERANCE EXCEEDED: {failure}")
 
 
 @dataclass
@@ -52,23 +106,27 @@ class ValidationArm:
             return float("inf")
         return abs(self.packet_goodput_pps - self.fluid_goodput_pps) / self.packet_goodput_pps
 
+    def describe_disagreement(self, tolerance: float) -> str:
+        """Name the arm *and the side that is off* — 'rel. error 0.13' alone
+        does not say whether the fluid model over- or under-shot which
+        regime, which is the first thing a debugging session needs."""
+        side = ("fluid high" if self.fluid_goodput_pps > self.packet_goodput_pps
+                else "fluid low")
+        return (
+            f"{self.name} arm: packet-level {self.packet_goodput_pps:.1f} pps "
+            f"vs fluid {self.fluid_goodput_pps:.1f} pps ({side} by "
+            f"{self.relative_error:.1%}, tolerance {tolerance:.0%})"
+        )
+
 
 @dataclass
-class CrossValidationResult:
+class CrossValidationResult(_ToleranceReporting):
     """Both arms plus the rendered comparison table."""
 
     arms: List[ValidationArm]
     report: ExperimentReport
-
-    @property
-    def max_relative_error(self) -> float:
-        """Worst disagreement across arms (acceptance: ≤ 0.10)."""
-        return max(arm.relative_error for arm in self.arms)
-
-    @property
-    def within_tolerance(self) -> bool:
-        """Whether every arm agreed within the 10 % acceptance bound."""
-        return self.max_relative_error <= 0.10
+    #: Acceptance bound on the per-arm relative error.
+    tolerance: float = 0.10
 
 
 def _run_packet_arm(*, clients: int, rate_pps: float, payload_bytes: int,
@@ -186,4 +244,231 @@ def cross_validate(
         "envelope overhead cancel; agreement within 10 % licenses the "
         "million-client extrapolation"
     )
-    return CrossValidationResult(arms=arms, report=report)
+    result = CrossValidationResult(arms=arms, report=report)
+    result.note_failures()
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Latency proxy vs packet-level delay (PR 4 acceptance: within 15 %)
+# ---------------------------------------------------------------------------
+
+
+class _TimestampedPoissonSource:
+    """A Poisson UDP packet train that logs every send time.
+
+    Deliberately local to the validation harness: the stock workload
+    sources do not expose per-packet send times, and the FIFO matching
+    below needs them.  Exponential gaps come from a seeded numpy stream,
+    so the arm is deterministic.
+    """
+
+    def __init__(self, host, destination, *, packets_per_second: float,
+                 payload_bytes: int, destination_port: int,
+                 rng: np.random.Generator, send_log: List[float]) -> None:
+        self.host = host
+        self.destination = destination
+        self.packets_per_second = packets_per_second
+        self.payload_bytes = payload_bytes
+        self.destination_port = destination_port
+        self.rng = rng
+        self.send_log = send_log
+
+    def start(self, duration_seconds: float) -> int:
+        elapsed = 0.0
+        count = 0
+        while True:
+            elapsed += float(self.rng.exponential(1.0 / self.packets_per_second))
+            if elapsed > duration_seconds:
+                return count
+            self.host.sim.schedule(elapsed, self._send_one)
+            count += 1
+
+    def _send_one(self) -> None:
+        self.send_log.append(self.host.sim.now)
+        self.host.send(udp_packet(
+            self.host.address, self.destination, b"d" * self.payload_bytes,
+            destination_port=self.destination_port,
+        ))
+
+
+@dataclass
+class LatencyValidationArm:
+    """One load level of the dumbbell, delay measured both ways."""
+
+    name: str
+    bottleneck_utilization: float
+    samples: int
+    measured_mean_seconds: float
+    predicted_mean_seconds: float
+
+    @property
+    def relative_error(self) -> float:
+        """|measured − predicted| over the packet-level measurement."""
+        if self.measured_mean_seconds <= 0:
+            return float("inf")
+        return (abs(self.measured_mean_seconds - self.predicted_mean_seconds)
+                / self.measured_mean_seconds)
+
+    def describe_disagreement(self, tolerance: float) -> str:
+        """Name the arm and the side that is off, like the goodput twin."""
+        side = ("proxy high" if self.predicted_mean_seconds > self.measured_mean_seconds
+                else "proxy low")
+        return (
+            f"{self.name} arm: packet-level {self.measured_mean_seconds * 1e3:.2f} ms "
+            f"vs proxy {self.predicted_mean_seconds * 1e3:.2f} ms ({side} by "
+            f"{self.relative_error:.1%}, tolerance {tolerance:.0%})"
+        )
+
+
+@dataclass
+class LatencyValidationResult(_ToleranceReporting):
+    """Both load arms plus the rendered comparison table."""
+
+    arms: List[LatencyValidationArm]
+    report: ExperimentReport
+    tolerance: float = 0.15
+
+
+def _run_latency_arm(*, name: str, clients: int, utilization_target: float,
+                     payload_bytes: int, bottleneck_rate_bps: float,
+                     duration_seconds: float, seed: int,
+                     model: LatencyModel) -> LatencyValidationArm:
+    """Measure per-packet one-way delay and predict it with the proxy."""
+    scenario = build_scale_validation_scenario(
+        clients=clients, bottleneck_rate_bps=bottleneck_rate_bps, seed=seed
+    )
+    topology = scenario.topology
+    server = scenario.server
+
+    # Send times per source address, matched FIFO at the server: the path
+    # is a fixed order-preserving chain of FIFO links, so packet k in is
+    # packet k out as long as nothing is dropped (asserted below).
+    send_logs: dict = {}
+    pending: dict = {}
+    delays: List[float] = []
+
+    def on_arrival(packet, host) -> None:
+        queue = pending.get(str(packet.ip.source))
+        if queue:
+            delays.append(host.sim.now - queue.pop(0))
+
+    server.register_port_handler(_VALIDATION_PORT, on_arrival)
+
+    for client in scenario.client_names:
+        host = topology.host(client)
+        host.send(udp_packet(host.address, server.address, b"prime",
+                             destination_port=_VALIDATION_PORT))
+    topology.run(_PRIME_SECONDS)
+
+    stats = scenario.bottleneck_stats()
+    packets_before, bytes_before = stats.packets_sent, stats.bytes_sent
+    delays.clear()
+
+    # A rough wire estimate just to hit the utilization target; the proxy's
+    # prediction below uses the *measured* wire size instead.
+    est_wire_bits = (payload_bytes + 80) * BITS_PER_BYTE
+    rate_pps = utilization_target * bottleneck_rate_bps / (est_wire_bits * clients)
+    streams = np.random.SeedSequence([seed, len(name)]).spawn(clients)
+    sent = 0
+    for index, client in enumerate(scenario.client_names):
+        host = topology.host(client)
+        log: List[float] = []
+        send_logs[client] = log
+        pending[str(host.address)] = log
+        source = _TimestampedPoissonSource(
+            host, server.address,
+            packets_per_second=rate_pps, payload_bytes=payload_bytes,
+            destination_port=_VALIDATION_PORT,
+            rng=np.random.default_rng(streams[index]), send_log=log,
+        )
+        sent += source.start(duration_seconds)
+    topology.run(duration_seconds + _DRAIN_SECONDS)
+
+    if len(delays) != sent:
+        raise WorkloadError(
+            f"latency arm {name!r} lost {sent - len(delays)} of {sent} packets; "
+            f"the FIFO send/arrival matching is only valid loss-free — lower "
+            f"the utilization target"
+        )
+    if not delays:
+        raise WorkloadError(f"latency arm {name!r} measured no packets")
+
+    wire_packets = stats.packets_sent - packets_before
+    wire_bytes = stats.bytes_sent - bytes_before
+    wire_bits = wire_bytes / max(wire_packets, 1) * BITS_PER_BYTE
+    offered_bps = rate_pps * clients * wire_bits
+    rho_bottleneck = offered_bps / bottleneck_rate_bps
+
+    # The proxy's prediction: per-hop transmission + P-K wait at the hop's
+    # utilization (the LatencyModel formula under test), plus propagation.
+    # Topology constants from build_dumbbell: 100 Mb/s / 1 ms access links,
+    # the bottleneck at 10 ms.
+    access_bps, access_delay, bottleneck_delay = 100e6, 1e-3, 10e-3
+    hops = (
+        (access_bps, access_delay, rate_pps * wire_bits / access_bps),
+        (bottleneck_rate_bps, bottleneck_delay, rho_bottleneck),
+        (access_bps, access_delay, offered_bps / access_bps),
+    )
+    predicted = 0.0
+    for rate_bps, propagation, rho in hops:
+        service = wire_bits / rate_bps
+        predicted += propagation + service * (
+            1.0 + float(model.queueing_factor(np.asarray(rho)))
+        )
+    return LatencyValidationArm(
+        name=name,
+        bottleneck_utilization=rho_bottleneck,
+        samples=len(delays),
+        measured_mean_seconds=float(np.mean(delays)),
+        predicted_mean_seconds=predicted,
+    )
+
+
+def cross_validate_latency(
+    *,
+    clients: int = 6,
+    payload_bytes: int = 200,
+    bottleneck_rate_bps: float = 600_000.0,
+    light_utilization: float = 0.35,
+    loaded_utilization: float = 0.75,
+    duration_seconds: float = 6.0,
+    seed: int = 2006,
+    model: Optional[LatencyModel] = None,
+) -> LatencyValidationResult:
+    """Run both load levels both ways and tabulate the delay agreement.
+
+    Deterministic packet-size service means the proxy is exercised at
+    ``service_cv = 0`` (the M/D/1 point of the P-K family), which is also
+    what the packet arm's fixed-size packets realize.
+    """
+    model = model or LatencyModel(service_cv=0.0)
+    arms = [
+        _run_latency_arm(
+            name=name, clients=clients, utilization_target=target,
+            payload_bytes=payload_bytes,
+            bottleneck_rate_bps=bottleneck_rate_bps,
+            duration_seconds=duration_seconds, seed=seed, model=model,
+        )
+        for name, target in (("light", light_utilization),
+                             ("loaded", loaded_utilization))
+    ]
+    report = ExperimentReport(
+        "E15v", "Latency proxy vs packet-level delay on the shared dumbbell"
+    )
+    report.add_table(
+        ["regime", "bottleneck util", "samples", "measured ms", "proxy ms",
+         "rel. error"],
+        [[arm.name, arm.bottleneck_utilization, arm.samples,
+          arm.measured_mean_seconds * 1e3, arm.predicted_mean_seconds * 1e3,
+          arm.relative_error] for arm in arms],
+    )
+    report.add_note(
+        "Poisson arrivals against fixed-size service: the proxy's P-K term "
+        "is evaluated at service_cv=0 (M/D/1), matching what the event "
+        "engine realizes; agreement within 15 % licenses quoting fluid "
+        "latency distributions at fleet scale"
+    )
+    result = LatencyValidationResult(arms=arms, report=report)
+    result.note_failures()
+    return result

@@ -19,6 +19,7 @@ from repro.scale import (
     SiteFailure,
     SiteRecovery,
     StepPolicy,
+    TargetLatencyPolicy,
     TargetUtilizationPolicy,
     elastic_fleet,
 )
@@ -92,6 +93,113 @@ class TestPolicies:
             Autoscaler(StepPolicy(), min_sites=0)
         with pytest.raises(WorkloadError):
             Autoscaler(StepPolicy(), min_sites=5, max_sites=4)
+        with pytest.raises(WorkloadError):
+            TargetLatencyPolicy(target_p95_seconds=0.0)
+        with pytest.raises(WorkloadError):
+            TargetLatencyPolicy(utilization_ceiling=1.0)
+        with pytest.raises(WorkloadError):
+            TargetLatencyPolicy(deadband_fraction=1.0)
+
+
+class TestTargetLatencyPolicy:
+    def test_holds_without_latency_telemetry(self):
+        policy = TargetLatencyPolicy(target_p95_seconds=0.06)
+        obs = observation(committed=9)  # latency_p95_seconds defaults to 0
+        assert policy.desired_sites(obs, lambda lead: 1.0) == 9
+
+    def test_scales_up_when_the_p95_blows_the_target(self):
+        policy = TargetLatencyPolicy(target_p95_seconds=0.04,
+                                     deadband_fraction=0.1)
+        slow = AutoscaleObservation(
+            epoch=5, served_sites=10, committed=10, mean_utilization=0.85,
+            peak_utilization=0.9, delivered_fraction=1.0,
+            demand_multiplier=1.0, latency_p95_seconds=0.12,
+        )
+        assert policy.desired_sites(slow, lambda lead: 1.0) > 10
+
+    def test_sheds_capacity_when_far_below_target(self):
+        policy = TargetLatencyPolicy(target_p95_seconds=0.2,
+                                     deadband_fraction=0.1,
+                                     utilization_ceiling=0.9)
+        fast = AutoscaleObservation(
+            epoch=5, served_sites=12, committed=12, mean_utilization=0.3,
+            peak_utilization=0.35, delivered_fraction=1.0,
+            demand_multiplier=1.0, latency_p95_seconds=0.05,
+        )
+        assert policy.desired_sites(fast, lambda lead: 1.0) < 12
+
+    def test_ceiling_limits_shedding_when_target_is_unreachable(self):
+        # The target is below what geography alone costs: the policy must
+        # settle at the utilization ceiling, not divide by a negative need.
+        policy = TargetLatencyPolicy(target_p95_seconds=0.001,
+                                     utilization_ceiling=0.8, gain=1.0)
+        obs = AutoscaleObservation(
+            epoch=5, served_sites=10, committed=10, mean_utilization=0.4,
+            peak_utilization=0.45, delivered_fraction=1.0,
+            demand_multiplier=1.0, latency_p95_seconds=0.05,
+        )
+        # rho/rho_ceiling = 0.4/0.8: the policy wants half the fleet, and
+        # never fewer than the ceiling allows.
+        assert policy.desired_sites(obs, lambda lead: 1.0) == 5
+
+    def test_default_gain_damps_the_correction(self):
+        # Same observation at the default half gain: only half the gap is
+        # taken per action, the anti-hunting behaviour the geometry needs.
+        policy = TargetLatencyPolicy(target_p95_seconds=0.001,
+                                     utilization_ceiling=0.8)
+        obs = AutoscaleObservation(
+            epoch=5, served_sites=10, committed=10, mean_utilization=0.4,
+            peak_utilization=0.45, delivered_fraction=1.0,
+            demand_multiplier=1.0, latency_p95_seconds=0.05,
+        )
+        assert policy.desired_sites(obs, lambda lead: 1.0) == 8
+        # Tiny corrections are held outright (actuator deadband).
+        near = AutoscaleObservation(
+            epoch=5, served_sites=10, committed=6, mean_utilization=0.4,
+            peak_utilization=0.45, delivered_fraction=1.0,
+            demand_multiplier=1.0, latency_p95_seconds=0.05,
+        )
+        assert policy.desired_sites(near, lambda lead: 1.0) == 6
+        with pytest.raises(WorkloadError):
+            TargetLatencyPolicy(gain=0.0)
+
+    def test_deadband_holds(self):
+        policy = TargetLatencyPolicy(target_p95_seconds=0.05,
+                                     deadband_fraction=0.2)
+        near = AutoscaleObservation(
+            epoch=5, served_sites=10, committed=11, mean_utilization=0.6,
+            peak_utilization=0.65, delivered_fraction=1.0,
+            demand_multiplier=1.0, latency_p95_seconds=0.055,
+        )
+        assert policy.desired_sites(near, lambda lead: 1.0) == 11
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        target_ms=st.floats(min_value=30.0, max_value=120.0),
+        trough=st.floats(min_value=0.2, max_value=0.8),
+        peak=st.floats(min_value=0.9, max_value=1.6),
+        warmup=st.integers(min_value=0, max_value=2),
+    )
+    def test_latency_autoscaler_bounds_hold(self, target_ms, trough, peak,
+                                            warmup):
+        """Property: the latency controller never breaches min/max either."""
+        from repro.scale import LatencyModel
+
+        population = ClientPopulation(3_000, seed=3)
+        fleet = elastic_fleet(population, 9, nominal_sites=5,
+                              at_utilization=0.6)
+        autoscaler = Autoscaler(
+            TargetLatencyPolicy(target_p95_seconds=target_ms / 1e3),
+            min_sites=3, max_sites=9, warmup_epochs=warmup,
+        )
+        result = FluidTimeline(
+            population, fleet, epochs=18,
+            load=DiurnalLoad(trough=trough, peak=peak),
+            autoscaler=autoscaler, latency=LatencyModel(),
+        ).run()
+        for record in result.records:
+            committed = record.sites_in_service + record.sites_warming
+            assert 3 <= committed <= 9
 
 
 class TestClosedLoop:

@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.analysis.experiments import run_fleet_scale
+from repro.analysis.report import ExperimentReport
 from repro.scale import (
     ClientPopulation,
     CryptoCostModel,
@@ -11,6 +12,7 @@ from repro.scale import (
     NeutralizerFleet,
     ScaleScenario,
     cross_validate,
+    cross_validate_latency,
 )
 from repro.units import mbps
 
@@ -126,11 +128,61 @@ class TestCrossValidation:
         # The subsystem's acceptance criterion: both regimes of the shared
         # dumbbell scenario agree between the event engine and the fluid model.
         result = cross_validate(duration_seconds=3.0)
-        assert result.within_tolerance, result.report.render()
+        assert result.within_tolerance, result.failure_message()
+        assert result.failures == []
         names = [arm.name for arm in result.arms]
         assert "unloaded" in names and "congested" in names
         congested = next(arm for arm in result.arms if arm.name == "congested")
         assert congested.packet_goodput_pps < congested.offered_pps
+
+    def test_failures_name_the_arm_and_the_side(self):
+        # The satellite fix: a tolerance breach must say which arm broke
+        # and whether the fluid side was high or low, not just the error.
+        from repro.scale.validate import CrossValidationResult, ValidationArm
+
+        high = ValidationArm(name="congested", offered_pps=100.0,
+                             packet_goodput_pps=50.0, fluid_goodput_pps=70.0,
+                             wire_bytes_per_packet=250.0)
+        low = ValidationArm(name="unloaded", offered_pps=100.0,
+                            packet_goodput_pps=100.0, fluid_goodput_pps=99.0,
+                            wire_bytes_per_packet=250.0)
+        result = CrossValidationResult(
+            arms=[high, low], report=ExperimentReport("E12v", "t"))
+        assert not result.within_tolerance
+        assert len(result.failures) == 1
+        message = result.failure_message()
+        assert "congested" in message and "fluid high" in message
+        assert "40.0%" in message and "unloaded" not in message
+
+    def test_latency_proxy_matches_packet_level_within_15_percent(self):
+        # The PR 4 acceptance criterion: mean path delay agrees between the
+        # event engine and the M/G/1 proxy on a light and a loaded transient.
+        result = cross_validate_latency(duration_seconds=4.0)
+        assert result.within_tolerance, result.failures
+        names = [arm.name for arm in result.arms]
+        assert names == ["light", "loaded"]
+        light, loaded = result.arms
+        assert light.bottleneck_utilization < loaded.bottleneck_utilization
+        # The loaded arm must have a material queueing share, otherwise the
+        # test only validates propagation arithmetic.
+        assert loaded.measured_mean_seconds > light.measured_mean_seconds * 1.2
+        assert all(arm.samples > 100 for arm in result.arms)
+        assert "E15v" in result.report.render()
+
+    def test_latency_validation_failure_names_the_arm(self):
+        from repro.scale.validate import (
+            LatencyValidationArm,
+            LatencyValidationResult,
+        )
+
+        arm = LatencyValidationArm(name="loaded", bottleneck_utilization=0.8,
+                                   samples=500, measured_mean_seconds=0.020,
+                                   predicted_mean_seconds=0.030)
+        result = LatencyValidationResult(
+            arms=[arm], report=ExperimentReport("E15v", "t"))
+        assert not result.within_tolerance
+        assert "loaded" in result.failures[0]
+        assert "proxy high" in result.failures[0]
 
     def test_e12_wrapper_combines_sweep_and_validation(self):
         result = run_fleet_scale(client_counts=(500, 2_000), n_sites=2,

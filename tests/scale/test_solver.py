@@ -1,10 +1,19 @@
-"""Max-min solver tests: known fair allocations, degenerate inputs, invariants."""
+"""Solver tests: max-min and alpha-fair allocations, invariants, warm starts."""
+
+import math
 
 import numpy as np
 import pytest
 
 from repro.exceptions import WorkloadError
-from repro.scale.solver import CapacityProblem, max_min_allocation, verify_max_min
+from repro.scale.solver import (
+    CapacityProblem,
+    alpha_fair_allocation,
+    max_min_allocation,
+    solve_allocation,
+    verify_alpha_fair,
+    verify_max_min,
+)
 
 
 def single_bottleneck(demands, capacity, unit=1.0):
@@ -184,6 +193,214 @@ class TestVerifyMaxMin:
             if (allocation.rates < problem.demands * 0.99).any():
                 skewed = allocation.rates * rng.uniform(0.5, 0.95, flows)
                 assert verify_max_min(problem, skewed) is None
+
+
+def chain_problem(alpha, elastic=None, demands=100.0):
+    """Flow A crosses both links, B only the first, C only the second."""
+    return CapacityProblem(
+        demands=np.full(3, demands),
+        usage=np.array([[1.0, 1.0, 0.0], [1.0, 0.0, 1.0]]),
+        capacities=np.array([10.0, 6.0]),
+        elastic=np.ones(3, dtype=bool) if elastic is None else elastic,
+        alpha=alpha,
+    )
+
+
+class TestElastic:
+    def test_proportional_fairness_on_the_chain(self):
+        # Closed form: 1/rA = 1/(10-rA) + 1/(6-rA) → 3rA^2 - 32rA + 60 = 0.
+        expected_a = (32 - math.sqrt(32 ** 2 - 4 * 3 * 60)) / 6
+        allocation = alpha_fair_allocation(chain_problem(1.0))
+        assert allocation.rates[0] == pytest.approx(expected_a, rel=1e-3)
+        assert allocation.rates[1] == pytest.approx(10 - expected_a, rel=1e-3)
+        assert allocation.rates[2] == pytest.approx(6 - expected_a, rel=1e-3)
+
+    def test_alpha_inf_recovers_max_min_exactly(self):
+        elastic = alpha_fair_allocation(chain_problem(math.inf))
+        inelastic = max_min_allocation(CapacityProblem(
+            demands=np.full(3, 100.0),
+            usage=np.array([[1.0, 1.0, 0.0], [1.0, 0.0, 1.0]]),
+            capacities=np.array([10.0, 6.0]),
+        ))
+        assert np.array_equal(elastic.rates, inelastic.rates)
+        assert elastic.iterations == inelastic.iterations
+        assert elastic.prices is not None and (elastic.prices == 0).all()
+
+    def test_growing_alpha_approaches_max_min(self):
+        # Mo & Walrand: the alpha-fair family converges to max-min ([3,7,3]).
+        target = np.array([3.0, 7.0, 3.0])
+        deviations = []
+        for alpha in (1.0, 2.0, 8.0, 16.0):
+            rates = alpha_fair_allocation(chain_problem(alpha)).rates
+            deviations.append(np.abs(rates - target).max())
+        assert deviations == sorted(deviations, reverse=True)
+        assert deviations[-1] < 0.01
+
+    def test_demand_caps_respected_and_certificate_fires(self):
+        allocation = alpha_fair_allocation(chain_problem(2.0, demands=2.0))
+        assert allocation.iterations == 0  # demands feasible: peak for all
+        assert np.allclose(allocation.rates, 2.0)
+        assert (allocation.bottleneck == -1).all()
+
+    def test_feasibility_on_random_problems(self):
+        rng = np.random.default_rng(23)
+        for trial in range(25):
+            flows = int(rng.integers(2, 40))
+            resources = int(rng.integers(1, 10))
+            problem = CapacityProblem(
+                demands=rng.uniform(0.1, 5.0, flows),
+                usage=rng.uniform(0, 2.0, (resources, flows))
+                * (rng.random((resources, flows)) < 0.6),
+                capacities=rng.uniform(1.0, 30.0, resources),
+                elastic=rng.random(flows) < 0.7,
+                weights=rng.uniform(0.5, 10.0, flows),
+                alpha=float(rng.uniform(0.8, 4.0)),
+            )
+            allocation = solve_allocation(problem)
+            used = problem.usage @ allocation.rates
+            assert (used <= problem.capacities * (1 + 1e-6)).all(), trial
+            assert (allocation.rates <= problem.demands * (1 + 1e-6)).all(), trial
+            assert (allocation.rates >= 0).all(), trial
+
+    def test_weights_buy_per_client_fairness(self):
+        # A 9-client aggregate with weight 9 and usage 9x must end up with
+        # the same per-client rate as a single client on the same link.
+        problem = CapacityProblem(
+            demands=np.array([100.0, 100.0]),
+            usage=np.array([[9.0, 1.0]]),
+            capacities=np.array([10.0]),
+            elastic=np.ones(2, dtype=bool),
+            weights=np.array([9.0, 1.0]),
+            alpha=2.0,
+        )
+        rates = alpha_fair_allocation(problem).rates
+        assert rates[0] == pytest.approx(rates[1], rel=1e-3)
+
+    def test_mixed_inelastic_priority(self):
+        # CBR voip (demand 4) does not back off; TCP-like flows share what
+        # is left of the 10-unit link.
+        problem = CapacityProblem(
+            demands=np.array([4.0, 100.0, 100.0]),
+            usage=np.ones((1, 3)),
+            capacities=np.array([10.0]),
+            elastic=np.array([False, True, True]),
+            alpha=2.0,
+        )
+        allocation = solve_allocation(problem)
+        assert allocation.rates[0] == pytest.approx(4.0)
+        assert allocation.rates[1] == pytest.approx(3.0, rel=1e-3)
+        assert allocation.rates[2] == pytest.approx(3.0, rel=1e-3)
+        assert allocation.bottleneck[0] == -1  # demand-limited
+
+    def test_zero_capacity_pins_elastic_flows(self):
+        problem = CapacityProblem(
+            demands=np.array([5.0, 5.0]),
+            usage=np.array([[1.0, 0.0], [0.0, 1.0]]),
+            capacities=np.array([0.0, 10.0]),
+            elastic=np.ones(2, dtype=bool),
+        )
+        allocation = alpha_fair_allocation(problem)
+        assert allocation.rates[0] == 0.0
+        assert allocation.rates[1] == pytest.approx(5.0)
+
+    def test_mixed_finite_and_infinite_alpha_rejected(self):
+        with pytest.raises(WorkloadError, match="alpha"):
+            CapacityProblem(
+                demands=np.array([1.0, 1.0]),
+                usage=np.ones((1, 2)),
+                capacities=np.array([1.0]),
+                elastic=np.ones(2, dtype=bool),
+                alpha=np.array([2.0, math.inf]),
+            )
+
+    def test_invalid_elastic_inputs_rejected(self):
+        with pytest.raises(WorkloadError):
+            CapacityProblem(demands=np.array([1.0]), usage=np.ones((1, 1)),
+                            capacities=np.array([1.0]),
+                            elastic=np.array([True, False]))
+        with pytest.raises(WorkloadError):
+            CapacityProblem(demands=np.array([1.0]), usage=np.ones((1, 1)),
+                            capacities=np.array([1.0]),
+                            weights=np.array([0.0]))
+        with pytest.raises(WorkloadError):
+            CapacityProblem(demands=np.array([1.0]), usage=np.ones((1, 1)),
+                            capacities=np.array([1.0]), alpha=0.0)
+
+
+class TestElasticWarmStart:
+    def test_kkt_certificate_accepts_a_solution(self):
+        problem = chain_problem(2.0)
+        cold = alpha_fair_allocation(problem)
+        attribution = verify_alpha_fair(problem, cold.rates, cold.prices)
+        assert attribution is not None
+        assert (attribution >= 0).all()  # every flow congested somewhere
+
+    def test_certificate_delegates_at_alpha_inf(self):
+        # The max-min limit is solved by delegation; its certificate must
+        # delegate too (the KKT closed form is meaningless at 1/alpha = 0).
+        problem = chain_problem(math.inf)
+        allocation = alpha_fair_allocation(problem)
+        attribution = verify_alpha_fair(problem, allocation.rates,
+                                        allocation.prices)
+        assert attribution is not None
+        assert np.array_equal(attribution, allocation.bottleneck)
+
+    def test_warm_start_returns_the_same_answer(self):
+        problem = chain_problem(2.0)
+        cold = alpha_fair_allocation(problem)
+        warm = alpha_fair_allocation(problem, warm_start=cold.rates,
+                                     warm_prices=cold.prices)
+        assert warm.warm_started and warm.iterations == 0
+        assert np.array_equal(warm.rates, cold.rates)
+
+    def test_bad_hints_fall_back_to_the_dual(self):
+        problem = chain_problem(2.0)
+        cold = alpha_fair_allocation(problem)
+        skewed = alpha_fair_allocation(
+            problem,
+            warm_start=cold.rates * 0.2,
+            warm_prices=cold.prices * 50.0,
+        )
+        assert not skewed.warm_started
+        assert np.allclose(skewed.rates, cold.rates, rtol=5e-3)
+
+    def test_stale_hint_rejected_at_bps_scales(self):
+        # Regression: the KKT certificate's "priced" threshold must be
+        # problem-scaled — at bps-sized demands the equilibrium prices sit
+        # near 1e-13, and an absolute floor skipped complementary
+        # slackness, certifying a stale warm start after a capacity
+        # restoration and leaving an elastic flow 33% under-served.
+        def problem(capacity):
+            return CapacityProblem(
+                demands=np.array([2e5, 3e6]),
+                usage=np.array([[1000.0, 0.0], [0.0, 1000.0]]),
+                capacities=np.array([2e8, capacity]),
+                elastic=np.ones(2, dtype=bool),
+                weights=np.array([1000.0, 1000.0]),
+                alpha=2.0,
+            )
+        congested = alpha_fair_allocation(problem(2e9))
+        assert congested.rates[1] < 3e6  # genuinely congested
+        restored = alpha_fair_allocation(problem(4e9),
+                                         warm_start=congested.rates,
+                                         warm_prices=congested.prices)
+        assert restored.rates[1] == pytest.approx(3e6, rel=1e-3)
+
+    def test_mixed_solve_warm_start_round_trip(self):
+        rng = np.random.default_rng(7)
+        flows, resources = 30, 6
+        problem = CapacityProblem(
+            demands=rng.uniform(0.5, 5.0, flows),
+            usage=rng.uniform(0, 2.0, (resources, flows)),
+            capacities=rng.uniform(5.0, 20.0, resources),
+            elastic=rng.random(flows) < 0.5,
+            alpha=2.0,
+        )
+        cold = solve_allocation(problem)
+        warm = solve_allocation(problem, warm_start=cold.rates,
+                                warm_prices=cold.prices)
+        assert warm.warm_started and warm.iterations == 0
+        assert np.array_equal(warm.rates, cold.rates)
 
 
 class TestWarmStart:
