@@ -51,22 +51,35 @@ clients as aggregate fluid demand instead:
 ``stochastic``
     Seeded stochastic event processes — Poisson site failures, correlated
     regional outages, DoS attack onsets — compiled to fleet-event lists so
-    availability can be measured as a distribution, not a curve.
+    availability can be measured as a distribution, not a curve; with
+    antithetic-pair and stratified-rotation seed allocation for sharper
+    Monte-Carlo tails at the same replica budget.
+``adversary``
+    The paper's core tension as a closed-loop game: an adaptive,
+    budget-constrained ISP strategy (classifier confusion model,
+    escalation/backoff, the §3.6 blanket endgame) against per-region
+    logistic neutralizer adoption driven by experienced harm, stepped by
+    the timeline each epoch with adopters re-keying through the hash ring.
 ``catalogue``
     Named timeline scenarios — flash crowd, regional outage, diurnal week,
     heterogeneous fleet, cascading overload, discrimination rollout,
-    autoscaled diurnal, stochastic unreliable month — each provisioned
-    relative to the population so any size is interesting.
+    autoscaled diurnal, stochastic unreliable month, elastic web mix,
+    latency-SLO fleet, adaptive throttler, neutralizer arms race, targeted
+    class SLO — each provisioned relative to the population so any size is
+    interesting.
 ``runner``
     Experiment-campaign runners in the ``ExperimentRunnerProtocol`` style:
     the E12 population sweep, the E13 timeline-catalogue campaign, the
     E14 Monte-Carlo stochastic-availability campaign with its
-    churn-vs-SLO frontier, and the E15 queueing-latency campaign (elastic
-    mix, latency-aware autoscaler) with its latency-vs-cost frontier, all
-    rendering :class:`repro.analysis.report.ExperimentReport` tables.
+    churn-vs-SLO frontier, the E15 queueing-latency campaign (elastic
+    mix, latency-aware autoscaler) with its latency-vs-cost frontier, and
+    the E16 adversary arms-race campaign sweeping ISP aggressiveness ×
+    adoption sensitivity into the self-defeating-discrimination frontier,
+    all rendering :class:`repro.analysis.report.ExperimentReport` tables.
 ``validate``
     Cross-validation of the fluid model against the packet-level simulator
-    on a small shared scenario (goodput must agree within 10 %).
+    on a small shared scenario (goodput within 10 %, latency proxy within
+    15 %, adversary epoch vs. discrimination rules within 10 %).
 
 A million-client, 16-site solve completes in well under a second; a
 100-epoch, million-client timeline solves end-to-end in well under a
@@ -74,6 +87,14 @@ second; a 200-epoch, 32-replica, million-client Monte-Carlo campaign
 completes in a few seconds — all deterministic from their seeds.
 """
 
+from .adversary import (
+    AdoptionModel,
+    AdversaryGame,
+    AdversaryRun,
+    ClassifierModel,
+    IspStrategy,
+    split_latency_by_class,
+)
 from .autoscale import (
     Autoscaler,
     AutoscaleObservation,
@@ -85,7 +106,13 @@ from .autoscale import (
     TargetUtilizationPolicy,
     elastic_fleet,
 )
-from .latency import ClassLatency, LatencyModel, LatencyResult, evaluate_latency
+from .latency import (
+    ClassLatency,
+    LatencyModel,
+    LatencyResult,
+    allen_cunneen_factor,
+    evaluate_latency,
+)
 from .catalogue import (
     CATALOGUE,
     ScenarioSpec,
@@ -102,8 +129,10 @@ from .stochastic import (
     CorrelatedRegionalOutage,
     EventProcess,
     PoissonSiteFailures,
+    antithetic_uniforms,
     compile_events,
     default_processes,
+    rotated_uniforms,
 )
 from .population import (
     ClientPopulation,
@@ -116,6 +145,10 @@ from .population import (
     web_class,
 )
 from .runner import (
+    AdversaryCampaignResult,
+    AdversaryCampaignRunner,
+    AdversaryPointRecord,
+    AdversaryReplicaRecord,
     FleetScaleResult,
     FleetScaleRunner,
     FrontierPoint,
@@ -132,6 +165,8 @@ from .runner import (
     TimelineCampaignRecord,
     TimelineCampaignResult,
     TimelineCampaignRunner,
+    VarianceComparisonResult,
+    compare_variance_reduction,
     run_churn_slo_frontier,
     run_latency_cost_frontier,
 )
@@ -162,13 +197,23 @@ from .timeline import (
     TimelineResult,
 )
 from .validate import (
+    AdversaryValidationResult,
     CrossValidationResult,
     LatencyValidationResult,
     cross_validate,
+    cross_validate_adversary,
     cross_validate_latency,
 )
 
 __all__ = [
+    "AdoptionModel",
+    "AdversaryCampaignResult",
+    "AdversaryCampaignRunner",
+    "AdversaryGame",
+    "AdversaryPointRecord",
+    "AdversaryReplicaRecord",
+    "AdversaryRun",
+    "AdversaryValidationResult",
     "Allocation",
     "AttackOnset",
     "AutoscaleObservation",
@@ -178,6 +223,7 @@ __all__ = [
     "CapacityDegradation",
     "CapacityProblem",
     "ClassLatency",
+    "ClassifierModel",
     "ClientPopulation",
     "CompositeLoad",
     "ConstantLoad",
@@ -200,6 +246,7 @@ __all__ = [
     "FluidTimeline",
     "FrontierPoint",
     "FrontierResult",
+    "IspStrategy",
     "LatencyCampaignRunner",
     "LatencyFrontierPoint",
     "LatencyFrontierResult",
@@ -231,10 +278,15 @@ __all__ = [
     "TimelineCampaignResult",
     "TimelineCampaignRunner",
     "TimelineResult",
+    "VarianceComparisonResult",
+    "allen_cunneen_factor",
     "alpha_fair_allocation",
+    "antithetic_uniforms",
     "build_scenario",
+    "compare_variance_reduction",
     "compile_events",
     "cross_validate",
+    "cross_validate_adversary",
     "cross_validate_latency",
     "default_mix",
     "default_processes",
@@ -244,11 +296,13 @@ __all__ = [
     "max_min_allocation",
     "nominal_demand",
     "provisioned_fleet",
+    "rotated_uniforms",
     "run_churn_slo_frontier",
     "run_latency_cost_frontier",
     "run_scenario",
     "scenario_names",
     "solve_allocation",
+    "split_latency_by_class",
     "verify_alpha_fair",
     "verify_max_min",
     "video_class",

@@ -70,6 +70,10 @@ class EpochMetrics:
     #: Client-weighted P95 path delay of the measured epoch (0.0 when the
     #: timeline runs without a latency model).
     latency_p95_seconds: float = 0.0
+    #: Neutralizer-adoption fraction in effect in the measured epoch (0.0
+    #: without an adversary game) — adoption waves bring key-setup load, so
+    #: capacity policies may want to see them coming.
+    adoption_fraction: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -98,6 +102,9 @@ class AutoscaleObservation:
     #: Client-weighted P95 path delay of the measured epoch (0.0 = no
     #: latency model; latency-aware policies must hold in that case).
     latency_p95_seconds: float = 0.0
+    #: Neutralizer-adoption fraction of the measured epoch (0.0 = no
+    #: adversary game running).
+    adoption_fraction: float = 0.0
 
 
 class AutoscalePolicy:
@@ -217,12 +224,14 @@ class TargetLatencyPolicy(AutoscalePolicy):
     target_p95_seconds: float = 0.08
     deadband_fraction: float = 0.15
     utilization_ceiling: float = 0.9
-    #: Service-time CV and utilization clamp assumed by the inversion;
-    #: match the timeline's :class:`repro.scale.latency.LatencyModel`
-    #: (its ``service_cv`` / ``max_utilization``) for an exact inverse —
-    #: a mismatched clamp mis-splits the observed P95 into base vs queueing
+    #: Service-time/arrival CVs and utilization clamp assumed by the
+    #: inversion; match the timeline's
+    #: :class:`repro.scale.latency.LatencyModel` (its ``service_cv`` /
+    #: ``arrival_cv`` / ``max_utilization``) for an exact inverse — a
+    #: mismatched clamp mis-splits the observed P95 into base vs queueing
     #: exactly in the saturated regime the policy exists to escape.
     service_cv: float = 1.0
+    arrival_cv: float = 1.0
     max_utilization: float = 0.98
     #: Actuator deadband: corrections of at most this many sites are held.
     #: Ring membership itself moves the measured P95 (reassigned clients
@@ -245,6 +254,8 @@ class TargetLatencyPolicy(AutoscalePolicy):
             raise WorkloadError("the utilization ceiling must be in (0, 1)")
         if self.service_cv < 0:
             raise WorkloadError("service-time CV must be non-negative")
+        if self.arrival_cv < 0:
+            raise WorkloadError("arrival-process CV must be non-negative")
         if not 0 < self.max_utilization < 1:
             raise WorkloadError("the utilization clamp must be in (0, 1)")
         if self.hold_sites < 0:
@@ -256,18 +267,20 @@ class TargetLatencyPolicy(AutoscalePolicy):
     def for_model(cls, model, **kwargs) -> "TargetLatencyPolicy":
         """A policy calibrated to a :class:`repro.scale.latency.LatencyModel`.
 
-        Copies the model's ``service_cv`` and ``max_utilization`` so the
-        inversion is the exact inverse of the proxy that produced the
-        telemetry; every other knob passes through ``kwargs``.
+        Copies the model's ``service_cv``, ``arrival_cv`` and
+        ``max_utilization`` so the inversion is the exact inverse of the
+        proxy that produced the telemetry; every other knob passes through
+        ``kwargs``.
         """
         return cls(service_cv=model.service_cv,
+                   arrival_cv=getattr(model, "arrival_cv", 1.0),
                    max_utilization=model.max_utilization, **kwargs)
 
     def _queue_factor(self, rho: float) -> float:
-        from .latency import pollaczek_khinchine_factor
+        from .latency import allen_cunneen_factor
 
-        return float(pollaczek_khinchine_factor(
-            rho, self.service_cv, self.max_utilization
+        return float(allen_cunneen_factor(
+            rho, self.arrival_cv, self.service_cv, self.max_utilization
         ))
 
     def desired_sites(self, observation: AutoscaleObservation,
@@ -292,7 +305,7 @@ class TargetLatencyPolicy(AutoscalePolicy):
             # Invert qf(rho*) = target/base - 1 for the utilization that
             # lands the P95 on target, then cap at the ceiling.
             need = target / base - 1.0
-            shape = (1.0 + self.service_cv ** 2) / 2.0
+            shape = (self.arrival_cv ** 2 + self.service_cv ** 2) / 2.0
             rho_star = min(need / (need + shape), self.utilization_ceiling)
         rho_star = max(rho_star, 1e-3)
         desired = math.ceil(observation.served_sites * rho / rho_star)
@@ -407,6 +420,7 @@ class AutoscaleRun:
             delivered_fraction=metrics.delivered_fraction,
             demand_multiplier=metrics.demand_multiplier,
             latency_p95_seconds=metrics.latency_p95_seconds,
+            adoption_fraction=metrics.adoption_fraction,
         )
         desired = self.spec.policy.desired_sites(observation, forecast)
         desired = max(self.min_sites, min(desired, self.max_sites))

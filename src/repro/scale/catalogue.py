@@ -7,8 +7,8 @@ capacity is *provisioned relative to the population's nominal demand* (via
 whether the catalogue runs with 2,000 clients in a CI smoke job or a million
 in the full E13 campaign.
 
-The ten stock scenarios cover the transients the steady-state sweep (E12)
-hides:
+The thirteen stock scenarios cover the transients the steady-state sweep
+(E12) hides:
 
 ``flash_crowd``
     A 6× demand spike in the two largest metro regions rides up, holds, and
@@ -48,6 +48,21 @@ hides:
     client-weighted P95 path delay on target through a diurnal day while
     the M/G/1-PS proxy records per-epoch delay percentiles and
     SLO-violating client fractions.
+``adaptive_throttler``
+    A budget-constrained ISP escalates its video/web throttle as evasion
+    grows while per-region neutralizer adoption answers — the E16 game at
+    its default dispositions, watched epoch by epoch.
+``neutralizer_arms_race``
+    The full arms race: a maximally aggressive ISP escalates to the §3.6
+    blanket move (throttle everything it cannot classify), cheap adoption
+    floods in, collateral forces the ISP back off, and the latency proxy
+    shows each phase as a moving exposed-vs-neutralized delay tail.
+``targeted_class_slo``
+    The ROADMAP's "discrimination story measured in delay": a high-precision
+    classifier throttles *video only* while a latency-aware autoscaler holds
+    the aggregate P95 on target — the throttled class's exposed tail is
+    displaced while its neutralized twin and the bystander classes stay on
+    the base curve.
 """
 
 from __future__ import annotations
@@ -56,6 +71,12 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..exceptions import WorkloadError
+from .adversary import (
+    AdoptionModel,
+    AdversaryGame,
+    ClassifierModel,
+    IspStrategy,
+)
 from .autoscale import (
     Autoscaler,
     PredictiveLoadPolicy,
@@ -349,6 +370,88 @@ def _latency_slo_autoscaled(*, clients: int, seed: int,
     )
 
 
+def _adaptive_throttler(*, clients: int, seed: int,
+                        cost_model: Optional[CryptoCostModel],
+                        population: Optional[ClientPopulation] = None) -> FluidTimeline:
+    population = population or ClientPopulation(clients, seed=seed)
+    fleet = provisioned_fleet(population, 16, headroom=1.3, cost_model=cost_model)
+    # The E16 default dispositions: a mid-aggressiveness ISP that escalates
+    # as adoption erodes what its classifier can see, against moderately
+    # price-sensitive clients — the canonical single game run.
+    game = AdversaryGame(
+        isp=IspStrategy(aggressiveness=0.6, allow_blanket=False),
+        adoption=AdoptionModel(sensitivity=6.0, adoption_cost=0.05),
+    )
+    return FluidTimeline(
+        population, fleet,
+        epochs=60, epoch_seconds=1800.0,
+        load=ConstantLoad(1.0),
+        adversary=game,
+        latency=LatencyModel(),
+        latency_slo_seconds=0.08,
+    )
+
+
+def _neutralizer_arms_race(*, clients: int, seed: int,
+                           cost_model: Optional[CryptoCostModel],
+                           population: Optional[ClientPopulation] = None) -> FluidTimeline:
+    population = population or ClientPopulation(clients, seed=seed)
+    fleet = provisioned_fleet(population, 16, headroom=1.3, cost_model=cost_model)
+    # Maximal ISP vs cheap neutralization, blanket endgame allowed: throttle
+    # hard, lose the classifier to adoption, go blanket (throttle everything
+    # unclassifiable), bleed collateral, back off — the full §3.6 cycle.
+    game = AdversaryGame(
+        isp=IspStrategy(
+            aggressiveness=1.0, allow_blanket=True,
+            blanket_evasion=0.6, backoff_collateral=0.25,
+        ),
+        adoption=AdoptionModel(sensitivity=14.0, adoption_cost=0.03),
+    )
+    return FluidTimeline(
+        population, fleet,
+        epochs=72, epoch_seconds=1800.0,
+        load=ConstantLoad(1.0),
+        adversary=game,
+        latency=LatencyModel(),
+        latency_slo_seconds=0.08,
+    )
+
+
+def _targeted_class_slo(*, clients: int, seed: int,
+                        cost_model: Optional[CryptoCostModel],
+                        population: Optional[ClientPopulation] = None) -> FluidTimeline:
+    population = population or ClientPopulation(clients, seed=seed)
+    fleet = elastic_fleet(population, 24, nominal_sites=16, at_utilization=0.6,
+                          cost_model=cost_model)
+    model = LatencyModel()
+    # A precise classifier throttles video alone while the latency-aware
+    # autoscaler keeps the aggregate P95 on target — the throttled class's
+    # *exposed* tail is displaced anyway: capacity cannot buy back a
+    # policer queue, only neutralization can.
+    autoscaler = Autoscaler(
+        TargetLatencyPolicy.for_model(model, target_p95_seconds=0.055),
+        min_sites=8, warmup_epochs=1, cooldown_epochs=2,
+    )
+    game = AdversaryGame(
+        isp=IspStrategy(
+            aggressiveness=0.7, target_classes=("video",),
+            classifier=ClassifierModel(true_positive=0.97, false_positive=0.01,
+                                       neutralized_leakage=0.03),
+            allow_blanket=False,
+        ),
+        adoption=AdoptionModel(sensitivity=8.0, adoption_cost=0.05),
+    )
+    return FluidTimeline(
+        population, fleet,
+        epochs=48, epoch_seconds=3600.0,
+        load=DiurnalLoad(trough=0.4, peak=1.1, timezone_spread=0.25),
+        autoscaler=autoscaler,
+        adversary=game,
+        latency=model,
+        latency_slo_seconds=0.08,
+    )
+
+
 CATALOGUE: Dict[str, ScenarioSpec] = {
     spec.name: spec
     for spec in (
@@ -435,6 +538,35 @@ CATALOGUE: Dict[str, ScenarioSpec] = {
                         "client-weighted P95 delay at 55 ms across a "
                         "diurnal day, paying sites for milliseconds",
             build=_latency_slo_autoscaled,
+        ),
+        ScenarioSpec(
+            name="adaptive_throttler",
+            title="Adaptive ISP throttling vs neutralizer adoption",
+            description="a budget-constrained ISP escalates its video/web "
+                        "throttle as evasion grows while per-region "
+                        "adoption answers — the E16 game, watched epoch "
+                        "by epoch",
+            build=_adaptive_throttler,
+        ),
+        ScenarioSpec(
+            name="neutralizer_arms_race",
+            title="The full arms race: escalate, blanket, bleed, back off",
+            description="a maximally aggressive ISP escalates to the §3.6 "
+                        "blanket throttle, cheap adoption floods in, "
+                        "collateral forces a retreat; the latency proxy "
+                        "tracks the exposed-vs-neutralized tails through "
+                        "every phase",
+            build=_neutralizer_arms_race,
+        ),
+        ScenarioSpec(
+            name="targeted_class_slo",
+            title="Targeted class under a latency SLO: delay as the harm",
+            description="a high-precision classifier throttles video only "
+                        "while the latency-aware autoscaler holds the "
+                        "aggregate P95 on target — the throttled class's "
+                        "exposed tail is displaced, its neutralized twin "
+                        "is not",
+            build=_targeted_class_slo,
         ),
     )
 }

@@ -35,6 +35,7 @@ which is the regime the SLO-violation metric is meant to flag.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -49,19 +50,34 @@ DEFAULT_GEOGRAPHY_SECONDS = 0.030
 DEFAULT_MIN_RTT_SECONDS = 0.002
 
 
-def pollaczek_khinchine_factor(utilization, service_cv: float,
-                               max_utilization: float):
-    """Mean P-K wait in units of the mean service time.
+def allen_cunneen_factor(utilization, arrival_cv: float, service_cv: float,
+                         max_utilization: float):
+    """Mean G/G/1 wait (Allen–Cunneen) in units of the mean service time.
 
-    ``rho (1 + cv^2) / (2 (1 - rho))`` with ``rho`` clamped at
-    ``max_utilization`` — monotone increasing, zero at zero load, finite at
-    saturation.  The single source of truth for the proxy's queueing shape:
+    ``rho (ca^2 + cs^2) / (2 (1 - rho))`` with ``rho`` clamped at
+    ``max_utilization`` — monotone increasing in load and in both
+    variability parameters, zero at zero load, finite at saturation.  The
+    classic two-moment approximation: exact at the M/G/1 point
+    (``ca = 1``, where it reduces to Pollaczek–Khinchine) and a standard
+    engineering estimate for bursty (``ca > 1``) or smoothed (``ca < 1``)
+    arrivals and heavy-tailed service (large ``cs``).  The single source of
+    truth for the proxy's queueing shape:
     :meth:`LatencyModel.queueing_factor` evaluates it and
     :class:`repro.scale.autoscale.TargetLatencyPolicy` inverts it, so the
     two can never drift apart.
     """
     rho = np.clip(utilization, 0.0, max_utilization)
-    return rho * (1.0 + service_cv ** 2) / (2.0 * (1.0 - rho))
+    return rho * (arrival_cv ** 2 + service_cv ** 2) / (2.0 * (1.0 - rho))
+
+
+def pollaczek_khinchine_factor(utilization, service_cv: float,
+                               max_utilization: float):
+    """Mean P-K wait in units of the mean service time (M/G/1 arrivals).
+
+    The Poisson-arrival (``arrival_cv = 1``) point of
+    :func:`allen_cunneen_factor`, kept as the named default shape.
+    """
+    return allen_cunneen_factor(utilization, 1.0, service_cv, max_utilization)
 
 
 @dataclass(frozen=True)
@@ -69,16 +85,22 @@ class LatencyModel:
     """Configuration of the utilization → delay proxy.
 
     ``service_cv`` is the coefficient of variation of resource service
-    times (1.0 = exponential/PS-insensitive, 0.0 = deterministic);
-    ``max_utilization`` clamps the queueing formula's ``rho`` so saturated
-    resources report a large finite delay instead of infinity;
-    ``geography_seconds`` scales the deterministic region↔site base RTT
-    derived from ring geometry, and ``min_rtt_seconds`` is its floor.
-    ``region_site_rtt_seconds`` overrides the geometry with an explicit
-    ``(regions, sites)`` base-RTT matrix.
+    times (1.0 = exponential/PS-insensitive, 0.0 = deterministic; its
+    square is the service-time SCV of the G/G/1 literature — large values
+    model heavy-tailed service); ``arrival_cv`` is the arrival-process CV
+    (1.0 = Poisson, the default, which keeps the proxy exactly the
+    M/G/1-PS Pollaczek–Khinchine shape; > 1 models bursty arrivals via the
+    Allen–Cunneen G/G/1 approximation); ``max_utilization`` clamps the
+    queueing formula's ``rho`` so saturated resources report a large finite
+    delay instead of infinity; ``geography_seconds`` scales the
+    deterministic region↔site base RTT derived from ring geometry, and
+    ``min_rtt_seconds`` is its floor.  ``region_site_rtt_seconds``
+    overrides the geometry with an explicit ``(regions, sites)`` base-RTT
+    matrix.
     """
 
     service_cv: float = 1.0
+    arrival_cv: float = 1.0
     max_utilization: float = 0.98
     geography_seconds: float = DEFAULT_GEOGRAPHY_SECONDS
     min_rtt_seconds: float = DEFAULT_MIN_RTT_SECONDS
@@ -87,6 +109,8 @@ class LatencyModel:
     def __post_init__(self) -> None:
         if self.service_cv < 0:
             raise WorkloadError("service-time CV must be non-negative")
+        if self.arrival_cv < 0:
+            raise WorkloadError("arrival-process CV must be non-negative")
         if not 0 < self.max_utilization < 1:
             raise WorkloadError("the utilization clamp must be in (0, 1)")
         if self.geography_seconds < 0 or self.min_rtt_seconds < 0:
@@ -98,13 +122,30 @@ class LatencyModel:
             object.__setattr__(self, "region_site_rtt_seconds", matrix)
 
     def queueing_factor(self, utilization: np.ndarray) -> np.ndarray:
-        """Mean wait in units of the mean service time, P-K shaped.
+        """Mean wait in units of the mean service time, Allen–Cunneen shaped.
 
-        See :func:`pollaczek_khinchine_factor` (clamped at this model's
-        ``max_utilization``), monotone increasing, zero at zero load.
+        See :func:`allen_cunneen_factor` (clamped at this model's
+        ``max_utilization``), monotone increasing, zero at zero load; at
+        the default ``arrival_cv = 1`` it is exactly the P-K factor earlier
+        releases computed, bit for bit.
         """
-        return pollaczek_khinchine_factor(utilization, self.service_cv,
-                                          self.max_utilization)
+        return allen_cunneen_factor(utilization, self.arrival_cv,
+                                    self.service_cv, self.max_utilization)
+
+    @classmethod
+    def heavy_tailed(cls, *, service_scv: float = 16.0,
+                     arrival_cv: float = 1.0, **kwargs) -> "LatencyModel":
+        """A G/G/1 proxy with heavy-tailed service (SCV ``service_scv``).
+
+        ``service_scv`` is the *squared* CV of service times — 16 is a
+        reasonable stand-in for the mice-and-elephants wire mix where a few
+        huge transfers dominate the second moment.  Everything else passes
+        through to the constructor.
+        """
+        if service_scv < 0:
+            raise WorkloadError("the service-time SCV must be non-negative")
+        return cls(service_cv=math.sqrt(service_scv), arrival_cv=arrival_cv,
+                   **kwargs)
 
     def base_rtt_matrix(self, regions: int, sites: int) -> np.ndarray:
         """Deterministic base RTT (seconds) between every region and site.
@@ -132,16 +173,20 @@ class LatencyModel:
 
 
 def _weighted_percentiles(values: np.ndarray, weights: np.ndarray,
-                          quantiles: Sequence[float]) -> List[float]:
+                          quantiles: Sequence[float],
+                          order: Optional[np.ndarray] = None) -> List[float]:
     """Percentiles of a client-weighted discrete distribution.
 
     Each flow is a group of identical clients sharing one delay, so the
     distribution is a weighted step function; the q-percentile is the
-    smallest delay whose cumulative client share reaches q.
+    smallest delay whose cumulative client share reaches q.  ``order`` is
+    an optional precomputed ``argsort`` of ``values`` — callers evaluating
+    several weightings of the same values pay for one sort.
     """
     if values.size == 0:
         return [0.0 for _ in quantiles]
-    order = np.argsort(values, kind="stable")
+    if order is None:
+        order = np.argsort(values, kind="stable")
     sorted_values = values[order]
     cumulative = np.cumsum(weights[order])
     total = cumulative[-1]

@@ -31,6 +31,7 @@ import numpy as np
 from ..analysis.report import ExperimentReport, format_series
 from ..exceptions import WorkloadError
 from ..units import gbps
+from .adversary import AdoptionModel, AdversaryGame, IspStrategy
 from .autoscale import (
     Autoscaler,
     TargetLatencyPolicy,
@@ -42,8 +43,24 @@ from .fleet import NeutralizerFleet
 from .latency import LatencyModel
 from .population import ClientPopulation, PopulationMix, default_mix, elastic_mix
 from .scenario import FluidResult, ScaleScenario
-from .stochastic import EventProcess, compile_events, default_processes
+from .stochastic import (
+    EventProcess,
+    antithetic_uniforms,
+    compile_events,
+    default_processes,
+    rotated_uniforms,
+)
 from .timeline import FluidTimeline, LoadCurve, TimelineResult
+
+#: Monte-Carlo seed-allocation schemes for the campaign runners.
+VARIANCE_SCHEMES = ("iid", "stratified", "antithetic")
+
+
+def _rotation(offset: float):
+    """An rng transform applying :func:`rotated_uniforms` at ``offset``."""
+    def transform(rng):
+        return rotated_uniforms(rng, offset)
+    return transform
 
 #: The default campaign sweep: three decades up to a million clients.
 DEFAULT_CLIENT_COUNTS: Tuple[int, ...] = (1_000, 10_000, 100_000, 1_000_000)
@@ -586,6 +603,8 @@ class StochasticCampaignRunner:
         latency_model: Optional[LatencyModel] = None,
         latency_slo_seconds: float = 0.1,
         latency_violation_budget: float = 0.05,
+        adversary: Optional[AdversaryGame] = None,
+        variance_reduction: str = "iid",
     ) -> None:
         if clients <= 0 or epochs <= 0 or replicas <= 0:
             raise WorkloadError("campaign needs positive clients, epochs and replicas")
@@ -597,6 +616,11 @@ class StochasticCampaignRunner:
             raise WorkloadError("the latency SLO must be positive")
         if not 0 <= latency_violation_budget < 1:
             raise WorkloadError("the violation budget must be a fraction in [0, 1)")
+        if variance_reduction not in VARIANCE_SCHEMES:
+            raise WorkloadError(
+                f"unknown variance-reduction scheme {variance_reduction!r}; "
+                f"pick one of {', '.join(VARIANCE_SCHEMES)}"
+            )
         self.clients = int(clients)
         self.epochs = int(epochs)
         self.replicas = int(replicas)
@@ -622,6 +646,8 @@ class StochasticCampaignRunner:
         self.latency_model = latency_model
         self.latency_slo_seconds = latency_slo_seconds
         self.latency_violation_budget = latency_violation_budget
+        self.adversary = adversary
+        self.variance_reduction = variance_reduction
         self.run_id = f"stochastic-{seed:08x}-{self.clients}x{self.replicas}"
         self.experiment_name = "stochastic_availability"
         self.experiment_id = "E14"
@@ -661,14 +687,15 @@ class StochasticCampaignRunner:
             self._scenario_cache = ScaleScenario(population, fleet)
         return self._scenario_cache
 
-    def run_replica(self, population: ClientPopulation,
-                    event_seed: int) -> TimelineResult:
+    def run_replica(self, population: ClientPopulation, event_seed: int,
+                    rng_transform=None) -> TimelineResult:
         """One stochastic timeline: compiled events + autoscaler, solved."""
         scenario = self._shared_scenario(population)
         fleet = scenario.fleet
         events = compile_events(
             self.processes, seed=event_seed, epochs=self.epochs,
             site_names=[site.name for site in fleet.sites],
+            rng_transform=rng_transform,
         )
         timeline = FluidTimeline(
             population, fleet,
@@ -678,9 +705,42 @@ class StochasticCampaignRunner:
             provisioning_cost=self.provisioning_cost,
             latency=self.latency_model,
             latency_slo_seconds=self.latency_slo_seconds,
+            adversary=self.adversary,
             scenario=scenario,
         )
         return timeline.run()
+
+    def _replica_draws(self) -> List[Tuple[int, object]]:
+        """Per-replica (event seed, rng transform) under the chosen scheme.
+
+        ``iid`` spawns one independent substream per replica (the classic
+        allocation, bit-compatible with earlier campaigns).  ``stratified``
+        shares ONE substream and rotates its uniforms by ``r / replicas`` —
+        systematic sampling over the hazard quantile space.  ``antithetic``
+        spawns one substream per *pair*; the second member mirrors every
+        hazard draw.  All three are deterministic from the campaign seed.
+        """
+        if self.variance_reduction == "stratified":
+            common = np.random.SeedSequence(self.seed).spawn(1)[0]
+            seed = int(common.generate_state(1)[0])
+            return [
+                (seed, (None if replica == 0 else
+                        _rotation(replica / self.replicas)))
+                for replica in range(self.replicas)
+            ]
+        if self.variance_reduction == "antithetic":
+            pairs = (self.replicas + 1) // 2
+            streams = np.random.SeedSequence(self.seed).spawn(pairs)
+            draws: List[Tuple[int, object]] = []
+            for replica in range(self.replicas):
+                stream = streams[replica // 2]
+                seed = int(stream.generate_state(1)[0])
+                draws.append(
+                    (seed, antithetic_uniforms if replica % 2 else None)
+                )
+            return draws
+        streams = np.random.SeedSequence(self.seed).spawn(self.replicas)
+        return [(int(stream.generate_state(1)[0]), None) for stream in streams]
 
     def run(self) -> StochasticCampaignResult:
         """Run every replica and aggregate the distributions."""
@@ -690,16 +750,16 @@ class StochasticCampaignRunner:
         )
         population.ring_sorted()  # warm the shared sort before timing replicas
 
-        streams = np.random.SeedSequence(self.seed).spawn(self.replicas)
+        draws = self._replica_draws()
         records: List[StochasticReplicaRecord] = []
         pooled_delivered: List[np.ndarray] = []
         pooled_latency_p95: List[np.ndarray] = []
         self._completed = 0
         for replica in range(self.replicas):
             self._current = replica
-            event_seed = int(streams[replica].generate_state(1)[0])
+            event_seed, rng_transform = draws[replica]
             wall_started = time.perf_counter()
-            result = self.run_replica(population, event_seed)
+            result = self.run_replica(population, event_seed, rng_transform)
             wall = time.perf_counter() - wall_started
             pooled_delivered.append(result.delivered_fraction)
             latency_fields = {}
@@ -834,6 +894,12 @@ class StochasticCampaignRunner:
             "sequence (Poisson failures, correlated outages, attack onsets); "
             "identical campaign seeds reproduce identical distributions"
         )
+        if self.variance_reduction != "iid":
+            report.add_note(
+                f"replica seeds allocated with the {self.variance_reduction!r} "
+                f"variance-reduction scheme (marginals exact, replicas "
+                f"correlated to sharpen the estimator)"
+            )
         return report
 
 
@@ -1076,3 +1142,477 @@ def run_latency_cost_frontier(
         "P95 cost disproportionately many sites — the elbow prices the SLO"
     )
     return LatencyFrontierResult(points=tuple(points), report=report)
+
+
+# ---------------------------------------------------------------------------
+# Variance-reduction measurement (stratified / antithetic vs iid)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class VarianceComparisonResult:
+    """Measured estimator spread of each Monte-Carlo seed-allocation scheme."""
+
+    #: Per scheme: std over batches of the campaign's mean-availability
+    #: estimate (lower = sharper at the same replica budget).
+    mean_estimator_std: Dict[str, float]
+    #: Per scheme: std over batches of the pooled tail-risk (P95) estimate.
+    tail_estimator_std: Dict[str, float]
+    report: ExperimentReport
+
+    def reduction_vs_iid(self, scheme: str) -> float:
+        """Std of ``scheme``'s mean estimator relative to iid (1.0 = no gain)."""
+        if scheme not in self.mean_estimator_std:
+            raise WorkloadError(
+                f"scheme {scheme!r} was not part of this comparison "
+                f"(ran: {', '.join(self.mean_estimator_std)})"
+            )
+        base = self.mean_estimator_std.get("iid")
+        if base is None:
+            raise WorkloadError(
+                "this comparison ran without the 'iid' scheme, so there is "
+                "no baseline to quote a reduction against"
+            )
+        if base <= 0:
+            return 1.0  # zero iid spread: nothing left to reduce
+        return self.mean_estimator_std[scheme] / base
+
+
+def compare_variance_reduction(
+    *,
+    clients: int = 20_000,
+    epochs: int = 60,
+    replicas: int = 8,
+    batches: int = 6,
+    seed: int = 2006,
+    schemes: Sequence[str] = VARIANCE_SCHEMES,
+    **campaign_kwargs,
+) -> VarianceComparisonResult:
+    """Measure what stratified seeds and antithetic pairs actually buy.
+
+    Runs ``batches`` independent campaigns per scheme (each a full, smaller
+    E14) and compares the spread of the *estimators* across batches: the
+    campaign's mean availability and its pooled tail-risk P95.  A scheme
+    whose estimator spread is smaller delivers sharper availability tails at
+    the same replica budget — the measured numbers EXPERIMENTS.md quotes.
+    One shared population feeds every campaign, so the schemes differ only
+    in how replica randomness is allocated.
+    """
+    if batches < 2:
+        raise WorkloadError("variance comparison needs at least two batches")
+    unknown = set(schemes) - set(VARIANCE_SCHEMES)
+    if unknown:
+        raise WorkloadError(f"unknown variance-reduction scheme(s) {sorted(unknown)}")
+    population = ClientPopulation(
+        clients, mix=campaign_kwargs.get("mix"),
+        regions=campaign_kwargs.get("regions", 8), seed=seed,
+    )
+    mean_estimates: Dict[str, List[float]] = {scheme: [] for scheme in schemes}
+    tail_estimates: Dict[str, List[float]] = {scheme: [] for scheme in schemes}
+    for scheme in schemes:
+        for batch in range(batches):
+            runner = StochasticCampaignRunner(
+                clients=clients, epochs=epochs, replicas=replicas,
+                seed=seed + 1009 * batch, population=population,
+                variance_reduction=scheme, **campaign_kwargs,
+            )
+            campaign = runner.run()
+            mean_estimates[scheme].append(float(np.mean(
+                [record.mean_delivered for record in campaign.records])))
+            tail_estimates[scheme].append(campaign.availability.p95)
+    mean_std = {scheme: float(np.std(values, ddof=1))
+                for scheme, values in mean_estimates.items()}
+    tail_std = {scheme: float(np.std(values, ddof=1))
+                for scheme, values in tail_estimates.items()}
+
+    report = ExperimentReport(
+        "E14v",
+        f"Variance-reduction comparison ({clients:,} clients, {replicas} "
+        f"replicas x {batches} batches per scheme, seed {seed})",
+    )
+    report.add_table(
+        ["scheme", "mean avail (avg)", "est. std", "tail p95 est. std",
+         "std vs iid"],
+        [[scheme,
+          float(np.mean(mean_estimates[scheme])),
+          mean_std[scheme],
+          tail_std[scheme],
+          # nan, not 1.0: "no baseline" must not read as "no gain".
+          mean_std[scheme] / mean_std["iid"] if mean_std.get("iid")
+          else float("nan")]
+         for scheme in schemes],
+        title="estimator spread across batches (lower std = sharper)",
+    )
+    report.add_note(
+        "each scheme keeps every replica's marginal distribution exact; "
+        "stratified rotation covers the hazard quantile space systematically, "
+        "antithetic pairs cancel hazard noise within a pair"
+    )
+    return VarianceComparisonResult(
+        mean_estimator_std=mean_std, tail_estimator_std=tail_std, report=report,
+    )
+
+
+# ---------------------------------------------------------------------------
+# E16: adaptive ISP discrimination vs. neutralizer adoption (the arms race)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AdversaryReplicaRecord:
+    """One Monte-Carlo replica of one (aggressiveness, sensitivity) point."""
+
+    replica: int
+    event_seed: int
+    final_adoption: float
+    mean_discriminated_share: float
+    #: Equilibrium (last-quarter mean) delivered fraction of target classes
+    #: against their offered demand — the ISP's achieved suppression.
+    equilibrium_target_delivered: float
+    clients_rekeyed: int
+    #: Last-epoch P95 path delay of the first target class, split.
+    exposed_p95_seconds: float
+    neutralized_p95_seconds: float
+    wall_seconds: float
+
+
+@dataclass(frozen=True)
+class AdversaryPointRecord:
+    """One (aggressiveness, sensitivity) sweep point, replicas aggregated."""
+
+    aggressiveness: float
+    sensitivity: float
+    replicas: int
+    final_adoption: float
+    mean_discriminated_share: float
+    equilibrium_target_delivered: float
+    #: 1 - equilibrium_target_delivered: the harm the ISP actually lands.
+    equilibrium_target_harm: float
+    total_clients_rekeyed: float
+    exposed_p95_seconds: float
+    neutralized_p95_seconds: float
+
+
+def self_defeating_points(
+    points: Sequence[AdversaryPointRecord],
+) -> List[AdversaryPointRecord]:
+    """The sweep points where throttling harder LOWERED the harm landed."""
+    by_sensitivity: Dict[float, List[AdversaryPointRecord]] = {}
+    for point in points:
+        by_sensitivity.setdefault(point.sensitivity, []).append(point)
+    out: List[AdversaryPointRecord] = []
+    for sensitivity in sorted(by_sensitivity):
+        best_below = 0.0
+        for point in sorted(by_sensitivity[sensitivity],
+                            key=lambda p: p.aggressiveness):
+            if point.equilibrium_target_harm < best_below - 1e-9:
+                out.append(point)
+            best_below = max(best_below, point.equilibrium_target_harm)
+    return out
+
+
+@dataclass(frozen=True)
+class AdversaryCampaignResult:
+    """Final result of one E16 arms-race campaign."""
+
+    run_id: str
+    experiment_name: str
+    started_at: float
+    completed_at: float
+    duration_seconds: float
+    points: Tuple[AdversaryPointRecord, ...]
+    #: Per-point replica records, keyed by (aggressiveness, sensitivity).
+    records: Dict[Tuple[float, float], Tuple[AdversaryReplicaRecord, ...]]
+    report: ExperimentReport
+
+    def frontier(self, sensitivity: float) -> List[AdversaryPointRecord]:
+        """The sweep points of one adoption sensitivity, by aggressiveness."""
+        return sorted(
+            [point for point in self.points if point.sensitivity == sensitivity],
+            key=lambda point: point.aggressiveness,
+        )
+
+    def self_defeating_points(self) -> List[AdversaryPointRecord]:
+        """Points where throttling harder LOWERED the harm the ISP landed.
+
+        The paper's qualitative claim as a set: a point is self-defeating
+        when some *less* aggressive point of the same adoption sensitivity
+        achieved strictly more equilibrium target-class harm — escalation
+        bought adoption instead of suppression.
+        """
+        return self_defeating_points(self.points)
+
+
+class AdversaryCampaignRunner:
+    """E16: the discrimination arms race swept over both sides' dispositions.
+
+    Sweeps ISP ``aggressiveness`` × client adoption ``sensitivities`` on one
+    shared population and fleet; each grid point runs ``replicas_per_point``
+    Monte-Carlo replicas against seeded stochastic failure/attack sequences
+    (the arms race does not get a quiet fleet to play on).  Per point it
+    reports the equilibrium adoption fraction, the discriminated traffic
+    share, the harm actually landed on the target classes, and the
+    exposed-vs-neutralized P95 split — the calibrated frontier behind the
+    paper's claim that discrimination becomes self-defeating once
+    neutralization is cheap.  Deterministic from ``seed``.
+    """
+
+    def __init__(
+        self,
+        *,
+        clients: int = 1_000_000,
+        epochs: int = 200,
+        aggressiveness: Sequence[float] = (0.0, 0.35, 0.7, 1.0),
+        sensitivities: Sequence[float] = (2.0, 12.0),
+        replicas_per_point: int = 4,
+        seed: int = 2006,
+        regions: int = 8,
+        n_sites: int = 24,
+        headroom: float = 1.3,
+        epoch_seconds: float = 900.0,
+        target_classes: Tuple[str, ...] = ("video", "web"),
+        adoption_cost: float = 0.05,
+        isp: Optional[IspStrategy] = None,
+        adoption: Optional[AdoptionModel] = None,
+        latency_model: Optional[LatencyModel] = None,
+        latency_slo_seconds: float = 0.08,
+        processes: Optional[Sequence[EventProcess]] = None,
+        mix: Optional[PopulationMix] = None,
+        cost_model: Optional[CryptoCostModel] = None,
+        population: Optional[ClientPopulation] = None,
+        variance_reduction: str = "iid",
+    ) -> None:
+        if clients <= 0 or epochs <= 0 or replicas_per_point <= 0:
+            raise WorkloadError("campaign needs positive clients, epochs and replicas")
+        if not aggressiveness or not sensitivities:
+            raise WorkloadError("the sweep needs aggressiveness and sensitivity values")
+        if population is not None and population.n_clients != clients:
+            raise WorkloadError("shared population does not match the client count")
+        if variance_reduction not in VARIANCE_SCHEMES:
+            # Fail here, not after the expensive population build inside run().
+            raise WorkloadError(
+                f"unknown variance-reduction scheme {variance_reduction!r}; "
+                f"pick one of {', '.join(VARIANCE_SCHEMES)}"
+            )
+        self.clients = int(clients)
+        self.epochs = int(epochs)
+        self.aggressiveness = tuple(aggressiveness)
+        self.sensitivities = tuple(sensitivities)
+        self.replicas_per_point = int(replicas_per_point)
+        self.seed = seed
+        self.regions = regions
+        self.n_sites = n_sites
+        self.headroom = headroom
+        self.epoch_seconds = epoch_seconds
+        #: Per-point strategies/models are derived from these bases with the
+        #: swept knob replaced, so every other disposition stays fixed
+        #: across the grid.  The frontier isolates classifier-targeted
+        #: discrimination: the blanket endgame is a catalogue scenario, not
+        #: a sweep axis.
+        self.base_isp = isp if isp is not None else IspStrategy(
+            target_classes=tuple(target_classes), allow_blanket=False,
+        )
+        self.base_adoption = adoption if adoption is not None else AdoptionModel(
+            adoption_cost=adoption_cost,
+        )
+        #: The harm ledger and the report must describe the strategy that
+        #: actually runs, so an explicit ``isp``/``adoption`` overrides the
+        #: scalar convenience arguments rather than silently coexisting
+        #: with them.
+        self.target_classes = self.base_isp.target_classes
+        self.adoption_cost = self.base_adoption.adoption_cost
+        self.latency_model = (latency_model if latency_model is not None
+                              else LatencyModel())
+        self.latency_slo_seconds = latency_slo_seconds
+        self.processes = (tuple(processes) if processes is not None
+                          else default_processes())
+        self.mix = mix
+        self.cost_model = cost_model
+        self._population = population
+        self.variance_reduction = variance_reduction
+        self.total_replicas = (len(self.aggressiveness) * len(self.sensitivities)
+                               * self.replicas_per_point)
+        self.run_id = f"adversary-{seed:08x}-{self.clients}x{self.total_replicas}"
+        self.experiment_name = "adversary_arms_race"
+        self.experiment_id = "E16"
+        self._completed = 0
+        self._current: Optional[str] = None
+
+    # -- protocol --------------------------------------------------------------------
+
+    def get_current_state(self) -> ScaleExperimentState:
+        """Snapshot campaign progress (poll-safe, cheap)."""
+        return ScaleExperimentState(
+            completed_points=self._completed,
+            total_points=self.total_replicas,
+            current_clients=self.clients if self._current is not None else None,
+            current_label=self._current,
+        )
+
+    def _game(self, aggressiveness: float, sensitivity: float) -> AdversaryGame:
+        from dataclasses import replace
+
+        return AdversaryGame(
+            isp=replace(self.base_isp, aggressiveness=aggressiveness),
+            adoption=replace(self.base_adoption, sensitivity=sensitivity),
+        )
+
+    def _point_runner(self, population: ClientPopulation,
+                      game: AdversaryGame) -> "StochasticCampaignRunner":
+        runner = StochasticCampaignRunner(
+            clients=self.clients, epochs=self.epochs,
+            replicas=self.replicas_per_point, seed=self.seed,
+            regions=self.regions, epoch_seconds=self.epoch_seconds,
+            processes=self.processes,
+            # The arms race plays on a statically provisioned fleet: the
+            # autoscaler would otherwise hide throttling harm behind
+            # capacity moves.  min==max pins the controller.
+            max_sites=self.n_sites, nominal_sites=self.n_sites,
+            at_utilization=1.0 / self.headroom,
+            autoscaler=Autoscaler(
+                TargetUtilizationPolicy(target=0.99, deadband=0.98),
+                min_sites=self.n_sites, max_sites=self.n_sites,
+            ),
+            mix=self.mix, cost_model=self.cost_model, population=population,
+            latency_model=self.latency_model,
+            latency_slo_seconds=self.latency_slo_seconds,
+            adversary=game,
+            variance_reduction=self.variance_reduction,
+        )
+        # Share one fleet + template across every grid point: timelines
+        # restore fleet state, and the fleet shape does not depend on the
+        # game, so the O(n_clients) build is paid exactly once per campaign.
+        runner._scenario_cache = self._scenario_cache
+        return runner
+
+    def run(self) -> AdversaryCampaignResult:
+        """Run the whole grid and assemble the frontier."""
+        started_at = time.time()
+        population = self._population or ClientPopulation(
+            self.clients, mix=self.mix, regions=self.regions, seed=self.seed,
+        )
+        population.ring_sorted()
+        fleet = elastic_fleet(
+            population, self.n_sites, nominal_sites=self.n_sites,
+            at_utilization=1.0 / self.headroom, cost_model=self.cost_model,
+        )
+        self._scenario_cache = ScaleScenario(population, fleet)
+
+        tail = max(self.epochs // 4, 1)
+        target_class = self.target_classes[0]
+        points: List[AdversaryPointRecord] = []
+        records: Dict[Tuple[float, float], Tuple[AdversaryReplicaRecord, ...]] = {}
+        self._completed = 0
+        for sensitivity in self.sensitivities:
+            for aggressiveness in self.aggressiveness:
+                game = self._game(aggressiveness, sensitivity)
+                runner = self._point_runner(population, game)
+                draws = runner._replica_draws()
+                replica_records: List[AdversaryReplicaRecord] = []
+                for replica in range(self.replicas_per_point):
+                    self._current = (f"agg {aggressiveness:g} x sens "
+                                     f"{sensitivity:g} replica {replica}")
+                    event_seed, rng_transform = draws[replica]
+                    wall_started = time.perf_counter()
+                    result = runner.run_replica(population, event_seed,
+                                                rng_transform)
+                    wall = time.perf_counter() - wall_started
+                    target_delivered = result.class_delivered_fraction(
+                        self.target_classes
+                    )
+                    last = result.records[-1]
+                    replica_records.append(AdversaryReplicaRecord(
+                        replica=replica,
+                        event_seed=event_seed,
+                        final_adoption=result.final_adoption_fraction,
+                        mean_discriminated_share=float(
+                            result.discriminated_share.mean()),
+                        equilibrium_target_delivered=float(
+                            target_delivered[-tail:].mean()),
+                        clients_rekeyed=result.total_clients_rekeyed,
+                        exposed_p95_seconds=last.exposed_latency_p95.get(
+                            target_class, 0.0),
+                        neutralized_p95_seconds=last.neutralized_latency_p95.get(
+                            target_class, 0.0),
+                        wall_seconds=wall,
+                    ))
+                    self._completed += 1
+                key = (aggressiveness, sensitivity)
+                records[key] = tuple(replica_records)
+                delivered = float(np.mean(
+                    [r.equilibrium_target_delivered for r in replica_records]))
+                points.append(AdversaryPointRecord(
+                    aggressiveness=aggressiveness,
+                    sensitivity=sensitivity,
+                    replicas=self.replicas_per_point,
+                    final_adoption=float(np.mean(
+                        [r.final_adoption for r in replica_records])),
+                    mean_discriminated_share=float(np.mean(
+                        [r.mean_discriminated_share for r in replica_records])),
+                    equilibrium_target_delivered=delivered,
+                    equilibrium_target_harm=1.0 - delivered,
+                    total_clients_rekeyed=float(np.mean(
+                        [r.clients_rekeyed for r in replica_records])),
+                    exposed_p95_seconds=float(np.mean(
+                        [r.exposed_p95_seconds for r in replica_records])),
+                    neutralized_p95_seconds=float(np.mean(
+                        [r.neutralized_p95_seconds for r in replica_records])),
+                ))
+        self._current = None
+        completed_at = time.time()
+
+        result = AdversaryCampaignResult(
+            run_id=self.run_id,
+            experiment_name=self.experiment_name,
+            started_at=started_at,
+            completed_at=completed_at,
+            duration_seconds=completed_at - started_at,
+            points=tuple(points),
+            records=records,
+            report=self._render_report(points),
+        )
+        return result
+
+    def _render_report(self, points: List[AdversaryPointRecord]) -> ExperimentReport:
+        report = ExperimentReport(
+            self.experiment_id,
+            f"Adversary arms-race campaign ({self.clients:,} clients, "
+            f"{len(self.aggressiveness)}x{len(self.sensitivities)} grid x "
+            f"{self.replicas_per_point} replicas x {self.epochs} epochs, "
+            f"seed {self.seed})",
+        )
+        report.add_table(
+            ["aggressiveness", "sensitivity", "adoption", "discr share",
+             "target harm", "exposed p95 ms", "neutral p95 ms", "rekeyed"],
+            [[point.aggressiveness, point.sensitivity, point.final_adoption,
+              point.mean_discriminated_share, point.equilibrium_target_harm,
+              point.exposed_p95_seconds * 1e3,
+              point.neutralized_p95_seconds * 1e3,
+              point.total_clients_rekeyed] for point in points],
+            title="adoption-vs-aggressiveness frontier (equilibrium = last "
+                  "quarter of epochs)",
+        )
+        defeated = self_defeating_points(points)
+        if defeated:
+            labels = ", ".join(
+                f"(agg {point.aggressiveness:g}, sens {point.sensitivity:g})"
+                for point in defeated
+            )
+            report.add_note(
+                f"SELF-DEFEATING at {labels}: harm fell as aggressiveness rose"
+            )
+        report.add_note(
+            f"ISP: targets {', '.join(self.target_classes)}, budget "
+            f"{self.base_isp.budget_fraction:g} of regional traffic, "
+            f"classifier TP {self.base_isp.classifier.true_positive:g} / FP "
+            f"{self.base_isp.classifier.false_positive:g} / leakage "
+            f"{self.base_isp.classifier.neutralized_leakage:g}; adoption cost "
+            f"{self.base_adoption.adoption_cost:g}"
+        )
+        report.add_note(
+            "the self-defeating regime: once adoption is cheap (high "
+            "sensitivity), escalating the throttle buys adoption instead of "
+            "suppression — the discriminated share collapses to the "
+            "classifier's leakage floor and the target classes recover"
+        )
+        return report

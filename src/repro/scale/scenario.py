@@ -290,12 +290,16 @@ class ProblemTemplate:
         self,
         demand_scale: Optional[np.ndarray] = None,
         site_capacity_scale: Optional[np.ndarray] = None,
+        extra_setups_per_flow: Optional[np.ndarray] = None,
     ) -> EpochProblem:
         """A solver problem with scaled demands/capacities, O(flows + sites).
 
         ``demand_scale`` multiplies each flow's per-client demand (and its
         key-setup load — session churn tracks activity); ``site_capacity_scale``
         multiplies each site's CPU and uplink budgets.  ``None`` means 1.0.
+        ``extra_setups_per_flow`` adds one-off key-setup requests/s on top of
+        the steady per-class rate (e.g. neutralizer adopters re-keying
+        through the ring), charged against the owning site's CPU.
         """
         cost = self.fleet.cost_model
         if demand_scale is None:
@@ -306,6 +310,10 @@ class ProblemTemplate:
                 raise WorkloadError("demand scale must be non-negative")
             demands = self.base_demands * demand_scale
             setups_per_flow = self.base_setups_per_flow * demand_scale
+        if extra_setups_per_flow is not None:
+            if np.any(extra_setups_per_flow < 0):
+                raise WorkloadError("extra key-setup load must be non-negative")
+            setups_per_flow = setups_per_flow + extra_setups_per_flow
         setups_per_site = np.bincount(
             self.site_of, weights=setups_per_flow, minlength=self.sites
         )

@@ -39,7 +39,7 @@ order.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -49,6 +49,62 @@ from .timeline import CapacityDegradation, FleetEvent, SiteFailure, SiteRecovery
 #: One site-downtime window: (site index, first down epoch, first up epoch).
 #: ``until`` may exceed the horizon — the site then stays down to the end.
 DowntimeWindow = Tuple[int, int, int]
+
+
+# ---------------------------------------------------------------------------
+# Variance-reduction uniform transforms
+# ---------------------------------------------------------------------------
+
+
+class _TransformedUniforms:
+    """A Generator proxy whose ``random()`` draws pass through a transform.
+
+    Every event process decides *whether* something happens by comparing
+    ``rng.random(...)`` draws against a hazard; transforming only those
+    uniforms (durations, target picks etc. delegate untouched) keeps each
+    replica's marginal distribution exact while correlating replicas the
+    way a variance-reduction scheme wants.  Duck-typed on the Generator
+    methods the stock processes use; everything else delegates.
+    """
+
+    def __init__(self, rng: np.random.Generator,
+                 transform: Callable[[np.ndarray], np.ndarray]) -> None:
+        self._rng = rng
+        self._transform = transform
+
+    def random(self, size=None):
+        return self._transform(np.asarray(self._rng.random(size)))
+
+    def __getattr__(self, name):
+        return getattr(self._rng, name)
+
+
+def antithetic_uniforms(rng: np.random.Generator) -> _TransformedUniforms:
+    """The antithetic mirror: every hazard draw ``u`` becomes ``1 - u``.
+
+    ``1 - U`` is uniform, so a mirrored replica is a perfectly valid draw —
+    but paired with its twin (same substream, untransformed) the Bernoulli
+    hazard indicators are negatively correlated: an epoch that failed in one
+    member tends not to fail in the other, so the pair's *mean* is a
+    lower-variance estimate than two independent replicas.
+    """
+    return _TransformedUniforms(rng, lambda u: 1.0 - u)
+
+
+def rotated_uniforms(rng: np.random.Generator,
+                     offset: float) -> _TransformedUniforms:
+    """Rotation (systematic/stratified) sampling: ``u -> (u + offset) mod 1``.
+
+    With one *common* substream and equally spaced offsets ``r / replicas``,
+    the replica set covers the hazard quantile space systematically instead
+    of by luck — low-event and high-event months are guaranteed to appear in
+    proportion, which is what sharpens the availability tail estimate at the
+    same replica budget.  Each individual replica remains a valid draw
+    (a rotated uniform is uniform).
+    """
+    if not 0.0 <= offset < 1.0:
+        raise WorkloadError("the rotation offset must be a fraction in [0, 1)")
+    return _TransformedUniforms(rng, lambda u: (u + offset) % 1.0)
 
 
 @dataclass(frozen=True)
@@ -218,6 +274,7 @@ def compile_events(
     seed: int,
     epochs: int,
     site_names: Sequence[str],
+    rng_transform: Optional[Callable[[np.random.Generator], object]] = None,
 ) -> List[FleetEvent]:
     """Draw every process and compile one well-formed fleet-event list.
 
@@ -226,6 +283,9 @@ def compile_events(
     merged per site across processes, and the result is a sorted list of
     plain :class:`FleetEvent` items the :class:`FluidTimeline` machinery
     already knows how to fire.  Deterministic: same arguments, same list.
+    ``rng_transform`` wraps each process's generator before sampling (the
+    hook :func:`antithetic_uniforms` / :func:`rotated_uniforms` variance
+    reduction plugs into); ``None`` leaves the draws untouched.
     """
     if epochs <= 0:
         raise WorkloadError("stochastic compilation needs a positive horizon")
@@ -235,10 +295,10 @@ def compile_events(
     windows: List[DowntimeWindow] = []
     direct: List[FleetEvent] = []
     for process, stream in zip(processes, streams):
-        sampled = process.sample(
-            np.random.default_rng(stream), epochs=epochs,
-            site_names=site_names,
-        )
+        rng = np.random.default_rng(stream)
+        if rng_transform is not None:
+            rng = rng_transform(rng)
+        sampled = process.sample(rng, epochs=epochs, site_names=site_names)
         windows.extend(sampled.downtime)
         direct.extend(sampled.events)
 

@@ -20,6 +20,11 @@ the max-min solver through a sequence of epochs:
 * an optional :class:`repro.scale.latency.LatencyModel` maps every epoch's
   utilization to client-weighted path-delay percentiles (P50/P95/P99) and
   the fraction of clients violating a latency SLO, recorded per epoch;
+* an optional closed-loop :class:`repro.scale.adversary.AdversaryGame` plays
+  the paper's arms race each epoch: an adaptive ISP strategy flags and
+  throttles classifiable traffic under a policing budget while per-region
+  neutralizer adoption reacts to the experienced harm, feeding per-flow
+  served-demand caps and adopter re-key load back into the solve;
 * each epoch is solved *warm*: the flow structure is a cached
   :class:`repro.scale.scenario.ProblemTemplate` (rebuilt incrementally, in
   O(moved clients), only when the ring actually changes) and the previous
@@ -44,6 +49,12 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..exceptions import WorkloadError
+from .adversary import (
+    AdversaryGame,
+    AdversaryRun,
+    experienced_latency,
+    split_latency_by_class,
+)
 from .autoscale import AutoscaleRun, Autoscaler, EpochMetrics
 from .costmodel import ProvisioningCostModel
 from .fleet import NeutralizerFleet
@@ -51,6 +62,14 @@ from .latency import LatencyModel, evaluate_latency
 from .population import ClientPopulation
 from .scenario import ProblemTemplate, ScaleScenario
 from .solver import Allocation, solve_allocation
+
+
+def _optional_arrays_equal(left: Optional[np.ndarray],
+                           right: Optional[np.ndarray]) -> bool:
+    """Whether two maybe-absent per-flow/per-site vectors are identical."""
+    if left is None or right is None:
+        return left is None and right is None
+    return np.array_equal(left, right)
 
 DAY_SECONDS = 86_400.0
 
@@ -342,12 +361,29 @@ class EpochRecord:
     #: Dollars this epoch cost (committed capacity + remap churn).
     provision_cost: float = 0.0
     #: Client-weighted path-delay percentiles (seconds); 0.0 when the
-    #: timeline runs without a latency model.
+    #: timeline runs without a latency model.  With an adversary game they
+    #: are the *experienced* delays — flagged clients include the access
+    #: ISP's policer queue, matching the game's own harm accounting.
     latency_p50_seconds: float = 0.0
     latency_p95_seconds: float = 0.0
     latency_p99_seconds: float = 0.0
     #: Fraction of clients whose path delay exceeded the latency SLO.
     latency_slo_violations: float = 0.0
+    #: Offered (pre-throttle) bits/s per demand class this epoch.
+    demand_bps_by_class: Dict[str, float] = field(default_factory=dict)
+    #: Share of offered traffic the adversary's ISP flagged and throttled
+    #: (0.0 when the timeline runs without an adversary game).
+    discriminated_share: float = 0.0
+    #: Client-weighted neutralizer-adoption fraction in effect this epoch.
+    adoption_fraction: float = 0.0
+    #: New adopters who re-keyed through the hash ring entering this epoch.
+    clients_rekeyed: int = 0
+    #: Labels of the adversary game's moves entering this epoch.
+    adversary_events: Tuple[str, ...] = ()
+    #: Per-class P95 path delay (seconds) split by neutralized vs exposed
+    #: clients (empty unless both an adversary and a latency model run).
+    neutralized_latency_p95: Dict[str, float] = field(default_factory=dict)
+    exposed_latency_p95: Dict[str, float] = field(default_factory=dict)
 
 
 @dataclass(frozen=True)
@@ -492,6 +528,52 @@ class TimelineResult:
                   for record in self.records)
         return float(met) / len(self.records)
 
+    @property
+    def has_adversary(self) -> bool:
+        """Whether an adversary game left any trace on this timeline."""
+        return any(record.discriminated_share > 0 or record.adoption_fraction > 0
+                   or record.adversary_events for record in self.records)
+
+    @property
+    def adoption_fraction(self) -> np.ndarray:
+        """Per-epoch client-weighted neutralizer-adoption fraction."""
+        return np.array([record.adoption_fraction for record in self.records])
+
+    @property
+    def discriminated_share(self) -> np.ndarray:
+        """Per-epoch share of offered traffic flagged and throttled."""
+        return np.array([record.discriminated_share for record in self.records])
+
+    @property
+    def final_adoption_fraction(self) -> float:
+        """The last epoch's adoption fraction (the game's resting point)."""
+        if not self.records:
+            return 0.0
+        return self.records[-1].adoption_fraction
+
+    @property
+    def total_clients_rekeyed(self) -> int:
+        """Total adopter re-key churn over the run (client·setups)."""
+        return int(sum(record.clients_rekeyed for record in self.records))
+
+    def class_delivered_fraction(self, class_names: Sequence[str]) -> np.ndarray:
+        """Per-epoch goodput/offered ratio summed over the named classes.
+
+        The harm ledger of the discrimination story: the throttled classes'
+        delivered fraction against their *offered* (pre-throttle) demand.
+        """
+        unknown = set(class_names) - set(self.class_names)
+        if unknown:
+            raise WorkloadError(f"unknown demand classes {sorted(unknown)}")
+        out = np.empty(len(self.records))
+        for index, record in enumerate(self.records):
+            offered = sum(record.demand_bps_by_class.get(name, 0.0)
+                          for name in class_names)
+            served = sum(record.goodput_bps_by_class.get(name, 0.0)
+                         for name in class_names)
+            out[index] = served / offered if offered > 0 else 1.0
+        return out
+
     def series(self) -> Dict[str, List[float]]:
         """Per-epoch columns for :func:`repro.analysis.report.format_series`."""
         out: Dict[str, List[float]] = {
@@ -507,6 +589,11 @@ class TimelineResult:
                              for record in self.records]
             out["slo viol"] = [record.latency_slo_violations
                                for record in self.records]
+        if self.has_adversary:
+            out["adoption"] = [record.adoption_fraction
+                               for record in self.records]
+            out["discr share"] = [record.discriminated_share
+                                  for record in self.records]
         return out
 
 
@@ -533,6 +620,7 @@ class FluidTimeline:
         provisioning_cost: Optional[ProvisioningCostModel] = None,
         latency: Optional[LatencyModel] = None,
         latency_slo_seconds: float = 0.1,
+        adversary: Optional[AdversaryGame] = None,
         scenario: Optional[ScaleScenario] = None,
     ) -> None:
         if epochs <= 0:
@@ -580,6 +668,11 @@ class FluidTimeline:
         #: fraction of clients violating ``latency_slo_seconds``.
         self.latency = latency
         self.latency_slo_seconds = float(latency_slo_seconds)
+        #: Optional ISP-vs-adoption game configuration; per-run state is
+        #: created fresh inside every run(), like the autoscaler's.
+        self.adversary = adversary
+        if adversary is not None:
+            adversary.validate_against(population)
         self._validate_events()
 
     def _validate_events(self) -> None:
@@ -708,6 +801,10 @@ class FluidTimeline:
         pending = list(self.events)
         autoscale = (AutoscaleRun(self.autoscaler, fleet)
                      if self.autoscaler is not None else None)
+        adversary = (AdversaryRun(self.adversary, population,
+                                  latency=self.latency,
+                                  latency_slo_seconds=self.latency_slo_seconds)
+                     if self.adversary is not None else None)
 
         template: Optional[ProblemTemplate] = None
         previous_rates: Optional[np.ndarray] = None
@@ -729,10 +826,14 @@ class FluidTimeline:
         previous_template = None
         previous_served_scale: Optional[np.ndarray] = None
         previous_capacity_scale: Optional[np.ndarray] = None
+        previous_extra_setups: Optional[np.ndarray] = None
         previous_epoch_problem = None
         previous_allocation = None
         previous_fluid = None
         previous_latency = (0.0, 0.0, 0.0, 0.0)
+        previous_latency_result = None
+        previous_split: Tuple[Dict[str, float], Dict[str, float]] = ({}, {})
+        previous_experienced = (0.0, 0.0, 0.0, 0.0)
         #: Committed-capacity sums, cached while fleet state is unchanged.
         committed_key = None
         committed_totals = (0.0, 0.0, 0)
@@ -804,9 +905,27 @@ class FluidTimeline:
 
             offered_scale, served_scale = self._demand_scale(template, epoch, t, throttles)
             capacity_scale = self._capacity_scale(epoch, degradations)
-            offered_bps = float(
-                (template.base_demands * offered_scale * template.group_clients).sum()
+
+            adversary_epoch = None
+            extra_setups: Optional[np.ndarray] = None
+            if adversary is not None:
+                adversary_epoch = adversary.step(
+                    epoch, template, offered_scale, self.epoch_seconds
+                )
+                served_scale = served_scale * adversary_epoch.served_multiplier
+                extra_setups = adversary_epoch.extra_setups_per_flow
+
+            offered_flow_bps = (template.base_demands * offered_scale
+                                * template.group_clients)
+            offered_bps = float(offered_flow_bps.sum())
+            offered_by_class = np.bincount(
+                template.class_of, weights=offered_flow_bps,
+                minlength=population.n_classes,
             )
+            demand_bps_by_class = {
+                name: float(offered_by_class[index])
+                for index, name in enumerate(population.mix.names)
+            }
 
             solve_started = time.perf_counter()
             scales_unchanged = (
@@ -814,10 +933,8 @@ class FluidTimeline:
                 and previous_epoch_problem is not None
                 and template is previous_template
                 and np.array_equal(served_scale, previous_served_scale)
-                and ((capacity_scale is None and previous_capacity_scale is None)
-                     or (capacity_scale is not None
-                         and previous_capacity_scale is not None
-                         and np.array_equal(capacity_scale, previous_capacity_scale)))
+                and _optional_arrays_equal(capacity_scale, previous_capacity_scale)
+                and _optional_arrays_equal(extra_setups, previous_extra_setups)
             )
             if scales_unchanged:
                 # Bit-identical problem (steady load, same fleet state): the
@@ -833,26 +950,29 @@ class FluidTimeline:
                     prices=previous_allocation.prices,
                 )
                 fluid = previous_fluid
+                latency_result = previous_latency_result
                 latency_p50, latency_p95, latency_p99, latency_violations = (
                     previous_latency
                 )
             else:
-                epoch_problem = template.instantiate(served_scale, capacity_scale)
+                epoch_problem = template.instantiate(served_scale, capacity_scale,
+                                                     extra_setups)
                 allocation = solve_allocation(
                     epoch_problem.problem,
                     warm_start=previous_rates if self.warm_start else None,
                     warm_prices=previous_prices if self.warm_start else None,
                 )
                 fluid = template.interpret(epoch_problem, allocation)
+                latency_result = None
                 latency_p50 = latency_p95 = latency_p99 = latency_violations = 0.0
                 if self.latency is not None:
-                    measured = evaluate_latency(
+                    latency_result = evaluate_latency(
                         template, epoch_problem, allocation, self.latency
                     )
-                    latency_p50, latency_p95, latency_p99 = measured.percentiles(
+                    latency_p50, latency_p95, latency_p99 = latency_result.percentiles(
                         (0.50, 0.95, 0.99)
                     )
-                    latency_violations = measured.slo_violation_fraction(
+                    latency_violations = latency_result.slo_violation_fraction(
                         self.latency_slo_seconds
                     )
             solve_seconds = time.perf_counter() - solve_started
@@ -861,11 +981,44 @@ class FluidTimeline:
             previous_template = template
             previous_served_scale = served_scale
             previous_capacity_scale = capacity_scale
+            previous_extra_setups = extra_setups
             previous_epoch_problem = epoch_problem
             previous_allocation = allocation
             previous_fluid = fluid
+            previous_latency_result = latency_result
             previous_latency = (latency_p50, latency_p95, latency_p99,
                                 latency_violations)
+
+            neutralized_p95: Dict[str, float] = {}
+            exposed_p95: Dict[str, float] = {}
+            #: What the epoch record quotes.  Without an adversary this is
+            #: the fleet-path proxy; with one it is the client-experienced
+            #: mixture including the policer delay of flagged traffic, so
+            #: the headline fields agree with the game's own harm ledger.
+            #: The autoscaler's control signal stays the fleet-path P95 —
+            #: capacity cannot buy back a policer queue.
+            recorded_latency = (latency_p50, latency_p95, latency_p99,
+                                latency_violations)
+            if adversary is not None:
+                adversary.observe(template, allocation, epoch_problem.problem,
+                                  latency_result)
+                if latency_result is not None:
+                    # A bit-identical epoch with no game moves has the same
+                    # split; only a fresh solve or an adoption/strategy move
+                    # can change it.
+                    if scales_unchanged and not adversary_epoch.events:
+                        neutralized_p95, exposed_p95 = previous_split
+                        recorded_latency = previous_experienced
+                    else:
+                        neutralized_p95, exposed_p95 = split_latency_by_class(
+                            template, latency_result, adversary_epoch
+                        )
+                        recorded_latency = experienced_latency(
+                            template, latency_result, adversary_epoch,
+                            self.latency_slo_seconds,
+                        )
+                    previous_split = (neutralized_p95, exposed_p95)
+                    previous_experienced = recorded_latency
 
             cpu_util[epoch] = fluid.cpu_utilization
             uplink_util[epoch] = fluid.uplink_utilization
@@ -888,6 +1041,8 @@ class FluidTimeline:
                 delivered_fraction=delivered,
                 demand_multiplier=demand_multiplier,
                 latency_p95_seconds=latency_p95,
+                adoption_fraction=(adversary_epoch.adoption_fraction
+                                   if adversary_epoch is not None else 0.0),
             )
 
             # Billing covers every *commissioned* site — active (even while
@@ -935,10 +1090,21 @@ class FluidTimeline:
                 sites_warming=n_warming,
                 autoscale_actions=actions,
                 provision_cost=provision_cost,
-                latency_p50_seconds=latency_p50,
-                latency_p95_seconds=latency_p95,
-                latency_p99_seconds=latency_p99,
-                latency_slo_violations=latency_violations,
+                latency_p50_seconds=recorded_latency[0],
+                latency_p95_seconds=recorded_latency[1],
+                latency_p99_seconds=recorded_latency[2],
+                latency_slo_violations=recorded_latency[3],
+                demand_bps_by_class=demand_bps_by_class,
+                discriminated_share=(adversary_epoch.discriminated_share
+                                     if adversary_epoch is not None else 0.0),
+                adoption_fraction=(adversary_epoch.adoption_fraction
+                                   if adversary_epoch is not None else 0.0),
+                clients_rekeyed=(adversary_epoch.clients_rekeyed
+                                 if adversary_epoch is not None else 0),
+                adversary_events=(adversary_epoch.events
+                                  if adversary_epoch is not None else ()),
+                neutralized_latency_p95=neutralized_p95,
+                exposed_latency_p95=exposed_p95,
             ))
 
         return TimelineResult(

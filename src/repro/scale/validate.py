@@ -30,7 +30,7 @@ the path delay.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -39,6 +39,7 @@ from ..analysis.scenarios import build_scale_validation_scenario
 from ..apps.workloads import ConstantRateSource
 from ..exceptions import WorkloadError
 from ..packet.builder import udp_packet
+from ..packet.headers import IPV4_HEADER_LEN, UDP_HEADER_LEN
 from ..units import BITS_PER_BYTE
 from .latency import LatencyModel
 from .solver import CapacityProblem, max_min_allocation
@@ -101,9 +102,19 @@ class ValidationArm:
 
     @property
     def relative_error(self) -> float:
-        """|packet − fluid| over the packet-level measurement."""
+        """|packet − fluid| over the packet-level measurement.
+
+        A zero measurement is a broken scenario, not a disagreement: the
+        error is undefined, and silently returning infinity used to bury
+        the real problem under a tolerance failure.
+        """
         if self.packet_goodput_pps <= 0:
-            return float("inf")
+            raise WorkloadError(
+                f"{self.name} arm of the scale-validation dumbbell scenario "
+                f"measured zero packet-level goodput (offered "
+                f"{self.offered_pps:g} pps) — the relative error would "
+                f"divide by zero; raise the offered rate or the run duration"
+            )
         return abs(self.packet_goodput_pps - self.fluid_goodput_pps) / self.packet_goodput_pps
 
     def describe_disagreement(self, tolerance: float) -> str:
@@ -208,7 +219,15 @@ def _solve_fluid_arm(*, clients: int, rate_pps: float, wire_bits: float,
         resource_labels=["bottleneck"],
     )
     allocation = max_min_allocation(problem)
-    return float(allocation.rates.sum())
+    goodput = float(allocation.rates.sum())
+    if goodput <= 0:
+        raise WorkloadError(
+            f"the fluid arm of the scale-validation dumbbell scenario served "
+            f"zero demand ({clients} clients at {rate_pps:g} pps against "
+            f"{bottleneck_rate_bps:g} b/s) — nothing to validate against; "
+            f"check the offered rate and the bottleneck capacity"
+        )
+    return goodput
 
 
 def cross_validate(
@@ -304,9 +323,19 @@ class LatencyValidationArm:
 
     @property
     def relative_error(self) -> float:
-        """|measured − predicted| over the packet-level measurement."""
+        """|measured − predicted| over the packet-level measurement.
+
+        Like the goodput twin: a nonpositive measured delay means the arm
+        never measured anything, which must fail loudly instead of
+        poisoning the tolerance check with infinity.
+        """
         if self.measured_mean_seconds <= 0:
-            return float("inf")
+            raise WorkloadError(
+                f"{self.name} arm of the scale-validation dumbbell scenario "
+                f"measured no positive packet delay ({self.samples} samples) "
+                f"— the relative error would divide by zero; check the "
+                f"utilization target and run duration"
+            )
         return (abs(self.measured_mean_seconds - self.predicted_mean_seconds)
                 / self.measured_mean_seconds)
 
@@ -470,5 +499,280 @@ def cross_validate_latency(
         "latency distributions at fleet scale"
     )
     result = LatencyValidationResult(arms=arms, report=report)
+    result.note_failures()
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Adversary epoch vs packet-level discrimination (PR 5 acceptance: within 10 %)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class AdversaryValidationArm:
+    """One adoption level, delivered fraction measured both ways."""
+
+    name: str
+    adoption: float
+    throttle_factor: float
+    offered_pps: float
+    packet_delivered_fraction: float
+    fluid_delivered_fraction: float
+
+    @property
+    def relative_error(self) -> float:
+        """|packet − fluid| over the packet-level measurement."""
+        if self.packet_delivered_fraction <= 0:
+            raise WorkloadError(
+                f"{self.name} arm of the adversary-validation dumbbell "
+                f"scenario delivered nothing at the packet level (offered "
+                f"{self.offered_pps:g} pps) — the relative error would "
+                f"divide by zero; loosen the throttle or raise the rate"
+            )
+        return (abs(self.packet_delivered_fraction - self.fluid_delivered_fraction)
+                / self.packet_delivered_fraction)
+
+    def describe_disagreement(self, tolerance: float) -> str:
+        """Name the arm and the side that is off, like its two siblings."""
+        side = ("fluid high"
+                if self.fluid_delivered_fraction > self.packet_delivered_fraction
+                else "fluid low")
+        return (
+            f"{self.name} arm: packet-level {self.packet_delivered_fraction:.3f} "
+            f"delivered vs fluid {self.fluid_delivered_fraction:.3f} ({side} by "
+            f"{self.relative_error:.1%}, tolerance {tolerance:.0%})"
+        )
+
+
+@dataclass
+class AdversaryValidationResult(_ToleranceReporting):
+    """All adoption arms plus the rendered comparison table."""
+
+    arms: List[AdversaryValidationArm]
+    report: ExperimentReport
+    tolerance: float = 0.10
+
+
+def _run_adversary_packet_arm(*, name: str, clients: int, adopters: int,
+                              rate_pps: float, payload_bytes: int,
+                              bottleneck_rate_bps: float,
+                              throttle_factor: float,
+                              duration_seconds: float,
+                              seed: int) -> Tuple[float, float]:
+    """Measure delivered fraction under a destination-matched throttle.
+
+    The first ``adopters`` clients run through the neutralizer (their wire
+    packets carry the anycast destination, so the ISP's rule cannot match
+    them); the rest send plain UDP to the server, which the discriminatory
+    access ISP throttles to ``throttle_factor`` of its offered rate with a
+    THROTTLE rule — :mod:`repro.discrimination` semantics end to end.
+    Returns (delivered fraction, offered pps).
+    """
+    from ..analysis.scenarios import build_dumbbell
+    from ..core.api import neutralize_isp
+    from ..crypto.randomness import DeterministicRandom
+    from ..discrimination.classifier import criteria_for_destination
+    from ..discrimination.isp import install_policy
+    from ..discrimination.policy import (
+        Action,
+        DiscriminationPolicy,
+        DiscriminationRule,
+    )
+    from ..packet.addresses import ip
+
+    topology = build_dumbbell(
+        clients=clients, servers=1, bottleneck_rate_bps=bottleneck_rate_bps,
+        seed=seed,
+    )
+    rng = DeterministicRandom(seed)
+    deployment = neutralize_isp(topology, "right", ip("10.200.0.9"), rng=rng)
+    server = topology.host("server0")
+    deployment.attach_server(server)
+    client_names = [f"client{index}" for index in range(clients)]
+    for client in client_names[:adopters]:
+        deployment.attach_client(topology.host(client))
+        deployment.bootstrap_client(client, "server0")
+
+    exposed = clients - adopters
+    if exposed > 0 and throttle_factor < 1.0:
+        plain_wire_bits = (payload_bytes + IPV4_HEADER_LEN
+                           + UDP_HEADER_LEN) * BITS_PER_BYTE
+        exposed_offered_bps = exposed * rate_pps * plain_wire_bits
+        policy = DiscriminationPolicy(
+            name="throttle-classifiable",
+            rules=[DiscriminationRule(
+                criteria=criteria_for_destination(
+                    server.address, name="throttle plain traffic to server0"),
+                action=Action.THROTTLE,
+                throttle_rate_bps=throttle_factor * exposed_offered_bps,
+                intent="squeeze the class we can still classify",
+            )],
+        )
+        install_policy(topology, "left", policy, rng=rng)
+
+    arrivals: List[float] = []
+    server.register_port_handler(
+        _VALIDATION_PORT, lambda packet, host: arrivals.append(host.sim.now)
+    )
+    # Prime key setups (adopters) and the policer (exposed traffic drains
+    # the token bucket's initial burst before the measurement window).
+    for client in client_names:
+        host = topology.host(client)
+        host.send(udp_packet(host.address, server.address, b"prime",
+                             destination_port=_VALIDATION_PORT))
+    topology.run(_PRIME_SECONDS)
+
+    sources = [
+        ConstantRateSource(
+            topology.host(client), server.address, packets_per_second=rate_pps,
+            payload_bytes=payload_bytes, destination_port=_VALIDATION_PORT,
+            flow_id=f"adversary-check-{client}",
+        )
+        for client in client_names
+    ]
+    for source in sources:
+        source.start(duration_seconds)
+    start_time = topology.sim.now
+    topology.run(duration_seconds + _DRAIN_SECONDS)
+
+    window_start = start_time + _WARMUP_SECONDS
+    window_end = start_time + duration_seconds
+    delivered = sum(1 for at in arrivals if window_start < at <= window_end)
+    offered_pps = rate_pps * clients
+    delivered_fraction = delivered / (offered_pps * (window_end - window_start))
+    return delivered_fraction, offered_pps
+
+
+def _solve_adversary_fluid_arm(*, clients: int, adoption: float,
+                               rate_pps: float, payload_bytes: int,
+                               bottleneck_rate_bps: float,
+                               throttle_factor: float,
+                               seed: int) -> float:
+    """The same epoch through the real fluid adversary machinery.
+
+    One single-class population against one oversized site, the shared
+    bottleneck as the regional uplink, and an :class:`AdversaryRun` with a
+    perfect classifier (TP 1, FP 0, no leakage) pinned at the packet arm's
+    adoption and throttle factor — exactly the confusion-model semantics
+    under test, solved through ``ProblemTemplate.instantiate`` like any
+    timeline epoch.
+    """
+    from .adversary import AdoptionModel, AdversaryGame, AdversaryRun
+    from .adversary import ClassifierModel, IspStrategy
+    from .fleet import FleetSite, NeutralizerFleet
+    from .population import ClientPopulation, DemandClass, PopulationMix
+    from .scenario import ScaleScenario
+    from .solver import solve_allocation
+
+    wire_bytes = payload_bytes + IPV4_HEADER_LEN + UDP_HEADER_LEN
+    mix = PopulationMix(
+        classes=(DemandClass(
+            name="probe", packets_per_second=rate_pps,
+            packet_bytes=wire_bytes, duty_cycle=1.0, key_setups_per_hour=0.0,
+        ),),
+        fractions=(1.0,),
+    )
+    population = ClientPopulation(clients, mix=mix, regions=1, seed=seed)
+    fleet = NeutralizerFleet(
+        [FleetSite("site00", cores=1e3, uplink_bps=1e12)]
+    )
+    template = ScaleScenario(
+        population, fleet, region_uplink_bps=bottleneck_rate_bps,
+    ).build_template()
+
+    game = AdversaryGame(
+        isp=IspStrategy(
+            target_classes=("probe",), budget_fraction=1.0,
+            classifier=ClassifierModel(true_positive=1.0, false_positive=0.0,
+                                       neutralized_leakage=0.0),
+        ),
+        adoption=AdoptionModel(initial_adoption=adoption),
+    )
+    run = AdversaryRun(game, population)
+    run.factor = throttle_factor  # pin the severity the packet arm enforces
+    adv = run.step(0, template, np.ones(template.base_demands.shape), 3600.0)
+    epoch = template.instantiate(adv.served_multiplier)
+    allocation = solve_allocation(epoch.problem)
+    delivered_pps = float(
+        (allocation.rates * template.group_clients / template.bits_per_packet).sum()
+    )
+    offered_pps = rate_pps * clients
+    if offered_pps <= 0:
+        raise WorkloadError(
+            "the fluid arm of the adversary-validation dumbbell scenario "
+            "offers zero demand — nothing to validate against"
+        )
+    return delivered_pps / offered_pps
+
+
+def cross_validate_adversary(
+    *,
+    clients: int = 6,
+    payload_bytes: int = 200,
+    bottleneck_rate_bps: float = 2_000_000.0,
+    rate_pps: float = 25.0,
+    throttle_factor: float = 0.3,
+    adoptions: Sequence[float] = (0.0, 0.5),
+    duration_seconds: float = 4.0,
+    seed: int = 2006,
+) -> AdversaryValidationResult:
+    """Cross-check one fluid adversary epoch against the packet-level path.
+
+    Both arms realize the same situation: a discriminatory access ISP
+    throttles everything it can classify toward the server to
+    ``throttle_factor`` of its rate, while an ``adoption`` share of clients
+    has deployed the neutralizer and become unclassifiable.  The packet arm
+    runs :mod:`repro.discrimination` rules against real (partly
+    neutralized) traffic through :mod:`repro.netsim`; the fluid arm runs
+    the same epoch through :class:`repro.scale.adversary.AdversaryRun` and
+    the solver.  Delivered fractions must agree within 10 % at every
+    adoption level — the license for quoting E16 frontiers at fleet scale.
+    """
+    if not adoptions:
+        raise WorkloadError("the adversary validation needs adoption levels")
+    arms: List[AdversaryValidationArm] = []
+    for adoption in adoptions:
+        if not 0.0 <= adoption <= 1.0:
+            raise WorkloadError("adoption levels must be fractions in [0, 1]")
+        adopters = int(round(clients * adoption))
+        packet_fraction, offered_pps = _run_adversary_packet_arm(
+            name=f"adoption {adoption:g}", clients=clients, adopters=adopters,
+            rate_pps=rate_pps, payload_bytes=payload_bytes,
+            bottleneck_rate_bps=bottleneck_rate_bps,
+            throttle_factor=throttle_factor,
+            duration_seconds=duration_seconds, seed=seed,
+        )
+        fluid_fraction = _solve_adversary_fluid_arm(
+            clients=clients, adoption=adopters / clients, rate_pps=rate_pps,
+            payload_bytes=payload_bytes,
+            bottleneck_rate_bps=bottleneck_rate_bps,
+            throttle_factor=throttle_factor, seed=seed,
+        )
+        arms.append(AdversaryValidationArm(
+            name=f"adoption {adoption:g}",
+            adoption=adoption,
+            throttle_factor=throttle_factor,
+            offered_pps=offered_pps,
+            packet_delivered_fraction=packet_fraction,
+            fluid_delivered_fraction=fluid_fraction,
+        ))
+    report = ExperimentReport(
+        "E16v", "Fluid adversary epoch vs packet-level discrimination on the "
+                "shared dumbbell"
+    )
+    report.add_table(
+        ["arm", "adoption", "throttle", "packet delivered", "fluid delivered",
+         "rel. error"],
+        [[arm.name, arm.adoption, arm.throttle_factor,
+          arm.packet_delivered_fraction, arm.fluid_delivered_fraction,
+          arm.relative_error] for arm in arms],
+    )
+    report.add_note(
+        "the packet arm throttles classifiable (non-neutralized) traffic "
+        "with a repro.discrimination THROTTLE rule; neutralized traffic "
+        "carries the anycast destination and cannot match — agreement "
+        "licenses the E16 confusion-model semantics at fleet scale"
+    )
+    result = AdversaryValidationResult(arms=arms, report=report)
     result.note_failures()
     return result

@@ -64,6 +64,65 @@ class TestLatencyModel:
         assert 0.0 <= f_lo <= f_hi
         assert np.isfinite(f_hi)  # the clamp keeps saturated queues finite
 
+    def test_allen_cunneen_defaults_to_pollaczek_khinchine(self):
+        # The G/G/1 generalization must change nothing at arrival_cv=1:
+        # the default proxy stays the M/G/1-PS shape, bit for bit.
+        from repro.scale.latency import (
+            allen_cunneen_factor,
+            pollaczek_khinchine_factor,
+        )
+
+        rho = np.linspace(0.0, 1.2, 25)
+        for cv in (0.0, 0.7, 1.0, 2.5):
+            assert np.array_equal(
+                allen_cunneen_factor(rho, 1.0, cv, 0.98),
+                pollaczek_khinchine_factor(rho, cv, 0.98),
+            )
+        assert np.array_equal(
+            LatencyModel(service_cv=cv).queueing_factor(rho),
+            pollaczek_khinchine_factor(rho, cv, 0.98),
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(rho=st.floats(0.0, 1.5),
+           ca1=st.floats(0.0, 4.0), ca2=st.floats(0.0, 4.0),
+           cs1=st.floats(0.0, 6.0), cs2=st.floats(0.0, 6.0))
+    def test_allen_cunneen_monotone_in_both_variabilities(self, rho, ca1, ca2,
+                                                          cs1, cs2):
+        # The heavy-tailed option's property: more variability (arrival or
+        # service) never shortens the wait, at any load.
+        from repro.scale.latency import allen_cunneen_factor
+
+        ca_lo, ca_hi = sorted((ca1, ca2))
+        cs_lo, cs_hi = sorted((cs1, cs2))
+        lo = float(allen_cunneen_factor(np.array(rho), ca_lo, cs_lo, 0.98))
+        hi = float(allen_cunneen_factor(np.array(rho), ca_hi, cs_hi, 0.98))
+        assert 0.0 <= lo <= hi
+        assert np.isfinite(hi)
+
+    def test_heavy_tailed_constructor(self):
+        model = LatencyModel.heavy_tailed(service_scv=16.0)
+        assert model.service_cv == pytest.approx(4.0)
+        # Heavy tails deepen every queue relative to the default proxy.
+        rho = np.array(0.6)
+        assert model.queueing_factor(rho) > LatencyModel().queueing_factor(rho)
+        with pytest.raises(WorkloadError):
+            LatencyModel.heavy_tailed(service_scv=-1.0)
+        with pytest.raises(WorkloadError):
+            LatencyModel(arrival_cv=-0.5)
+
+    def test_latency_policy_inverts_the_allen_cunneen_shape(self):
+        # for_model must copy arrival_cv so the controller's inversion is
+        # the exact inverse of a bursty-arrival proxy too.
+        from repro.scale.autoscale import TargetLatencyPolicy
+
+        model = LatencyModel(service_cv=0.5, arrival_cv=2.0)
+        policy = TargetLatencyPolicy.for_model(model, target_p95_seconds=0.06)
+        assert policy.arrival_cv == 2.0
+        rho = 0.55
+        assert policy._queue_factor(rho) == pytest.approx(
+            float(model.queueing_factor(np.array(rho))))
+
     def test_base_rtt_geometry_is_deterministic_and_bounded(self):
         model = LatencyModel()
         first = model.base_rtt_matrix(8, 16)

@@ -184,6 +184,41 @@ class TestCrossValidation:
         assert "loaded" in result.failures[0]
         assert "proxy high" in result.failures[0]
 
+    def test_zero_goodput_arm_raises_a_named_error_not_a_division(self):
+        # The satellite bugfix: a zero packet-level measurement used to
+        # surface as an infinite relative error; it must instead fail
+        # loudly, naming the arm and the scenario.
+        from repro.exceptions import WorkloadError
+        from repro.scale.validate import ValidationArm
+
+        arm = ValidationArm(name="congested", offered_pps=360.0,
+                            packet_goodput_pps=0.0, fluid_goodput_pps=100.0,
+                            wire_bytes_per_packet=250.0)
+        with pytest.raises(WorkloadError) as excinfo:
+            _ = arm.relative_error
+        message = str(excinfo.value)
+        assert "congested" in message and "dumbbell" in message
+
+    def test_zero_delay_latency_arm_raises_a_named_error(self):
+        from repro.exceptions import WorkloadError
+        from repro.scale.validate import LatencyValidationArm
+
+        arm = LatencyValidationArm(name="light", bottleneck_utilization=0.3,
+                                   samples=0, measured_mean_seconds=0.0,
+                                   predicted_mean_seconds=0.010)
+        with pytest.raises(WorkloadError) as excinfo:
+            _ = arm.relative_error
+        message = str(excinfo.value)
+        assert "light" in message and "dumbbell" in message
+
+    def test_zero_demand_fluid_arm_raises_a_named_error(self):
+        from repro.exceptions import WorkloadError
+        from repro.scale.validate import _solve_fluid_arm
+
+        with pytest.raises(WorkloadError, match="fluid arm.*dumbbell"):
+            _solve_fluid_arm(clients=4, rate_pps=0.0, wire_bits=2000.0,
+                             bottleneck_rate_bps=600_000.0)
+
     def test_e12_wrapper_combines_sweep_and_validation(self):
         result = run_fleet_scale(client_counts=(500, 2_000), n_sites=2,
                                  seed=3, validate=False)

@@ -206,3 +206,87 @@ class TestFrontier:
     def test_empty_targets_rejected(self):
         with pytest.raises(WorkloadError):
             run_churn_slo_frontier(targets=())
+
+
+class TestVarianceReduction:
+    def test_uniform_transforms_preserve_marginals(self):
+        from repro.scale import antithetic_uniforms, rotated_uniforms
+
+        rng = np.random.default_rng(11)
+        mirrored = antithetic_uniforms(np.random.default_rng(11))
+        draws = rng.random(5000)
+        flipped = mirrored.random(5000)
+        assert np.allclose(draws, 1.0 - flipped)
+        rotated = rotated_uniforms(np.random.default_rng(11), 0.3)
+        spun = rotated.random(5000)
+        assert ((spun >= 0.0) & (spun < 1.0)).all()
+        assert abs(spun.mean() - 0.5) < 0.02  # still uniform
+        # Non-uniform draws delegate untouched (durations stay geometric).
+        assert mirrored.geometric(0.5) >= 1
+        with pytest.raises(WorkloadError):
+            rotated_uniforms(np.random.default_rng(1), 1.5)
+
+    def test_schemes_are_deterministic_and_distinct(self):
+        def campaign(scheme, seed=17):
+            return StochasticCampaignRunner(
+                clients=3_000, epochs=30, replicas=6, seed=seed,
+                max_sites=8, nominal_sites=6, variance_reduction=scheme,
+            ).run()
+
+        for scheme in ("iid", "stratified", "antithetic"):
+            first, second = campaign(scheme), campaign(scheme)
+            assert first.distributions == second.distributions, scheme
+        # The schemes allocate randomness differently, so the realized
+        # event sequences (and hence distributions) differ between them.
+        assert (campaign("iid").distributions
+                != campaign("antithetic").distributions)
+
+    def test_iid_default_matches_previous_allocation(self):
+        # The default must stay bit-compatible: explicitly passing "iid"
+        # is a no-op relative to not passing anything.
+        default = StochasticCampaignRunner(
+            clients=3_000, epochs=24, replicas=4, seed=19,
+            max_sites=8, nominal_sites=6,
+        ).run()
+        explicit = StochasticCampaignRunner(
+            clients=3_000, epochs=24, replicas=4, seed=19,
+            max_sites=8, nominal_sites=6, variance_reduction="iid",
+        ).run()
+        assert default.distributions == explicit.distributions
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(WorkloadError, match="variance-reduction"):
+            StochasticCampaignRunner(variance_reduction="qmc")
+
+    def test_antithetic_pairs_are_negatively_correlated(self):
+        # The mechanism itself, deterministically: within a pair, epochs
+        # that fail in one member tend not to fail in the mirror, so the
+        # spread of pair-mean event counts is below the iid replica spread.
+        def event_counts(scheme):
+            campaign = StochasticCampaignRunner(
+                clients=3_000, epochs=40, replicas=8, seed=23,
+                max_sites=8, nominal_sites=6, variance_reduction=scheme,
+            ).run()
+            return np.array([record.events_fired
+                             for record in campaign.records], dtype=float)
+
+        anti = event_counts("antithetic")
+        iid = event_counts("iid")
+        pair_means = anti.reshape(-1, 2).mean(axis=1)
+        iid_pair_means = iid.reshape(-1, 2).mean(axis=1)
+        assert pair_means.std() < iid_pair_means.std()
+
+    def test_compare_variance_reduction_runs_and_reports(self):
+        from repro.scale import compare_variance_reduction
+
+        result = compare_variance_reduction(
+            clients=2_000, epochs=20, replicas=4, batches=3, seed=29,
+            max_sites=8, nominal_sites=6,
+        )
+        assert set(result.mean_estimator_std) == {"iid", "stratified",
+                                                  "antithetic"}
+        assert all(std >= 0 for std in result.mean_estimator_std.values())
+        assert result.reduction_vs_iid("iid") == pytest.approx(1.0)
+        assert "estimator spread" in result.report.render()
+        with pytest.raises(WorkloadError):
+            compare_variance_reduction(batches=1)
