@@ -11,7 +11,12 @@ runs (e.g. ``SCALE_BENCH_CLIENTS=2000``); the default is the full million.
 import os
 
 from repro.analysis.experiments import run_latency_campaign
-from repro.scale import LatencyCampaignRunner, run_latency_cost_frontier
+from repro.scale import (
+    LatencyCampaignRunner,
+    Telemetry,
+    phase_breakdown,
+    run_latency_cost_frontier,
+)
 from repro.scale.validate import cross_validate_latency
 
 from conftest import emit
@@ -20,12 +25,15 @@ _CLIENTS = int(os.environ.get("SCALE_BENCH_CLIENTS", "1000000"))
 _SEED = 81
 
 
-def test_e15_campaign_end_to_end(once):
+def test_e15_campaign_end_to_end(once, benchmark):
     """The acceptance target: 10^6 clients x 200 epochs x 32 replicas < 5 s."""
+    telemetry = Telemetry()
     runner = LatencyCampaignRunner(
         clients=_CLIENTS, epochs=200, replicas=32, seed=_SEED,
+        telemetry=telemetry,
     )
     result = once(runner.run)
+    benchmark.extra_info["phases"] = phase_breakdown(telemetry)
     if _CLIENTS >= 1_000_000:
         # The wall-clock acceptance bound is defined for the full-scale
         # configuration; the campaign cost is dominated by epochs x

@@ -7,7 +7,13 @@ runs (e.g. ``SCALE_BENCH_CLIENTS=2000``); the default is the full million.
 import os
 
 from repro.analysis.experiments import run_fleet_scale
-from repro.scale import ClientPopulation, NeutralizerFleet, ScaleScenario
+from repro.scale import (
+    ClientPopulation,
+    FleetScaleRunner,
+    NeutralizerFleet,
+    Telemetry,
+    phase_breakdown,
+)
 
 from conftest import emit
 
@@ -27,14 +33,16 @@ def test_e12_fleet_assignment(benchmark):
     benchmark(lambda: fleet.assign_sites(population.ring_positions))
 
 
-def test_e12_million_client_solve(once):
+def test_e12_million_client_solve(once, benchmark):
     """The acceptance target: a full solve of the headline population."""
-    population = ClientPopulation(_CLIENTS, seed=_SEED)
-    fleet = NeutralizerFleet.build(16)
-    scenario = ScaleScenario(population, fleet)
-    result = once(scenario.solve)
-    assert result.n_clients == _CLIENTS
-    assert len(fleet.sites) == 16
+    telemetry = Telemetry()
+    runner = FleetScaleRunner(
+        client_counts=(_CLIENTS,), n_sites=16, seed=_SEED, telemetry=telemetry,
+    )
+    result = once(runner.run)
+    assert result.largest_point.clients == _CLIENTS
+    assert result.largest_point.delivered_fraction > 0.0
+    benchmark.extra_info["phases"] = phase_breakdown(telemetry)
 
 
 def test_e12_report(once):

@@ -16,6 +16,8 @@ from repro.scale import (
     ConstantLoad,
     DiurnalLoad,
     FluidTimeline,
+    Telemetry,
+    phase_breakdown,
     provisioned_fleet,
 )
 from repro.scale.catalogue import run_scenario, scenario_names
@@ -27,13 +29,13 @@ _SEED = 81
 _EPOCHS = 100
 
 
-def _diurnal_timeline(warm_start=True):
+def _diurnal_timeline(warm_start=True, telemetry=None):
     population = ClientPopulation(_CLIENTS, seed=_SEED)
     fleet = provisioned_fleet(population, 16, headroom=1.1)
     return FluidTimeline(
         population, fleet, epochs=_EPOCHS,
         load=DiurnalLoad(trough=0.35, peak=1.05),
-        warm_start=warm_start,
+        warm_start=warm_start, telemetry=telemetry,
     )
 
 
@@ -50,14 +52,32 @@ def _congested_timeline(warm_start=True):
     )
 
 
-def test_e13_diurnal_timeline_end_to_end(once):
+def test_e13_diurnal_timeline_end_to_end(once, benchmark):
     """The acceptance target: population + fleet + 100 epochs in < 5 s."""
-    result = once(lambda: _diurnal_timeline().run())
+    telemetry = Telemetry()
+    result = once(lambda: _diurnal_timeline(telemetry=telemetry).run())
     assert result.epochs == _EPOCHS
     assert result.n_clients == _CLIENTS
     assert result.wall_seconds < 5.0
     # Most epochs skip the fill via a verification fast path.
     assert result.fast_fraction > 0.5
+    benchmark.extra_info["phases"] = phase_breakdown(telemetry)
+
+
+def test_e13_telemetry_overhead(once):
+    """The observability guard: tracing costs <= 5% wall on the timeline.
+
+    The absolute 50 ms floor keeps smoke-scale runs (millisecond walls)
+    from flaking on scheduler noise; at the full-scale configuration the
+    5% term dominates.
+    """
+    disabled = _diurnal_timeline().run()
+    telemetry = Telemetry()
+    enabled = once(lambda: _diurnal_timeline(telemetry=telemetry).run())
+    assert enabled.wall_seconds <= disabled.wall_seconds * 1.05 + 0.05
+    # Telemetry observes, never participates: identical solver work.
+    assert ([record.solver_iterations for record in enabled.records]
+            == [record.solver_iterations for record in disabled.records])
 
 
 def test_e13_epoch_solves_warm(benchmark):

@@ -67,6 +67,14 @@ clients as aggregate fluid demand instead:
     latency-SLO fleet, adaptive throttler, neutralizer arms race, targeted
     class SLO — each provisioned relative to the population so any size is
     interesting.
+``telemetry``
+    Process-local observability: a deterministic :class:`MetricsRegistry`
+    (counters, gauges, fixed-bucket histograms), a hierarchical
+    :class:`Tracer` whose nested spans mirror the campaign → replica →
+    epoch → solve structure, JSONL and Prometheus text exporters, and a
+    zero-overhead :data:`NULL` default — telemetry observes the
+    simulation, it never participates, so enabling it cannot change a
+    single allocation.
 ``runner``
     Experiment-campaign runners in the ``ExperimentRunnerProtocol`` style:
     the E12 population sweep, the E13 timeline-catalogue campaign, the
@@ -171,6 +179,18 @@ from .runner import (
     run_latency_cost_frontier,
 )
 from .scenario import EpochProblem, FluidResult, ProblemTemplate, ScaleScenario
+from .telemetry import (
+    DEFAULT_BUCKET_EDGES,
+    NULL,
+    MetricsRegistry,
+    NullTelemetry,
+    Span,
+    SpanRecord,
+    Telemetry,
+    Tracer,
+    format_phase_table,
+    phase_breakdown,
+)
 from .solver import (
     Allocation,
     CapacityProblem,
@@ -230,6 +250,7 @@ __all__ = [
     "CorrelatedRegionalOutage",
     "CrossValidationResult",
     "CryptoCostModel",
+    "DEFAULT_BUCKET_EDGES",
     "DemandClass",
     "DiscriminationToggle",
     "DiurnalLoad",
@@ -256,7 +277,10 @@ __all__ = [
     "LinearRampLoad",
     "LoadCurve",
     "MetricDistribution",
+    "MetricsRegistry",
+    "NULL",
     "NeutralizerFleet",
+    "NullTelemetry",
     "PoissonSiteFailures",
     "PopulationMix",
     "PredictiveLoadPolicy",
@@ -267,6 +291,8 @@ __all__ = [
     "ScenarioSpec",
     "SiteFailure",
     "SiteRecovery",
+    "Span",
+    "SpanRecord",
     "StepPolicy",
     "StochasticCampaignResult",
     "TargetLatencyPolicy",
@@ -274,10 +300,12 @@ __all__ = [
     "StochasticReplicaRecord",
     "SweepRecord",
     "TargetUtilizationPolicy",
+    "Telemetry",
     "TimelineCampaignRecord",
     "TimelineCampaignResult",
     "TimelineCampaignRunner",
     "TimelineResult",
+    "Tracer",
     "VarianceComparisonResult",
     "allen_cunneen_factor",
     "alpha_fair_allocation",
@@ -293,8 +321,10 @@ __all__ = [
     "elastic_fleet",
     "elastic_mix",
     "evaluate_latency",
+    "format_phase_table",
     "max_min_allocation",
     "nominal_demand",
+    "phase_breakdown",
     "provisioned_fleet",
     "rotated_uniforms",
     "run_churn_slo_frontier",

@@ -67,6 +67,7 @@ from .latency import LatencyModel, LatencyResult, _weighted_percentiles
 from .population import ClientPopulation
 from .scenario import ProblemTemplate
 from .solver import Allocation
+from .telemetry import NULL, Telemetry
 
 #: Adoption steps smaller than this are clamped to zero so the game reaches
 #: an exact fixed point — once it does, the epoch's scale vectors are
@@ -329,12 +330,15 @@ class AdversaryRun:
 
     def __init__(self, game: AdversaryGame, population: ClientPopulation,
                  latency: Optional[LatencyModel] = None,
-                 latency_slo_seconds: float = 0.1) -> None:
+                 latency_slo_seconds: float = 0.1,
+                 telemetry: Optional[Telemetry] = None) -> None:
         game.validate_against(population)
         self.game = game
         self.population = population
         self.latency = latency
         self.latency_slo_seconds = float(latency_slo_seconds)
+        #: Observation only: counts game moves, never influences them.
+        self.telemetry = telemetry if telemetry is not None else NULL
         self.adoption = np.full(
             population.regions, game.adoption.initial_adoption, dtype=np.float64
         )
@@ -354,6 +358,20 @@ class AdversaryRun:
         self._mask_cache: Tuple[Optional[ProblemTemplate], Optional[np.ndarray]] = (
             None, None,
         )
+
+    def _count_moves(self, events: List[str], rekeyed: int) -> None:
+        """Record this tick's game moves as counters, by event label."""
+        telemetry = self.telemetry
+        telemetry.inc("adversary.steps")
+        telemetry.inc("adversary.events", len(events))
+        telemetry.inc("adversary.clients_rekeyed", rekeyed)
+        for label in events:
+            if label.startswith(("escalate", "blanket on")):
+                telemetry.inc("adversary.escalations")
+            elif label.startswith(("backoff", "blanket off")):
+                telemetry.inc("adversary.backoffs")
+            elif label.startswith("adoption"):
+                telemetry.inc("adversary.adoption_steps")
 
     def _target_mask(self, template: ProblemTemplate) -> np.ndarray:
         """Per-flow targeted-class mask, cached per template."""
@@ -376,6 +394,7 @@ class AdversaryRun:
         events: List[str] = []
         self._update_strategy(epoch, events)
         rekeyed, joiners = self._update_adoption(events)
+        self._count_moves(events, rekeyed)
 
         isp = self.game.isp
         region_of = template.region_of

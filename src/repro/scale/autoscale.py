@@ -45,6 +45,7 @@ from ..exceptions import WorkloadError
 from .costmodel import CryptoCostModel
 from .fleet import FleetSite, NeutralizerFleet
 from .population import ClientPopulation
+from .telemetry import NULL, Telemetry
 
 #: A demand forecast: offered-demand multiplier (1.0 = the population's
 #: nominal busy instant) ``lead`` epochs ahead of the current one.
@@ -351,9 +352,12 @@ class AutoscaleRun:
     from a clean controller, mirroring the fleet-health restore.
     """
 
-    def __init__(self, spec: Autoscaler, fleet: NeutralizerFleet) -> None:
+    def __init__(self, spec: Autoscaler, fleet: NeutralizerFleet,
+                 telemetry: Optional[Telemetry] = None) -> None:
         self.spec = spec
         self.fleet = fleet
+        #: Observation only: counts actions by kind, never steers them.
+        self.telemetry = telemetry if telemetry is not None else NULL
         self.max_sites = min(spec.max_sites or fleet.n_sites, fleet.n_sites)
         self.min_sites = min(spec.min_sites, self.max_sites)
         #: site name -> epoch at which its warm-up completes.
@@ -409,6 +413,7 @@ class AutoscaleRun:
             actions.append(f"up {name} live" if healthy else f"up {name} failed")
 
         if metrics is None or epoch < self.cooldown_until:
+            self._count_actions(actions)
             return actions
 
         observation = AutoscaleObservation(
@@ -432,7 +437,19 @@ class AutoscaleRun:
             self._scale_down(committed - desired, actions, ring_guard)
         if len(actions) > decided:
             self.cooldown_until = epoch + 1 + self.spec.cooldown_epochs
+        self._count_actions(actions)
         return actions
+
+    def _count_actions(self, actions: List[str]) -> None:
+        telemetry = self.telemetry
+        telemetry.inc("autoscale.actions", len(actions))
+        for label in actions:
+            if label.startswith("up "):
+                telemetry.inc("autoscale.scale_ups")
+            elif label.startswith("drain "):
+                telemetry.inc("autoscale.drains")
+            elif label.startswith("cancel "):
+                telemetry.inc("autoscale.cancels")
 
     def _scale_up(self, epoch: int, count: int, actions: List[str]) -> None:
         for name in self._spare_candidates()[:count]:

@@ -579,13 +579,16 @@ def scenario_names() -> List[str]:
 
 def build_scenario(name: str, *, clients: int = 100_000, seed: int = 2006,
                    cost_model: Optional[CryptoCostModel] = None,
-                   population: Optional[ClientPopulation] = None) -> FluidTimeline:
+                   population: Optional[ClientPopulation] = None,
+                   telemetry=None) -> FluidTimeline:
     """Instantiate one named scenario for the given population size.
 
     ``population`` short-circuits the O(n_clients) population build — a
     campaign running several scenarios over the same clients/seed passes one
     shared :class:`ClientPopulation` instead of re-drawing it per scenario
     (populations are read-only to the timeline, so sharing is safe).
+    ``telemetry`` attaches a :class:`repro.scale.telemetry.Telemetry` to the
+    built timeline — spans and counters only, never simulation input.
     """
     try:
         spec = CATALOGUE[name]
@@ -593,13 +596,18 @@ def build_scenario(name: str, *, clients: int = 100_000, seed: int = 2006,
         raise WorkloadError(
             f"unknown scenario {name!r}; catalogue has {', '.join(CATALOGUE)}"
         ) from None
-    return spec(clients=clients, seed=seed, cost_model=cost_model,
-                population=population)
+    timeline = spec(clients=clients, seed=seed, cost_model=cost_model,
+                    population=population)
+    if telemetry is not None:
+        timeline.telemetry = telemetry
+    return timeline
 
 
 def run_scenario(name: str, *, clients: int = 100_000, seed: int = 2006,
                  cost_model: Optional[CryptoCostModel] = None,
-                 population: Optional[ClientPopulation] = None):
+                 population: Optional[ClientPopulation] = None,
+                 telemetry=None):
     """Build and run one named scenario, returning its TimelineResult."""
     return build_scenario(name, clients=clients, seed=seed,
-                          cost_model=cost_model, population=population).run()
+                          cost_model=cost_model, population=population,
+                          telemetry=telemetry).run()

@@ -50,10 +50,36 @@ from .stochastic import (
     default_processes,
     rotated_uniforms,
 )
+from .telemetry import Telemetry
 from .timeline import FluidTimeline, LoadCurve, TimelineResult
 
 #: Monte-Carlo seed-allocation schemes for the campaign runners.
 VARIANCE_SCHEMES = ("iid", "stratified", "antithetic")
+
+
+def _default_telemetry() -> Telemetry:
+    """A runner's out-of-the-box telemetry: work counters, no span trace.
+
+    Progress counters must function without any opt-in (they back
+    ``get_current_state()``), but span collection on a long campaign is a
+    memory commitment the caller should make explicitly by passing a
+    tracing :class:`Telemetry`.
+    """
+    return Telemetry(trace=False)
+
+
+def _progress_count(telemetry: Telemetry, counter: str, base: float,
+                    fallback: int) -> int:
+    """Completed points/replicas, preferring the telemetry counter.
+
+    The counter is incremented the moment a point's simulation finishes —
+    before record assembly and statistics — so polling no longer lags a
+    full sweep point.  ``base`` is the counter value at ``run()`` start (a
+    runner can be re-run); ``fallback`` covers callers that supplied a
+    metrics-less telemetry.
+    """
+    counted = int(round(telemetry.counter_value(counter) - base))
+    return max(counted, fallback)
 
 
 def _rotation(offset: float):
@@ -144,6 +170,7 @@ class FleetScaleRunner:
         cost_model: Optional[CryptoCostModel] = None,
         failed_sites: Sequence[str] = (),
         seed: int = 2006,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         if not client_counts or min(client_counts) <= 0:
             raise WorkloadError("the sweep needs at least one positive client count")
@@ -159,6 +186,8 @@ class FleetScaleRunner:
         self.seed = seed
         self.run_id = f"fleet-scale-{seed:08x}-{n_sites}x{len(self.client_counts)}"
         self.experiment_name = "fleet_scale_sweep"
+        self.telemetry = telemetry if telemetry is not None else _default_telemetry()
+        self._progress_base = 0.0
         self._completed = 0
         self._current: Optional[int] = None
         self._fleet: Optional[NeutralizerFleet] = None
@@ -169,7 +198,10 @@ class FleetScaleRunner:
     def get_current_state(self) -> ScaleExperimentState:
         """Snapshot campaign progress (poll-safe, cheap)."""
         return ScaleExperimentState(
-            completed_points=self._completed,
+            completed_points=_progress_count(
+                self.telemetry, "campaign.points_completed",
+                self._progress_base, self._completed,
+            ),
             total_points=len(self.client_counts),
             current_clients=self._current,
         )
@@ -202,38 +234,49 @@ class FleetScaleRunner:
 
     def solve_point(self, clients: int) -> Tuple[FluidResult, float]:
         """Solve one sweep point; returns the fluid result and its wall time."""
-        start = time.perf_counter()
-        population = ClientPopulation(
-            clients, mix=self.mix, regions=self.regions, seed=self.seed
-        )
-        scenario = ScaleScenario(
-            population, self.fleet, region_uplink_bps=self.region_uplink_bps
-        )
-        result = scenario.solve()
-        return result, time.perf_counter() - start
+        telemetry = self.telemetry
+        point_span = telemetry.span("point", clients=clients)
+        with point_span:
+            with telemetry.span("population_build"):
+                population = ClientPopulation(
+                    clients, mix=self.mix, regions=self.regions, seed=self.seed
+                )
+                scenario = ScaleScenario(
+                    population, self.fleet,
+                    region_uplink_bps=self.region_uplink_bps
+                )
+            with telemetry.span("solve"):
+                result = scenario.solve(telemetry=telemetry)
+        return result, point_span.seconds
 
     def run(self) -> FleetScaleResult:
         """Run the whole sweep and render the campaign report."""
+        telemetry = self.telemetry
         started_at = time.time()
+        self._progress_base = telemetry.counter_value("campaign.points_completed")
         records: List[SweepRecord] = []
         self._completed = 0
-        for clients in self.client_counts:
-            self._current = clients
-            fluid, wall = self.solve_point(clients)
-            records.append(SweepRecord(
-                clients=clients,
-                wall_seconds=wall,
-                solver_iterations=fluid.solver_iterations,
-                goodput_bps=dict(fluid.goodput_bps),
-                demand_bps=dict(fluid.demand_bps),
-                delivered_fraction=fluid.delivered_fraction,
-                peak_cpu_utilization=float(fluid.cpu_utilization.max()),
-                peak_uplink_utilization=float(fluid.uplink_utilization.max()),
-                key_setup_pps=fluid.key_setup_pps,
-            ))
-            self._completed += 1
+        campaign_span = telemetry.span("campaign", experiment="E12",
+                                       points=len(self.client_counts))
+        with campaign_span:
+            for clients in self.client_counts:
+                self._current = clients
+                fluid, wall = self.solve_point(clients)
+                telemetry.inc("campaign.points_completed")
+                records.append(SweepRecord(
+                    clients=clients,
+                    wall_seconds=wall,
+                    solver_iterations=fluid.solver_iterations,
+                    goodput_bps=dict(fluid.goodput_bps),
+                    demand_bps=dict(fluid.demand_bps),
+                    delivered_fraction=fluid.delivered_fraction,
+                    peak_cpu_utilization=float(fluid.cpu_utilization.max()),
+                    peak_uplink_utilization=float(fluid.uplink_utilization.max()),
+                    key_setup_pps=fluid.key_setup_pps,
+                ))
+                self._completed += 1
         self._current = None
-        completed_at = time.time()
+        completed_at = started_at + campaign_span.seconds
 
         report = self._render_report(records)
         return FleetScaleResult(
@@ -334,6 +377,7 @@ class TimelineCampaignRunner:
         cost_model: Optional[CryptoCostModel] = None,
         flagship: str = "flash_crowd",
         series_rows: int = 16,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         from .catalogue import CATALOGUE, scenario_names
 
@@ -362,6 +406,8 @@ class TimelineCampaignRunner:
         self.series_rows = series_rows
         self.run_id = f"timeline-{seed:08x}-{self.clients}x{len(self.scenario_names)}"
         self.experiment_name = "timeline_catalogue"
+        self.telemetry = telemetry if telemetry is not None else _default_telemetry()
+        self._progress_base = 0.0
         self._completed = 0
         self._current: Optional[str] = None
 
@@ -370,7 +416,10 @@ class TimelineCampaignRunner:
     def get_current_state(self) -> ScaleExperimentState:
         """Snapshot campaign progress (poll-safe, cheap)."""
         return ScaleExperimentState(
-            completed_points=self._completed,
+            completed_points=_progress_count(
+                self.telemetry, "campaign.points_completed",
+                self._progress_base, self._completed,
+            ),
             total_points=len(self.scenario_names),
             current_clients=self.clients if self._current is not None else None,
             current_label=self._current,
@@ -380,39 +429,47 @@ class TimelineCampaignRunner:
         """Run every scenario and render the campaign report."""
         from .catalogue import CATALOGUE, build_scenario
 
+        telemetry = self.telemetry
         started_at = time.time()
+        self._progress_base = telemetry.counter_value("campaign.points_completed")
         records: List[TimelineCampaignRecord] = []
         timelines: Dict[str, TimelineResult] = {}
         # One O(n_clients) population build shared by every scenario — the
         # catalogue re-derives only the fleet and events per scenario.
         population = ClientPopulation(self.clients, seed=self.seed)
         self._completed = 0
-        for name in self.scenario_names:
-            self._current = name
-            timeline = build_scenario(
-                name, clients=self.clients, seed=self.seed,
-                cost_model=self.cost_model, population=population,
-            )
-            result = timeline.run()
-            timelines[name] = result
-            records.append(TimelineCampaignRecord(
-                scenario=name,
-                title=CATALOGUE[name].title,
-                epochs=result.epochs,
-                wall_seconds=result.wall_seconds,
-                solve_seconds=result.solve_seconds_total,
-                min_delivered_fraction=result.min_delivered_fraction,
-                mean_delivered_fraction=result.mean_delivered_fraction,
-                total_clients_remapped=result.total_clients_remapped,
-                peak_remap_epoch=result.peak_remap_epoch,
-                warm_fraction=result.warm_fraction,
-                fast_fraction=result.fast_fraction,
-                peak_cpu_utilization=float(result.cpu_utilization.max()),
-                peak_uplink_utilization=float(result.uplink_utilization.max()),
-            ))
-            self._completed += 1
+        campaign_span = telemetry.span("campaign", experiment="E13",
+                                       points=len(self.scenario_names))
+        with campaign_span:
+            for name in self.scenario_names:
+                self._current = name
+                with telemetry.span("point", scenario=name):
+                    timeline = build_scenario(
+                        name, clients=self.clients, seed=self.seed,
+                        cost_model=self.cost_model, population=population,
+                        telemetry=telemetry,
+                    )
+                    result = timeline.run()
+                telemetry.inc("campaign.points_completed")
+                timelines[name] = result
+                records.append(TimelineCampaignRecord(
+                    scenario=name,
+                    title=CATALOGUE[name].title,
+                    epochs=result.epochs,
+                    wall_seconds=result.wall_seconds,
+                    solve_seconds=result.solve_seconds_total,
+                    min_delivered_fraction=result.min_delivered_fraction,
+                    mean_delivered_fraction=result.mean_delivered_fraction,
+                    total_clients_remapped=result.total_clients_remapped,
+                    peak_remap_epoch=result.peak_remap_epoch,
+                    warm_fraction=result.warm_fraction,
+                    fast_fraction=result.fast_fraction,
+                    peak_cpu_utilization=float(result.cpu_utilization.max()),
+                    peak_uplink_utilization=float(result.uplink_utilization.max()),
+                ))
+                self._completed += 1
         self._current = None
-        completed_at = time.time()
+        completed_at = started_at + campaign_span.seconds
 
         report = self._render_report(records, timelines)
         return TimelineCampaignResult(
@@ -605,6 +662,7 @@ class StochasticCampaignRunner:
         latency_violation_budget: float = 0.05,
         adversary: Optional[AdversaryGame] = None,
         variance_reduction: str = "iid",
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         if clients <= 0 or epochs <= 0 or replicas <= 0:
             raise WorkloadError("campaign needs positive clients, epochs and replicas")
@@ -651,6 +709,8 @@ class StochasticCampaignRunner:
         self.run_id = f"stochastic-{seed:08x}-{self.clients}x{self.replicas}"
         self.experiment_name = "stochastic_availability"
         self.experiment_id = "E14"
+        self.telemetry = telemetry if telemetry is not None else _default_telemetry()
+        self._progress_base = 0.0
         self._completed = 0
         self._current: Optional[int] = None
 
@@ -659,7 +719,10 @@ class StochasticCampaignRunner:
     def get_current_state(self) -> ScaleExperimentState:
         """Snapshot campaign progress (poll-safe, cheap)."""
         return ScaleExperimentState(
-            completed_points=self._completed,
+            completed_points=_progress_count(
+                self.telemetry, "campaign.replicas_completed",
+                self._progress_base, self._completed,
+            ),
             total_points=self.replicas,
             current_clients=self.clients if self._current is not None else None,
             current_label=(f"replica {self._current}"
@@ -707,6 +770,7 @@ class StochasticCampaignRunner:
             latency_slo_seconds=self.latency_slo_seconds,
             adversary=self.adversary,
             scenario=scenario,
+            telemetry=self.telemetry,
         )
         return timeline.run()
 
@@ -744,7 +808,9 @@ class StochasticCampaignRunner:
 
     def run(self) -> StochasticCampaignResult:
         """Run every replica and aggregate the distributions."""
+        telemetry = self.telemetry
         started_at = time.time()
+        self._progress_base = telemetry.counter_value("campaign.replicas_completed")
         population = self._population or ClientPopulation(
             self.clients, mix=self.mix, regions=self.regions, seed=self.seed,
         )
@@ -755,43 +821,55 @@ class StochasticCampaignRunner:
         pooled_delivered: List[np.ndarray] = []
         pooled_latency_p95: List[np.ndarray] = []
         self._completed = 0
-        for replica in range(self.replicas):
-            self._current = replica
-            event_seed, rng_transform = draws[replica]
-            wall_started = time.perf_counter()
-            result = self.run_replica(population, event_seed, rng_transform)
-            wall = time.perf_counter() - wall_started
-            pooled_delivered.append(result.delivered_fraction)
-            latency_fields = {}
-            if self.latency_model is not None:
-                latency_p95 = result.latency_p95_seconds
-                pooled_latency_p95.append(latency_p95)
-                latency_fields = dict(
-                    mean_latency_p95_seconds=float(latency_p95.mean()),
-                    worst_latency_p95_seconds=float(latency_p95.max()),
-                    latency_slo_violations=result.mean_latency_slo_violations,
-                    latency_slo_attainment=result.latency_slo_attainment(
-                        self.latency_violation_budget),
-                )
-            records.append(StochasticReplicaRecord(
-                replica=replica,
-                event_seed=event_seed,
-                events_fired=sum(len(record.events) for record in result.records),
-                mean_delivered=result.mean_delivered_fraction,
-                worst_delivered=result.min_delivered_fraction,
-                slo_attainment=result.slo_attainment(self.slo),
-                clients_remapped=result.total_clients_remapped,
-                autoscale_actions=result.total_autoscale_actions,
-                peak_sites=int(result.sites_in_service.max()),
-                trough_sites=int(result.sites_in_service.min()),
-                mean_sites=float(result.sites_in_service.mean()),
-                provision_cost=result.total_provision_cost,
-                wall_seconds=wall,
-                **latency_fields,
-            ))
-            self._completed += 1
+        campaign_span = telemetry.span("campaign",
+                                       experiment=self.experiment_id,
+                                       replicas=self.replicas)
+        with campaign_span:
+            telemetry.inc(
+                f"campaign.variance_mode.{self.variance_reduction}"
+            )
+            for replica in range(self.replicas):
+                self._current = replica
+                event_seed, rng_transform = draws[replica]
+                replica_span = telemetry.span("replica", replica=replica,
+                                              event_seed=event_seed)
+                with replica_span:
+                    result = self.run_replica(population, event_seed,
+                                              rng_transform)
+                telemetry.inc("campaign.replicas_completed")
+                wall = replica_span.seconds
+                pooled_delivered.append(result.delivered_fraction)
+                latency_fields = {}
+                if self.latency_model is not None:
+                    latency_p95 = result.latency_p95_seconds
+                    pooled_latency_p95.append(latency_p95)
+                    latency_fields = dict(
+                        mean_latency_p95_seconds=float(latency_p95.mean()),
+                        worst_latency_p95_seconds=float(latency_p95.max()),
+                        latency_slo_violations=result.mean_latency_slo_violations,
+                        latency_slo_attainment=result.latency_slo_attainment(
+                            self.latency_violation_budget),
+                    )
+                records.append(StochasticReplicaRecord(
+                    replica=replica,
+                    event_seed=event_seed,
+                    events_fired=sum(len(record.events)
+                                     for record in result.records),
+                    mean_delivered=result.mean_delivered_fraction,
+                    worst_delivered=result.min_delivered_fraction,
+                    slo_attainment=result.slo_attainment(self.slo),
+                    clients_remapped=result.total_clients_remapped,
+                    autoscale_actions=result.total_autoscale_actions,
+                    peak_sites=int(result.sites_in_service.max()),
+                    trough_sites=int(result.sites_in_service.min()),
+                    mean_sites=float(result.sites_in_service.mean()),
+                    provision_cost=result.total_provision_cost,
+                    wall_seconds=wall,
+                    **latency_fields,
+                ))
+                self._completed += 1
         self._current = None
-        completed_at = time.time()
+        completed_at = started_at + campaign_span.seconds
 
         distributions = {
             "availability": MetricDistribution.from_samples(
@@ -1381,6 +1459,7 @@ class AdversaryCampaignRunner:
         cost_model: Optional[CryptoCostModel] = None,
         population: Optional[ClientPopulation] = None,
         variance_reduction: str = "iid",
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         if clients <= 0 or epochs <= 0 or replicas_per_point <= 0:
             raise WorkloadError("campaign needs positive clients, epochs and replicas")
@@ -1435,6 +1514,8 @@ class AdversaryCampaignRunner:
         self.run_id = f"adversary-{seed:08x}-{self.clients}x{self.total_replicas}"
         self.experiment_name = "adversary_arms_race"
         self.experiment_id = "E16"
+        self.telemetry = telemetry if telemetry is not None else _default_telemetry()
+        self._progress_base = 0.0
         self._completed = 0
         self._current: Optional[str] = None
 
@@ -1443,7 +1524,10 @@ class AdversaryCampaignRunner:
     def get_current_state(self) -> ScaleExperimentState:
         """Snapshot campaign progress (poll-safe, cheap)."""
         return ScaleExperimentState(
-            completed_points=self._completed,
+            completed_points=_progress_count(
+                self.telemetry, "campaign.replicas_completed",
+                self._progress_base, self._completed,
+            ),
             total_points=self.total_replicas,
             current_clients=self.clients if self._current is not None else None,
             current_label=self._current,
@@ -1478,6 +1562,10 @@ class AdversaryCampaignRunner:
             latency_slo_seconds=self.latency_slo_seconds,
             adversary=game,
             variance_reduction=self.variance_reduction,
+            # Replica timelines run through the point runner, so its
+            # telemetry must be the campaign's for spans and counters to
+            # land in one place.
+            telemetry=self.telemetry,
         )
         # Share one fleet + template across every grid point: timelines
         # restore fleet state, and the fleet shape does not depend on the
@@ -1487,7 +1575,9 @@ class AdversaryCampaignRunner:
 
     def run(self) -> AdversaryCampaignResult:
         """Run the whole grid and assemble the frontier."""
+        telemetry = self.telemetry
         started_at = time.time()
+        self._progress_base = telemetry.counter_value("campaign.replicas_completed")
         population = self._population or ClientPopulation(
             self.clients, mix=self.mix, regions=self.regions, seed=self.seed,
         )
@@ -1503,63 +1593,79 @@ class AdversaryCampaignRunner:
         points: List[AdversaryPointRecord] = []
         records: Dict[Tuple[float, float], Tuple[AdversaryReplicaRecord, ...]] = {}
         self._completed = 0
-        for sensitivity in self.sensitivities:
-            for aggressiveness in self.aggressiveness:
-                game = self._game(aggressiveness, sensitivity)
-                runner = self._point_runner(population, game)
-                draws = runner._replica_draws()
-                replica_records: List[AdversaryReplicaRecord] = []
-                for replica in range(self.replicas_per_point):
-                    self._current = (f"agg {aggressiveness:g} x sens "
-                                     f"{sensitivity:g} replica {replica}")
-                    event_seed, rng_transform = draws[replica]
-                    wall_started = time.perf_counter()
-                    result = runner.run_replica(population, event_seed,
-                                                rng_transform)
-                    wall = time.perf_counter() - wall_started
-                    target_delivered = result.class_delivered_fraction(
-                        self.target_classes
-                    )
-                    last = result.records[-1]
-                    replica_records.append(AdversaryReplicaRecord(
-                        replica=replica,
-                        event_seed=event_seed,
-                        final_adoption=result.final_adoption_fraction,
-                        mean_discriminated_share=float(
-                            result.discriminated_share.mean()),
-                        equilibrium_target_delivered=float(
-                            target_delivered[-tail:].mean()),
-                        clients_rekeyed=result.total_clients_rekeyed,
-                        exposed_p95_seconds=last.exposed_latency_p95.get(
-                            target_class, 0.0),
-                        neutralized_p95_seconds=last.neutralized_latency_p95.get(
-                            target_class, 0.0),
-                        wall_seconds=wall,
+        campaign_span = telemetry.span("campaign",
+                                       experiment=self.experiment_id,
+                                       replicas=self.total_replicas)
+        with campaign_span:
+            telemetry.inc(
+                f"campaign.variance_mode.{self.variance_reduction}"
+            )
+            for sensitivity in self.sensitivities:
+                for aggressiveness in self.aggressiveness:
+                    game = self._game(aggressiveness, sensitivity)
+                    runner = self._point_runner(population, game)
+                    draws = runner._replica_draws()
+                    replica_records: List[AdversaryReplicaRecord] = []
+                    for replica in range(self.replicas_per_point):
+                        self._current = (f"agg {aggressiveness:g} x sens "
+                                         f"{sensitivity:g} replica {replica}")
+                        event_seed, rng_transform = draws[replica]
+                        replica_span = telemetry.span(
+                            "replica", replica=replica,
+                            aggressiveness=aggressiveness,
+                            sensitivity=sensitivity,
+                        )
+                        with replica_span:
+                            result = runner.run_replica(population, event_seed,
+                                                        rng_transform)
+                        telemetry.inc("campaign.replicas_completed")
+                        wall = replica_span.seconds
+                        target_delivered = result.class_delivered_fraction(
+                            self.target_classes
+                        )
+                        last = result.records[-1]
+                        replica_records.append(AdversaryReplicaRecord(
+                            replica=replica,
+                            event_seed=event_seed,
+                            final_adoption=result.final_adoption_fraction,
+                            mean_discriminated_share=float(
+                                result.discriminated_share.mean()),
+                            equilibrium_target_delivered=float(
+                                target_delivered[-tail:].mean()),
+                            clients_rekeyed=result.total_clients_rekeyed,
+                            exposed_p95_seconds=last.exposed_latency_p95.get(
+                                target_class, 0.0),
+                            neutralized_p95_seconds=last.neutralized_latency_p95.get(
+                                target_class, 0.0),
+                            wall_seconds=wall,
+                        ))
+                        self._completed += 1
+                    key = (aggressiveness, sensitivity)
+                    records[key] = tuple(replica_records)
+                    delivered = float(np.mean(
+                        [r.equilibrium_target_delivered
+                         for r in replica_records]))
+                    points.append(AdversaryPointRecord(
+                        aggressiveness=aggressiveness,
+                        sensitivity=sensitivity,
+                        replicas=self.replicas_per_point,
+                        final_adoption=float(np.mean(
+                            [r.final_adoption for r in replica_records])),
+                        mean_discriminated_share=float(np.mean(
+                            [r.mean_discriminated_share
+                             for r in replica_records])),
+                        equilibrium_target_delivered=delivered,
+                        equilibrium_target_harm=1.0 - delivered,
+                        total_clients_rekeyed=float(np.mean(
+                            [r.clients_rekeyed for r in replica_records])),
+                        exposed_p95_seconds=float(np.mean(
+                            [r.exposed_p95_seconds for r in replica_records])),
+                        neutralized_p95_seconds=float(np.mean(
+                            [r.neutralized_p95_seconds
+                             for r in replica_records])),
                     ))
-                    self._completed += 1
-                key = (aggressiveness, sensitivity)
-                records[key] = tuple(replica_records)
-                delivered = float(np.mean(
-                    [r.equilibrium_target_delivered for r in replica_records]))
-                points.append(AdversaryPointRecord(
-                    aggressiveness=aggressiveness,
-                    sensitivity=sensitivity,
-                    replicas=self.replicas_per_point,
-                    final_adoption=float(np.mean(
-                        [r.final_adoption for r in replica_records])),
-                    mean_discriminated_share=float(np.mean(
-                        [r.mean_discriminated_share for r in replica_records])),
-                    equilibrium_target_delivered=delivered,
-                    equilibrium_target_harm=1.0 - delivered,
-                    total_clients_rekeyed=float(np.mean(
-                        [r.clients_rekeyed for r in replica_records])),
-                    exposed_p95_seconds=float(np.mean(
-                        [r.exposed_p95_seconds for r in replica_records])),
-                    neutralized_p95_seconds=float(np.mean(
-                        [r.neutralized_p95_seconds for r in replica_records])),
-                ))
         self._current = None
-        completed_at = time.time()
+        completed_at = started_at + campaign_span.seconds
 
         result = AdversaryCampaignResult(
             run_id=self.run_id,

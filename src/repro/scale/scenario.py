@@ -431,14 +431,17 @@ class ScaleScenario:
 
     # -- solving ---------------------------------------------------------------------
 
-    def solve(self, *, warm_start: Optional[np.ndarray] = None) -> FluidResult:
+    def solve(self, *, warm_start: Optional[np.ndarray] = None,
+              telemetry=None) -> FluidResult:
         """Build and solve the problem, interpreting rates as class goodputs.
 
         Dispatches through :func:`repro.scale.solver.solve_allocation`, so a
         mix with elastic classes gets the composed max-min + alpha-fair
         solve and a purely inelastic mix takes the classic fill unchanged.
+        ``telemetry`` is handed to the solver for its fast-path counters.
         """
         template = self.build_template()
         epoch = template.instantiate()
-        allocation = solve_allocation(epoch.problem, warm_start=warm_start)
+        allocation = solve_allocation(epoch.problem, warm_start=warm_start,
+                                      telemetry=telemetry)
         return template.interpret(epoch, allocation)

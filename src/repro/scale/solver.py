@@ -58,6 +58,7 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from ..exceptions import WorkloadError
+from .telemetry import NULL, Telemetry
 
 #: Relative slack used to call a resource saturated / a demand met.
 #: Membership tests (does a flow use a resource at all) are exact-zero
@@ -238,7 +239,8 @@ def verify_max_min(problem: CapacityProblem, rates: np.ndarray) -> Optional[np.n
 
 def max_min_allocation(problem: CapacityProblem,
                        max_iterations: Optional[int] = None,
-                       warm_start: Optional[np.ndarray] = None) -> Allocation:
+                       warm_start: Optional[np.ndarray] = None,
+                       telemetry: Optional[Telemetry] = None) -> Allocation:
     """Progressive-filling fixed point: the max-min fair rate vector.
 
     Every pass raises all unfrozen flows by one common rate increment — the
@@ -259,10 +261,14 @@ def max_min_allocation(problem: CapacityProblem,
       :func:`verify_max_min` certifies it.
 
     Otherwise the cold progressive fill runs, so the result is always the
-    max-min point regardless of the hint's quality.
+    max-min point regardless of the hint's quality.  ``telemetry`` records
+    which path was taken (certificate / warm hit / warm miss / fill passes)
+    as counters — observation only, never part of the answer.
     """
+    telemetry = telemetry if telemetry is not None else NULL
     bottleneck = verify_max_min(problem, problem.demands)
     if bottleneck is not None:
+        telemetry.inc("solver.demand_certificates")
         return Allocation(rates=problem.demands.astype(np.float64).copy(),
                           bottleneck=bottleneck, iterations=0)
     if warm_start is not None:
@@ -272,8 +278,10 @@ def max_min_allocation(problem: CapacityProblem,
             candidate = np.minimum(np.maximum(hint, 0.0), problem.demands)
             bottleneck = verify_max_min(problem, candidate)
             if bottleneck is not None:
+                telemetry.inc("solver.warm_start_hits")
                 return Allocation(rates=candidate, bottleneck=bottleneck,
                                   iterations=0, warm_started=True)
+        telemetry.inc("solver.warm_start_misses")
     demands = problem.demands
     usage = problem.usage
     capacities = problem.capacities.astype(np.float64).copy()
@@ -325,6 +333,7 @@ def max_min_allocation(problem: CapacityProblem,
                     bottleneck[hit] = resource
                 active &= ~crossing
 
+    telemetry.inc("solver.fill_passes", iterations)
     return Allocation(rates=rates, bottleneck=bottleneck, iterations=iterations)
 
 
@@ -585,7 +594,8 @@ def alpha_fair_allocation(problem: CapacityProblem,
                           *,
                           warm_start: Optional[np.ndarray] = None,
                           warm_prices: Optional[np.ndarray] = None,
-                          max_iterations: Optional[int] = None) -> Allocation:
+                          max_iterations: Optional[int] = None,
+                          telemetry: Optional[Telemetry] = None) -> Allocation:
     """The capped alpha-fair rate vector, treating every flow as elastic.
 
     ``problem.alpha`` selects the fairness family (per flow): 1 is
@@ -596,9 +606,11 @@ def alpha_fair_allocation(problem: CapacityProblem,
     flow takes its peak) and the verified warm start (``warm_start`` rates
     plus ``warm_prices`` satisfy the KKT certificate).
     """
+    telemetry = telemetry if telemetry is not None else NULL
     if np.isinf(problem.alpha).all():
         allocation = max_min_allocation(problem, warm_start=warm_start,
-                                        max_iterations=max_iterations)
+                                        max_iterations=max_iterations,
+                                        telemetry=telemetry)
         allocation.prices = np.zeros(problem.n_resources)
         return allocation
     if np.isinf(problem.alpha).any():
@@ -609,6 +621,7 @@ def alpha_fair_allocation(problem: CapacityProblem,
     demands = problem.demands
     bottleneck = verify_max_min(problem, demands)
     if bottleneck is not None and (bottleneck == -1).all():
+        telemetry.inc("solver.demand_certificates")
         return Allocation(rates=demands.astype(np.float64).copy(),
                           bottleneck=bottleneck, iterations=0,
                           prices=np.zeros(problem.n_resources))
@@ -621,9 +634,14 @@ def alpha_fair_allocation(problem: CapacityProblem,
             candidate = np.minimum(np.maximum(hint, 0.0), demands)
             attribution = verify_alpha_fair(problem, candidate, prices_hint)
             if attribution is not None:
+                telemetry.inc("solver.warm_start_hits")
                 return Allocation(rates=candidate, bottleneck=attribution,
                                   iterations=0, warm_started=True,
                                   prices=prices_hint.copy())
+        # A KKT certificate was offered and rejected: the dual re-solves
+        # from the hinted prices.
+        telemetry.inc("solver.warm_start_misses")
+        telemetry.inc("solver.kkt_retries")
     prices0 = None
     if warm_prices is not None:
         prices_hint = np.asarray(warm_prices, dtype=np.float64)
@@ -634,6 +652,7 @@ def alpha_fair_allocation(problem: CapacityProblem,
         prices0=prices0,
         max_iterations=max_iterations if max_iterations is not None else 4000,
     )
+    telemetry.inc("solver.alpha_fair_iterations", iterations)
     return Allocation(
         rates=rates,
         bottleneck=_elastic_bottlenecks(demands, problem.usage, rates, prices),
@@ -658,7 +677,8 @@ def solve_allocation(problem: CapacityProblem,
                      *,
                      warm_start: Optional[np.ndarray] = None,
                      warm_prices: Optional[np.ndarray] = None,
-                     max_iterations: Optional[int] = None) -> Allocation:
+                     max_iterations: Optional[int] = None,
+                     telemetry: Optional[Telemetry] = None) -> Allocation:
     """Solve a problem whose flows may mix inelastic and elastic classes.
 
     Dispatch: a purely inelastic problem is the classic max-min fill; a
@@ -672,20 +692,24 @@ def solve_allocation(problem: CapacityProblem,
     :class:`Allocation`'s ``rates`` and ``prices``); both fast paths are
     certificate-checked, so hints never change the answer.
     """
+    telemetry = telemetry if telemetry is not None else NULL
     if not problem.has_elastic:
         return max_min_allocation(problem, warm_start=warm_start,
-                                  max_iterations=max_iterations)
+                                  max_iterations=max_iterations,
+                                  telemetry=telemetry)
     elastic = problem.elastic
     if elastic.all():
         return alpha_fair_allocation(problem, warm_start=warm_start,
                                      warm_prices=warm_prices,
-                                     max_iterations=max_iterations)
+                                     max_iterations=max_iterations,
+                                     telemetry=telemetry)
 
     demands = problem.demands
     # Demand certificate for the whole mixed problem: nothing is congested,
     # both families take their peaks, and no composition is needed.
     bottleneck = verify_max_min(problem, demands)
     if bottleneck is not None and (bottleneck == -1).all():
+        telemetry.inc("solver.demand_certificates")
         return Allocation(rates=demands.astype(np.float64).copy(),
                           bottleneck=bottleneck, iterations=0,
                           prices=np.zeros(problem.n_resources))
@@ -702,6 +726,7 @@ def solve_allocation(problem: CapacityProblem,
         sub_inelastic,
         warm_start=hint[inelastic] if hint is not None else None,
         max_iterations=max_iterations,
+        telemetry=telemetry,
     )
 
     residual = problem.capacities - problem.usage[:, inelastic] @ inelastic_allocation.rates
@@ -712,6 +737,7 @@ def solve_allocation(problem: CapacityProblem,
         warm_start=hint[elastic] if hint is not None else None,
         warm_prices=warm_prices,
         max_iterations=max_iterations,
+        telemetry=telemetry,
     )
 
     rates = np.empty(problem.n_flows)

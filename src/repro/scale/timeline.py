@@ -42,7 +42,6 @@ diff says changed owner).
 from __future__ import annotations
 
 import math
-import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -62,6 +61,7 @@ from .latency import LatencyModel, evaluate_latency
 from .population import ClientPopulation
 from .scenario import ProblemTemplate, ScaleScenario
 from .solver import Allocation, solve_allocation
+from .telemetry import NULL, Telemetry
 
 
 def _optional_arrays_equal(left: Optional[np.ndarray],
@@ -622,6 +622,7 @@ class FluidTimeline:
         latency_slo_seconds: float = 0.1,
         adversary: Optional[AdversaryGame] = None,
         scenario: Optional[ScaleScenario] = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         if epochs <= 0:
             raise WorkloadError("a timeline needs at least one epoch")
@@ -673,6 +674,10 @@ class FluidTimeline:
         self.adversary = adversary
         if adversary is not None:
             adversary.validate_against(population)
+        #: Observes, never participates: spans and work counters only.
+        #: Mutable so a caller (catalogue, campaign runner) can attach a
+        #: collecting telemetry after construction without re-building.
+        self.telemetry: Telemetry = telemetry if telemetry is not None else NULL
         self._validate_events()
 
     def _validate_events(self) -> None:
@@ -791,7 +796,29 @@ class FluidTimeline:
             self.fleet.restore_health(initial_health)
 
     def _run(self) -> TimelineResult:
-        started = time.perf_counter()
+        telemetry = self.telemetry
+        run_span = telemetry.span(
+            "timeline", epochs=self.epochs, clients=self.population.n_clients
+        )
+        with run_span:
+            records, cpu_util, uplink_util, clients_matrix = self._run_epochs(
+                telemetry
+            )
+        return TimelineResult(
+            n_clients=self.population.n_clients,
+            epoch_seconds=self.epoch_seconds,
+            site_names=tuple(site.name for site in self.fleet.sites),
+            class_names=tuple(self.population.mix.names),
+            records=tuple(records),
+            cpu_utilization=cpu_util,
+            uplink_utilization=uplink_util,
+            clients_per_site=clients_matrix,
+            wall_seconds=run_span.seconds,
+        )
+
+    def _run_epochs(
+        self, telemetry: Telemetry,
+    ) -> Tuple[List[EpochRecord], np.ndarray, np.ndarray, np.ndarray]:
         population = self.population
         fleet = self.fleet
         sites = fleet.n_sites
@@ -799,11 +826,12 @@ class FluidTimeline:
         throttles: List[DiscriminationToggle] = []
         degradations: List[CapacityDegradation] = []
         pending = list(self.events)
-        autoscale = (AutoscaleRun(self.autoscaler, fleet)
+        autoscale = (AutoscaleRun(self.autoscaler, fleet, telemetry=telemetry)
                      if self.autoscaler is not None else None)
         adversary = (AdversaryRun(self.adversary, population,
                                   latency=self.latency,
-                                  latency_slo_seconds=self.latency_slo_seconds)
+                                  latency_slo_seconds=self.latency_slo_seconds,
+                                  telemetry=telemetry)
                      if self.adversary is not None else None)
 
         template: Optional[ProblemTemplate] = None
@@ -844,277 +872,309 @@ class FluidTimeline:
         clients_matrix = np.zeros((self.epochs, sites), dtype=np.int64)
 
         for epoch in range(self.epochs):
-            t = epoch * self.epoch_seconds
+            with telemetry.span("epoch", epoch=epoch):
+                t = epoch * self.epoch_seconds
 
-            # The pre-change ring is snapshotted lazily: only epochs where an
-            # event or autoscale action actually touches the ring pay for it
-            # (and the array form is zero-copy — rebuilds allocate anew).
-            ring_before: List = []
+                # The pre-change ring is snapshotted lazily: only epochs where
+                # an event or autoscale action actually touches the ring pays
+                # for it (and the array form is zero-copy — rebuilds allocate
+                # anew).
+                ring_before: List = []
 
-            def snapshot_ring() -> None:
-                if not ring_before:
-                    ring_before.append(fleet.ring_state())
+                def snapshot_ring() -> None:
+                    if not ring_before:
+                        ring_before.append(fleet.ring_state())
 
-            # Expired windows can never re-activate; pruning them keeps the
-            # per-epoch scans bounded by *live* windows even on long runs
-            # with frequent attack onsets.
-            if throttles:
-                throttles[:] = [toggle for toggle in throttles
-                                if toggle.until_epoch is None
-                                or epoch < toggle.until_epoch]
-            if degradations:
-                degradations[:] = [event for event in degradations
-                                   if event.until_epoch is None
-                                   or epoch < event.until_epoch]
+                # Expired windows can never re-activate; pruning them keeps
+                # the per-epoch scans bounded by *live* windows even on long
+                # runs with frequent attack onsets.
+                if throttles:
+                    throttles[:] = [toggle for toggle in throttles
+                                    if toggle.until_epoch is None
+                                    or epoch < toggle.until_epoch]
+                if degradations:
+                    degradations[:] = [event for event in degradations
+                                       if event.until_epoch is None
+                                       or epoch < event.until_epoch]
 
-            fired: List[str] = []
-            while pending and pending[0].at_epoch == epoch:
-                event = pending.pop(0)
-                if isinstance(event, (SiteFailure, SiteRecovery)):
-                    snapshot_ring()
-                self._fire(event, throttles, degradations)
-                fired.append(event.describe())
+                fired: List[str] = []
+                while pending and pending[0].at_epoch == epoch:
+                    event = pending.pop(0)
+                    if isinstance(event, (SiteFailure, SiteRecovery)):
+                        snapshot_ring()
+                    self._fire(event, throttles, degradations)
+                    fired.append(event.describe())
 
-            actions: Tuple[str, ...] = ()
-            if autoscale is not None:
-                actions = tuple(autoscale.step(
-                    epoch, last_metrics, self._forecast(t, region_demand),
-                    snapshot_ring,
+                actions: Tuple[str, ...] = ()
+                if autoscale is not None:
+                    with telemetry.span("autoscale_step"):
+                        actions = tuple(autoscale.step(
+                            epoch, last_metrics,
+                            self._forecast(t, region_demand),
+                            snapshot_ring,
+                        ))
+
+                ring_moved = 0.0
+                if ring_before:
+                    ring_moved = NeutralizerFleet.ring_moved_fraction(
+                        ring_before[0], fleet.ring_state()
+                    )
+
+                with telemetry.span("ring_remap"):
+                    new_template = self._scenario.build_template()
+                remapped = 0
+                if new_template is not template:
+                    previous_rates = None  # flow structure changed; rates misaligned
+                    if template is not None:
+                        remapped = new_template.remapped_from_parent
+                template = new_template
+                telemetry.inc("timeline.clients_remapped", remapped)
+                if base_demand_bps is None:
+                    per_flow_bps = template.base_demands * template.group_clients
+                    base_demand_bps = float(per_flow_bps.sum())
+                    region_demand = np.bincount(
+                        template.region_of, weights=per_flow_bps,
+                        minlength=population.regions,
+                    )
+
+                offered_scale, served_scale = self._demand_scale(
+                    template, epoch, t, throttles
+                )
+                capacity_scale = self._capacity_scale(epoch, degradations)
+
+                adversary_epoch = None
+                extra_setups: Optional[np.ndarray] = None
+                if adversary is not None:
+                    with telemetry.span("adversary_step"):
+                        adversary_epoch = adversary.step(
+                            epoch, template, offered_scale, self.epoch_seconds
+                        )
+                    served_scale = served_scale * adversary_epoch.served_multiplier
+                    extra_setups = adversary_epoch.extra_setups_per_flow
+
+                offered_flow_bps = (template.base_demands * offered_scale
+                                    * template.group_clients)
+                offered_bps = float(offered_flow_bps.sum())
+                offered_by_class = np.bincount(
+                    template.class_of, weights=offered_flow_bps,
+                    minlength=population.n_classes,
+                )
+                demand_bps_by_class = {
+                    name: float(offered_by_class[index])
+                    for index, name in enumerate(population.mix.names)
+                }
+
+                scales_unchanged = (
+                    self.warm_start
+                    and previous_epoch_problem is not None
+                    and template is previous_template
+                    and np.array_equal(served_scale, previous_served_scale)
+                    and _optional_arrays_equal(capacity_scale,
+                                               previous_capacity_scale)
+                    and _optional_arrays_equal(extra_setups,
+                                               previous_extra_setups)
+                )
+                if scales_unchanged:
+                    # Bit-identical problem (steady load, same fleet state):
+                    # the previous answer IS the answer — reuse the
+                    # instantiated problem, the allocation, the fluid
+                    # interpretation and the latency metrics without
+                    # rebuilding any of them.
+                    reuse_span = telemetry.span("solve", reused=True)
+                    with reuse_span:
+                        epoch_problem = previous_epoch_problem
+                        allocation = Allocation(
+                            rates=previous_allocation.rates,
+                            bottleneck=previous_allocation.bottleneck,
+                            iterations=0,
+                            warm_started=True,
+                            prices=previous_allocation.prices,
+                        )
+                        fluid = previous_fluid
+                        latency_result = previous_latency_result
+                        (latency_p50, latency_p95, latency_p99,
+                         latency_violations) = previous_latency
+                    solve_seconds = reuse_span.seconds
+                    telemetry.inc("timeline.epochs_reused")
+                else:
+                    instantiate_span = telemetry.span("template_instantiate")
+                    with instantiate_span:
+                        epoch_problem = template.instantiate(
+                            served_scale, capacity_scale, extra_setups
+                        )
+                    solve_span = telemetry.span("solve")
+                    with solve_span:
+                        allocation = solve_allocation(
+                            epoch_problem.problem,
+                            warm_start=(previous_rates if self.warm_start
+                                        else None),
+                            warm_prices=(previous_prices if self.warm_start
+                                         else None),
+                            telemetry=telemetry,
+                        )
+                        fluid = template.interpret(epoch_problem, allocation)
+                    latency_result = None
+                    latency_p50 = latency_p95 = latency_p99 = 0.0
+                    latency_violations = 0.0
+                    latency_seconds = 0.0
+                    if self.latency is not None:
+                        latency_span = telemetry.span("latency_proxy")
+                        with latency_span:
+                            latency_result = evaluate_latency(
+                                template, epoch_problem, allocation,
+                                self.latency
+                            )
+                            latency_p50, latency_p95, latency_p99 = (
+                                latency_result.percentiles((0.50, 0.95, 0.99))
+                            )
+                            latency_violations = (
+                                latency_result.slo_violation_fraction(
+                                    self.latency_slo_seconds
+                                )
+                            )
+                        latency_seconds = latency_span.seconds
+                    solve_seconds = (instantiate_span.seconds
+                                     + solve_span.seconds + latency_seconds)
+                    telemetry.observe("timeline.solver_iterations",
+                                      allocation.iterations)
+                telemetry.inc("timeline.epochs")
+                previous_rates = allocation.rates
+                previous_prices = allocation.prices
+                previous_template = template
+                previous_served_scale = served_scale
+                previous_capacity_scale = capacity_scale
+                previous_extra_setups = extra_setups
+                previous_epoch_problem = epoch_problem
+                previous_allocation = allocation
+                previous_fluid = fluid
+                previous_latency_result = latency_result
+                previous_latency = (latency_p50, latency_p95, latency_p99,
+                                    latency_violations)
+
+                neutralized_p95: Dict[str, float] = {}
+                exposed_p95: Dict[str, float] = {}
+                #: What the epoch record quotes.  Without an adversary this
+                #: is the fleet-path proxy; with one it is the
+                #: client-experienced mixture including the policer delay of
+                #: flagged traffic, so the headline fields agree with the
+                #: game's own harm ledger.  The autoscaler's control signal
+                #: stays the fleet-path P95 — capacity cannot buy back a
+                #: policer queue.
+                recorded_latency = (latency_p50, latency_p95, latency_p99,
+                                    latency_violations)
+                if adversary is not None:
+                    adversary.observe(template, allocation,
+                                      epoch_problem.problem, latency_result)
+                    if latency_result is not None:
+                        # A bit-identical epoch with no game moves has the
+                        # same split; only a fresh solve or an
+                        # adoption/strategy move can change it.
+                        if scales_unchanged and not adversary_epoch.events:
+                            neutralized_p95, exposed_p95 = previous_split
+                            recorded_latency = previous_experienced
+                        else:
+                            neutralized_p95, exposed_p95 = split_latency_by_class(
+                                template, latency_result, adversary_epoch
+                            )
+                            recorded_latency = experienced_latency(
+                                template, latency_result, adversary_epoch,
+                                self.latency_slo_seconds,
+                            )
+                        previous_split = (neutralized_p95, exposed_p95)
+                        previous_experienced = recorded_latency
+
+                cpu_util[epoch] = fluid.cpu_utilization
+                uplink_util[epoch] = fluid.uplink_utilization
+                clients_matrix[epoch] = fluid.clients_per_site
+
+                in_service = fleet.in_service_mask()
+                n_in_service = int(in_service.sum())
+                n_warming = len(autoscale.warming) if autoscale is not None else 0
+                demand_multiplier = (offered_bps / base_demand_bps
+                                     if base_demand_bps else 0.0)
+                delivered = (fluid.total_goodput_bps / offered_bps
+                             if offered_bps > 0 else 1.0)
+
+                site_load = np.maximum(fluid.cpu_utilization,
+                                       fluid.uplink_utilization)
+                serving_load = site_load[in_service]
+                last_metrics = EpochMetrics(
+                    served_sites=n_in_service,
+                    mean_utilization=(float(serving_load.mean())
+                                      if n_in_service else 0.0),
+                    peak_utilization=(float(serving_load.max())
+                                      if n_in_service else 0.0),
+                    delivered_fraction=delivered,
+                    demand_multiplier=demand_multiplier,
+                    latency_p95_seconds=latency_p95,
+                    adoption_fraction=(adversary_epoch.adoption_fraction
+                                       if adversary_epoch is not None else 0.0),
+                )
+
+                # Billing covers every *commissioned* site — active (even
+                # while failed: a box being down does not stop its bill) plus
+                # warming ones — unlike the controller's capacity view, which
+                # counts only sites actually serving.
+                warming_names = (tuple(autoscale.warming)
+                                 if autoscale is not None else ())
+                epoch_key = (fleet.active_version, warming_names)
+                if epoch_key != committed_key:
+                    committed_sites = [site for site in fleet.sites
+                                       if site.active]
+                    committed_sites += [fleet.site(name)
+                                        for name in warming_names]
+                    committed_totals = (
+                        sum(site.cores for site in committed_sites),
+                        sum(site.uplink_bps for site in committed_sites),
+                        len(committed_sites),
+                    )
+                    committed_key = epoch_key
+                provision_cost = self.provisioning_cost.epoch_cost(
+                    cores=committed_totals[0],
+                    uplink_bps=committed_totals[1],
+                    sites=committed_totals[2],
+                    epoch_seconds=self.epoch_seconds,
+                    clients_remapped=remapped,
+                )
+
+                records.append(EpochRecord(
+                    epoch=epoch,
+                    t_seconds=t,
+                    events=tuple(fired),
+                    demand_multiplier=demand_multiplier,
+                    demand_bps=offered_bps,
+                    goodput_bps=fluid.total_goodput_bps,
+                    goodput_bps_by_class=dict(fluid.goodput_bps),
+                    delivered_fraction=delivered,
+                    peak_cpu_utilization=float(fluid.cpu_utilization.max()),
+                    peak_uplink_utilization=float(fluid.uplink_utilization.max()),
+                    key_setup_pps=fluid.key_setup_pps,
+                    clients_remapped=remapped,
+                    ring_moved_fraction=ring_moved,
+                    warm_started=allocation.warm_started,
+                    solver_iterations=allocation.iterations,
+                    solve_seconds=solve_seconds,
+                    sites_in_service=n_in_service,
+                    sites_warming=n_warming,
+                    autoscale_actions=actions,
+                    provision_cost=provision_cost,
+                    latency_p50_seconds=recorded_latency[0],
+                    latency_p95_seconds=recorded_latency[1],
+                    latency_p99_seconds=recorded_latency[2],
+                    latency_slo_violations=recorded_latency[3],
+                    demand_bps_by_class=demand_bps_by_class,
+                    discriminated_share=(adversary_epoch.discriminated_share
+                                         if adversary_epoch is not None
+                                         else 0.0),
+                    adoption_fraction=(adversary_epoch.adoption_fraction
+                                       if adversary_epoch is not None
+                                       else 0.0),
+                    clients_rekeyed=(adversary_epoch.clients_rekeyed
+                                     if adversary_epoch is not None else 0),
+                    adversary_events=(adversary_epoch.events
+                                      if adversary_epoch is not None else ()),
+                    neutralized_latency_p95=neutralized_p95,
+                    exposed_latency_p95=exposed_p95,
                 ))
 
-            ring_moved = 0.0
-            if ring_before:
-                ring_moved = NeutralizerFleet.ring_moved_fraction(
-                    ring_before[0], fleet.ring_state()
-                )
-
-            new_template = self._scenario.build_template()
-            remapped = 0
-            if new_template is not template:
-                previous_rates = None  # flow structure changed; rates misaligned
-                if template is not None:
-                    remapped = new_template.remapped_from_parent
-            template = new_template
-            if base_demand_bps is None:
-                per_flow_bps = template.base_demands * template.group_clients
-                base_demand_bps = float(per_flow_bps.sum())
-                region_demand = np.bincount(
-                    template.region_of, weights=per_flow_bps,
-                    minlength=population.regions,
-                )
-
-            offered_scale, served_scale = self._demand_scale(template, epoch, t, throttles)
-            capacity_scale = self._capacity_scale(epoch, degradations)
-
-            adversary_epoch = None
-            extra_setups: Optional[np.ndarray] = None
-            if adversary is not None:
-                adversary_epoch = adversary.step(
-                    epoch, template, offered_scale, self.epoch_seconds
-                )
-                served_scale = served_scale * adversary_epoch.served_multiplier
-                extra_setups = adversary_epoch.extra_setups_per_flow
-
-            offered_flow_bps = (template.base_demands * offered_scale
-                                * template.group_clients)
-            offered_bps = float(offered_flow_bps.sum())
-            offered_by_class = np.bincount(
-                template.class_of, weights=offered_flow_bps,
-                minlength=population.n_classes,
-            )
-            demand_bps_by_class = {
-                name: float(offered_by_class[index])
-                for index, name in enumerate(population.mix.names)
-            }
-
-            solve_started = time.perf_counter()
-            scales_unchanged = (
-                self.warm_start
-                and previous_epoch_problem is not None
-                and template is previous_template
-                and np.array_equal(served_scale, previous_served_scale)
-                and _optional_arrays_equal(capacity_scale, previous_capacity_scale)
-                and _optional_arrays_equal(extra_setups, previous_extra_setups)
-            )
-            if scales_unchanged:
-                # Bit-identical problem (steady load, same fleet state): the
-                # previous answer IS the answer — reuse the instantiated
-                # problem, the allocation, the fluid interpretation and the
-                # latency metrics without rebuilding any of them.
-                epoch_problem = previous_epoch_problem
-                allocation = Allocation(
-                    rates=previous_allocation.rates,
-                    bottleneck=previous_allocation.bottleneck,
-                    iterations=0,
-                    warm_started=True,
-                    prices=previous_allocation.prices,
-                )
-                fluid = previous_fluid
-                latency_result = previous_latency_result
-                latency_p50, latency_p95, latency_p99, latency_violations = (
-                    previous_latency
-                )
-            else:
-                epoch_problem = template.instantiate(served_scale, capacity_scale,
-                                                     extra_setups)
-                allocation = solve_allocation(
-                    epoch_problem.problem,
-                    warm_start=previous_rates if self.warm_start else None,
-                    warm_prices=previous_prices if self.warm_start else None,
-                )
-                fluid = template.interpret(epoch_problem, allocation)
-                latency_result = None
-                latency_p50 = latency_p95 = latency_p99 = latency_violations = 0.0
-                if self.latency is not None:
-                    latency_result = evaluate_latency(
-                        template, epoch_problem, allocation, self.latency
-                    )
-                    latency_p50, latency_p95, latency_p99 = latency_result.percentiles(
-                        (0.50, 0.95, 0.99)
-                    )
-                    latency_violations = latency_result.slo_violation_fraction(
-                        self.latency_slo_seconds
-                    )
-            solve_seconds = time.perf_counter() - solve_started
-            previous_rates = allocation.rates
-            previous_prices = allocation.prices
-            previous_template = template
-            previous_served_scale = served_scale
-            previous_capacity_scale = capacity_scale
-            previous_extra_setups = extra_setups
-            previous_epoch_problem = epoch_problem
-            previous_allocation = allocation
-            previous_fluid = fluid
-            previous_latency_result = latency_result
-            previous_latency = (latency_p50, latency_p95, latency_p99,
-                                latency_violations)
-
-            neutralized_p95: Dict[str, float] = {}
-            exposed_p95: Dict[str, float] = {}
-            #: What the epoch record quotes.  Without an adversary this is
-            #: the fleet-path proxy; with one it is the client-experienced
-            #: mixture including the policer delay of flagged traffic, so
-            #: the headline fields agree with the game's own harm ledger.
-            #: The autoscaler's control signal stays the fleet-path P95 —
-            #: capacity cannot buy back a policer queue.
-            recorded_latency = (latency_p50, latency_p95, latency_p99,
-                                latency_violations)
-            if adversary is not None:
-                adversary.observe(template, allocation, epoch_problem.problem,
-                                  latency_result)
-                if latency_result is not None:
-                    # A bit-identical epoch with no game moves has the same
-                    # split; only a fresh solve or an adoption/strategy move
-                    # can change it.
-                    if scales_unchanged and not adversary_epoch.events:
-                        neutralized_p95, exposed_p95 = previous_split
-                        recorded_latency = previous_experienced
-                    else:
-                        neutralized_p95, exposed_p95 = split_latency_by_class(
-                            template, latency_result, adversary_epoch
-                        )
-                        recorded_latency = experienced_latency(
-                            template, latency_result, adversary_epoch,
-                            self.latency_slo_seconds,
-                        )
-                    previous_split = (neutralized_p95, exposed_p95)
-                    previous_experienced = recorded_latency
-
-            cpu_util[epoch] = fluid.cpu_utilization
-            uplink_util[epoch] = fluid.uplink_utilization
-            clients_matrix[epoch] = fluid.clients_per_site
-
-            in_service = fleet.in_service_mask()
-            n_in_service = int(in_service.sum())
-            n_warming = len(autoscale.warming) if autoscale is not None else 0
-            demand_multiplier = (offered_bps / base_demand_bps
-                                 if base_demand_bps else 0.0)
-            delivered = (fluid.total_goodput_bps / offered_bps
-                         if offered_bps > 0 else 1.0)
-
-            site_load = np.maximum(fluid.cpu_utilization, fluid.uplink_utilization)
-            serving_load = site_load[in_service]
-            last_metrics = EpochMetrics(
-                served_sites=n_in_service,
-                mean_utilization=float(serving_load.mean()) if n_in_service else 0.0,
-                peak_utilization=float(serving_load.max()) if n_in_service else 0.0,
-                delivered_fraction=delivered,
-                demand_multiplier=demand_multiplier,
-                latency_p95_seconds=latency_p95,
-                adoption_fraction=(adversary_epoch.adoption_fraction
-                                   if adversary_epoch is not None else 0.0),
-            )
-
-            # Billing covers every *commissioned* site — active (even while
-            # failed: a box being down does not stop its bill) plus warming
-            # ones — unlike the controller's capacity view, which counts
-            # only sites actually serving.
-            warming_names = (tuple(autoscale.warming)
-                             if autoscale is not None else ())
-            epoch_key = (fleet.active_version, warming_names)
-            if epoch_key != committed_key:
-                committed_sites = [site for site in fleet.sites if site.active]
-                committed_sites += [fleet.site(name) for name in warming_names]
-                committed_totals = (
-                    sum(site.cores for site in committed_sites),
-                    sum(site.uplink_bps for site in committed_sites),
-                    len(committed_sites),
-                )
-                committed_key = epoch_key
-            provision_cost = self.provisioning_cost.epoch_cost(
-                cores=committed_totals[0],
-                uplink_bps=committed_totals[1],
-                sites=committed_totals[2],
-                epoch_seconds=self.epoch_seconds,
-                clients_remapped=remapped,
-            )
-
-            records.append(EpochRecord(
-                epoch=epoch,
-                t_seconds=t,
-                events=tuple(fired),
-                demand_multiplier=demand_multiplier,
-                demand_bps=offered_bps,
-                goodput_bps=fluid.total_goodput_bps,
-                goodput_bps_by_class=dict(fluid.goodput_bps),
-                delivered_fraction=delivered,
-                peak_cpu_utilization=float(fluid.cpu_utilization.max()),
-                peak_uplink_utilization=float(fluid.uplink_utilization.max()),
-                key_setup_pps=fluid.key_setup_pps,
-                clients_remapped=remapped,
-                ring_moved_fraction=ring_moved,
-                warm_started=allocation.warm_started,
-                solver_iterations=allocation.iterations,
-                solve_seconds=solve_seconds,
-                sites_in_service=n_in_service,
-                sites_warming=n_warming,
-                autoscale_actions=actions,
-                provision_cost=provision_cost,
-                latency_p50_seconds=recorded_latency[0],
-                latency_p95_seconds=recorded_latency[1],
-                latency_p99_seconds=recorded_latency[2],
-                latency_slo_violations=recorded_latency[3],
-                demand_bps_by_class=demand_bps_by_class,
-                discriminated_share=(adversary_epoch.discriminated_share
-                                     if adversary_epoch is not None else 0.0),
-                adoption_fraction=(adversary_epoch.adoption_fraction
-                                   if adversary_epoch is not None else 0.0),
-                clients_rekeyed=(adversary_epoch.clients_rekeyed
-                                 if adversary_epoch is not None else 0),
-                adversary_events=(adversary_epoch.events
-                                  if adversary_epoch is not None else ()),
-                neutralized_latency_p95=neutralized_p95,
-                exposed_latency_p95=exposed_p95,
-            ))
-
-        return TimelineResult(
-            n_clients=population.n_clients,
-            epoch_seconds=self.epoch_seconds,
-            site_names=tuple(site.name for site in fleet.sites),
-            class_names=tuple(population.mix.names),
-            records=tuple(records),
-            cpu_utilization=cpu_util,
-            uplink_utilization=uplink_util,
-            clients_per_site=clients_matrix,
-            wall_seconds=time.perf_counter() - started,
-        )
+        return records, cpu_util, uplink_util, clients_matrix

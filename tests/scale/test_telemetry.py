@@ -1,0 +1,341 @@
+"""Telemetry: determinism, span-tree discipline, exporters, progress, schema.
+
+The load-bearing property is that telemetry *observes* the simulation and
+never participates: enabling a tracer + registry on any campaign must leave
+every allocation, epoch record, and campaign output bit-identical to the
+untraced run.  The bit-identity tests here pin that down for one campaign
+of each experiment (E13–E16) at smoke scale.
+"""
+
+import dataclasses
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.exceptions import WorkloadError
+from repro.scale import (
+    AdversaryCampaignRunner,
+    LatencyCampaignRunner,
+    MetricsRegistry,
+    NullTelemetry,
+    Span,
+    StochasticCampaignRunner,
+    Telemetry,
+    TimelineCampaignRunner,
+    Tracer,
+    format_phase_table,
+    phase_breakdown,
+)
+from repro.scale.catalogue import run_scenario
+from repro.scale.telemetry import NULL, Histogram
+
+_CLIENTS = 2_000
+_SEED = 21
+
+
+def _strip_timing(record):
+    """A campaign record with its wall-derived fields zeroed for comparison."""
+    return dataclasses.replace(record, wall_seconds=0.0, solve_seconds=0.0)
+
+
+# -- the guarantee: telemetry never changes results --------------------------------
+
+
+class TestBitIdentity:
+    def test_e13_campaign_identical_with_tracing(self):
+        scenarios = ["flash_crowd", "regional_outage"]
+        plain = TimelineCampaignRunner(
+            scenarios=scenarios, clients=_CLIENTS, seed=_SEED).run()
+        traced = TimelineCampaignRunner(
+            scenarios=scenarios, clients=_CLIENTS, seed=_SEED,
+            telemetry=Telemetry()).run()
+        assert ([_strip_timing(r) for r in traced.records]
+                == [_strip_timing(r) for r in plain.records])
+
+    def test_e14_campaign_identical_with_tracing(self):
+        plain = StochasticCampaignRunner(
+            clients=_CLIENTS, epochs=16, replicas=3, seed=_SEED).run()
+        traced = StochasticCampaignRunner(
+            clients=_CLIENTS, epochs=16, replicas=3, seed=_SEED,
+            telemetry=Telemetry()).run()
+        assert traced.distributions == plain.distributions
+
+    def test_e15_campaign_identical_with_tracing(self):
+        plain = LatencyCampaignRunner(
+            clients=_CLIENTS, epochs=16, replicas=3, seed=_SEED).run()
+        traced = LatencyCampaignRunner(
+            clients=_CLIENTS, epochs=16, replicas=3, seed=_SEED,
+            telemetry=Telemetry()).run()
+        assert traced.distributions == plain.distributions
+
+    def test_e16_campaign_identical_with_tracing(self):
+        plain = AdversaryCampaignRunner(
+            clients=_CLIENTS, epochs=12, replicas_per_point=1, seed=_SEED).run()
+        traced = AdversaryCampaignRunner(
+            clients=_CLIENTS, epochs=12, replicas_per_point=1, seed=_SEED,
+            telemetry=Telemetry()).run()
+        assert traced.points == plain.points
+
+    def test_registry_snapshot_is_deterministic(self):
+        """Two identical seeded runs record the exact same work metrics."""
+        snapshots = []
+        for _ in range(2):
+            telemetry = Telemetry()
+            StochasticCampaignRunner(
+                clients=_CLIENTS, epochs=16, replicas=3, seed=_SEED,
+                telemetry=telemetry).run()
+            snapshots.append(telemetry.metrics.as_dict())
+        assert snapshots[0] == snapshots[1]
+        histogram = snapshots[0]["histograms"]["timeline.solver_iterations"]
+        assert sum(histogram["counts"]) + histogram["inf"] == histogram["count"]
+        assert histogram["count"] == 16 * 3 - snapshots[0]["counters"].get(
+            "timeline.epochs_reused", 0)
+
+
+# -- span trees --------------------------------------------------------------------
+
+
+class TestSpans:
+    def test_campaign_trace_is_well_formed(self):
+        telemetry = Telemetry()
+        run_scenario("flash_crowd", clients=_CLIENTS, seed=_SEED,
+                     telemetry=telemetry)
+        tracer = telemetry.tracer
+        tracer.assert_well_formed()
+        assert tracer.open_spans == []
+        names = {record.name for record in tracer.spans}
+        assert {"timeline", "epoch", "solve", "ring_remap"} <= names
+        assert all(record.start_s >= 0.0 for record in tracer.spans)
+        # Every epoch span is a child of the single timeline span.
+        (timeline_span,) = tracer.by_name("timeline")
+        assert all(record.parent == timeline_span.id
+                   for record in tracer.by_name("epoch"))
+
+    def test_out_of_order_close_raises(self):
+        tracer = Tracer()
+        outer = Span("outer", tracer)
+        inner = Span("inner", tracer)
+        outer.__enter__()
+        inner.__enter__()
+        with pytest.raises(WorkloadError, match="closed out of order"):
+            outer.__exit__(None, None, None)
+
+    def test_open_span_fails_well_formedness(self):
+        tracer = Tracer()
+        Span("dangling", tracer).__enter__()
+        with pytest.raises(WorkloadError, match="open"):
+            tracer.assert_well_formed()
+
+    def test_null_telemetry_spans_still_time(self):
+        span = NULL.span("anything", attr=1)
+        with span:
+            sum(range(1000))
+        assert span.seconds > 0.0
+        assert NULL.tracer is None and NULL.metrics is None
+        assert not NullTelemetry().enabled
+
+    def test_null_recording_calls_are_noops(self):
+        NULL.inc("x")
+        NULL.set_gauge("y", 2.0)
+        NULL.observe("z", 1.0)
+        assert NULL.counter_value("x") == 0.0
+
+
+# -- registry + exporters ----------------------------------------------------------
+
+
+class TestRegistry:
+    def test_counters_cannot_decrease(self):
+        registry = MetricsRegistry()
+        with pytest.raises(WorkloadError, match="cannot decrease"):
+            registry.inc("work", -1.0)
+
+    def test_histogram_edges_are_fixed(self):
+        with pytest.raises(WorkloadError, match="sorted"):
+            Histogram(edges=(2.0, 1.0))
+        registry = MetricsRegistry()
+        registry.observe("iters", 3.0, edges=(0.0, 2.0, 4.0))
+        with pytest.raises(WorkloadError, match="different bucket edges"):
+            registry.observe("iters", 3.0, edges=(0.0, 8.0))
+
+    def test_histogram_bucket_placement(self):
+        histogram = Histogram(edges=(0.0, 1.0, 4.0))
+        for value in (0.0, 0.5, 1.0, 3.0, 99.0):
+            histogram.observe(value)
+        assert histogram.counts == [1, 2, 1]
+        assert histogram.inf_count == 1
+        assert histogram.as_dict()["sum"] == pytest.approx(103.5)
+
+    def test_prometheus_exposition(self):
+        registry = MetricsRegistry()
+        registry.inc("solver.fill_passes", 3)
+        registry.set_gauge("fleet.sites", 4.5)
+        registry.observe("timeline.solver_iterations", 3.0,
+                         edges=(0.0, 2.0, 4.0))
+        registry.observe("timeline.solver_iterations", 9.0,
+                         edges=(0.0, 2.0, 4.0))
+        text = registry.prometheus_text()
+        assert "# TYPE solver_fill_passes counter\nsolver_fill_passes 3" in text
+        assert "# TYPE fleet_sites gauge\nfleet_sites 4.5" in text
+        # Buckets are cumulative and close with +Inf, _sum, _count.
+        assert 'timeline_solver_iterations_bucket{le="4"} 1' in text
+        assert 'timeline_solver_iterations_bucket{le="+Inf"} 2' in text
+        assert "timeline_solver_iterations_sum 12" in text
+        assert "timeline_solver_iterations_count 2" in text
+
+    def test_jsonl_export_round_trips(self, tmp_path):
+        telemetry = Telemetry()
+        run_scenario("flash_crowd", clients=_CLIENTS, seed=_SEED,
+                     telemetry=telemetry)
+        path = tmp_path / "trace.jsonl"
+        telemetry.tracer.write_jsonl(path)
+        lines = path.read_text().splitlines()
+        assert len(lines) == len(telemetry.tracer.spans)
+        spans = [json.loads(line) for line in lines]
+        assert all({"id", "parent", "name", "start_s", "dur_s"} <= set(span)
+                   for span in spans)
+
+
+# -- the perf-report surface -------------------------------------------------------
+
+
+class TestPhaseBreakdown:
+    def test_breakdown_sorted_by_total(self):
+        telemetry = Telemetry()
+        run_scenario("flash_crowd", clients=_CLIENTS, seed=_SEED,
+                     telemetry=telemetry)
+        phases = phase_breakdown(telemetry)
+        assert "epoch" in phases and "solve" in phases
+        totals = [row["total_s"] for row in phases.values()]
+        assert totals == sorted(totals, reverse=True)
+        for row in phases.values():
+            assert row["count"] > 0
+            assert 0.0 <= row["p50_s"] <= row["p95_s"] <= row["max_s"] + 1e-12
+        table = format_phase_table(phases, title="smoke")
+        assert "smoke" in table and "epoch" in table
+
+    def test_breakdown_needs_a_tracer(self):
+        with pytest.raises(WorkloadError, match="tracing"):
+            phase_breakdown(Telemetry(trace=False))
+        assert "(no phases recorded)" in format_phase_table({})
+
+
+# -- progress from counters (the stale-window fix) ---------------------------------
+
+
+class TestProgress:
+    def test_progress_tracks_replica_counter(self):
+        runner = StochasticCampaignRunner(
+            clients=_CLIENTS, epochs=8, replicas=3, seed=_SEED)
+        assert runner.get_current_state().completed_points == 0
+        runner.run()
+        state = runner.get_current_state()
+        assert state.completed_points == state.total_points == 3
+        assert runner.telemetry.counter_value("campaign.replicas_completed") == 3
+
+    def test_second_run_does_not_double_count(self):
+        runner = StochasticCampaignRunner(
+            clients=_CLIENTS, epochs=8, replicas=3, seed=_SEED)
+        runner.run()
+        runner.run()
+        # The counter keeps climbing across runs (it is cumulative), but the
+        # progress snapshot is re-based at each run() start.
+        assert runner.telemetry.counter_value("campaign.replicas_completed") == 6
+        assert runner.get_current_state().completed_points == 3
+
+    def test_progress_survives_metrics_less_telemetry(self):
+        runner = TimelineCampaignRunner(
+            scenarios=["flash_crowd"], clients=_CLIENTS, seed=_SEED,
+            telemetry=Telemetry(trace=False, metrics=False))
+        runner.run()
+        state = runner.get_current_state()
+        assert state.completed_points == state.total_points == 1
+
+
+# -- the shared BENCH_*.json schema check ------------------------------------------
+
+
+def _bench_conftest():
+    path = Path(__file__).resolve().parents[2] / "benchmarks" / "conftest.py"
+    spec = importlib.util.spec_from_file_location("bench_conftest", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _artifact():
+    return {
+        "machine_info": {"cpu": {}},
+        "datetime": "2026-08-08T12:00:00",
+        "benchmarks": [{
+            "name": "test_bench",
+            "stats": {"data": [0.1, 0.2], "min": 0.1, "mean": 0.15, "max": 0.2},
+            "extra_info": {"phases": {"solve": {
+                "count": 2, "total_s": 0.3,
+                "p50_s": 0.1, "p95_s": 0.2, "max_s": 0.2,
+            }}},
+        }],
+    }
+
+
+class TestBenchArtifactSchema:
+    def test_well_formed_artifact_passes(self):
+        assert _bench_conftest().check_bench_artifact(_artifact()) == []
+
+    def test_missing_top_level_key_fails(self):
+        artifact = _artifact()
+        del artifact["machine_info"]
+        problems = _bench_conftest().check_bench_artifact(artifact)
+        assert any("machine_info" in problem for problem in problems)
+
+    def test_empty_timing_data_fails(self):
+        artifact = _artifact()
+        artifact["benchmarks"][0]["stats"]["data"] = []
+        problems = _bench_conftest().check_bench_artifact(artifact)
+        assert any("empty timing data" in problem for problem in problems)
+
+    def test_unordered_stats_fail(self):
+        artifact = _artifact()
+        artifact["benchmarks"][0]["stats"]["mean"] = 0.5
+        problems = _bench_conftest().check_bench_artifact(artifact)
+        assert any("out of order" in problem for problem in problems)
+
+    def test_unparseable_datetime_fails(self):
+        artifact = _artifact()
+        artifact["datetime"] = "not-a-timestamp"
+        problems = _bench_conftest().check_bench_artifact(artifact)
+        assert any("datetime" in problem for problem in problems)
+
+    def test_incoherent_phase_rows_fail(self):
+        artifact = _artifact()
+        phases = artifact["benchmarks"][0]["extra_info"]["phases"]
+        phases["solve"]["p50_s"] = 0.9
+        problems = _bench_conftest().check_bench_artifact(artifact)
+        assert any("percentiles" in problem for problem in problems)
+        phases["solve"] = {"count": 0, "total_s": 0.0,
+                           "p50_s": 0.0, "p95_s": 0.0, "max_s": 0.0}
+        problems = _bench_conftest().check_bench_artifact(artifact)
+        assert any("count" in problem for problem in problems)
+
+    def test_phases_are_optional_but_not_empty(self):
+        artifact = _artifact()
+        del artifact["benchmarks"][0]["extra_info"]
+        assert _bench_conftest().check_bench_artifact(artifact) == []
+        artifact["benchmarks"][0]["extra_info"] = {"phases": {}}
+        problems = _bench_conftest().check_bench_artifact(artifact)
+        assert any("empty" in problem for problem in problems)
+
+
+# -- overhead ----------------------------------------------------------------------
+
+
+def test_tracing_overhead_is_modest():
+    """The strict 5% guard lives in bench_timeline at the acceptance scale;
+    this smoke-scale bound just catches pathological regressions (e.g. an
+    accidental O(spans^2) tracer) without flaking on scheduler noise."""
+    plain = run_scenario("flash_crowd", clients=_CLIENTS, seed=_SEED)
+    traced = run_scenario("flash_crowd", clients=_CLIENTS, seed=_SEED,
+                          telemetry=Telemetry())
+    assert traced.wall_seconds <= plain.wall_seconds * 3.0 + 0.2

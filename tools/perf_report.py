@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Per-phase wall-clock report over telemetry traces and BENCH artifacts.
+
+Two modes:
+
+* **Render** (default): given one or more pytest-benchmark JSON artifacts
+  (``BENCH_*.json``), print each benchmark's embedded per-phase breakdown
+  — count, total wall, P50/P95/max — the ``extra_info["phases"]`` section
+  the scale benchmarks attach from their campaign traces.  Exits non-zero
+  when no artifact contributes a single phase row, so CI notices a
+  benchmark that silently stopped tracing.
+
+* **Smoke** (``--scenario NAME``): build and run one named catalogue
+  scenario with tracing telemetry, print its phase table, and optionally
+  export the raw trace (``--trace out.jsonl``) and the metrics registry
+  (``--prom out.prom``, Prometheus text exposition).  Exits non-zero when
+  the run records no phases — the CI telemetry smoke step.
+
+Run from the repo root::
+
+    PYTHONPATH=src python tools/perf_report.py BENCH_*.json
+    PYTHONPATH=src python tools/perf_report.py --scenario flash_crowd \
+        --clients 5000 --trace trace.jsonl --prom metrics.prom
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.scale import (  # noqa: E402  (path bootstrap above)
+    Telemetry,
+    format_phase_table,
+    phase_breakdown,
+    run_scenario,
+    scenario_names,
+)
+
+
+def render_artifacts(paths) -> int:
+    """Print the phase tables embedded in BENCH artifacts; 0 if any rows."""
+    rows = 0
+    for path in paths:
+        try:
+            with open(path) as handle:
+                data = json.load(handle)
+        except (OSError, ValueError) as exc:
+            print(f"{path}: unreadable ({exc})", file=sys.stderr)
+            return 1
+        for bench in data.get("benchmarks", []):
+            phases = (bench.get("extra_info") or {}).get("phases")
+            if not phases:
+                continue
+            rows += len(phases)
+            print(format_phase_table(
+                phases, title=f"{Path(path).name} :: {bench['name']}"))
+            print()
+    if rows == 0:
+        print("no phase rows found in any artifact", file=sys.stderr)
+        return 1
+    return 0
+
+
+def run_smoke(args) -> int:
+    """Run one catalogue scenario traced; print/export its phase table."""
+    if args.scenario not in scenario_names():
+        print(f"unknown scenario {args.scenario!r}; one of: "
+              f"{', '.join(scenario_names())}", file=sys.stderr)
+        return 1
+    telemetry = Telemetry()
+    kwargs = {"clients": args.clients, "seed": args.seed,
+              "telemetry": telemetry}
+    result = run_scenario(args.scenario, **kwargs)
+    phases = phase_breakdown(telemetry)
+    print(format_phase_table(
+        phases,
+        title=(f"{args.scenario} ({result.n_clients} clients, "
+               f"{result.epochs} epochs, {result.wall_seconds * 1e3:.1f} ms)"),
+    ))
+    if args.trace:
+        telemetry.tracer.write_jsonl(args.trace)
+        print(f"trace: {args.trace} ({len(telemetry.tracer.spans)} spans)")
+    if args.prom:
+        with open(args.prom, "w") as handle:
+            handle.write(telemetry.metrics.prometheus_text())
+        print(f"metrics: {args.prom}")
+    if not phases:
+        print("scenario run recorded no phases", file=sys.stderr)
+        return 1
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("artifacts", nargs="*",
+                        help="pytest-benchmark JSON files to render")
+    parser.add_argument("--scenario", help="run this catalogue scenario "
+                        "with tracing telemetry instead of rendering files")
+    parser.add_argument("--clients", type=int, default=5000,
+                        help="population size for --scenario (default 5000)")
+    parser.add_argument("--seed", type=int, default=2006,
+                        help="scenario seed (default 2006)")
+    parser.add_argument("--trace", help="write the span trace as JSONL here")
+    parser.add_argument("--prom", help="write the metrics registry in "
+                        "Prometheus text format here")
+    args = parser.parse_args(argv)
+    if args.scenario:
+        return run_smoke(args)
+    if not args.artifacts:
+        parser.error("either BENCH artifacts or --scenario is required")
+    return render_artifacts(args.artifacts)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
