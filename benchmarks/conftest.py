@@ -48,6 +48,14 @@ def check_bench_artifact(data: dict) -> List[str]:
     ``extra_info["phases"]`` section — that each phase row is coherent
     (positive count, ordered percentiles).  ``phases`` itself is optional:
     the fast-path crypto benchmarks share this conftest and carry none.
+
+    Multi-worker campaign artifacts (``BENCH_parallel.json``) merge phase
+    rows from every worker process, so a row's ``count`` reflects the whole
+    fleet and its ``total_s`` can legitimately exceed the benchmark's own
+    wall time — neither is treated as malformed.  Those benchmarks also
+    embed an ``extra_info["parallel"]`` section whose shape is validated
+    here: a positive integer ``n_workers`` and a ``speedup`` consistent
+    with its own ``serial_s`` / ``parallel_s`` timings.
     An empty return value means the artifact is well formed.
     """
     problems: List[str] = []
@@ -77,7 +85,23 @@ def check_bench_artifact(data: dict) -> List[str]:
             ordered = stats.get("min", 0) <= stats.get("mean", 0) <= stats.get("max", 0)
             if not ordered:
                 problems.append(f"{name}: min/mean/max stats out of order")
-        phases = (bench.get("extra_info") or {}).get("phases")
+        extra = bench.get("extra_info") or {}
+        parallel = extra.get("parallel")
+        if parallel is not None:
+            n_workers = parallel.get("n_workers")
+            if not isinstance(n_workers, int) or n_workers < 1:
+                problems.append(f"{name}: parallel.n_workers must be a "
+                                f"positive integer, got {n_workers!r}")
+            serial_s = parallel.get("serial_s", 0.0)
+            parallel_s = parallel.get("parallel_s", 0.0)
+            if serial_s <= 0.0 or parallel_s <= 0.0:
+                problems.append(f"{name}: parallel timings must be positive")
+            else:
+                implied = serial_s / parallel_s
+                if abs(parallel.get("speedup", implied) - implied) > 0.01 * implied:
+                    problems.append(
+                        f"{name}: parallel.speedup inconsistent with timings")
+        phases = extra.get("phases")
         if phases is None:
             continue
         if not phases:

@@ -142,6 +142,16 @@ from .stochastic import (
     default_processes,
     rotated_uniforms,
 )
+from .parallel import (
+    CampaignRunnerProtocol,
+    CampaignUnit,
+    P2Quantile,
+    ProcessPoolCampaignExecutor,
+    RunTable,
+    SharedPopulationPack,
+    StreamingPercentiles,
+    canonical_result_bytes,
+)
 from .population import (
     ClientPopulation,
     DemandClass,
@@ -164,8 +174,10 @@ from .runner import (
     LatencyCampaignRunner,
     LatencyFrontierPoint,
     LatencyFrontierResult,
+    AGGREGATION_MODES,
     MetricDistribution,
     ScaleExperimentState,
+    replica_seed_draws,
     StochasticCampaignResult,
     StochasticCampaignRunner,
     StochasticReplicaRecord,
@@ -226,6 +238,7 @@ from .validate import (
 )
 
 __all__ = [
+    "AGGREGATION_MODES",
     "AdoptionModel",
     "AdversaryCampaignResult",
     "AdversaryCampaignRunner",
@@ -240,6 +253,8 @@ __all__ = [
     "AutoscalePolicy",
     "Autoscaler",
     "CATALOGUE",
+    "CampaignRunnerProtocol",
+    "CampaignUnit",
     "CapacityDegradation",
     "CapacityProblem",
     "ClassLatency",
@@ -281,20 +296,25 @@ __all__ = [
     "NULL",
     "NeutralizerFleet",
     "NullTelemetry",
+    "P2Quantile",
     "PoissonSiteFailures",
     "PopulationMix",
     "PredictiveLoadPolicy",
     "ProblemTemplate",
+    "ProcessPoolCampaignExecutor",
     "ProvisioningCostModel",
+    "RunTable",
     "ScaleExperimentState",
     "ScaleScenario",
     "ScenarioSpec",
+    "SharedPopulationPack",
     "SiteFailure",
     "SiteRecovery",
     "Span",
     "SpanRecord",
     "StepPolicy",
     "StochasticCampaignResult",
+    "StreamingPercentiles",
     "TargetLatencyPolicy",
     "StochasticCampaignRunner",
     "StochasticReplicaRecord",
@@ -311,6 +331,7 @@ __all__ = [
     "alpha_fair_allocation",
     "antithetic_uniforms",
     "build_scenario",
+    "canonical_result_bytes",
     "compare_variance_reduction",
     "compile_events",
     "cross_validate",
@@ -326,6 +347,7 @@ __all__ = [
     "nominal_demand",
     "phase_breakdown",
     "provisioned_fleet",
+    "replica_seed_draws",
     "rotated_uniforms",
     "run_churn_slo_frontier",
     "run_latency_cost_frontier",

@@ -1,0 +1,792 @@
+"""Deterministic multi-core campaign execution with checkpointed resume.
+
+The Monte-Carlo runners (E13 timeline catalogue, E14 stochastic, E15
+latency, E16 adversary) all decompose into the same shape — a list of
+independent :class:`CampaignUnit` work items, a pure per-unit simulation,
+and an order-insensitive merge (:class:`CampaignRunnerProtocol`).  This
+module farms those units over worker processes without changing a single
+number in any result:
+
+**Determinism contract.**  Each unit's outcome depends only on the unit
+spec and the campaign configuration (per-unit ``SeedSequence`` substreams;
+timelines restore fleet state), and :class:`ProcessPoolCampaignExecutor`
+always hands outcomes to ``merge_units`` in unit-index order, never in
+completion order.  Consequences, asserted in ``tests/scale/test_parallel.py``
+and the ``parallel-equivalence`` CI job: ``n_workers=1`` is bit-identical
+to the runner's serial ``run()``, and ``n_workers=N`` is bit-identical to
+``n_workers=1`` for any N.
+
+**Shared memory.**  The read-only population arrays (class/region indices,
+ring positions, and the sorted-ring cache — the only O(n_clients) state a
+replica needs) are packed into POSIX shared memory once by
+:class:`SharedPopulationPack`; each worker attaches zero-copy views and
+rebuilds its fleet/template caches deterministically in its initializer.
+
+**Checkpointed resume.**  With a ``checkpoint_dir``, a :class:`RunTable`
+directory records one JSON file per completed unit (written atomically:
+temp file + ``os.replace``).  An interrupted campaign re-run with the same
+directory loads completed outcomes and only executes the remainder — the
+merged table is identical to an uninterrupted run's.
+
+**Telemetry fan-in.**  Workers ship a per-unit metrics-registry delta and
+their span durations home with each outcome; the parent merges deltas into
+the campaign registry (so ``get_current_state()`` and Prometheus exports
+read ONE registry) and accumulates span durations for
+:func:`repro.scale.telemetry.phase_breakdown`.  With a ``trace_dir``, each
+worker also appends its raw spans to ``worker-<pid>.jsonl``.
+
+:class:`StreamingPercentiles` (P² estimators) backs the runners' opt-in
+``aggregation="p2"`` mode: constant-memory percentile summaries with the
+tolerance documented in docs/parallel.md.
+"""
+
+from __future__ import annotations
+
+import base64
+import dataclasses
+import json
+import multiprocessing
+import os
+import pickle
+import signal
+import time
+import zlib
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
+from pathlib import Path
+from typing import Dict, List, Optional, Protocol, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import WorkloadError
+from .population import ClientPopulation
+from .telemetry import MetricsRegistry, Telemetry
+
+
+# ---------------------------------------------------------------------------
+# The campaign-unit contract
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CampaignUnit:
+    """One independent work item of a campaign, fully specified up front.
+
+    Units are picklable by construction (the rng transform is a frozen
+    dataclass or a module-level function, never a closure), so the same
+    spec can run in-process or in a worker.  ``index`` is the unit's
+    position in the campaign's canonical order — the merge order, the
+    checkpoint key, and the tie that makes completion order irrelevant.
+    """
+
+    index: int
+    #: Sweep-point identity (scenario name, grid tuple, ``None`` for E14).
+    point: object
+    replica: int
+    label: str
+    event_seed: Optional[int] = None
+    rng_transform: object = None
+
+
+class CampaignRunnerProtocol(Protocol):
+    """What a runner must provide to run under the parallel executor.
+
+    All four Monte-Carlo runners (E13–E16) implement this on top of the
+    shared unit-campaign loop in :mod:`repro.scale.runner`; ``run()`` is
+    required to be exactly ``merge_units(map(run_unit, unit_specs()))`` so
+    the executor's output can be bit-identical to the serial path.
+    """
+
+    run_id: str
+    telemetry: Telemetry
+
+    def unit_specs(self) -> List[CampaignUnit]:
+        """The campaign's work units in canonical (index) order."""
+        ...
+
+    def run_unit(self, unit: CampaignUnit) -> object:
+        """Simulate one unit; the outcome must be picklable."""
+        ...
+
+    def merge_units(self, outcomes: Sequence[object], *, started_at: float,
+                    duration_seconds: float) -> object:
+        """Assemble the campaign result from outcomes in unit order."""
+        ...
+
+    def run(self) -> object:
+        """The serial reference path."""
+        ...
+
+    def get_current_state(self) -> object:
+        """Snapshot campaign progress."""
+        ...
+
+
+# ---------------------------------------------------------------------------
+# Streaming percentiles (P², Jain & Chlamtac 1985)
+# ---------------------------------------------------------------------------
+
+
+class P2Quantile:
+    """One streaming quantile estimate in O(1) memory (the P² algorithm).
+
+    Five markers track the running quantile without storing observations.
+    The estimate is order-dependent — feeding the same values in a
+    different order can move it within its tolerance — which is exactly why
+    the parallel executor merges outcomes in unit order: the stream sees
+    one canonical order no matter how many workers ran.
+    """
+
+    __slots__ = ("q", "_initial", "_heights", "_positions", "_desired",
+                 "_increments")
+
+    def __init__(self, q: float) -> None:
+        if not 0.0 < q < 1.0:
+            raise WorkloadError("P² quantile must be in (0, 1)")
+        self.q = float(q)
+        self._initial: List[float] = []
+        self._heights: Optional[List[float]] = None
+        self._positions: List[float] = []
+        self._desired: List[float] = []
+        self._increments: List[float] = []
+
+    @property
+    def count(self) -> int:
+        if self._heights is None:
+            return len(self._initial)
+        return int(self._positions[4])
+
+    def add(self, value: float) -> None:
+        value = float(value)
+        if self._heights is None:
+            self._initial.append(value)
+            if len(self._initial) == 5:
+                self._initial.sort()
+                q = self.q
+                self._heights = list(self._initial)
+                self._positions = [1.0, 2.0, 3.0, 4.0, 5.0]
+                self._desired = [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q,
+                                 3.0 + 2.0 * q, 5.0]
+                self._increments = [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0]
+            return
+        heights, positions = self._heights, self._positions
+        if value < heights[0]:
+            heights[0] = value
+            cell = 0
+        elif value >= heights[4]:
+            heights[4] = value
+            cell = 3
+        else:
+            cell = 0
+            while cell < 3 and value >= heights[cell + 1]:
+                cell += 1
+        for marker in range(cell + 1, 5):
+            positions[marker] += 1.0
+        for marker in range(5):
+            self._desired[marker] += self._increments[marker]
+        for marker in (1, 2, 3):
+            drift = self._desired[marker] - positions[marker]
+            if ((drift >= 1.0 and positions[marker + 1] - positions[marker] > 1.0)
+                    or (drift <= -1.0
+                        and positions[marker - 1] - positions[marker] < -1.0)):
+                step = 1.0 if drift >= 1.0 else -1.0
+                candidate = self._parabolic(marker, step)
+                if not heights[marker - 1] < candidate < heights[marker + 1]:
+                    candidate = self._linear(marker, step)
+                heights[marker] = candidate
+                positions[marker] += step
+
+    def _parabolic(self, marker: int, step: float) -> float:
+        h, n = self._heights, self._positions
+        return h[marker] + step / (n[marker + 1] - n[marker - 1]) * (
+            (n[marker] - n[marker - 1] + step)
+            * (h[marker + 1] - h[marker]) / (n[marker + 1] - n[marker])
+            + (n[marker + 1] - n[marker] - step)
+            * (h[marker] - h[marker - 1]) / (n[marker] - n[marker - 1])
+        )
+
+    def _linear(self, marker: int, step: float) -> float:
+        h, n = self._heights, self._positions
+        other = marker + int(step)
+        return h[marker] + step * (h[other] - h[marker]) / (n[other] - n[marker])
+
+    def value(self) -> float:
+        """The current quantile estimate (exact while under 5 samples)."""
+        if self._heights is None:
+            if not self._initial:
+                raise WorkloadError("P² estimator has no samples")
+            return float(np.percentile(np.asarray(self._initial, dtype=np.float64),
+                                       self.q * 100.0))
+        return float(self._heights[2])
+
+
+class StreamingPercentiles:
+    """The fixed quantile set the campaign summaries need, streamed in O(1).
+
+    Wraps one :class:`P2Quantile` per needed quantile plus exact running
+    count/sum/min/max, so :class:`repro.scale.runner.MetricDistribution`
+    rows built from a stream have exact ``mean``/``worst``/``samples`` and
+    P²-estimated percentiles.
+    """
+
+    #: Both tails of both tail conventions: 1/5/50/95/99.
+    QUANTILES: Tuple[float, ...] = (0.01, 0.05, 0.50, 0.95, 0.99)
+
+    def __init__(self, quantiles: Sequence[float] = QUANTILES) -> None:
+        self._estimators: Dict[float, P2Quantile] = {
+            float(q): P2Quantile(q) for q in quantiles
+        }
+        self.count = 0
+        self._sum = 0.0
+        self.minimum = float("inf")
+        self.maximum = float("-inf")
+
+    def add(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self._sum += value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+        for estimator in self._estimators.values():
+            estimator.add(value)
+
+    def extend(self, values) -> None:
+        for value in np.asarray(values, dtype=np.float64).ravel():
+            self.add(float(value))
+
+    @property
+    def mean(self) -> float:
+        if self.count == 0:
+            raise WorkloadError("streaming percentiles have no samples")
+        return self._sum / self.count
+
+    def quantile(self, q: float) -> float:
+        estimator = self._estimators.get(float(q))
+        if estimator is None:
+            raise WorkloadError(
+                f"quantile {q:g} is not tracked; tracked: "
+                f"{', '.join(f'{key:g}' for key in sorted(self._estimators))}"
+            )
+        return estimator.value()
+
+
+# ---------------------------------------------------------------------------
+# Shared-memory population pack
+# ---------------------------------------------------------------------------
+
+#: Population arrays shipped to workers, in manifest order.
+_POPULATION_ARRAYS = (
+    "class_index", "region_index", "ring_positions",
+    "ring_sorted_positions", "ring_sorted_region", "ring_sorted_class",
+    "ring_sorted_region_class",
+)
+
+
+class SharedPopulationPack:
+    """One population's arrays in POSIX shared memory, attachable by name.
+
+    ``create`` packs the parent's arrays (including the sorted-ring cache,
+    so workers skip the O(n log n) sort); ``attach`` reconstructs a
+    zero-copy :class:`ClientPopulation` view in a worker.  The parent owns
+    the segments: it must ``close()`` and ``unlink()`` them in a
+    ``finally`` — success, failure, and KeyboardInterrupt alike — which the
+    executor does and the shared-memory lifecycle tests assert.
+    """
+
+    def __init__(self, segments: Dict[str, shared_memory.SharedMemory],
+                 manifest: Dict[str, object]) -> None:
+        self._segments = segments
+        self.manifest = manifest
+
+    @classmethod
+    def create(cls, population: ClientPopulation) -> "SharedPopulationPack":
+        sorted_cache = population.ring_sorted()
+        arrays = {
+            "class_index": population.class_index,
+            "region_index": population.region_index,
+            "ring_positions": population.ring_positions,
+            "ring_sorted_positions": sorted_cache[0],
+            "ring_sorted_region": sorted_cache[1],
+            "ring_sorted_class": sorted_cache[2],
+            "ring_sorted_region_class": sorted_cache[3],
+        }
+        segments: Dict[str, shared_memory.SharedMemory] = {}
+        specs: Dict[str, Dict[str, object]] = {}
+        try:
+            for key in _POPULATION_ARRAYS:
+                array = np.ascontiguousarray(arrays[key])
+                segment = shared_memory.SharedMemory(create=True,
+                                                     size=array.nbytes)
+                view = np.ndarray(array.shape, dtype=array.dtype,
+                                  buffer=segment.buf)
+                view[:] = array
+                segments[key] = segment
+                specs[key] = {"name": segment.name,
+                              "dtype": str(array.dtype),
+                              "shape": tuple(array.shape)}
+        except BaseException:
+            for segment in segments.values():
+                segment.close()
+                segment.unlink()
+            raise
+        manifest = {
+            "arrays": specs,
+            "mix": population.mix,
+            "regions": population.regions,
+            "seed": population.seed,
+            "n_clients": population.n_clients,
+        }
+        return cls(segments, manifest)
+
+    @property
+    def nbytes(self) -> int:
+        """Total shared bytes (what ``parallel.shared_bytes`` reports)."""
+        return sum(segment.size for segment in self._segments.values())
+
+    @staticmethod
+    def attach(manifest: Dict[str, object], *, private_tracker: bool = False,
+               ) -> Tuple[ClientPopulation, List[shared_memory.SharedMemory]]:
+        """A worker-side population view over the parent's segments.
+
+        Returns the population and the open segments; the caller must keep
+        the segments referenced for the arrays' lifetime and ``close()``
+        them at process exit.  Pool workers (fork- AND spawn-started)
+        inherit the parent's resource-tracker fd, so their attach-side
+        registration is a no-op against the parent's and needs no cleanup.
+        Only a process with its *own* tracker (an unrelated process
+        attaching by name) must pass ``private_tracker=True`` to
+        unregister the attach — otherwise its tracker would unlink (and
+        warn about) segments it never created when that process exits.
+        """
+        segments: List[shared_memory.SharedMemory] = []
+        views: Dict[str, np.ndarray] = {}
+        for key in _POPULATION_ARRAYS:
+            spec = manifest["arrays"][key]
+            segment = shared_memory.SharedMemory(name=spec["name"])
+            if private_tracker:
+                try:
+                    resource_tracker.unregister(segment._name, "shared_memory")
+                except Exception:
+                    pass
+            segments.append(segment)
+            views[key] = np.ndarray(tuple(spec["shape"]),
+                                    dtype=np.dtype(spec["dtype"]),
+                                    buffer=segment.buf)
+        population = ClientPopulation.from_arrays(
+            mix=manifest["mix"],
+            regions=manifest["regions"],
+            seed=manifest["seed"],
+            class_index=views["class_index"],
+            region_index=views["region_index"],
+            ring_positions=views["ring_positions"],
+            ring_sorted=(views["ring_sorted_positions"],
+                         views["ring_sorted_region"],
+                         views["ring_sorted_class"],
+                         views["ring_sorted_region_class"]),
+        )
+        return population, segments
+
+    def close(self) -> None:
+        for segment in self._segments.values():
+            segment.close()
+
+    def unlink(self) -> None:
+        for segment in self._segments.values():
+            try:
+                segment.unlink()
+            except FileNotFoundError:
+                pass
+
+
+# ---------------------------------------------------------------------------
+# The checkpointed run table
+# ---------------------------------------------------------------------------
+
+
+def _atomic_write_json(path: Path, payload: Dict[str, object]) -> None:
+    """Write JSON so readers only ever see absent or complete files."""
+    tmp = path.with_name(f"{path.name}.tmp-{os.getpid()}")
+    tmp.write_text(json.dumps(payload, sort_keys=True))
+    os.replace(tmp, path)
+
+
+class RunTable:
+    """A directory of per-unit checkpoint records with atomic appends.
+
+    Layout: ``header.json`` identifies the campaign (run id, unit count,
+    format version); each completed unit writes ``unit-<index>.json``
+    carrying its pickled outcome (zlib + base64).  Every write goes through
+    a temp file and ``os.replace``, so a SIGKILL mid-write leaves either no
+    record or a complete one — never a torn file.  O(1) work per completed
+    unit; resuming scans the directory once.
+    """
+
+    VERSION = 1
+
+    def __init__(self, directory: Path, header: Dict[str, object]) -> None:
+        self.directory = Path(directory)
+        self.header = header
+
+    @classmethod
+    def open(cls, directory, *, run_id: str, total_units: int) -> "RunTable":
+        """Create or re-open a run table, validating campaign identity."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        header = {"version": cls.VERSION, "run_id": run_id,
+                  "total_units": int(total_units)}
+        header_path = directory / "header.json"
+        if header_path.exists():
+            existing = json.loads(header_path.read_text())
+            if existing != header:
+                raise WorkloadError(
+                    f"checkpoint at {directory} belongs to a different "
+                    f"campaign (found {existing}, expected {header}); "
+                    f"use a fresh checkpoint directory"
+                )
+        else:
+            _atomic_write_json(header_path, header)
+        return cls(directory, header)
+
+    def unit_path(self, index: int) -> Path:
+        return self.directory / f"unit-{index:05d}.json"
+
+    def record_outcome(self, unit: CampaignUnit, outcome: object) -> None:
+        """Checkpoint one completed unit (atomic; replaces any failure mark)."""
+        payload = base64.b64encode(zlib.compress(
+            pickle.dumps(outcome, protocol=pickle.HIGHEST_PROTOCOL)
+        )).decode("ascii")
+        _atomic_write_json(self.unit_path(unit.index), {
+            "index": unit.index,
+            "label": unit.label,
+            "status": "ok",
+            "payload": payload,
+        })
+
+    def record_failure(self, unit: CampaignUnit, error: str) -> None:
+        """Mark one unit failed so the failure survives the process."""
+        _atomic_write_json(self.unit_path(unit.index), {
+            "index": unit.index,
+            "label": unit.label,
+            "status": "failed",
+            "error": error,
+        })
+
+    def completed_outcomes(self) -> Dict[int, object]:
+        """Outcomes of every cleanly completed unit, by index.
+
+        Records that cannot be read back (truncated by outside interference
+        or hand-edited) are treated as not-completed — the unit simply re-runs
+        — so a damaged checkpoint degrades to extra work, never to a crash
+        or a wrong merge.
+        """
+        out: Dict[int, object] = {}
+        for path in sorted(self.directory.glob("unit-*.json")):
+            try:
+                record = json.loads(path.read_text())
+                if record.get("status") != "ok":
+                    continue
+                outcome = pickle.loads(zlib.decompress(
+                    base64.b64decode(record["payload"])))
+            except Exception:
+                continue
+            out[int(record["index"])] = outcome
+        return out
+
+    def failed_units(self) -> Dict[int, str]:
+        """Error strings of units whose last attempt failed, by index."""
+        out: Dict[int, str] = {}
+        for path in sorted(self.directory.glob("unit-*.json")):
+            try:
+                record = json.loads(path.read_text())
+            except Exception:
+                continue
+            if record.get("status") == "failed":
+                out[int(record["index"])] = str(record.get("error", ""))
+        return out
+
+
+# ---------------------------------------------------------------------------
+# Canonical result bytes (the equivalence-gate currency)
+# ---------------------------------------------------------------------------
+
+#: Result fields that reflect the machine/run, not the simulation.
+_WALL_FIELDS = frozenset({
+    "started_at", "completed_at", "duration_seconds", "wall_seconds",
+    "solve_seconds", "solve_seconds_total", "report",
+})
+
+
+def _canonical(value):
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            field.name: _canonical(getattr(value, field.name))
+            for field in dataclasses.fields(value)
+            if field.name not in _WALL_FIELDS
+        }
+    if isinstance(value, dict):
+        return {str(key): _canonical(item) for key, item in value.items()}
+    if isinstance(value, np.ndarray):
+        return [_canonical(item) for item in value.tolist()]
+    if isinstance(value, (list, tuple)):
+        return [_canonical(item) for item in value]
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    return repr(value)
+
+
+def canonical_result_bytes(result: object) -> bytes:
+    """A campaign result as deterministic bytes, wall-clock fields removed.
+
+    Walks dataclasses/dicts/arrays into sorted-key JSON, dropping the
+    fields that legitimately differ between two runs of the same seed
+    (timestamps, wall durations, and the rendered report, which embeds
+    wall columns).  Two results are simulation-identical iff their
+    canonical bytes are equal — the byte-equality the parallel-equivalence
+    CI gate compares.
+    """
+    return json.dumps(_canonical(result), sort_keys=True,
+                      separators=(",", ":")).encode("utf-8")
+
+
+# ---------------------------------------------------------------------------
+# Worker-side plumbing
+# ---------------------------------------------------------------------------
+
+#: Per-worker state installed by the pool initializer.
+_WORKER: Optional[Dict[str, object]] = None
+
+
+def _worker_init(runner, manifest: Dict[str, object],
+                 trace_dir: Optional[str]) -> None:
+    """Install the campaign in a worker: shared population, fresh telemetry.
+
+    Workers ignore SIGINT so an interrupt lands only in the parent, which
+    checkpoints and tears the pool down; the worker's telemetry always
+    traces (spans are drained per unit and shipped home as durations) and
+    always carries a registry (per-unit deltas merge into the campaign's).
+    """
+    global _WORKER
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    population, segments = SharedPopulationPack.attach(manifest)
+    runner.telemetry = Telemetry(trace=True)
+    runner._adopt_population(population)
+    runner._prepare()
+    _WORKER = {
+        "runner": runner,
+        "segments": segments,
+        "trace_dir": Path(trace_dir) if trace_dir else None,
+    }
+
+
+def _worker_run_unit(unit: CampaignUnit):
+    """Run one unit in this worker; returns (index, outcome, delta, spans)."""
+    runner = _WORKER["runner"]
+    trace_dir = _WORKER["trace_dir"]
+    telemetry = runner.telemetry
+    before = telemetry.metrics.as_dict()
+    runner._current = runner._unit_marker(unit)
+    outcome = runner.run_unit(unit)
+    delta = MetricsRegistry.snapshot_delta(before, telemetry.metrics.as_dict())
+    tracer = telemetry.tracer
+    spans = [(record.name, record.dur_s) for record in tracer.spans]
+    if trace_dir is not None:
+        span_file = trace_dir / f"worker-{os.getpid()}.jsonl"
+        with open(span_file, "a") as handle:
+            for record in tracer.spans:
+                handle.write(json.dumps(record.as_dict(), sort_keys=True) + "\n")
+    tracer.spans.clear()
+    return unit.index, outcome, delta, spans
+
+
+# ---------------------------------------------------------------------------
+# The executor
+# ---------------------------------------------------------------------------
+
+
+class ProcessPoolCampaignExecutor:
+    """Runs a unit-decomposed campaign across worker processes.
+
+    Same decomposition, same merge order, same numbers as the serial path
+    — see the module docstring for the determinism contract.  With
+    ``n_workers=1`` everything runs in-process (no pool, no shared
+    memory), which is also the resume-capable serial mode.
+
+    Sizing ``n_workers``: units are CPU-bound numpy loops, so
+    ``os.cpu_count()`` (the default) is the ceiling; past the number of
+    *physical* cores the return is marginal.  Campaigns shorter than a few
+    hundred milliseconds per unit amortize pool startup poorly — keep them
+    serial.
+    """
+
+    def __init__(self, runner, *, n_workers: Optional[int] = None,
+                 checkpoint_dir=None, trace_dir=None, mp_context=None) -> None:
+        if n_workers is None:
+            n_workers = os.cpu_count() or 1
+        if int(n_workers) < 1:
+            raise WorkloadError("the executor needs at least one worker")
+        self.runner = runner
+        self.n_workers = int(n_workers)
+        self.checkpoint_dir = Path(checkpoint_dir) if checkpoint_dir else None
+        self.trace_dir = Path(trace_dir) if trace_dir else None
+        self._mp_context = mp_context
+        #: Worker span durations by phase name, for ``phase_breakdown``.
+        self.phase_durations: Dict[str, List[float]] = {}
+        self.units_resumed = 0
+
+    def run(self):
+        """Run (or resume) the campaign and return its merged result."""
+        runner = self.runner
+        telemetry = runner.telemetry
+        started_at = time.time()
+        runner._progress_base = telemetry.counter_value(runner._progress_counter)
+        runner._completed = 0
+        self.phase_durations = {}
+        self.units_resumed = 0
+        runner._prepare()
+        units = runner.unit_specs()
+        table: Optional[RunTable] = None
+        restored: Dict[int, object] = {}
+        if self.checkpoint_dir is not None:
+            table = RunTable.open(self.checkpoint_dir, run_id=runner.run_id,
+                                  total_units=len(units))
+            restored = table.completed_outcomes()
+        outcomes: List[Optional[object]] = [None] * len(units)
+        campaign_span = telemetry.span(
+            "campaign", **runner._campaign_span_attrs(len(units)))
+        with campaign_span:
+            runner._begin_campaign()
+            telemetry.set_gauge("parallel.n_workers", self.n_workers)
+            for index, outcome in restored.items():
+                if 0 <= index < len(units) and outcomes[index] is None:
+                    outcomes[index] = outcome
+                    telemetry.inc(runner._progress_counter)
+                    telemetry.inc("parallel.units_resumed")
+                    runner._completed += 1
+                    self.units_resumed += 1
+            pending = [unit for unit in units if outcomes[unit.index] is None]
+            if pending:
+                if self.n_workers == 1:
+                    self._run_serial(pending, outcomes, table)
+                else:
+                    self._run_pool(pending, outcomes, table)
+        runner._current = None
+        return runner.merge_units(outcomes, started_at=started_at,
+                                  duration_seconds=campaign_span.seconds)
+
+    # -- serial (and resume-only) path ------------------------------------------------
+
+    def _run_serial(self, pending: List[CampaignUnit],
+                    outcomes: List[Optional[object]],
+                    table: Optional[RunTable]) -> None:
+        runner = self.runner
+        telemetry = runner.telemetry
+        for unit in pending:
+            runner._current = runner._unit_marker(unit)
+            try:
+                outcome = runner.run_unit(unit)
+            except KeyboardInterrupt:
+                raise
+            except Exception as exc:
+                self._mark_failed(unit, table, exc)
+                raise WorkloadError(
+                    f"campaign unit {unit.label!r} failed: {exc}"
+                ) from exc
+            outcomes[unit.index] = outcome
+            telemetry.inc(runner._progress_counter)
+            runner._completed += 1
+            if table is not None:
+                table.record_outcome(unit, outcome)
+
+    # -- pooled path ------------------------------------------------------------------
+
+    def _run_pool(self, pending: List[CampaignUnit],
+                  outcomes: List[Optional[object]],
+                  table: Optional[RunTable]) -> None:
+        runner = self.runner
+        telemetry = runner.telemetry
+        pack = SharedPopulationPack.create(runner._shared_population())
+        try:
+            telemetry.set_gauge("parallel.shared_bytes", pack.nbytes)
+            if self.trace_dir is not None:
+                self.trace_dir.mkdir(parents=True, exist_ok=True)
+            context = self._mp_context
+            if context is None:
+                # fork shares the parent's pages copy-on-write (cheap start,
+                # no pickling); spawn is the portable fallback and exercises
+                # the runners' __getstate__ path.
+                method = ("fork" if "fork"
+                          in multiprocessing.get_all_start_methods()
+                          else "spawn")
+                context = multiprocessing.get_context(method)
+            pool = ProcessPoolExecutor(
+                max_workers=min(self.n_workers, len(pending)),
+                mp_context=context,
+                initializer=_worker_init,
+                initargs=(runner, pack.manifest,
+                          str(self.trace_dir) if self.trace_dir else None),
+            )
+            try:
+                futures = {pool.submit(_worker_run_unit, unit): unit
+                           for unit in pending}
+                for future in as_completed(futures):
+                    unit = futures[future]
+                    try:
+                        index, outcome, delta, spans = future.result()
+                    except KeyboardInterrupt:
+                        raise
+                    except BrokenProcessPool as exc:
+                        raise WorkloadError(
+                            f"worker pool died while campaign unit "
+                            f"{unit.label!r} was in flight: {exc}"
+                        ) from exc
+                    except Exception as exc:
+                        self._mark_failed(unit, table, exc)
+                        raise WorkloadError(
+                            f"campaign unit {unit.label!r} failed in a "
+                            f"worker: {exc}"
+                        ) from exc
+                    outcomes[index] = outcome
+                    if telemetry.metrics is not None:
+                        telemetry.metrics.merge_snapshot(delta)
+                    for name, duration in spans:
+                        self.phase_durations.setdefault(name, []).append(duration)
+                    runner._current = runner._unit_marker(unit)
+                    telemetry.inc(runner._progress_counter)
+                    runner._completed += 1
+                    if table is not None:
+                        table.record_outcome(unit, outcome)
+                pool.shutdown(wait=True)
+            except BaseException:
+                # Interrupt or failure: drop queued units and leave running
+                # ones to drain — completed work is already checkpointed.
+                pool.shutdown(wait=False, cancel_futures=True)
+                raise
+        finally:
+            pack.close()
+            pack.unlink()
+
+    def _mark_failed(self, unit: CampaignUnit, table: Optional[RunTable],
+                     exc: Exception) -> None:
+        self.runner.telemetry.inc("parallel.units_failed")
+        if table is not None:
+            table.record_failure(unit, f"{type(exc).__name__}: {exc}")
+
+
+__all__ = [
+    "CampaignRunnerProtocol",
+    "CampaignUnit",
+    "P2Quantile",
+    "ProcessPoolCampaignExecutor",
+    "RunTable",
+    "SharedPopulationPack",
+    "StreamingPercentiles",
+    "canonical_result_bytes",
+]

@@ -207,6 +207,44 @@ class ClientPopulation:
         self.ring_positions = _splitmix64(identities)
         self._ring_sorted: Optional[Tuple[np.ndarray, ...]] = None
 
+    @classmethod
+    def from_arrays(
+        cls,
+        *,
+        mix: Optional[PopulationMix],
+        regions: int,
+        seed: int,
+        class_index: np.ndarray,
+        region_index: np.ndarray,
+        ring_positions: np.ndarray,
+        ring_sorted: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray,
+                                    np.ndarray]] = None,
+    ) -> "ClientPopulation":
+        """A population wrapping already-materialized arrays, no RNG draw.
+
+        The parallel campaign executor maps one population's arrays into
+        shared memory and every worker process reconstructs its view through
+        here — same clients, same ring positions, zero per-worker drawing or
+        copying.  ``ring_sorted`` optionally pre-seeds the sorted-order cache
+        so workers also skip the O(n log n) sort.  The arrays are adopted
+        as-is (typically read-only shared-memory views); callers must pass
+        the exact arrays a seeded :class:`ClientPopulation` build produced,
+        or downstream determinism guarantees are off.
+        """
+        if class_index.shape != region_index.shape or \
+                class_index.shape != ring_positions.shape:
+            raise WorkloadError("population arrays must have matching shapes")
+        population = cls.__new__(cls)
+        population.n_clients = int(class_index.size)
+        population.mix = mix or default_mix()
+        population.regions = int(regions)
+        population.seed = int(seed)
+        population.class_index = class_index
+        population.region_index = region_index
+        population.ring_positions = ring_positions
+        population._ring_sorted = ring_sorted
+        return population
+
     # -- aggregation -----------------------------------------------------------------
 
     @property

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Dict, List, Optional, Protocol, Sequence, Tuple
 
 import numpy as np
@@ -41,6 +42,11 @@ from .autoscale import (
 from .costmodel import CryptoCostModel, ProvisioningCostModel
 from .fleet import NeutralizerFleet
 from .latency import LatencyModel
+from .parallel import (
+    CampaignUnit,
+    ProcessPoolCampaignExecutor,
+    StreamingPercentiles,
+)
 from .population import ClientPopulation, PopulationMix, default_mix, elastic_mix
 from .scenario import FluidResult, ScaleScenario
 from .stochastic import (
@@ -69,24 +75,78 @@ def _default_telemetry() -> Telemetry:
 
 
 def _progress_count(telemetry: Telemetry, counter: str, base: float,
-                    fallback: int) -> int:
+                    fallback: int, total: Optional[int] = None) -> int:
     """Completed points/replicas, preferring the telemetry counter.
 
     The counter is incremented the moment a point's simulation finishes —
     before record assembly and statistics — so polling no longer lags a
     full sweep point.  ``base`` is the counter value at ``run()`` start (a
     runner can be re-run); ``fallback`` covers callers that supplied a
-    metrics-less telemetry.
+    metrics-less telemetry.  ``total`` clamps the answer for campaigns
+    whose registry merges multi-worker deltas — a custom ``run_unit`` that
+    also bumps the campaign counter would otherwise double-count and
+    report more progress than there are units.
     """
     counted = int(round(telemetry.counter_value(counter) - base))
-    return max(counted, fallback)
+    counted = max(counted, fallback)
+    if total is not None:
+        counted = min(counted, int(total))
+    return counted
 
 
-def _rotation(offset: float):
+@dataclass(frozen=True)
+class _RotationTransform:
+    """A picklable rng transform applying :func:`rotated_uniforms`.
+
+    Stratified campaigns used to build this as a closure, which cannot cross
+    a process boundary; campaign units carry their transform to worker
+    processes, so it is a frozen dataclass with ``__call__`` instead.
+    """
+
+    offset: float
+
+    def __call__(self, rng):
+        return rotated_uniforms(rng, self.offset)
+
+
+def _rotation(offset: float) -> _RotationTransform:
     """An rng transform applying :func:`rotated_uniforms` at ``offset``."""
-    def transform(rng):
-        return rotated_uniforms(rng, offset)
-    return transform
+    return _RotationTransform(offset)
+
+
+def replica_seed_draws(seed: int, replicas: int,
+                       variance_reduction: str) -> List[Tuple[int, object]]:
+    """Per-replica (event seed, rng transform) under the chosen scheme.
+
+    ``iid`` spawns one independent substream per replica (the classic
+    allocation, bit-compatible with earlier campaigns).  ``stratified``
+    shares ONE substream and rotates its uniforms by ``r / replicas`` —
+    systematic sampling over the hazard quantile space.  ``antithetic``
+    spawns one substream per *pair*; the second member mirrors every
+    hazard draw.  All three are deterministic from the campaign seed, and
+    every draw is picklable so campaign units can ship to worker processes.
+    """
+    if variance_reduction == "stratified":
+        common = np.random.SeedSequence(seed).spawn(1)[0]
+        common_seed = int(common.generate_state(1)[0])
+        return [
+            (common_seed, (None if replica == 0 else
+                           _RotationTransform(replica / replicas)))
+            for replica in range(replicas)
+        ]
+    if variance_reduction == "antithetic":
+        pairs = (replicas + 1) // 2
+        streams = np.random.SeedSequence(seed).spawn(pairs)
+        draws: List[Tuple[int, object]] = []
+        for replica in range(replicas):
+            stream = streams[replica // 2]
+            draws.append(
+                (int(stream.generate_state(1)[0]),
+                 antithetic_uniforms if replica % 2 else None)
+            )
+        return draws
+    streams = np.random.SeedSequence(seed).spawn(replicas)
+    return [(int(stream.generate_state(1)[0]), None) for stream in streams]
 
 #: The default campaign sweep: three decades up to a million clients.
 DEFAULT_CLIENT_COUNTS: Tuple[int, ...] = (1_000, 10_000, 100_000, 1_000_000)
@@ -102,6 +162,118 @@ class ExperimentRunnerProtocol(Protocol):
     def get_current_state(self) -> "ScaleExperimentState":
         """Snapshot campaign progress."""
         ...
+
+
+#: Percentile-aggregation strategies for the Monte-Carlo runners.
+AGGREGATION_MODES = ("exact", "p2")
+
+
+class _UnitCampaignMixin:
+    """Shared unit-decomposed campaign loop (the campaign-runner core).
+
+    A campaign is a deterministic list of independent work units
+    (:meth:`unit_specs`), a per-unit simulation whose outcome depends only
+    on the unit and the campaign configuration (:meth:`run_unit`), and a
+    merge that always consumes outcomes in unit-index order
+    (:meth:`merge_units`) — so *completion* order can never change a
+    result.  ``run()`` is the serial composition of the three; the
+    process-pool executor in :mod:`repro.scale.parallel` farms the same
+    units over workers and calls the same merge, which is why
+    ``n_workers=1`` is bit-identical to this loop and ``n_workers=N`` is
+    bit-identical to ``n_workers=1``.
+    """
+
+    #: Telemetry counter incremented once per completed unit.
+    _progress_counter = "campaign.replicas_completed"
+    #: Caches that cannot (and must not) cross a process boundary; workers
+    #: rebuild them from shared-memory arrays in their initializer.
+    _worker_dropped = ("_population", "_population_cache", "_scenario_cache",
+                       "_point_runners")
+
+    # -- campaign decomposition (per-runner) -----------------------------------------
+
+    def unit_specs(self) -> List[CampaignUnit]:
+        """The campaign's work units, in canonical (index) order."""
+        raise NotImplementedError
+
+    def run_unit(self, unit: CampaignUnit) -> object:
+        """Simulate one unit; the outcome must be picklable."""
+        raise NotImplementedError
+
+    def merge_units(self, outcomes: Sequence[object], *, started_at: float,
+                    duration_seconds: float) -> object:
+        """Assemble the campaign result from outcomes in unit order."""
+        raise NotImplementedError
+
+    # -- hooks with per-runner overrides ----------------------------------------------
+
+    def _prepare(self) -> None:
+        """Build the state every unit shares (population, fleet, template)."""
+
+    def _begin_campaign(self) -> None:
+        """Campaign-scoped accounting that runs inside the campaign span."""
+
+    def _campaign_span_attrs(self, n_units: int) -> Dict[str, object]:
+        return {"experiment": self.experiment_id, "replicas": n_units}
+
+    def _unit_marker(self, unit: CampaignUnit) -> object:
+        """The ``_current`` progress marker shown while a unit runs."""
+        return unit.label
+
+    # -- worker transport -------------------------------------------------------------
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        # Telemetry holds thread locks and the caches hold O(n_clients)
+        # arrays; workers get a fresh registry and the shared-memory
+        # population instead.
+        state["telemetry"] = None
+        for name in self._worker_dropped:
+            if name in state:
+                state[name] = None
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        if self.telemetry is None:
+            self.telemetry = _default_telemetry()
+
+    # -- the serial loop --------------------------------------------------------------
+
+    def run(self):
+        """Run every unit in order and merge — the reference serial path."""
+        telemetry = self.telemetry
+        started_at = time.time()
+        self._progress_base = telemetry.counter_value(self._progress_counter)
+        self._completed = 0
+        self._prepare()
+        units = self.unit_specs()
+        outcomes: List[object] = []
+        campaign_span = telemetry.span("campaign",
+                                       **self._campaign_span_attrs(len(units)))
+        with campaign_span:
+            self._begin_campaign()
+            for unit in units:
+                self._current = self._unit_marker(unit)
+                outcomes.append(self.run_unit(unit))
+                telemetry.inc(self._progress_counter)
+                self._completed += 1
+        self._current = None
+        return self.merge_units(outcomes, started_at=started_at,
+                                duration_seconds=campaign_span.seconds)
+
+    def run_parallel(self, *, n_workers: Optional[int] = None,
+                     checkpoint_dir=None, trace_dir=None):
+        """Run this campaign through the process-pool executor.
+
+        Convenience for ``ProcessPoolCampaignExecutor(self, ...).run()``;
+        see :mod:`repro.scale.parallel` for the determinism contract.
+        """
+        executor = ProcessPoolCampaignExecutor(
+            self, n_workers=n_workers, checkpoint_dir=checkpoint_dir,
+            trace_dir=trace_dir,
+        )
+        return executor.run()
 
 
 @dataclass(frozen=True)
@@ -201,6 +373,7 @@ class FleetScaleRunner:
             completed_points=_progress_count(
                 self.telemetry, "campaign.points_completed",
                 self._progress_base, self._completed,
+                total=len(self.client_counts),
             ),
             total_points=len(self.client_counts),
             current_clients=self._current,
@@ -365,7 +538,15 @@ class TimelineCampaignResult:
         return min(self.records, key=lambda record: record.min_delivered_fraction)
 
 
-class TimelineCampaignRunner:
+@dataclass(frozen=True)
+class TimelineUnitOutcome:
+    """One E13 unit's outcome: the summary record plus the full timeline."""
+
+    record: TimelineCampaignRecord
+    timeline: TimelineResult
+
+
+class TimelineCampaignRunner(_UnitCampaignMixin):
     """Runs every named catalogue scenario through the fluid timeline (E13)."""
 
     def __init__(
@@ -410,6 +591,8 @@ class TimelineCampaignRunner:
         self._progress_base = 0.0
         self._completed = 0
         self._current: Optional[str] = None
+        self._population_cache: Optional[ClientPopulation] = None
+        self._population_key: Optional[tuple] = None
 
     # -- protocol --------------------------------------------------------------------
 
@@ -419,58 +602,89 @@ class TimelineCampaignRunner:
             completed_points=_progress_count(
                 self.telemetry, "campaign.points_completed",
                 self._progress_base, self._completed,
+                total=len(self.scenario_names),
             ),
             total_points=len(self.scenario_names),
             current_clients=self.clients if self._current is not None else None,
             current_label=self._current,
         )
 
-    def run(self) -> TimelineCampaignResult:
-        """Run every scenario and render the campaign report."""
+    # -- campaign decomposition -------------------------------------------------------
+
+    _progress_counter = "campaign.points_completed"
+
+    def _shared_population(self) -> ClientPopulation:
+        """One O(n_clients) population build shared by every scenario.
+
+        The catalogue re-derives only the fleet and events per scenario;
+        the population is deterministic from (clients, seed), so the cache
+        never changes results — it only removes a per-run rebuild.
+        """
+        key = (self.clients, self.seed)
+        if self._population_cache is None or self._population_key != key:
+            self._population_cache = ClientPopulation(self.clients, seed=self.seed)
+            self._population_key = key
+        return self._population_cache
+
+    def _adopt_population(self, population: ClientPopulation) -> None:
+        """Adopt an externally built (e.g. shared-memory) population."""
+        if population.n_clients != self.clients:
+            raise WorkloadError("adopted population does not match the client count")
+        self._population_cache = population
+        self._population_key = (self.clients, self.seed)
+
+    def _prepare(self) -> None:
+        self._shared_population()
+
+    def _campaign_span_attrs(self, n_units: int) -> Dict[str, object]:
+        return {"experiment": "E13", "points": n_units}
+
+    def _unit_marker(self, unit: CampaignUnit) -> object:
+        return unit.point
+
+    def unit_specs(self) -> List[CampaignUnit]:
+        return [
+            CampaignUnit(index=index, point=name, replica=0, label=name)
+            for index, name in enumerate(self.scenario_names)
+        ]
+
+    def run_unit(self, unit: CampaignUnit) -> TimelineUnitOutcome:
         from .catalogue import CATALOGUE, build_scenario
 
         telemetry = self.telemetry
-        started_at = time.time()
-        self._progress_base = telemetry.counter_value("campaign.points_completed")
-        records: List[TimelineCampaignRecord] = []
-        timelines: Dict[str, TimelineResult] = {}
-        # One O(n_clients) population build shared by every scenario — the
-        # catalogue re-derives only the fleet and events per scenario.
-        population = ClientPopulation(self.clients, seed=self.seed)
-        self._completed = 0
-        campaign_span = telemetry.span("campaign", experiment="E13",
-                                       points=len(self.scenario_names))
-        with campaign_span:
-            for name in self.scenario_names:
-                self._current = name
-                with telemetry.span("point", scenario=name):
-                    timeline = build_scenario(
-                        name, clients=self.clients, seed=self.seed,
-                        cost_model=self.cost_model, population=population,
-                        telemetry=telemetry,
-                    )
-                    result = timeline.run()
-                telemetry.inc("campaign.points_completed")
-                timelines[name] = result
-                records.append(TimelineCampaignRecord(
-                    scenario=name,
-                    title=CATALOGUE[name].title,
-                    epochs=result.epochs,
-                    wall_seconds=result.wall_seconds,
-                    solve_seconds=result.solve_seconds_total,
-                    min_delivered_fraction=result.min_delivered_fraction,
-                    mean_delivered_fraction=result.mean_delivered_fraction,
-                    total_clients_remapped=result.total_clients_remapped,
-                    peak_remap_epoch=result.peak_remap_epoch,
-                    warm_fraction=result.warm_fraction,
-                    fast_fraction=result.fast_fraction,
-                    peak_cpu_utilization=float(result.cpu_utilization.max()),
-                    peak_uplink_utilization=float(result.uplink_utilization.max()),
-                ))
-                self._completed += 1
-        self._current = None
-        completed_at = started_at + campaign_span.seconds
+        name = unit.point
+        population = self._shared_population()
+        with telemetry.span("point", scenario=name):
+            timeline = build_scenario(
+                name, clients=self.clients, seed=self.seed,
+                cost_model=self.cost_model, population=population,
+                telemetry=telemetry,
+            )
+            result = timeline.run()
+        record = TimelineCampaignRecord(
+            scenario=name,
+            title=CATALOGUE[name].title,
+            epochs=result.epochs,
+            wall_seconds=result.wall_seconds,
+            solve_seconds=result.solve_seconds_total,
+            min_delivered_fraction=result.min_delivered_fraction,
+            mean_delivered_fraction=result.mean_delivered_fraction,
+            total_clients_remapped=result.total_clients_remapped,
+            peak_remap_epoch=result.peak_remap_epoch,
+            warm_fraction=result.warm_fraction,
+            fast_fraction=result.fast_fraction,
+            peak_cpu_utilization=float(result.cpu_utilization.max()),
+            peak_uplink_utilization=float(result.uplink_utilization.max()),
+        )
+        return TimelineUnitOutcome(record=record, timeline=result)
 
+    def merge_units(self, outcomes: Sequence[TimelineUnitOutcome], *,
+                    started_at: float,
+                    duration_seconds: float) -> TimelineCampaignResult:
+        records = [outcome.record for outcome in outcomes]
+        timelines = {outcome.record.scenario: outcome.timeline
+                     for outcome in outcomes}
+        completed_at = started_at + duration_seconds
         report = self._render_report(records, timelines)
         return TimelineCampaignResult(
             run_id=self.run_id,
@@ -563,6 +777,28 @@ class MetricDistribution:
                    p95=float(p95), p99=float(p99), mean=float(values.mean()),
                    worst=float(worst), samples=int(values.size))
 
+    @classmethod
+    def from_stream(cls, metric: str, stream: StreamingPercentiles,
+                    *, tail: str = "high") -> "MetricDistribution":
+        """Summary from a constant-memory P² stream (``aggregation='p2'``).
+
+        Mean, worst and sample count are exact; the percentile rows are P²
+        estimates with the tolerance documented in docs/parallel.md.
+        """
+        if tail not in ("low", "high"):
+            raise WorkloadError("distribution tail must be 'low' or 'high'")
+        if stream.count == 0:
+            raise WorkloadError(f"metric {metric!r} has no samples")
+        if tail == "low":
+            p95, p99, worst = (stream.quantile(0.05), stream.quantile(0.01),
+                               stream.minimum)
+        else:
+            p95, p99, worst = (stream.quantile(0.95), stream.quantile(0.99),
+                               stream.maximum)
+        return cls(metric=metric, tail=tail, p50=float(stream.quantile(0.5)),
+                   p95=float(p95), p99=float(p99), mean=float(stream.mean),
+                   worst=float(worst), samples=int(stream.count))
+
 
 @dataclass(frozen=True)
 class StochasticReplicaRecord:
@@ -624,7 +860,16 @@ class StochasticCampaignResult:
                 for record in self.records]
 
 
-class StochasticCampaignRunner:
+@dataclass(frozen=True)
+class StochasticUnitOutcome:
+    """One E14/E15 unit's outcome: the record plus pooled per-epoch arrays."""
+
+    record: StochasticReplicaRecord
+    delivered_fraction: np.ndarray
+    latency_p95: Optional[np.ndarray]
+
+
+class StochasticCampaignRunner(_UnitCampaignMixin):
     """E14: Monte-Carlo availability campaigns over stochastic fleets.
 
     Runs ``replicas`` independent timelines of the same scenario — one
@@ -662,12 +907,18 @@ class StochasticCampaignRunner:
         latency_violation_budget: float = 0.05,
         adversary: Optional[AdversaryGame] = None,
         variance_reduction: str = "iid",
+        aggregation: str = "exact",
         telemetry: Optional[Telemetry] = None,
     ) -> None:
         if clients <= 0 or epochs <= 0 or replicas <= 0:
             raise WorkloadError("campaign needs positive clients, epochs and replicas")
         if not 0 < slo <= 1:
             raise WorkloadError("SLO threshold must be in (0, 1]")
+        if aggregation not in AGGREGATION_MODES:
+            raise WorkloadError(
+                f"unknown aggregation mode {aggregation!r}; "
+                f"pick one of {', '.join(AGGREGATION_MODES)}"
+            )
         if population is not None and population.n_clients != clients:
             raise WorkloadError("shared population does not match the client count")
         if latency_slo_seconds <= 0:
@@ -706,6 +957,7 @@ class StochasticCampaignRunner:
         self.latency_violation_budget = latency_violation_budget
         self.adversary = adversary
         self.variance_reduction = variance_reduction
+        self.aggregation = aggregation
         self.run_id = f"stochastic-{seed:08x}-{self.clients}x{self.replicas}"
         self.experiment_name = "stochastic_availability"
         self.experiment_id = "E14"
@@ -713,6 +965,9 @@ class StochasticCampaignRunner:
         self._progress_base = 0.0
         self._completed = 0
         self._current: Optional[int] = None
+        self._population_cache: Optional[ClientPopulation] = None
+        self._population_key: Optional[tuple] = None
+        self._scenario_cache: Optional[ScaleScenario] = None
 
     # -- protocol --------------------------------------------------------------------
 
@@ -722,6 +977,7 @@ class StochasticCampaignRunner:
             completed_points=_progress_count(
                 self.telemetry, "campaign.replicas_completed",
                 self._progress_base, self._completed,
+                total=self.replicas,
             ),
             total_points=self.replicas,
             current_clients=self.clients if self._current is not None else None,
@@ -775,134 +1031,149 @@ class StochasticCampaignRunner:
         return timeline.run()
 
     def _replica_draws(self) -> List[Tuple[int, object]]:
-        """Per-replica (event seed, rng transform) under the chosen scheme.
+        """Per-replica (event seed, rng transform); see :func:`replica_seed_draws`."""
+        return replica_seed_draws(self.seed, self.replicas,
+                                  self.variance_reduction)
 
-        ``iid`` spawns one independent substream per replica (the classic
-        allocation, bit-compatible with earlier campaigns).  ``stratified``
-        shares ONE substream and rotates its uniforms by ``r / replicas`` —
-        systematic sampling over the hazard quantile space.  ``antithetic``
-        spawns one substream per *pair*; the second member mirrors every
-        hazard draw.  All three are deterministic from the campaign seed.
-        """
-        if self.variance_reduction == "stratified":
-            common = np.random.SeedSequence(self.seed).spawn(1)[0]
-            seed = int(common.generate_state(1)[0])
-            return [
-                (seed, (None if replica == 0 else
-                        _rotation(replica / self.replicas)))
-                for replica in range(self.replicas)
-            ]
-        if self.variance_reduction == "antithetic":
-            pairs = (self.replicas + 1) // 2
-            streams = np.random.SeedSequence(self.seed).spawn(pairs)
-            draws: List[Tuple[int, object]] = []
-            for replica in range(self.replicas):
-                stream = streams[replica // 2]
-                seed = int(stream.generate_state(1)[0])
-                draws.append(
-                    (seed, antithetic_uniforms if replica % 2 else None)
-                )
-            return draws
-        streams = np.random.SeedSequence(self.seed).spawn(self.replicas)
-        return [(int(stream.generate_state(1)[0]), None) for stream in streams]
+    # -- campaign decomposition -------------------------------------------------------
 
-    def run(self) -> StochasticCampaignResult:
-        """Run every replica and aggregate the distributions."""
-        telemetry = self.telemetry
-        started_at = time.time()
-        self._progress_base = telemetry.counter_value("campaign.replicas_completed")
-        population = self._population or ClientPopulation(
-            self.clients, mix=self.mix, regions=self.regions, seed=self.seed,
-        )
-        population.ring_sorted()  # warm the shared sort before timing replicas
-
-        draws = self._replica_draws()
-        records: List[StochasticReplicaRecord] = []
-        pooled_delivered: List[np.ndarray] = []
-        pooled_latency_p95: List[np.ndarray] = []
-        self._completed = 0
-        campaign_span = telemetry.span("campaign",
-                                       experiment=self.experiment_id,
-                                       replicas=self.replicas)
-        with campaign_span:
-            telemetry.inc(
-                f"campaign.variance_mode.{self.variance_reduction}"
+    def _shared_population(self) -> ClientPopulation:
+        """The population every replica shares (built once, deterministic)."""
+        if self._population is not None:
+            return self._population
+        key = (self.clients, self.mix, self.regions, self.seed)
+        if self._population_cache is None or self._population_key != key:
+            self._population_cache = ClientPopulation(
+                self.clients, mix=self.mix, regions=self.regions, seed=self.seed,
             )
-            for replica in range(self.replicas):
-                self._current = replica
-                event_seed, rng_transform = draws[replica]
-                replica_span = telemetry.span("replica", replica=replica,
-                                              event_seed=event_seed)
-                with replica_span:
-                    result = self.run_replica(population, event_seed,
-                                              rng_transform)
-                telemetry.inc("campaign.replicas_completed")
-                wall = replica_span.seconds
-                pooled_delivered.append(result.delivered_fraction)
-                latency_fields = {}
-                if self.latency_model is not None:
-                    latency_p95 = result.latency_p95_seconds
-                    pooled_latency_p95.append(latency_p95)
-                    latency_fields = dict(
-                        mean_latency_p95_seconds=float(latency_p95.mean()),
-                        worst_latency_p95_seconds=float(latency_p95.max()),
-                        latency_slo_violations=result.mean_latency_slo_violations,
-                        latency_slo_attainment=result.latency_slo_attainment(
-                            self.latency_violation_budget),
-                    )
-                records.append(StochasticReplicaRecord(
-                    replica=replica,
-                    event_seed=event_seed,
-                    events_fired=sum(len(record.events)
-                                     for record in result.records),
-                    mean_delivered=result.mean_delivered_fraction,
-                    worst_delivered=result.min_delivered_fraction,
-                    slo_attainment=result.slo_attainment(self.slo),
-                    clients_remapped=result.total_clients_remapped,
-                    autoscale_actions=result.total_autoscale_actions,
-                    peak_sites=int(result.sites_in_service.max()),
-                    trough_sites=int(result.sites_in_service.min()),
-                    mean_sites=float(result.sites_in_service.mean()),
-                    provision_cost=result.total_provision_cost,
-                    wall_seconds=wall,
-                    **latency_fields,
-                ))
-                self._completed += 1
-        self._current = None
-        completed_at = started_at + campaign_span.seconds
+            self._population_key = key
+        return self._population_cache
+
+    def _adopt_population(self, population: ClientPopulation) -> None:
+        """Adopt an externally built (e.g. shared-memory) population."""
+        if population.n_clients != self.clients:
+            raise WorkloadError("adopted population does not match the client count")
+        self._population = population
+        self._scenario_cache = None
+
+    def _prepare(self) -> None:
+        # Warm the shared ring sort before timing replicas.
+        self._shared_population().ring_sorted()
+
+    def _begin_campaign(self) -> None:
+        self.telemetry.inc(f"campaign.variance_mode.{self.variance_reduction}")
+
+    def _unit_marker(self, unit: CampaignUnit) -> object:
+        return unit.replica
+
+    def unit_specs(self) -> List[CampaignUnit]:
+        draws = self._replica_draws()
+        return [
+            CampaignUnit(index=replica, point=None, replica=replica,
+                         label=f"replica {replica}", event_seed=event_seed,
+                         rng_transform=rng_transform)
+            for replica, (event_seed, rng_transform) in enumerate(draws)
+        ]
+
+    def run_unit(self, unit: CampaignUnit) -> StochasticUnitOutcome:
+        telemetry = self.telemetry
+        population = self._shared_population()
+        replica_span = telemetry.span("replica", replica=unit.replica,
+                                      event_seed=unit.event_seed)
+        with replica_span:
+            result = self.run_replica(population, unit.event_seed,
+                                      unit.rng_transform)
+        wall = replica_span.seconds
+        latency_p95 = None
+        latency_fields = {}
+        if self.latency_model is not None:
+            latency_p95 = result.latency_p95_seconds
+            latency_fields = dict(
+                mean_latency_p95_seconds=float(latency_p95.mean()),
+                worst_latency_p95_seconds=float(latency_p95.max()),
+                latency_slo_violations=result.mean_latency_slo_violations,
+                latency_slo_attainment=result.latency_slo_attainment(
+                    self.latency_violation_budget),
+            )
+        record = StochasticReplicaRecord(
+            replica=unit.replica,
+            event_seed=unit.event_seed,
+            events_fired=sum(len(record.events)
+                             for record in result.records),
+            mean_delivered=result.mean_delivered_fraction,
+            worst_delivered=result.min_delivered_fraction,
+            slo_attainment=result.slo_attainment(self.slo),
+            clients_remapped=result.total_clients_remapped,
+            autoscale_actions=result.total_autoscale_actions,
+            peak_sites=int(result.sites_in_service.max()),
+            trough_sites=int(result.sites_in_service.min()),
+            mean_sites=float(result.sites_in_service.mean()),
+            provision_cost=result.total_provision_cost,
+            wall_seconds=wall,
+            **latency_fields,
+        )
+        return StochasticUnitOutcome(record=record,
+                                     delivered_fraction=result.delivered_fraction,
+                                     latency_p95=latency_p95)
+
+    def _distribution(self, metric: str, samples, *,
+                      tail: str) -> MetricDistribution:
+        """One summary honouring the campaign's ``aggregation`` mode.
+
+        ``exact`` takes full-array numpy percentiles — bit-identical to the
+        historical serial aggregation.  ``p2`` folds the same samples, in
+        the same (unit) order, through constant-memory P² estimators.
+        """
+        if self.aggregation == "exact":
+            return MetricDistribution.from_samples(metric, samples, tail=tail)
+        stream = StreamingPercentiles()
+        stream.extend(np.asarray(
+            samples if isinstance(samples, np.ndarray) else list(samples),
+            dtype=np.float64,
+        ))
+        return MetricDistribution.from_stream(metric, stream, tail=tail)
+
+    def merge_units(self, outcomes: Sequence[StochasticUnitOutcome], *,
+                    started_at: float,
+                    duration_seconds: float) -> StochasticCampaignResult:
+        records = [outcome.record for outcome in outcomes]
+        pooled_delivered = [outcome.delivered_fraction for outcome in outcomes]
+        pooled_latency_p95 = [outcome.latency_p95 for outcome in outcomes
+                              if outcome.latency_p95 is not None]
+        completed_at = started_at + duration_seconds
 
         distributions = {
-            "availability": MetricDistribution.from_samples(
+            "availability": self._distribution(
                 "availability", np.concatenate(pooled_delivered), tail="low"),
-            "replica availability": MetricDistribution.from_samples(
+            "replica availability": self._distribution(
                 "replica availability",
                 [record.mean_delivered for record in records], tail="low"),
-            "worst-epoch availability": MetricDistribution.from_samples(
+            "worst-epoch availability": self._distribution(
                 "worst-epoch availability",
                 [record.worst_delivered for record in records], tail="low"),
-            f"slo attainment (>= {self.slo:g})": MetricDistribution.from_samples(
+            f"slo attainment (>= {self.slo:g})": self._distribution(
                 f"slo attainment (>= {self.slo:g})",
                 [record.slo_attainment for record in records], tail="low"),
-            "remap churn (client-moves)": MetricDistribution.from_samples(
+            "remap churn (client-moves)": self._distribution(
                 "remap churn (client-moves)",
                 [float(record.clients_remapped) for record in records], tail="high"),
-            "provision cost (usd)": MetricDistribution.from_samples(
+            "provision cost (usd)": self._distribution(
                 "provision cost (usd)",
                 [record.provision_cost for record in records], tail="high"),
         }
         if self.latency_model is not None:
             # Latency percentiles are upper-tail risks: the P99 row is the
             # per-epoch P95 delay only 1% of epochs exceed.
-            distributions["latency p95 (ms)"] = MetricDistribution.from_samples(
+            distributions["latency p95 (ms)"] = self._distribution(
                 "latency p95 (ms)",
                 np.concatenate(pooled_latency_p95) * 1e3, tail="high")
-            distributions["replica worst p95 (ms)"] = MetricDistribution.from_samples(
+            distributions["replica worst p95 (ms)"] = self._distribution(
                 "replica worst p95 (ms)",
                 [record.worst_latency_p95_seconds * 1e3 for record in records],
                 tail="high")
             distributions[
                 f"latency slo attainment (<= {self.latency_violation_budget:g} viol)"
-            ] = MetricDistribution.from_samples(
+            ] = self._distribution(
                 f"latency slo attainment (<= {self.latency_violation_budget:g} viol)",
                 [record.latency_slo_attainment for record in records], tail="low")
         report = self._render_report(records, distributions)
@@ -981,6 +1252,21 @@ class StochasticCampaignRunner:
         return report
 
 
+def _run_frontier_point(runner, point_slug: str, *, n_workers: int,
+                        checkpoint_dir) -> object:
+    """Run one frontier point, through the executor when asked to.
+
+    Each point gets its own checkpoint subdirectory (one run-table per
+    campaign); the plain ``runner.run()`` path stays untouched when neither
+    knob is set, so existing callers pay nothing.
+    """
+    if n_workers == 1 and checkpoint_dir is None:
+        return runner.run()
+    point_dir = (None if checkpoint_dir is None
+                 else Path(checkpoint_dir) / point_slug)
+    return runner.run_parallel(n_workers=n_workers, checkpoint_dir=point_dir)
+
+
 @dataclass(frozen=True)
 class FrontierPoint:
     """One autoscaler operating point on the churn-vs-SLO frontier."""
@@ -1009,6 +1295,8 @@ def run_churn_slo_frontier(
     replicas: int = 8,
     seed: int = 2006,
     slo: float = 0.95,
+    n_workers: int = 1,
+    checkpoint_dir=None,
     **campaign_kwargs,
 ) -> FrontierResult:
     """Sweep the autoscaler's utilization target and chart churn against SLO.
@@ -1018,6 +1306,9 @@ def run_churn_slo_frontier(
     buys availability with money and scale churn.  One shared population
     feeds every point; each point is a full (smaller) E14 campaign with the
     same seed, so the frontier isolates the policy knob from the noise.
+    ``n_workers``/``checkpoint_dir`` route each point through the
+    process-pool executor (deterministic and resumable; see
+    docs/parallel.md) without changing any number in the table.
     """
     if not targets:
         raise WorkloadError("the frontier needs at least one utilization target")
@@ -1032,7 +1323,9 @@ def run_churn_slo_frontier(
             slo=slo, at_utilization=target, population=population,
             **campaign_kwargs,
         )
-        campaign = runner.run()
+        campaign = _run_frontier_point(runner, f"target-{target:g}",
+                                       n_workers=n_workers,
+                                       checkpoint_dir=checkpoint_dir)
         availability = campaign.availability
         points.append(FrontierPoint(
             target_utilization=target,
@@ -1162,6 +1455,8 @@ def run_latency_cost_frontier(
     epochs: int = 96,
     replicas: int = 8,
     seed: int = 2006,
+    n_workers: int = 1,
+    checkpoint_dir=None,
     **campaign_kwargs,
 ) -> LatencyFrontierResult:
     """Sweep the latency-aware autoscaler's P95 target: dollars vs delay.
@@ -1187,7 +1482,9 @@ def run_latency_cost_frontier(
             replicas=replicas, seed=seed, population=population,
             **campaign_kwargs,
         )
-        campaign = runner.run()
+        campaign = _run_frontier_point(runner, f"p95-{target:g}",
+                                       n_workers=n_workers,
+                                       checkpoint_dir=checkpoint_dir)
         pooled = campaign.distributions["latency p95 (ms)"]
         points.append(LatencyFrontierPoint(
             target_p95_seconds=target,
@@ -1421,7 +1718,7 @@ class AdversaryCampaignResult:
         return self_defeating_points(self.points)
 
 
-class AdversaryCampaignRunner:
+class AdversaryCampaignRunner(_UnitCampaignMixin):
     """E16: the discrimination arms race swept over both sides' dispositions.
 
     Sweeps ISP ``aggressiveness`` × client adoption ``sensitivities`` on one
@@ -1518,6 +1815,11 @@ class AdversaryCampaignRunner:
         self._progress_base = 0.0
         self._completed = 0
         self._current: Optional[str] = None
+        self._population_cache: Optional[ClientPopulation] = None
+        self._population_key: Optional[tuple] = None
+        self._scenario_cache: Optional[ScaleScenario] = None
+        self._point_runners: Dict[Tuple[float, float],
+                                  StochasticCampaignRunner] = {}
 
     # -- protocol --------------------------------------------------------------------
 
@@ -1527,6 +1829,7 @@ class AdversaryCampaignRunner:
             completed_points=_progress_count(
                 self.telemetry, "campaign.replicas_completed",
                 self._progress_base, self._completed,
+                total=self.total_replicas,
             ),
             total_points=self.total_replicas,
             current_clients=self.clients if self._current is not None else None,
@@ -1573,101 +1876,144 @@ class AdversaryCampaignRunner:
         runner._scenario_cache = self._scenario_cache
         return runner
 
-    def run(self) -> AdversaryCampaignResult:
-        """Run the whole grid and assemble the frontier."""
-        telemetry = self.telemetry
-        started_at = time.time()
-        self._progress_base = telemetry.counter_value("campaign.replicas_completed")
-        population = self._population or ClientPopulation(
-            self.clients, mix=self.mix, regions=self.regions, seed=self.seed,
-        )
-        population.ring_sorted()
-        fleet = elastic_fleet(
-            population, self.n_sites, nominal_sites=self.n_sites,
-            at_utilization=1.0 / self.headroom, cost_model=self.cost_model,
-        )
-        self._scenario_cache = ScaleScenario(population, fleet)
+    # -- campaign decomposition -------------------------------------------------------
 
+    def _shared_population(self) -> ClientPopulation:
+        """The population every grid point shares (built once, deterministic)."""
+        if self._population is not None:
+            return self._population
+        key = (self.clients, self.mix, self.regions, self.seed)
+        if self._population_cache is None or self._population_key != key:
+            self._population_cache = ClientPopulation(
+                self.clients, mix=self.mix, regions=self.regions, seed=self.seed,
+            )
+            self._population_key = key
+        return self._population_cache
+
+    def _adopt_population(self, population: ClientPopulation) -> None:
+        """Adopt an externally built (e.g. shared-memory) population."""
+        if population.n_clients != self.clients:
+            raise WorkloadError("adopted population does not match the client count")
+        self._population = population
+        self._scenario_cache = None
+
+    def _prepare(self) -> None:
+        population = self._shared_population()
+        population.ring_sorted()
+        if self._scenario_cache is None or \
+                self._scenario_cache.population is not population:
+            # Share one fleet + template across every grid point: timelines
+            # restore fleet state, and the fleet shape does not depend on
+            # the game, so the O(n_clients) build is paid once per campaign.
+            fleet = elastic_fleet(
+                population, self.n_sites, nominal_sites=self.n_sites,
+                at_utilization=1.0 / self.headroom, cost_model=self.cost_model,
+            )
+            self._scenario_cache = ScaleScenario(population, fleet)
+        self._point_runners = {}
+
+    def _begin_campaign(self) -> None:
+        self.telemetry.inc(f"campaign.variance_mode.{self.variance_reduction}")
+
+    def unit_specs(self) -> List[CampaignUnit]:
+        # Draws depend only on (seed, replicas_per_point, scheme), so every
+        # grid point replays the same event sequences — the sweep isolates
+        # the dispositions from the noise.
+        draws = replica_seed_draws(self.seed, self.replicas_per_point,
+                                   self.variance_reduction)
+        units: List[CampaignUnit] = []
+        index = 0
+        for sensitivity in self.sensitivities:
+            for aggressiveness in self.aggressiveness:
+                for replica in range(self.replicas_per_point):
+                    event_seed, rng_transform = draws[replica]
+                    units.append(CampaignUnit(
+                        index=index,
+                        point=(aggressiveness, sensitivity),
+                        replica=replica,
+                        label=(f"agg {aggressiveness:g} x sens "
+                               f"{sensitivity:g} replica {replica}"),
+                        event_seed=event_seed,
+                        rng_transform=rng_transform,
+                    ))
+                    index += 1
+        return units
+
+    def run_unit(self, unit: CampaignUnit) -> AdversaryReplicaRecord:
+        telemetry = self.telemetry
+        population = self._shared_population()
+        aggressiveness, sensitivity = unit.point
+        runner = self._point_runners.get(unit.point)
+        if runner is None:
+            game = self._game(aggressiveness, sensitivity)
+            runner = self._point_runner(population, game)
+            self._point_runners[unit.point] = runner
+        replica_span = telemetry.span(
+            "replica", replica=unit.replica,
+            aggressiveness=aggressiveness,
+            sensitivity=sensitivity,
+        )
+        with replica_span:
+            result = runner.run_replica(population, unit.event_seed,
+                                        unit.rng_transform)
+        wall = replica_span.seconds
         tail = max(self.epochs // 4, 1)
         target_class = self.target_classes[0]
+        target_delivered = result.class_delivered_fraction(self.target_classes)
+        last = result.records[-1]
+        return AdversaryReplicaRecord(
+            replica=unit.replica,
+            event_seed=unit.event_seed,
+            final_adoption=result.final_adoption_fraction,
+            mean_discriminated_share=float(
+                result.discriminated_share.mean()),
+            equilibrium_target_delivered=float(
+                target_delivered[-tail:].mean()),
+            clients_rekeyed=result.total_clients_rekeyed,
+            exposed_p95_seconds=last.exposed_latency_p95.get(
+                target_class, 0.0),
+            neutralized_p95_seconds=last.neutralized_latency_p95.get(
+                target_class, 0.0),
+            wall_seconds=wall,
+        )
+
+    def merge_units(self, outcomes: Sequence[AdversaryReplicaRecord], *,
+                    started_at: float,
+                    duration_seconds: float) -> AdversaryCampaignResult:
         points: List[AdversaryPointRecord] = []
         records: Dict[Tuple[float, float], Tuple[AdversaryReplicaRecord, ...]] = {}
-        self._completed = 0
-        campaign_span = telemetry.span("campaign",
-                                       experiment=self.experiment_id,
-                                       replicas=self.total_replicas)
-        with campaign_span:
-            telemetry.inc(
-                f"campaign.variance_mode.{self.variance_reduction}"
-            )
-            for sensitivity in self.sensitivities:
-                for aggressiveness in self.aggressiveness:
-                    game = self._game(aggressiveness, sensitivity)
-                    runner = self._point_runner(population, game)
-                    draws = runner._replica_draws()
-                    replica_records: List[AdversaryReplicaRecord] = []
-                    for replica in range(self.replicas_per_point):
-                        self._current = (f"agg {aggressiveness:g} x sens "
-                                         f"{sensitivity:g} replica {replica}")
-                        event_seed, rng_transform = draws[replica]
-                        replica_span = telemetry.span(
-                            "replica", replica=replica,
-                            aggressiveness=aggressiveness,
-                            sensitivity=sensitivity,
-                        )
-                        with replica_span:
-                            result = runner.run_replica(population, event_seed,
-                                                        rng_transform)
-                        telemetry.inc("campaign.replicas_completed")
-                        wall = replica_span.seconds
-                        target_delivered = result.class_delivered_fraction(
-                            self.target_classes
-                        )
-                        last = result.records[-1]
-                        replica_records.append(AdversaryReplicaRecord(
-                            replica=replica,
-                            event_seed=event_seed,
-                            final_adoption=result.final_adoption_fraction,
-                            mean_discriminated_share=float(
-                                result.discriminated_share.mean()),
-                            equilibrium_target_delivered=float(
-                                target_delivered[-tail:].mean()),
-                            clients_rekeyed=result.total_clients_rekeyed,
-                            exposed_p95_seconds=last.exposed_latency_p95.get(
-                                target_class, 0.0),
-                            neutralized_p95_seconds=last.neutralized_latency_p95.get(
-                                target_class, 0.0),
-                            wall_seconds=wall,
-                        ))
-                        self._completed += 1
-                    key = (aggressiveness, sensitivity)
-                    records[key] = tuple(replica_records)
-                    delivered = float(np.mean(
-                        [r.equilibrium_target_delivered
-                         for r in replica_records]))
-                    points.append(AdversaryPointRecord(
-                        aggressiveness=aggressiveness,
-                        sensitivity=sensitivity,
-                        replicas=self.replicas_per_point,
-                        final_adoption=float(np.mean(
-                            [r.final_adoption for r in replica_records])),
-                        mean_discriminated_share=float(np.mean(
-                            [r.mean_discriminated_share
-                             for r in replica_records])),
-                        equilibrium_target_delivered=delivered,
-                        equilibrium_target_harm=1.0 - delivered,
-                        total_clients_rekeyed=float(np.mean(
-                            [r.clients_rekeyed for r in replica_records])),
-                        exposed_p95_seconds=float(np.mean(
-                            [r.exposed_p95_seconds for r in replica_records])),
-                        neutralized_p95_seconds=float(np.mean(
-                            [r.neutralized_p95_seconds
-                             for r in replica_records])),
-                    ))
-        self._current = None
-        completed_at = started_at + campaign_span.seconds
-
-        result = AdversaryCampaignResult(
+        index = 0
+        for sensitivity in self.sensitivities:
+            for aggressiveness in self.aggressiveness:
+                replica_records = tuple(
+                    outcomes[index:index + self.replicas_per_point])
+                index += self.replicas_per_point
+                key = (aggressiveness, sensitivity)
+                records[key] = replica_records
+                delivered = float(np.mean(
+                    [r.equilibrium_target_delivered
+                     for r in replica_records]))
+                points.append(AdversaryPointRecord(
+                    aggressiveness=aggressiveness,
+                    sensitivity=sensitivity,
+                    replicas=self.replicas_per_point,
+                    final_adoption=float(np.mean(
+                        [r.final_adoption for r in replica_records])),
+                    mean_discriminated_share=float(np.mean(
+                        [r.mean_discriminated_share
+                         for r in replica_records])),
+                    equilibrium_target_delivered=delivered,
+                    equilibrium_target_harm=1.0 - delivered,
+                    total_clients_rekeyed=float(np.mean(
+                        [r.clients_rekeyed for r in replica_records])),
+                    exposed_p95_seconds=float(np.mean(
+                        [r.exposed_p95_seconds for r in replica_records])),
+                    neutralized_p95_seconds=float(np.mean(
+                        [r.neutralized_p95_seconds
+                         for r in replica_records])),
+                ))
+        completed_at = started_at + duration_seconds
+        return AdversaryCampaignResult(
             run_id=self.run_id,
             experiment_name=self.experiment_name,
             started_at=started_at,
@@ -1677,7 +2023,6 @@ class AdversaryCampaignRunner:
             records=records,
             report=self._render_report(points),
         )
-        return result
 
     def _render_report(self, points: List[AdversaryPointRecord]) -> ExperimentReport:
         report = ExperimentReport(

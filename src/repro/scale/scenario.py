@@ -155,6 +155,24 @@ class ProblemTemplate:
         return self._flow_labels
 
     @property
+    def payload_nbytes(self) -> int:
+        """Bytes held by the template's own arrays (population excluded).
+
+        This is the per-worker cache the parallel executor rebuilds in each
+        process on top of the shared population segment — the number to
+        check when sizing ``n_workers`` against available memory (see
+        docs/parallel.md).  Lazy labels are not counted.
+        """
+        arrays = (
+            self.cuts, self.seg_owners, self.counts3d, self.clients_per_site,
+            self.region_of, self.class_of, self.site_of, self.group_clients,
+            self.base_demands, self.bits_per_packet,
+            self.base_setups_per_flow, self.usage,
+            self.elastic_flows, self.flow_alpha, *self.class_members,
+        )
+        return int(sum(a.nbytes for a in arrays if a is not None))
+
+    @property
     def resource_labels(self) -> List[str]:
         """Human-readable resource names, in capacity-vector order."""
         return (

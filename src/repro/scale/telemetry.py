@@ -90,6 +90,23 @@ class Histogram:
             "count": self.n,
         }
 
+    def merge_dict(self, other: Dict[str, object]) -> None:
+        """Fold another histogram's :meth:`as_dict` summary into this one.
+
+        Used when worker-process registries are merged back into the
+        campaign's registry; both sides must share the same bucket edges —
+        merging across layouts would silently mis-bucket the counts.
+        """
+        if tuple(float(edge) for edge in other["edges"]) != self.edges:
+            raise WorkloadError(
+                "cannot merge histograms with different bucket edges"
+            )
+        for index, count in enumerate(other["counts"]):
+            self.counts[index] += int(count)
+        self.inf_count += int(other["inf"])
+        self.total += float(other["sum"])
+        self.n += int(other["count"])
+
 
 def _prometheus_name(name: str) -> str:
     """Sanitize a dotted metric name into the Prometheus charset."""
@@ -166,6 +183,67 @@ class MetricsRegistry:
                        for name in sorted(self._gauges)},
             "histograms": {name: self._histograms[name].as_dict()
                            for name in sorted(self._histograms)},
+        }
+
+    def merge_snapshot(self, snapshot: Dict[str, Dict[str, object]]) -> None:
+        """Fold another registry's :meth:`as_dict` snapshot into this one.
+
+        Counters add, histograms merge bucket-wise (same edges required),
+        gauges take the incoming value (last writer wins — a gauge is a
+        level, not an accumulation).  This is how a multi-worker campaign
+        presents ONE registry: each worker's per-unit delta is merged into
+        the campaign's registry as its results arrive, so exporters and
+        ``get_current_state()`` read merged ``campaign.*``/``solver.*``
+        counters exactly as they would after a single-process run.
+        """
+        for name, value in snapshot.get("counters", {}).items():
+            self.inc(name, float(value))
+        for name, value in snapshot.get("gauges", {}).items():
+            self.set_gauge(name, float(value))
+        for name, summary in snapshot.get("histograms", {}).items():
+            histogram = self._histograms.get(name)
+            if histogram is None:
+                histogram = Histogram(summary["edges"])
+                self._histograms[name] = histogram
+            histogram.merge_dict(summary)
+
+    @staticmethod
+    def snapshot_delta(before: Dict[str, Dict[str, object]],
+                       after: Dict[str, Dict[str, object]],
+                       ) -> Dict[str, Dict[str, object]]:
+        """The work recorded between two :meth:`as_dict` snapshots.
+
+        Counters and histogram bucket counts subtract; gauges report their
+        ``after`` level.  The result is itself a snapshot, suitable for
+        :meth:`merge_snapshot` — the unit-of-work currency a worker process
+        ships back with each completed campaign unit.
+        """
+        counters: Dict[str, float] = {}
+        for name, value in after.get("counters", {}).items():
+            moved = float(value) - float(before.get("counters", {}).get(name, 0.0))
+            if moved:
+                counters[name] = moved
+        histograms: Dict[str, Dict[str, object]] = {}
+        for name, summary in after.get("histograms", {}).items():
+            base = before.get("histograms", {}).get(name)
+            if base is None:
+                histograms[name] = summary
+                continue
+            moved_counts = [int(now) - int(then) for now, then
+                            in zip(summary["counts"], base["counts"])]
+            moved_n = int(summary["count"]) - int(base["count"])
+            if moved_n:
+                histograms[name] = {
+                    "edges": list(summary["edges"]),
+                    "counts": moved_counts,
+                    "inf": int(summary["inf"]) - int(base["inf"]),
+                    "sum": float(summary["sum"]) - float(base["sum"]),
+                    "count": moved_n,
+                }
+        return {
+            "counters": counters,
+            "gauges": dict(after.get("gauges", {})),
+            "histograms": histograms,
         }
 
     def prometheus_text(self) -> str:
@@ -452,20 +530,30 @@ def _percentile(ordered: List[float], q: float) -> float:
     return ordered[index]
 
 
-def phase_breakdown(source) -> Dict[str, Dict[str, float]]:
+def phase_breakdown(source, extra_durations: Optional[
+        Dict[str, List[float]]] = None) -> Dict[str, Dict[str, float]]:
     """Per-phase wall statistics from a tracer's spans, grouped by name.
 
-    ``source`` is a :class:`Tracer` or a :class:`Telemetry` carrying one.
+    ``source`` is a :class:`Tracer`, a :class:`Telemetry` carrying one, or a
+    plain ``{phase: [durations]}`` mapping (how worker processes ship their
+    span timings home — a parallel campaign's phase table merges the parent
+    trace with every worker's durations via ``extra_durations``).
     Returns ``{phase: {count, total_s, p50_s, p95_s, max_s}}`` sorted by
     total time descending — the rows ``tools/perf_report.py`` renders and
     ``BENCH_*.json`` artifacts embed under ``extra_info["phases"]``.
     """
-    tracer = source.tracer if isinstance(source, Telemetry) else source
-    if tracer is None:
-        raise WorkloadError("phase_breakdown needs tracing telemetry")
     durations: Dict[str, List[float]] = {}
-    for record in tracer.spans:
-        durations.setdefault(record.name, []).append(record.dur_s)
+    if isinstance(source, dict):
+        for name, values in source.items():
+            durations.setdefault(name, []).extend(float(v) for v in values)
+    else:
+        tracer = source.tracer if isinstance(source, Telemetry) else source
+        if tracer is None:
+            raise WorkloadError("phase_breakdown needs tracing telemetry")
+        for record in tracer.spans:
+            durations.setdefault(record.name, []).append(record.dur_s)
+    for name, values in (extra_durations or {}).items():
+        durations.setdefault(name, []).extend(float(v) for v in values)
     out: Dict[str, Dict[str, float]] = {}
     for name in sorted(durations, key=lambda n: -sum(durations[n])):
         ordered = sorted(durations[name])

@@ -407,6 +407,19 @@ class TimelineResult:
         return len(self.records)
 
     @property
+    def payload_nbytes(self) -> int:
+        """Bytes held by the result's per-epoch matrices.
+
+        Campaign units ship one of these back from each worker process;
+        this is the dominant term of that pickled payload, so it is the
+        number to watch when a long timeline makes parallel campaign
+        results expensive to return (see docs/parallel.md).
+        """
+        return int(self.cpu_utilization.nbytes
+                   + self.uplink_utilization.nbytes
+                   + self.clients_per_site.nbytes)
+
+    @property
     def goodput_bps(self) -> np.ndarray:
         """Delivered bits/s per epoch."""
         return np.array([record.goodput_bps for record in self.records])

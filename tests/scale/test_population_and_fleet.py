@@ -220,6 +220,32 @@ class TestIncrementalTemplate:
         self.assert_equivalent(restored, original)
         assert restored.remapped_from_parent == incremental.remapped_from_parent
 
+    def test_payload_nbytes_counts_the_template_arrays(self):
+        from repro.scale.scenario import ScaleScenario
+
+        population = ClientPopulation(10_000, seed=23)
+        template = ScaleScenario(population, NeutralizerFleet.build(6)).build_template()
+        expected = sum(
+            a.nbytes
+            for a in (
+                template.cuts, template.seg_owners, template.counts3d,
+                template.clients_per_site, template.region_of,
+                template.class_of, template.site_of, template.group_clients,
+                template.base_demands, template.bits_per_packet,
+                template.base_setups_per_flow, template.usage,
+                *template.class_members,
+            )
+        )
+        if template.elastic_flows is not None:
+            expected += template.elastic_flows.nbytes
+        if template.flow_alpha is not None:
+            expected += template.flow_alpha.nbytes
+        assert template.payload_nbytes == expected > 0
+        # The footprint is per-flow/per-site state, not O(n_clients): the
+        # parallel engine keeps the population in shared memory precisely
+        # because the per-worker template cache stays small beside it.
+        assert template.payload_nbytes < population.class_index.nbytes * 8
+
     def test_rebuild_through_many_membership_changes(self):
         from repro.scale.scenario import ProblemTemplate, ScaleScenario
 

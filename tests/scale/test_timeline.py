@@ -105,6 +105,17 @@ class TestConservation:
         ).run()
         assert (result.clients_per_site.sum(axis=1) == result.n_clients).all()
 
+    def test_payload_nbytes_tracks_the_epoch_matrices(self):
+        result = small_timeline(epochs=6).run()
+        expected = (result.cpu_utilization.nbytes
+                    + result.uplink_utilization.nbytes
+                    + result.clients_per_site.nbytes)
+        assert result.payload_nbytes == expected > 0
+        # Grows with the timeline: double the epochs, double the payload a
+        # campaign unit ships back from its worker process.
+        longer = small_timeline(epochs=12).run()
+        assert longer.payload_nbytes == 2 * result.payload_nbytes
+
     def test_capacity_loss_is_monotone_non_increasing(self):
         # Identical demand, progressively degraded fleet: goodput can only fall.
         goodputs = []

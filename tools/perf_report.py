@@ -43,7 +43,13 @@ from repro.scale import (  # noqa: E402  (path bootstrap above)
 
 
 def render_artifacts(paths) -> int:
-    """Print the phase tables embedded in BENCH artifacts; 0 if any rows."""
+    """Print the phase tables embedded in BENCH artifacts; 0 if any rows.
+
+    Parallel-campaign benchmarks additionally carry an
+    ``extra_info["parallel"]`` scaling section (worker count, serial vs
+    parallel wall time, speedup/efficiency), rendered as a one-line summary
+    under the phase table.
+    """
     rows = 0
     for path in paths:
         try:
@@ -53,13 +59,23 @@ def render_artifacts(paths) -> int:
             print(f"{path}: unreadable ({exc})", file=sys.stderr)
             return 1
         for bench in data.get("benchmarks", []):
-            phases = (bench.get("extra_info") or {}).get("phases")
-            if not phases:
-                continue
-            rows += len(phases)
-            print(format_phase_table(
-                phases, title=f"{Path(path).name} :: {bench['name']}"))
-            print()
+            extra = bench.get("extra_info") or {}
+            phases = extra.get("phases")
+            if phases:
+                rows += len(phases)
+                print(format_phase_table(
+                    phases, title=f"{Path(path).name} :: {bench['name']}"))
+            parallel = extra.get("parallel")
+            if parallel:
+                speedup = parallel.get("speedup", 0.0)
+                print(f"{Path(path).name} :: {bench['name']} scaling: "
+                      f"{parallel.get('n_workers', '?')} workers, "
+                      f"serial {parallel.get('serial_s', 0.0):.2f}s -> "
+                      f"parallel {parallel.get('parallel_s', 0.0):.2f}s "
+                      f"({speedup:.2f}x, "
+                      f"{parallel.get('efficiency', 0.0):.0%} efficiency)")
+            if phases or parallel:
+                print()
     if rows == 0:
         print("no phase rows found in any artifact", file=sys.stderr)
         return 1
