@@ -130,6 +130,18 @@ from .catalogue import (
     run_scenario,
     scenario_names,
 )
+from .config import (
+    ConfigError,
+    ConfigTransaction,
+    FieldChange,
+    FleetSpec,
+    PopulationSpec,
+    ScenarioConfig,
+    SiteSpec,
+    diff_configs,
+    dump_config,
+    load_config,
+)
 from .costmodel import CryptoCostModel, ProvisioningCostModel
 from .fleet import FleetSite, NeutralizerFleet
 from .stochastic import (
@@ -224,6 +236,7 @@ from .timeline import (
     FluidTimeline,
     LinearRampLoad,
     LoadCurve,
+    ReconfigEvent,
     SiteFailure,
     SiteRecovery,
     TimelineResult,
@@ -261,6 +274,8 @@ __all__ = [
     "ClassifierModel",
     "ClientPopulation",
     "CompositeLoad",
+    "ConfigError",
+    "ConfigTransaction",
     "ConstantLoad",
     "CorrelatedRegionalOutage",
     "CrossValidationResult",
@@ -273,11 +288,13 @@ __all__ = [
     "EpochProblem",
     "EpochRecord",
     "EventProcess",
+    "FieldChange",
     "FlashCrowdLoad",
     "FleetEvent",
-    "FleetSite",
     "FleetScaleResult",
     "FleetScaleRunner",
+    "FleetSite",
+    "FleetSpec",
     "FluidResult",
     "FluidTimeline",
     "FrontierPoint",
@@ -299,26 +316,30 @@ __all__ = [
     "P2Quantile",
     "PoissonSiteFailures",
     "PopulationMix",
+    "PopulationSpec",
     "PredictiveLoadPolicy",
     "ProblemTemplate",
     "ProcessPoolCampaignExecutor",
     "ProvisioningCostModel",
+    "ReconfigEvent",
     "RunTable",
     "ScaleExperimentState",
     "ScaleScenario",
+    "ScenarioConfig",
     "ScenarioSpec",
     "SharedPopulationPack",
     "SiteFailure",
     "SiteRecovery",
+    "SiteSpec",
     "Span",
     "SpanRecord",
     "StepPolicy",
     "StochasticCampaignResult",
-    "StreamingPercentiles",
-    "TargetLatencyPolicy",
     "StochasticCampaignRunner",
     "StochasticReplicaRecord",
+    "StreamingPercentiles",
     "SweepRecord",
+    "TargetLatencyPolicy",
     "TargetUtilizationPolicy",
     "Telemetry",
     "TimelineCampaignRecord",
@@ -339,10 +360,13 @@ __all__ = [
     "cross_validate_latency",
     "default_mix",
     "default_processes",
+    "diff_configs",
+    "dump_config",
     "elastic_fleet",
     "elastic_mix",
     "evaluate_latency",
     "format_phase_table",
+    "load_config",
     "max_min_allocation",
     "nominal_demand",
     "phase_breakdown",

@@ -57,7 +57,7 @@ costs the same as a million-client diurnal day.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -358,6 +358,16 @@ class AdversaryRun:
         self._mask_cache: Tuple[Optional[ProblemTemplate], Optional[np.ndarray]] = (
             None, None,
         )
+
+    def retune(self, adoption: "AdoptionModel") -> None:
+        """Swap the adoption disposition mid-run (a committed reconfig event).
+
+        Only the *model* changes — current per-region adoption fractions and
+        the ISP's throttle state carry over, so the retune reads as clients
+        becoming more (or less) price/harm sensitive from this epoch on, not
+        as a population reset.
+        """
+        self.game = replace(self.game, adoption=adoption)
 
     def _count_moves(self, events: List[str], rekeyed: int) -> None:
         """Record this tick's game moves as counters, by event label."""

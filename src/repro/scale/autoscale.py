@@ -38,7 +38,7 @@ timelines re-runnable — ``FluidTimeline.run()`` builds a fresh
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Callable, Dict, List, Optional
 
 from ..exceptions import WorkloadError
@@ -384,6 +384,46 @@ class AutoscaleRun:
             site.name for site in self.fleet.sites
             if site.healthy and not site.active and site.name not in self.warming
         ]
+
+    # -- live reconfiguration --------------------------------------------------------
+
+    def reconfigure(self, *, policy: Optional[AutoscalePolicy] = None,
+                    min_sites: Optional[int] = None,
+                    max_sites: Optional[int] = None) -> None:
+        """Swap the policy and/or bounds mid-run (a committed reconfig event).
+
+        The spec is rebuilt through :class:`Autoscaler`'s own validators, so
+        an inconsistent swap (``min_sites > max_sites``) fails before any
+        state changes; the effective bounds are re-clamped to the fleet like
+        at construction.  Warming queue, activation order and the cooldown
+        clock carry over — an operator retunes the controller, not the fleet.
+        """
+        updates: Dict[str, object] = {}
+        if policy is not None:
+            updates["policy"] = policy
+        if min_sites is not None:
+            updates["min_sites"] = min_sites
+        if max_sites is not None:
+            updates["max_sites"] = max_sites
+        if not updates:
+            return
+        spec = replace(self.spec, **updates)
+        self.spec = spec
+        self.max_sites = min(spec.max_sites or self.fleet.n_sites,
+                             self.fleet.n_sites)
+        self.min_sites = min(spec.min_sites, self.max_sites)
+
+    def note_external_activation(self, name: str) -> None:
+        """Register a site an operator activated outside the controller."""
+        self.warming.pop(name, None)
+        if name not in self.active_order:
+            self.active_order.append(name)
+
+    def note_external_drain(self, name: str) -> None:
+        """Register a site an operator drained outside the controller."""
+        self.warming.pop(name, None)
+        if name in self.active_order:
+            self.active_order.remove(name)
 
     # -- the control step ------------------------------------------------------------
 

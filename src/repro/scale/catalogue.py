@@ -68,38 +68,15 @@ The thirteen stock scenarios cover the transients the steady-state sweep
 from __future__ import annotations
 
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..exceptions import WorkloadError
-from .adversary import (
-    AdoptionModel,
-    AdversaryGame,
-    ClassifierModel,
-    IspStrategy,
-)
-from .autoscale import (
-    Autoscaler,
-    PredictiveLoadPolicy,
-    StepPolicy,
-    TargetLatencyPolicy,
-    elastic_fleet,
-)
+from .config import ConfigError, ScenarioConfig, load_config
 from .costmodel import CryptoCostModel
 from .fleet import FleetSite, NeutralizerFleet
-from .latency import LatencyModel
-from .population import ClientPopulation, elastic_mix
-from .stochastic import compile_events, default_processes
-from .timeline import (
-    CapacityDegradation,
-    ConstantLoad,
-    DiurnalLoad,
-    FlashCrowdLoad,
-    FluidTimeline,
-    LinearRampLoad,
-    SiteFailure,
-    SiteRecovery,
-    DiscriminationToggle,
-)
+from .population import ClientPopulation
+from .timeline import FluidTimeline
 
 
 def nominal_demand(population: ClientPopulation) -> Tuple[float, float]:
@@ -124,6 +101,8 @@ def provisioned_fleet(
     headroom: float = 1.3,
     cost_model: Optional[CryptoCostModel] = None,
     heterogeneous: bool = False,
+    site_weights: Optional[Tuple[float, ...]] = None,
+    tiers: Optional[Tuple[str, ...]] = None,
 ) -> NeutralizerFleet:
     """A fleet sized to carry ``headroom`` times the population's nominal load.
 
@@ -131,18 +110,29 @@ def provisioned_fleet(
     demand, so the same scenario is equally interesting at 2 × 10^3 and
     10^6 clients.  ``heterogeneous=True`` splits the budget 3:1 between big
     metro boxes (the first half) and small edge boxes (the second half)
-    instead of evenly.
+    instead of evenly; ``site_weights`` gives an arbitrary per-site split
+    instead.  ``tiers`` labels each site ``"reserved"`` or ``"spot"`` for the
+    provisioning cost model (capacity is tier-blind; only the bill differs).
     """
     if n_sites <= 0:
         raise WorkloadError("a fleet needs at least one site")
     if headroom <= 0:
         raise WorkloadError("fleet headroom must be positive")
+    if heterogeneous and site_weights is not None:
+        raise WorkloadError("give either heterogeneous or site_weights, not both")
+    if site_weights is not None:
+        if len(site_weights) != n_sites:
+            raise WorkloadError(f"needs exactly {n_sites} site weights")
+        if any(weight <= 0 for weight in site_weights):
+            raise WorkloadError("site weights must be positive")
+    if tiers is not None and len(tiers) != n_sites:
+        raise WorkloadError(f"needs exactly {n_sites} site tiers")
     model = cost_model or CryptoCostModel.default()
     total_bps, total_pps = nominal_demand(population)
     total_uplink = total_bps * headroom
     total_cores = total_pps * model.data_packet_cost_seconds * headroom
 
-    weights = [1.0] * n_sites
+    weights = list(site_weights) if site_weights is not None else [1.0] * n_sites
     if heterogeneous:
         half = n_sites // 2
         weights = [3.0] * half + [1.0] * (n_sites - half)
@@ -152,6 +142,7 @@ def provisioned_fleet(
             f"site{i:02d}",
             cores=max(total_cores * weight / weight_sum, 1e-6),
             uplink_bps=max(total_uplink * weight / weight_sum, 1.0),
+            tier=tiers[i] if tiers is not None else "reserved",
         )
         for i, weight in enumerate(weights)
     ]
@@ -160,11 +151,19 @@ def provisioned_fleet(
 
 @dataclass(frozen=True)
 class ScenarioSpec:
-    """One catalogue entry: a named, self-describing timeline builder."""
+    """One catalogue entry: a named, self-describing timeline builder.
+
+    ``config`` is the declarative :class:`~repro.scale.config.ScenarioConfig`
+    document the entry was loaded from (``src/repro/scale/catalogue_data/``);
+    ``build`` is its bound build method, so every catalogue timeline carries
+    the document as ``timeline.config`` and is live-reconfigurable through
+    :class:`~repro.scale.config.ConfigTransaction`.
+    """
 
     name: str
     title: str
     description: str
+    config: ScenarioConfig
     build: Callable[..., FluidTimeline]
 
     def __call__(self, *, clients: int = 100_000, seed: int = 2006,
@@ -174,402 +173,31 @@ class ScenarioSpec:
                           population=population)
 
 
-def _flash_crowd(*, clients: int, seed: int,
-                 cost_model: Optional[CryptoCostModel],
-                 population: Optional[ClientPopulation] = None) -> FluidTimeline:
-    population = population or ClientPopulation(clients, seed=seed)
-    fleet = provisioned_fleet(population, 16, headroom=1.4, cost_model=cost_model)
-    total_bps, _ = nominal_demand(population)
-    return FluidTimeline(
-        population, fleet,
-        epochs=48, epoch_seconds=1800.0,
-        load=FlashCrowdLoad(base=0.9, spike=6.0, start_seconds=8 * 1800.0,
-                            ramp_seconds=2 * 1800.0, hold_seconds=12 * 1800.0,
-                            regions_hit=(0, 1)),
-        # Access uplinks sized so the spiking metro regions also stress the
-        # regional aggregation, not only the fleet.
-        region_uplink_bps=total_bps * 0.6,
-    )
+#: Where the scenario documents live; the numeric filename prefix pins the
+#: catalogue's definition order (sorted glob == catalogue order).
+CATALOGUE_DATA_DIR = Path(__file__).with_name("catalogue_data")
 
 
-def _regional_outage(*, clients: int, seed: int,
-                     cost_model: Optional[CryptoCostModel],
-                     population: Optional[ClientPopulation] = None) -> FluidTimeline:
-    population = population or ClientPopulation(clients, seed=seed)
-    fleet = provisioned_fleet(population, 16, headroom=1.5, cost_model=cost_model)
-    outage = [f"site{i:02d}" for i in range(4)]
-    events: List = [SiteFailure(8, name) for name in outage]
-    events += [SiteRecovery(20, name) for name in outage]
-    return FluidTimeline(
-        population, fleet,
-        epochs=36, epoch_seconds=3600.0,
-        load=ConstantLoad(1.0),
-        events=events,
-    )
+def _load_catalogue() -> Dict[str, ScenarioSpec]:
+    specs: Dict[str, ScenarioSpec] = {}
+    for path in sorted(CATALOGUE_DATA_DIR.glob("*.json")):
+        config = load_config(path)
+        if config.name in specs:
+            raise ConfigError(
+                f"{path.name}: duplicate scenario {config.name!r}")
+        specs[config.name] = ScenarioSpec(
+            name=config.name,
+            title=config.title,
+            description=config.description,
+            config=config,
+            build=config.build,
+        )
+    if not specs:
+        raise ConfigError(f"no scenario documents under {CATALOGUE_DATA_DIR}")
+    return specs
 
 
-def _diurnal_week(*, clients: int, seed: int,
-                  cost_model: Optional[CryptoCostModel],
-                  population: Optional[ClientPopulation] = None) -> FluidTimeline:
-    population = population or ClientPopulation(clients, seed=seed)
-    fleet = provisioned_fleet(population, 16, headroom=1.1, cost_model=cost_model)
-    return FluidTimeline(
-        population, fleet,
-        epochs=168, epoch_seconds=3600.0,
-        load=DiurnalLoad(trough=0.35, peak=1.05, timezone_spread=0.25),
-    )
-
-
-def _heterogeneous_fleet(*, clients: int, seed: int,
-                         cost_model: Optional[CryptoCostModel],
-                         population: Optional[ClientPopulation] = None) -> FluidTimeline:
-    population = population or ClientPopulation(clients, seed=seed)
-    fleet = provisioned_fleet(population, 16, headroom=1.25,
-                              cost_model=cost_model, heterogeneous=True)
-    return FluidTimeline(
-        population, fleet,
-        epochs=48, epoch_seconds=3600.0,
-        load=DiurnalLoad(trough=0.4, peak=1.1, timezone_spread=0.3),
-    )
-
-
-def _cascading_overload(*, clients: int, seed: int,
-                        cost_model: Optional[CryptoCostModel],
-                        population: Optional[ClientPopulation] = None) -> FluidTimeline:
-    population = population or ClientPopulation(clients, seed=seed)
-    fleet = provisioned_fleet(population, 12, headroom=1.3, cost_model=cost_model)
-    events: List = []
-    # One box overheats, is derated, then dies; its load pushes the next one
-    # over, and so on — classic cascade, four casualties deep.
-    for wave, site in enumerate(("site03", "site07", "site01", "site09")):
-        events.append(CapacityDegradation(4 + wave * 6, site=site, factor=0.4))
-        events.append(SiteFailure(7 + wave * 6, site))
-    return FluidTimeline(
-        population, fleet,
-        epochs=40, epoch_seconds=1800.0,
-        load=LinearRampLoad(start_level=0.8, end_level=1.15,
-                            t0_seconds=0.0, t1_seconds=40 * 1800.0),
-        events=events,
-    )
-
-
-def _discrimination_rollout(*, clients: int, seed: int,
-                            cost_model: Optional[CryptoCostModel],
-                            population: Optional[ClientPopulation] = None) -> FluidTimeline:
-    population = population or ClientPopulation(clients, seed=seed)
-    fleet = provisioned_fleet(population, 16, headroom=2.0, cost_model=cost_model)
-    events: List = []
-    # One access region per epoch starts throttling video+web to 30%; the
-    # policy spreads across all regions, holds, then is repealed everywhere
-    # (regulatory intervention) eight epochs before the end.
-    for region in range(population.regions):
-        events.append(DiscriminationToggle(
-            2 + region * 2, region=region, factor=0.3,
-            class_names=("video", "web"), until_epoch=24,
-        ))
-    return FluidTimeline(
-        population, fleet,
-        epochs=32, epoch_seconds=3600.0,
-        load=ConstantLoad(1.0),
-        events=events,
-    )
-
-
-def _autoscaled_diurnal(*, clients: int, seed: int,
-                        cost_model: Optional[CryptoCostModel],
-                        population: Optional[ClientPopulation] = None) -> FluidTimeline:
-    population = population or ClientPopulation(clients, seed=seed)
-    # 16 nominal sites at 60% utilization, 8 drained spares; the predictive
-    # policy reads the diurnal curve two epochs ahead so capacity lands when
-    # the evening peak does, not one warm-up after it.
-    fleet = elastic_fleet(population, 24, nominal_sites=16, at_utilization=0.6,
-                          cost_model=cost_model)
-    autoscaler = Autoscaler(
-        PredictiveLoadPolicy(target=0.6, lead_epochs=2, deadband=0.06),
-        min_sites=8, warmup_epochs=2, cooldown_epochs=1,
-    )
-    return FluidTimeline(
-        population, fleet,
-        epochs=72, epoch_seconds=3600.0,
-        load=DiurnalLoad(trough=0.3, peak=1.15, timezone_spread=0.25),
-        autoscaler=autoscaler,
-    )
-
-
-def _stochastic_unreliable(*, clients: int, seed: int,
-                           cost_model: Optional[CryptoCostModel],
-                           population: Optional[ClientPopulation] = None) -> FluidTimeline:
-    population = population or ClientPopulation(clients, seed=seed)
-    fleet = elastic_fleet(population, 20, nominal_sites=16, at_utilization=0.7,
-                          cost_model=cost_model)
-    # One draw of the E14 processes, pinned to the scenario seed — a single
-    # unlucky month: random single-site failures, one or two correlated
-    # outages, and DoS onsets, with a step autoscaler backfilling from the
-    # spare pool whenever a survivor runs hot.
-    events = compile_events(
-        default_processes(failure_rate=0.004, outage_rate=0.02, attack_rate=0.03),
-        seed=seed, epochs=60,
-        site_names=[site.name for site in fleet.sites],
-    )
-    autoscaler = Autoscaler(
-        StepPolicy(high=0.85, low=0.45, step=2),
-        min_sites=12, warmup_epochs=1, cooldown_epochs=1,
-    )
-    return FluidTimeline(
-        population, fleet,
-        epochs=60, epoch_seconds=1800.0,
-        load=ConstantLoad(1.0),
-        events=events,
-        autoscaler=autoscaler,
-    )
-
-
-def _elastic_web_mix(*, clients: int, seed: int,
-                     cost_model: Optional[CryptoCostModel],
-                     population: Optional[ClientPopulation] = None) -> FluidTimeline:
-    # The elastic mix changes the population's class structure, so this
-    # scenario cannot reuse a shared default-mix population — it draws its
-    # own (the build is O(n_clients), far below one congested solve).
-    population = ClientPopulation(clients, mix=elastic_mix(), seed=seed)
-    fleet = provisioned_fleet(population, 16, headroom=0.95, cost_model=cost_model)
-    return FluidTimeline(
-        population, fleet,
-        epochs=48, epoch_seconds=1800.0,
-        load=FlashCrowdLoad(base=0.85, spike=4.0, start_seconds=10 * 1800.0,
-                            ramp_seconds=3 * 1800.0, hold_seconds=10 * 1800.0,
-                            regions_hit=(0, 1, 2)),
-        latency=LatencyModel(),
-        # Tight enough that the crowd's queueing tail actually breaches it:
-        # the scenario reports a growing violating-client fraction while
-        # the spike holds, not just a throughput dip.
-        latency_slo_seconds=0.04,
-    )
-
-
-def _latency_slo_autoscaled(*, clients: int, seed: int,
-                            cost_model: Optional[CryptoCostModel],
-                            population: Optional[ClientPopulation] = None) -> FluidTimeline:
-    population = population or ClientPopulation(clients, seed=seed)
-    # 16 nominal sites at 60% with 8 drained spares; the controller reads
-    # the previous epoch's client-weighted P95 and inverts the queueing
-    # proxy to hold it at 55 ms through the diurnal swing.
-    fleet = elastic_fleet(population, 24, nominal_sites=16, at_utilization=0.6,
-                          cost_model=cost_model)
-    model = LatencyModel()
-    autoscaler = Autoscaler(
-        TargetLatencyPolicy.for_model(model, target_p95_seconds=0.055),
-        min_sites=8, warmup_epochs=1, cooldown_epochs=2,
-    )
-    return FluidTimeline(
-        population, fleet,
-        epochs=72, epoch_seconds=3600.0,
-        load=DiurnalLoad(trough=0.35, peak=1.2, timezone_spread=0.25),
-        autoscaler=autoscaler,
-        latency=model,
-        latency_slo_seconds=0.08,
-    )
-
-
-def _adaptive_throttler(*, clients: int, seed: int,
-                        cost_model: Optional[CryptoCostModel],
-                        population: Optional[ClientPopulation] = None) -> FluidTimeline:
-    population = population or ClientPopulation(clients, seed=seed)
-    fleet = provisioned_fleet(population, 16, headroom=1.3, cost_model=cost_model)
-    # The E16 default dispositions: a mid-aggressiveness ISP that escalates
-    # as adoption erodes what its classifier can see, against moderately
-    # price-sensitive clients — the canonical single game run.
-    game = AdversaryGame(
-        isp=IspStrategy(aggressiveness=0.6, allow_blanket=False),
-        adoption=AdoptionModel(sensitivity=6.0, adoption_cost=0.05),
-    )
-    return FluidTimeline(
-        population, fleet,
-        epochs=60, epoch_seconds=1800.0,
-        load=ConstantLoad(1.0),
-        adversary=game,
-        latency=LatencyModel(),
-        latency_slo_seconds=0.08,
-    )
-
-
-def _neutralizer_arms_race(*, clients: int, seed: int,
-                           cost_model: Optional[CryptoCostModel],
-                           population: Optional[ClientPopulation] = None) -> FluidTimeline:
-    population = population or ClientPopulation(clients, seed=seed)
-    fleet = provisioned_fleet(population, 16, headroom=1.3, cost_model=cost_model)
-    # Maximal ISP vs cheap neutralization, blanket endgame allowed: throttle
-    # hard, lose the classifier to adoption, go blanket (throttle everything
-    # unclassifiable), bleed collateral, back off — the full §3.6 cycle.
-    game = AdversaryGame(
-        isp=IspStrategy(
-            aggressiveness=1.0, allow_blanket=True,
-            blanket_evasion=0.6, backoff_collateral=0.25,
-        ),
-        adoption=AdoptionModel(sensitivity=14.0, adoption_cost=0.03),
-    )
-    return FluidTimeline(
-        population, fleet,
-        epochs=72, epoch_seconds=1800.0,
-        load=ConstantLoad(1.0),
-        adversary=game,
-        latency=LatencyModel(),
-        latency_slo_seconds=0.08,
-    )
-
-
-def _targeted_class_slo(*, clients: int, seed: int,
-                        cost_model: Optional[CryptoCostModel],
-                        population: Optional[ClientPopulation] = None) -> FluidTimeline:
-    population = population or ClientPopulation(clients, seed=seed)
-    fleet = elastic_fleet(population, 24, nominal_sites=16, at_utilization=0.6,
-                          cost_model=cost_model)
-    model = LatencyModel()
-    # A precise classifier throttles video alone while the latency-aware
-    # autoscaler keeps the aggregate P95 on target — the throttled class's
-    # *exposed* tail is displaced anyway: capacity cannot buy back a
-    # policer queue, only neutralization can.
-    autoscaler = Autoscaler(
-        TargetLatencyPolicy.for_model(model, target_p95_seconds=0.055),
-        min_sites=8, warmup_epochs=1, cooldown_epochs=2,
-    )
-    game = AdversaryGame(
-        isp=IspStrategy(
-            aggressiveness=0.7, target_classes=("video",),
-            classifier=ClassifierModel(true_positive=0.97, false_positive=0.01,
-                                       neutralized_leakage=0.03),
-            allow_blanket=False,
-        ),
-        adoption=AdoptionModel(sensitivity=8.0, adoption_cost=0.05),
-    )
-    return FluidTimeline(
-        population, fleet,
-        epochs=48, epoch_seconds=3600.0,
-        load=DiurnalLoad(trough=0.4, peak=1.1, timezone_spread=0.25),
-        autoscaler=autoscaler,
-        adversary=game,
-        latency=model,
-        latency_slo_seconds=0.08,
-    )
-
-
-CATALOGUE: Dict[str, ScenarioSpec] = {
-    spec.name: spec
-    for spec in (
-        ScenarioSpec(
-            name="flash_crowd",
-            title="Flash crowd in two metro regions (6x spike)",
-            description="demand in regions 0-1 ramps to 6x nominal, holds six "
-                        "hours, and decays; the fleet and the regional uplinks "
-                        "shed load max-min fairly",
-            build=_flash_crowd,
-        ),
-        ScenarioSpec(
-            name="regional_outage",
-            title="Regional outage: 4 of 16 sites fail, then recover",
-            description="a quarter of the fleet fails at epoch 8; the hash ring "
-                        "remaps exactly the failed sites' clients, recovery at "
-                        "epoch 20 restores the old assignment",
-            build=_regional_outage,
-        ),
-        ScenarioSpec(
-            name="diurnal_week",
-            title="A week of timezone-staggered diurnal load",
-            description="168 hourly epochs of day/night sinusoid; the ring never "
-                        "changes, and off-peak epochs certify straight from the "
-                        "demands vector instead of refilling",
-            build=_diurnal_week,
-        ),
-        ScenarioSpec(
-            name="heterogeneous_fleet",
-            title="Heterogeneous fleet: metro boxes 3x the edge boxes",
-            description="half the fleet carries three quarters of the budget; "
-                        "diurnal peaks drive the small edge boxes to their "
-                        "knees first",
-            build=_heterogeneous_fleet,
-        ),
-        ScenarioSpec(
-            name="cascading_overload",
-            title="Cascading overload: degrade-then-fail, four waves",
-            description="under a rising ramp, sites are derated then lost one "
-                        "wave at a time, concentrating load on fewer survivors",
-            build=_cascading_overload,
-        ),
-        ScenarioSpec(
-            name="discrimination_rollout",
-            title="Per-region discrimination rollout and repeal",
-            description="access ISPs throttle video+web to 30% region by "
-                        "region, hold, and repeal — the paper's policy story "
-                        "as a fleet-scale transient",
-            build=_discrimination_rollout,
-        ),
-        ScenarioSpec(
-            name="autoscaled_diurnal",
-            title="Predictive autoscaler riding three diurnal days",
-            description="an elastic fleet (16 nominal sites, 8 drained "
-                        "spares) tracks the day/night sinusoid under a "
-                        "predictive utilization policy: spares warm up ahead "
-                        "of the evening peak and drain off overnight, paying "
-                        "remap churn for the saved core-hours",
-            build=_autoscaled_diurnal,
-        ),
-        ScenarioSpec(
-            name="stochastic_unreliable",
-            title="One unlucky month: seeded failures, outages, attacks",
-            description="a single draw of the E14 stochastic processes "
-                        "(Poisson site failures, a correlated regional "
-                        "outage, DoS onsets) against a step-policy "
-                        "autoscaler backfilling from the spare pool",
-            build=_stochastic_unreliable,
-        ),
-        ScenarioSpec(
-            name="elastic_web_mix",
-            title="Elastic web/video vs CBR VoIP through a flash crowd",
-            description="TCP-like web and video back off alpha-fairly while "
-                        "inelastic VoIP is shed max-min; the latency proxy "
-                        "shows the spike as a displaced delay tail, not just "
-                        "lost throughput",
-            build=_elastic_web_mix,
-        ),
-        ScenarioSpec(
-            name="latency_slo_autoscaled",
-            title="Latency-SLO fleet: P95 path delay held on target",
-            description="a latency-aware autoscaler inverts the M/G/1-PS "
-                        "queueing proxy each epoch to keep the "
-                        "client-weighted P95 delay at 55 ms across a "
-                        "diurnal day, paying sites for milliseconds",
-            build=_latency_slo_autoscaled,
-        ),
-        ScenarioSpec(
-            name="adaptive_throttler",
-            title="Adaptive ISP throttling vs neutralizer adoption",
-            description="a budget-constrained ISP escalates its video/web "
-                        "throttle as evasion grows while per-region "
-                        "adoption answers — the E16 game, watched epoch "
-                        "by epoch",
-            build=_adaptive_throttler,
-        ),
-        ScenarioSpec(
-            name="neutralizer_arms_race",
-            title="The full arms race: escalate, blanket, bleed, back off",
-            description="a maximally aggressive ISP escalates to the §3.6 "
-                        "blanket throttle, cheap adoption floods in, "
-                        "collateral forces a retreat; the latency proxy "
-                        "tracks the exposed-vs-neutralized tails through "
-                        "every phase",
-            build=_neutralizer_arms_race,
-        ),
-        ScenarioSpec(
-            name="targeted_class_slo",
-            title="Targeted class under a latency SLO: delay as the harm",
-            description="a high-precision classifier throttles video only "
-                        "while the latency-aware autoscaler holds the "
-                        "aggregate P95 on target — the throttled class's "
-                        "exposed tail is displaced, its neutralized twin "
-                        "is not",
-            build=_targeted_class_slo,
-        ),
-    )
-}
+CATALOGUE: Dict[str, ScenarioSpec] = _load_catalogue()
 
 
 def scenario_names() -> List[str]:
@@ -593,8 +221,9 @@ def build_scenario(name: str, *, clients: int = 100_000, seed: int = 2006,
     try:
         spec = CATALOGUE[name]
     except KeyError:
-        raise WorkloadError(
-            f"unknown scenario {name!r}; catalogue has {', '.join(CATALOGUE)}"
+        raise ConfigError(
+            f"unknown scenario {name!r}; catalogue has {', '.join(CATALOGUE)}",
+            field_path="name",
         ) from None
     timeline = spec(clients=clients, seed=seed, cost_model=cost_model,
                     population=population)

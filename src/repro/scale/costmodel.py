@@ -155,19 +155,36 @@ class ProvisioningCostModel:
     site_hour_usd: float = 0.50
     #: Dollars per thousand remapped clients (fresh key setups at the new site).
     remap_usd_per_thousand: float = 0.01
+    #: Price factor for spot-tier capacity relative to reserved.  Spot boxes
+    #: ride the same ring at the same capacity — the discount is the whole
+    #: point of mixing tiers, and what the cost frontier trades against the
+    #: operational story of preemptible capacity.
+    spot_multiplier: float = 0.6
 
     def __post_init__(self) -> None:
         if min(self.core_hour_usd, self.gbps_hour_usd, self.site_hour_usd,
                self.remap_usd_per_thousand) < 0:
             raise WorkloadError("provisioning prices must be non-negative")
+        if self.spot_multiplier < 0:
+            raise WorkloadError("the spot multiplier must be non-negative")
 
     def epoch_cost(self, *, cores: float, uplink_bps: float, sites: float,
-                   epoch_seconds: float, clients_remapped: int = 0) -> float:
-        """Dollars one epoch costs for the committed capacity plus its churn."""
+                   epoch_seconds: float, clients_remapped: int = 0,
+                   spot_cores: float = 0.0, spot_uplink_bps: float = 0.0,
+                   spot_sites: float = 0.0) -> float:
+        """Dollars one epoch costs for the committed capacity plus its churn.
+
+        ``cores``/``uplink_bps``/``sites`` are the reserved-tier sums; the
+        ``spot_*`` sums are billed at ``spot_multiplier`` of the same rates.
+        """
         hours = epoch_seconds / 3600.0
         return (
             (self.core_hour_usd * cores
              + self.gbps_hour_usd * uplink_bps / 1e9
              + self.site_hour_usd * sites) * hours
+            + self.spot_multiplier
+            * (self.core_hour_usd * spot_cores
+               + self.gbps_hour_usd * spot_uplink_bps / 1e9
+               + self.site_hour_usd * spot_sites) * hours
             + self.remap_usd_per_thousand * clients_remapped / 1000.0
         )

@@ -44,10 +44,18 @@ class FleetSite:
     uplink_bps: float = gbps(10)
     healthy: bool = True
     active: bool = True
+    #: Billing tier: ``"reserved"`` (full price) or ``"spot"`` (discounted
+    #: by the provisioning model's ``spot_multiplier``).  Purely a cost
+    #: label — capacity and ring behavior are tier-blind.
+    tier: str = "reserved"
 
     def __post_init__(self) -> None:
         if self.cores <= 0 or self.uplink_bps <= 0:
             raise TopologyError(f"site {self.name!r} needs positive cores and uplink")
+        if self.tier not in ("reserved", "spot"):
+            raise TopologyError(
+                f"site {self.name!r} tier must be 'reserved' or 'spot'"
+            )
 
     @property
     def in_service(self) -> bool:

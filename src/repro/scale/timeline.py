@@ -49,12 +49,13 @@ import numpy as np
 
 from ..exceptions import WorkloadError
 from .adversary import (
+    AdoptionModel,
     AdversaryGame,
     AdversaryRun,
     experienced_latency,
     split_latency_by_class,
 )
-from .autoscale import AutoscaleRun, Autoscaler, EpochMetrics
+from .autoscale import AutoscalePolicy, AutoscaleRun, Autoscaler, EpochMetrics
 from .costmodel import ProvisioningCostModel
 from .fleet import NeutralizerFleet
 from .latency import LatencyModel, evaluate_latency
@@ -321,6 +322,49 @@ class DiscriminationToggle(FleetEvent):
     def describe(self) -> str:
         classes = ",".join(self.class_names) if self.class_names else "all"
         return f"discriminate r{self.region} {classes} x{self.factor:g}"
+
+
+@dataclass(frozen=True)
+class ReconfigEvent(FleetEvent):
+    """A committed operator transaction, applied atomically at an epoch.
+
+    The typed form of a :class:`repro.scale.config.ConfigTransaction`
+    commit: swap the autoscaler's policy and/or bounds, activate/drain
+    sites (region add/drain), and retune the adversary's adoption model —
+    all at the top of one epoch, before the controller and the game tick.
+    Feasibility is re-checked at the boundary *before* anything mutates
+    (a drain set that would empty the ring rejects the whole event), so
+    the event applies entirely or not at all.
+    """
+
+    policy: Optional[AutoscalePolicy] = None
+    min_sites: Optional[int] = None
+    max_sites: Optional[int] = None
+    activate_sites: Tuple[str, ...] = ()
+    drain_sites: Tuple[str, ...] = ()
+    adoption: Optional[AdoptionModel] = None
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        overlap = set(self.activate_sites) & set(self.drain_sites)
+        if overlap:
+            raise WorkloadError(
+                f"reconfig both activates and drains {sorted(overlap)}"
+            )
+
+    def describe(self) -> str:
+        parts: List[str] = []
+        if self.policy is not None:
+            parts.append(f"policy={type(self.policy).__name__}")
+        if self.min_sites is not None:
+            parts.append(f"min_sites={self.min_sites}")
+        if self.max_sites is not None:
+            parts.append(f"max_sites={self.max_sites}")
+        parts += [f"+{name}" for name in self.activate_sites]
+        parts += [f"-{name}" for name in self.drain_sites]
+        if self.adoption is not None:
+            parts.append(f"adoption.sensitivity={self.adoption.sensitivity:g}")
+        return "reconfig " + ",".join(parts) if parts else "reconfig noop"
 
 
 # ---------------------------------------------------------------------------
@@ -691,6 +735,10 @@ class FluidTimeline:
         #: Mutable so a caller (catalogue, campaign runner) can attach a
         #: collecting telemetry after construction without re-building.
         self.telemetry: Telemetry = telemetry if telemetry is not None else NULL
+        #: The declarative document this timeline was built from, when it
+        #: came through :meth:`repro.scale.config.ScenarioConfig.build` —
+        #: what :class:`repro.scale.config.ConfigTransaction` diffs against.
+        self.config = None
         self._validate_events()
 
     def _validate_events(self) -> None:
@@ -716,8 +764,99 @@ class FluidTimeline:
                 unknown = set(class_names) - known
                 if unknown:
                     raise WorkloadError(f"event names unknown classes {sorted(unknown)}")
+            for name in (*getattr(event, "activate_sites", ()),
+                         *getattr(event, "drain_sites", ())):
+                if name not in names:
+                    raise WorkloadError(f"event names unknown site {name!r}")
+
+    # -- live event scheduling -------------------------------------------------------
+
+    def schedule_event(self, event: FleetEvent) -> None:
+        """Add one event to the timeline, keeping the schedule validated.
+
+        Insertion is stable: among events of the same epoch the new one
+        fires last, so committing the same transaction after a rollback
+        always converges on the same schedule.  A rejected event leaves the
+        schedule exactly as it was.
+        """
+        previous = self.events
+        self.events = tuple(sorted((*self.events, event),
+                                   key=lambda item: item.at_epoch))
+        try:
+            self._validate_events()
+        except WorkloadError:
+            self.events = previous
+            raise
+
+    def unschedule_event(self, event: FleetEvent) -> None:
+        """Remove one previously scheduled event (identity match)."""
+        kept: List[FleetEvent] = []
+        removed = False
+        for item in self.events:
+            if item is event and not removed:
+                removed = True
+                continue
+            kept.append(item)
+        if not removed:
+            raise WorkloadError("event is not scheduled on this timeline")
+        self.events = tuple(kept)
 
     # -- stepping --------------------------------------------------------------------
+
+    def _apply_reconfig(self, event: ReconfigEvent,
+                        autoscale: Optional[AutoscaleRun],
+                        adversary: Optional[AdversaryRun],
+                        snapshot_ring) -> None:
+        """Apply one committed transaction atomically at the epoch boundary.
+
+        Every feasibility check runs before the first mutation, so a
+        rejected reconfiguration raises with the fleet, the controller and
+        the game exactly as they were.
+        """
+        fleet = self.fleet
+        if (event.policy is not None or event.min_sites is not None
+                or event.max_sites is not None) and autoscale is None:
+            raise WorkloadError(
+                "reconfig retunes an autoscaler this timeline does not run"
+            )
+        if event.adoption is not None and adversary is None:
+            raise WorkloadError(
+                "reconfig retunes an adversary game this timeline does not run"
+            )
+        will_be_active = {site.name: site.active for site in fleet.sites}
+        for name in event.activate_sites:
+            will_be_active[name] = True
+        for name in event.drain_sites:
+            will_be_active[name] = False
+        if not any(will_be_active[site.name] and site.healthy
+                   for site in fleet.sites):
+            raise WorkloadError(
+                f"reconfig at epoch {event.at_epoch} would leave no site "
+                f"in service"
+            )
+        # Activations before drains, so the ring never empties transiently.
+        for name in event.activate_sites:
+            site = fleet.site(name)
+            if not site.active:
+                if site.healthy:
+                    snapshot_ring()
+                fleet.activate_site(name)
+            if autoscale is not None:
+                autoscale.note_external_activation(name)
+        for name in event.drain_sites:
+            site = fleet.site(name)
+            if autoscale is not None:
+                autoscale.note_external_drain(name)
+            if site.active:
+                if site.in_service:
+                    snapshot_ring()
+                fleet.drain_site(name)
+        if autoscale is not None:
+            autoscale.reconfigure(policy=event.policy,
+                                  min_sites=event.min_sites,
+                                  max_sites=event.max_sites)
+        if event.adoption is not None and adversary is not None:
+            adversary.retune(event.adoption)
 
     def _fire(self, event: FleetEvent, throttles: List[DiscriminationToggle],
               degradations: List[CapacityDegradation]) -> bool:
@@ -877,7 +1016,7 @@ class FluidTimeline:
         previous_experienced = (0.0, 0.0, 0.0, 0.0)
         #: Committed-capacity sums, cached while fleet state is unchanged.
         committed_key = None
-        committed_totals = (0.0, 0.0, 0)
+        committed_totals = (0.0, 0.0, 0, 0.0, 0.0, 0)
 
         records: List[EpochRecord] = []
         cpu_util = np.zeros((self.epochs, sites))
@@ -913,6 +1052,11 @@ class FluidTimeline:
                 fired: List[str] = []
                 while pending and pending[0].at_epoch == epoch:
                     event = pending.pop(0)
+                    if isinstance(event, ReconfigEvent):
+                        self._apply_reconfig(event, autoscale, adversary,
+                                             snapshot_ring)
+                        fired.append(event.describe())
+                        continue
                     if isinstance(event, (SiteFailure, SiteRecovery)):
                         snapshot_ring()
                     self._fire(event, throttles, degradations)
@@ -1136,10 +1280,17 @@ class FluidTimeline:
                                        if site.active]
                     committed_sites += [fleet.site(name)
                                         for name in warming_names]
+                    reserved = [site for site in committed_sites
+                                if site.tier != "spot"]
+                    spot = [site for site in committed_sites
+                            if site.tier == "spot"]
                     committed_totals = (
-                        sum(site.cores for site in committed_sites),
-                        sum(site.uplink_bps for site in committed_sites),
-                        len(committed_sites),
+                        sum(site.cores for site in reserved),
+                        sum(site.uplink_bps for site in reserved),
+                        len(reserved),
+                        sum(site.cores for site in spot),
+                        sum(site.uplink_bps for site in spot),
+                        len(spot),
                     )
                     committed_key = epoch_key
                 provision_cost = self.provisioning_cost.epoch_cost(
@@ -1148,6 +1299,9 @@ class FluidTimeline:
                     sites=committed_totals[2],
                     epoch_seconds=self.epoch_seconds,
                     clients_remapped=remapped,
+                    spot_cores=committed_totals[3],
+                    spot_uplink_bps=committed_totals[4],
+                    spot_sites=committed_totals[5],
                 )
 
                 records.append(EpochRecord(

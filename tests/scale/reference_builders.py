@@ -1,0 +1,305 @@
+"""The catalogue's former python scenario builders, kept verbatim.
+
+``repro.scale.catalogue`` now loads its thirteen scenarios from the data
+files under ``src/repro/scale/catalogue_data/``; these functions are the
+exact builders that used to construct them in code.  The round-trip tests
+build every scenario both ways and require ``canonical_result_bytes``
+equality, so any drift between the declarative documents and the original
+semantics fails loudly.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.scale.adversary import (
+    AdoptionModel,
+    AdversaryGame,
+    ClassifierModel,
+    IspStrategy,
+)
+from repro.scale.autoscale import (
+    Autoscaler,
+    PredictiveLoadPolicy,
+    StepPolicy,
+    TargetLatencyPolicy,
+    elastic_fleet,
+)
+from repro.scale.catalogue import nominal_demand, provisioned_fleet
+from repro.scale.costmodel import CryptoCostModel
+from repro.scale.latency import LatencyModel
+from repro.scale.population import ClientPopulation, elastic_mix
+from repro.scale.stochastic import compile_events, default_processes
+from repro.scale.timeline import (
+    CapacityDegradation,
+    ConstantLoad,
+    DiurnalLoad,
+    FlashCrowdLoad,
+    FluidTimeline,
+    LinearRampLoad,
+    SiteFailure,
+    SiteRecovery,
+    DiscriminationToggle,
+)
+
+
+def _flash_crowd(*, clients: int, seed: int,
+                 cost_model: Optional[CryptoCostModel],
+                 population: Optional[ClientPopulation] = None) -> FluidTimeline:
+    population = population or ClientPopulation(clients, seed=seed)
+    fleet = provisioned_fleet(population, 16, headroom=1.4, cost_model=cost_model)
+    total_bps, _ = nominal_demand(population)
+    return FluidTimeline(
+        population, fleet,
+        epochs=48, epoch_seconds=1800.0,
+        load=FlashCrowdLoad(base=0.9, spike=6.0, start_seconds=8 * 1800.0,
+                            ramp_seconds=2 * 1800.0, hold_seconds=12 * 1800.0,
+                            regions_hit=(0, 1)),
+        region_uplink_bps=total_bps * 0.6,
+    )
+
+
+def _regional_outage(*, clients: int, seed: int,
+                     cost_model: Optional[CryptoCostModel],
+                     population: Optional[ClientPopulation] = None) -> FluidTimeline:
+    population = population or ClientPopulation(clients, seed=seed)
+    fleet = provisioned_fleet(population, 16, headroom=1.5, cost_model=cost_model)
+    outage = [f"site{i:02d}" for i in range(4)]
+    events: List = [SiteFailure(8, name) for name in outage]
+    events += [SiteRecovery(20, name) for name in outage]
+    return FluidTimeline(
+        population, fleet,
+        epochs=36, epoch_seconds=3600.0,
+        load=ConstantLoad(1.0),
+        events=events,
+    )
+
+
+def _diurnal_week(*, clients: int, seed: int,
+                  cost_model: Optional[CryptoCostModel],
+                  population: Optional[ClientPopulation] = None) -> FluidTimeline:
+    population = population or ClientPopulation(clients, seed=seed)
+    fleet = provisioned_fleet(population, 16, headroom=1.1, cost_model=cost_model)
+    return FluidTimeline(
+        population, fleet,
+        epochs=168, epoch_seconds=3600.0,
+        load=DiurnalLoad(trough=0.35, peak=1.05, timezone_spread=0.25),
+    )
+
+
+def _heterogeneous_fleet(*, clients: int, seed: int,
+                         cost_model: Optional[CryptoCostModel],
+                         population: Optional[ClientPopulation] = None) -> FluidTimeline:
+    population = population or ClientPopulation(clients, seed=seed)
+    fleet = provisioned_fleet(population, 16, headroom=1.25,
+                              cost_model=cost_model, heterogeneous=True)
+    return FluidTimeline(
+        population, fleet,
+        epochs=48, epoch_seconds=3600.0,
+        load=DiurnalLoad(trough=0.4, peak=1.1, timezone_spread=0.3),
+    )
+
+
+def _cascading_overload(*, clients: int, seed: int,
+                        cost_model: Optional[CryptoCostModel],
+                        population: Optional[ClientPopulation] = None) -> FluidTimeline:
+    population = population or ClientPopulation(clients, seed=seed)
+    fleet = provisioned_fleet(population, 12, headroom=1.3, cost_model=cost_model)
+    events: List = []
+    for wave, site in enumerate(("site03", "site07", "site01", "site09")):
+        events.append(CapacityDegradation(4 + wave * 6, site=site, factor=0.4))
+        events.append(SiteFailure(7 + wave * 6, site))
+    return FluidTimeline(
+        population, fleet,
+        epochs=40, epoch_seconds=1800.0,
+        load=LinearRampLoad(start_level=0.8, end_level=1.15,
+                            t0_seconds=0.0, t1_seconds=40 * 1800.0),
+        events=events,
+    )
+
+
+def _discrimination_rollout(*, clients: int, seed: int,
+                            cost_model: Optional[CryptoCostModel],
+                            population: Optional[ClientPopulation] = None) -> FluidTimeline:
+    population = population or ClientPopulation(clients, seed=seed)
+    fleet = provisioned_fleet(population, 16, headroom=2.0, cost_model=cost_model)
+    events: List = []
+    for region in range(population.regions):
+        events.append(DiscriminationToggle(
+            2 + region * 2, region=region, factor=0.3,
+            class_names=("video", "web"), until_epoch=24,
+        ))
+    return FluidTimeline(
+        population, fleet,
+        epochs=32, epoch_seconds=3600.0,
+        load=ConstantLoad(1.0),
+        events=events,
+    )
+
+
+def _autoscaled_diurnal(*, clients: int, seed: int,
+                        cost_model: Optional[CryptoCostModel],
+                        population: Optional[ClientPopulation] = None) -> FluidTimeline:
+    population = population or ClientPopulation(clients, seed=seed)
+    fleet = elastic_fleet(population, 24, nominal_sites=16, at_utilization=0.6,
+                          cost_model=cost_model)
+    autoscaler = Autoscaler(
+        PredictiveLoadPolicy(target=0.6, lead_epochs=2, deadband=0.06),
+        min_sites=8, warmup_epochs=2, cooldown_epochs=1,
+    )
+    return FluidTimeline(
+        population, fleet,
+        epochs=72, epoch_seconds=3600.0,
+        load=DiurnalLoad(trough=0.3, peak=1.15, timezone_spread=0.25),
+        autoscaler=autoscaler,
+    )
+
+
+def _stochastic_unreliable(*, clients: int, seed: int,
+                           cost_model: Optional[CryptoCostModel],
+                           population: Optional[ClientPopulation] = None) -> FluidTimeline:
+    population = population or ClientPopulation(clients, seed=seed)
+    fleet = elastic_fleet(population, 20, nominal_sites=16, at_utilization=0.7,
+                          cost_model=cost_model)
+    events = compile_events(
+        default_processes(failure_rate=0.004, outage_rate=0.02, attack_rate=0.03),
+        seed=seed, epochs=60,
+        site_names=[site.name for site in fleet.sites],
+    )
+    autoscaler = Autoscaler(
+        StepPolicy(high=0.85, low=0.45, step=2),
+        min_sites=12, warmup_epochs=1, cooldown_epochs=1,
+    )
+    return FluidTimeline(
+        population, fleet,
+        epochs=60, epoch_seconds=1800.0,
+        load=ConstantLoad(1.0),
+        events=events,
+        autoscaler=autoscaler,
+    )
+
+
+def _elastic_web_mix(*, clients: int, seed: int,
+                     cost_model: Optional[CryptoCostModel],
+                     population: Optional[ClientPopulation] = None) -> FluidTimeline:
+    population = ClientPopulation(clients, mix=elastic_mix(), seed=seed)
+    fleet = provisioned_fleet(population, 16, headroom=0.95, cost_model=cost_model)
+    return FluidTimeline(
+        population, fleet,
+        epochs=48, epoch_seconds=1800.0,
+        load=FlashCrowdLoad(base=0.85, spike=4.0, start_seconds=10 * 1800.0,
+                            ramp_seconds=3 * 1800.0, hold_seconds=10 * 1800.0,
+                            regions_hit=(0, 1, 2)),
+        latency=LatencyModel(),
+        latency_slo_seconds=0.04,
+    )
+
+
+def _latency_slo_autoscaled(*, clients: int, seed: int,
+                            cost_model: Optional[CryptoCostModel],
+                            population: Optional[ClientPopulation] = None) -> FluidTimeline:
+    population = population or ClientPopulation(clients, seed=seed)
+    fleet = elastic_fleet(population, 24, nominal_sites=16, at_utilization=0.6,
+                          cost_model=cost_model)
+    model = LatencyModel()
+    autoscaler = Autoscaler(
+        TargetLatencyPolicy.for_model(model, target_p95_seconds=0.055),
+        min_sites=8, warmup_epochs=1, cooldown_epochs=2,
+    )
+    return FluidTimeline(
+        population, fleet,
+        epochs=72, epoch_seconds=3600.0,
+        load=DiurnalLoad(trough=0.35, peak=1.2, timezone_spread=0.25),
+        autoscaler=autoscaler,
+        latency=model,
+        latency_slo_seconds=0.08,
+    )
+
+
+def _adaptive_throttler(*, clients: int, seed: int,
+                        cost_model: Optional[CryptoCostModel],
+                        population: Optional[ClientPopulation] = None) -> FluidTimeline:
+    population = population or ClientPopulation(clients, seed=seed)
+    fleet = provisioned_fleet(population, 16, headroom=1.3, cost_model=cost_model)
+    game = AdversaryGame(
+        isp=IspStrategy(aggressiveness=0.6, allow_blanket=False),
+        adoption=AdoptionModel(sensitivity=6.0, adoption_cost=0.05),
+    )
+    return FluidTimeline(
+        population, fleet,
+        epochs=60, epoch_seconds=1800.0,
+        load=ConstantLoad(1.0),
+        adversary=game,
+        latency=LatencyModel(),
+        latency_slo_seconds=0.08,
+    )
+
+
+def _neutralizer_arms_race(*, clients: int, seed: int,
+                           cost_model: Optional[CryptoCostModel],
+                           population: Optional[ClientPopulation] = None) -> FluidTimeline:
+    population = population or ClientPopulation(clients, seed=seed)
+    fleet = provisioned_fleet(population, 16, headroom=1.3, cost_model=cost_model)
+    game = AdversaryGame(
+        isp=IspStrategy(
+            aggressiveness=1.0, allow_blanket=True,
+            blanket_evasion=0.6, backoff_collateral=0.25,
+        ),
+        adoption=AdoptionModel(sensitivity=14.0, adoption_cost=0.03),
+    )
+    return FluidTimeline(
+        population, fleet,
+        epochs=72, epoch_seconds=1800.0,
+        load=ConstantLoad(1.0),
+        adversary=game,
+        latency=LatencyModel(),
+        latency_slo_seconds=0.08,
+    )
+
+
+def _targeted_class_slo(*, clients: int, seed: int,
+                        cost_model: Optional[CryptoCostModel],
+                        population: Optional[ClientPopulation] = None) -> FluidTimeline:
+    population = population or ClientPopulation(clients, seed=seed)
+    fleet = elastic_fleet(population, 24, nominal_sites=16, at_utilization=0.6,
+                          cost_model=cost_model)
+    model = LatencyModel()
+    autoscaler = Autoscaler(
+        TargetLatencyPolicy.for_model(model, target_p95_seconds=0.055),
+        min_sites=8, warmup_epochs=1, cooldown_epochs=2,
+    )
+    game = AdversaryGame(
+        isp=IspStrategy(
+            aggressiveness=0.7, target_classes=("video",),
+            classifier=ClassifierModel(true_positive=0.97, false_positive=0.01,
+                                       neutralized_leakage=0.03),
+            allow_blanket=False,
+        ),
+        adoption=AdoptionModel(sensitivity=8.0, adoption_cost=0.05),
+    )
+    return FluidTimeline(
+        population, fleet,
+        epochs=48, epoch_seconds=3600.0,
+        load=DiurnalLoad(trough=0.4, peak=1.1, timezone_spread=0.25),
+        autoscaler=autoscaler,
+        adversary=game,
+        latency=model,
+        latency_slo_seconds=0.08,
+    )
+
+
+REFERENCE_BUILDERS = {
+    "flash_crowd": _flash_crowd,
+    "regional_outage": _regional_outage,
+    "diurnal_week": _diurnal_week,
+    "heterogeneous_fleet": _heterogeneous_fleet,
+    "cascading_overload": _cascading_overload,
+    "discrimination_rollout": _discrimination_rollout,
+    "autoscaled_diurnal": _autoscaled_diurnal,
+    "stochastic_unreliable": _stochastic_unreliable,
+    "elastic_web_mix": _elastic_web_mix,
+    "latency_slo_autoscaled": _latency_slo_autoscaled,
+    "adaptive_throttler": _adaptive_throttler,
+    "neutralizer_arms_race": _neutralizer_arms_race,
+    "targeted_class_slo": _targeted_class_slo,
+}

@@ -1,0 +1,180 @@
+"""Property fuzz of the operator control plane.
+
+Hypothesis drives random operator-action sequences against a small live
+timeline and checks the transactional contract the control plane promises:
+
+- an *invalid* transaction (schema violation or non-whitelisted field) is
+  rejected and leaves the timeline bit-identical (``canonical_result_bytes``)
+  to never having opened it;
+- commit -> rollback -> commit of the same edits converges on a
+  bit-identical run, and the rollback itself restores the baseline bytes;
+- a committed no-op (or cosmetic-only) transaction is bit-identical to no
+  transaction at all.
+
+``derandomize=True`` pins the example stream, so CI failures reproduce
+locally from the same seed.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.scale.adversary import AdoptionModel, AdversaryGame, IspStrategy
+from repro.scale.autoscale import (
+    Autoscaler,
+    PredictiveLoadPolicy,
+    StepPolicy,
+    TargetUtilizationPolicy,
+)
+from repro.scale.config import (
+    ConfigError,
+    ConfigTransaction,
+    FleetSpec,
+    PopulationSpec,
+    ScenarioConfig,
+)
+from repro.scale.parallel import canonical_result_bytes
+from repro.scale.timeline import DiurnalLoad
+
+CLIENTS = 240
+SEED = 17
+EPOCHS = 6
+
+FUZZ_SETTINGS = dict(
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+CONFIG = ScenarioConfig(
+    name="fuzz",
+    population=PopulationSpec(regions=4),
+    fleet=FleetSpec(mode="elastic", max_sites=6, nominal_sites=4,
+                    at_utilization=0.6),
+    epochs=EPOCHS,
+    epoch_seconds=600.0,
+    load=DiurnalLoad(trough=0.4, peak=1.2),
+    autoscaler=Autoscaler(TargetUtilizationPolicy(target=0.6),
+                          min_sites=2, warmup_epochs=1),
+    adversary=AdversaryGame(
+        isp=IspStrategy(aggressiveness=0.7, allow_blanket=False),
+        adoption=AdoptionModel(sensitivity=6.0),
+    ),
+)
+
+SITE_NAMES = [f"site{index:02d}" for index in range(6)]
+
+
+def fresh_timeline():
+    return CONFIG.build(clients=CLIENTS, seed=SEED)
+
+
+@pytest.fixture(scope="module")
+def baseline_bytes():
+    return canonical_result_bytes(fresh_timeline().run())
+
+
+# -- action strategies ---------------------------------------------------------------
+
+policies = st.sampled_from([
+    TargetUtilizationPolicy(target=0.55),
+    StepPolicy(high=0.9, low=0.3, step=1),
+    PredictiveLoadPolicy(target=0.6, lead_epochs=1, deadband=0.05),
+])
+
+valid_actions = st.one_of(
+    st.tuples(st.just("autoscaler.min_sites"), st.integers(1, 4)),
+    st.tuples(st.just("autoscaler.max_sites"), st.integers(4, 6)),
+    st.tuples(st.just("autoscaler.policy"), policies),
+    st.tuples(st.just("fleet.active_sites"),
+              st.lists(st.sampled_from(SITE_NAMES), min_size=1, max_size=6,
+                       unique=True).map(sorted)),
+    st.tuples(st.just("adversary.adoption.sensitivity"),
+              st.floats(1.0, 20.0, allow_nan=False)),
+    st.tuples(st.just("title"), st.text(max_size=12)),
+)
+
+invalid_actions = st.one_of(
+    # outside the live-reconfigurable whitelist (every draw differs from the
+    # base document's value, so the diff is never empty)
+    st.tuples(st.just("epochs"), st.integers(EPOCHS + 1, 40)),
+    st.tuples(st.just("epoch_seconds"), st.floats(601.0, 7200.0)),
+    st.tuples(st.just("fleet.nominal_sites"), st.sampled_from([1, 2, 3, 5, 6])),
+    st.tuples(st.just("population.regions"), st.integers(5, 12)),
+    st.tuples(st.just("latency_slo_seconds"), st.floats(0.2, 1.0)),
+    st.tuples(st.just("adversary.isp.aggressiveness"),
+              st.floats(0.1, 0.5)),
+    # schema violations
+    st.tuples(st.just("autoscaler.min_sites"), st.just(-3)),
+    st.tuples(st.just("autoscaler.min_sites"), st.just("two")),
+    st.tuples(st.just("adversary.adoption.sensitivity"), st.just(-1.0)),
+    st.tuples(st.just("fleet.active_sites"), st.just(["siteXX"])),
+    st.tuples(st.just("fleet.active_sites"), st.just([])),
+    st.tuples(st.just("schema_version"), st.just(99)),
+)
+
+at_epochs = st.integers(0, EPOCHS - 1)
+
+
+def apply_actions(txn, actions):
+    for path, value in actions:
+        txn.set(path, value)
+
+
+@settings(max_examples=75, **FUZZ_SETTINGS)
+@given(
+    valid=st.lists(valid_actions, max_size=2),
+    invalid=st.lists(invalid_actions, min_size=1, max_size=3),
+    at_epoch=at_epochs,
+)
+def test_rejected_transaction_leaves_timeline_bit_identical(
+        baseline_bytes, valid, invalid, at_epoch):
+    timeline = fresh_timeline()
+    txn = ConfigTransaction(timeline, at_epoch=at_epoch)
+    apply_actions(txn, valid)
+    apply_actions(txn, invalid)
+    with pytest.raises(ConfigError):
+        txn.commit()
+    assert timeline.config == CONFIG
+    assert canonical_result_bytes(timeline.run()) == baseline_bytes
+    # ... and rolling the rejected transaction back changes nothing either
+    txn.rollback()
+    assert canonical_result_bytes(timeline.run()) == baseline_bytes
+
+
+@settings(max_examples=75, **FUZZ_SETTINGS)
+@given(
+    actions=st.lists(valid_actions, min_size=1, max_size=4),
+    at_epoch=at_epochs,
+)
+def test_commit_rollback_commit_converges(baseline_bytes, actions, at_epoch):
+    timeline = fresh_timeline()
+    txn = ConfigTransaction(timeline, at_epoch=at_epoch)
+    apply_actions(txn, actions)
+    first_changes = txn.commit()
+    first = canonical_result_bytes(timeline.run())
+
+    txn.rollback()
+    assert timeline.config == CONFIG
+    assert canonical_result_bytes(timeline.run()) == baseline_bytes
+
+    apply_actions(txn, actions)
+    assert txn.commit() == first_changes
+    assert canonical_result_bytes(timeline.run()) == first
+
+
+@settings(max_examples=75, **FUZZ_SETTINGS)
+@given(
+    title=st.one_of(st.none(), st.text(max_size=16)),
+    at_epoch=at_epochs,
+)
+def test_noop_commit_is_bit_identical(baseline_bytes, title, at_epoch):
+    timeline = fresh_timeline()
+    txn = ConfigTransaction(timeline, at_epoch=at_epoch)
+    if title is not None:
+        txn.set("title", title)
+    changes = txn.commit()
+    assert tuple(timeline.events) == ()
+    if title is None or title == CONFIG.title:
+        assert changes == ()
+    assert canonical_result_bytes(timeline.run()) == baseline_bytes

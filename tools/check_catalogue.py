@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Catalogue gate: the scenario data files must stay valid and canonical.
+
+Checks ``src/repro/scale/catalogue_data/``:
+
+* every ``*.json`` file decodes strictly through :class:`ScenarioConfig`
+  (unknown fields, wrong types, failed validators -> precise field path);
+* filenames carry contiguous numeric prefixes (``NN_name.json``) matching
+  the document's own ``name``, so the sorted glob *is* the catalogue order;
+* the loaded set is exactly what ``scenario_names()`` serves — no orphan
+  files, no scenario without a document;
+* every file's bytes are canonical (re-serializing changes nothing), so a
+  hand edit that drifts from the codec's shape fails here, not at review;
+* every document round-trips (``from_json(to_json(x)) == x``) and builds a
+  timeline at a tiny population — the cheap end-to-end smoke.
+
+Exits non-zero with one line per problem; locally run
+``PYTHONPATH=src python tools/check_catalogue.py``.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.scale.catalogue import CATALOGUE_DATA_DIR, scenario_names  # noqa: E402
+from repro.scale.config import ConfigError, ScenarioConfig, load_config  # noqa: E402
+
+FILENAME = re.compile(r"^(\d{2})_([a-z0-9_]+)\.json$")
+SMOKE_CLIENTS = 500
+SMOKE_SEED = 2006
+
+
+def main() -> int:
+    problems: list = []
+    files = sorted(CATALOGUE_DATA_DIR.glob("*.json"))
+    if not files:
+        print(f"catalogue check: no data files under {CATALOGUE_DATA_DIR}")
+        return 1
+
+    loaded = {}
+    for position, path in enumerate(files):
+        match = FILENAME.match(path.name)
+        if not match:
+            problems.append(f"{path.name}: filename is not NN_name.json")
+            continue
+        if int(match.group(1)) != position:
+            problems.append(
+                f"{path.name}: numeric prefix {match.group(1)} breaks the "
+                f"contiguous order (expected {position:02d})")
+        try:
+            config = load_config(path)
+        except ConfigError as exc:
+            problems.append(f"{path.name}: does not validate: {exc}")
+            continue
+        if config.name != match.group(2):
+            problems.append(
+                f"{path.name}: document name {config.name!r} does not match "
+                f"the filename")
+        if config.name in loaded:
+            problems.append(f"{path.name}: duplicate scenario {config.name!r}")
+        loaded[config.name] = config
+        if path.read_text(encoding="utf-8") != config.to_json():
+            problems.append(
+                f"{path.name}: bytes are not canonical (re-run dump_config)")
+        if ScenarioConfig.from_json(config.to_json()) != config:
+            problems.append(f"{path.name}: does not round-trip through JSON")
+
+    catalogue = scenario_names()
+    if list(loaded) != catalogue:
+        problems.append(
+            f"data files {list(loaded)} != catalogue {catalogue}")
+
+    for name, config in loaded.items():
+        try:
+            timeline = config.build(clients=SMOKE_CLIENTS, seed=SMOKE_SEED)
+        except Exception as exc:  # the gate reports, it does not crash
+            problems.append(f"{name}: does not build: {exc}")
+            continue
+        if timeline.config is not config:
+            problems.append(f"{name}: built timeline lost its config")
+
+    if problems:
+        print(f"catalogue check: {len(problems)} problem(s)")
+        for problem in problems:
+            print(f"  {problem}")
+        return 1
+    print(f"catalogue check: {len(files)} scenario documents OK "
+          f"(valid, canonical, ordered, build at {SMOKE_CLIENTS} clients)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
