@@ -80,6 +80,27 @@ def test_e13_telemetry_overhead(once):
             == [record.solver_iterations for record in disabled.records])
 
 
+def test_e13_obs_overhead(once):
+    """The event-stream guard: obs + detectors cost <= 5% wall.
+
+    Same shape as the telemetry guard above: the structured event stream
+    with the full detector suite attached must stay within 5% of the
+    bare run (plus the 50 ms smoke-scale noise floor), and the stream
+    must observe without participating — identical solver work.
+    """
+    from repro.scale import attach_detectors
+
+    disabled = _diurnal_timeline().run()
+    telemetry = Telemetry(trace=False, events=True)
+    attach_detectors(telemetry.events)
+    enabled = once(lambda: _diurnal_timeline(telemetry=telemetry).run())
+    assert enabled.wall_seconds <= disabled.wall_seconds * 1.05 + 0.05
+    assert ([record.solver_iterations for record in enabled.records]
+            == [record.solver_iterations for record in disabled.records])
+    # One epoch event per epoch plus the lifecycle pair.
+    assert len(telemetry.events) >= _EPOCHS + 2
+
+
 def test_e13_epoch_solves_warm(benchmark):
     """Per-epoch solve throughput with warm-start hint reuse."""
     timeline = _congested_timeline(warm_start=True)

@@ -144,13 +144,28 @@ from .config import (
 )
 from .costmodel import CryptoCostModel, ProvisioningCostModel
 from .fleet import FleetSite, NeutralizerFleet
+from .obs import (
+    EVENT_SCHEMA_VERSION,
+    AutoscaleOscillationDetector,
+    BlackHoleDetector,
+    DetectorSuite,
+    Event,
+    EventLog,
+    SloBreachDetector,
+    Subscription,
+    attach_detectors,
+    verdicts,
+)
 from .stochastic import (
     AttackOnset,
     CorrelatedRegionalOutage,
     EventProcess,
+    FaultSchedule,
     PoissonSiteFailures,
+    RegionalOutageRecord,
     antithetic_uniforms,
     compile_events,
+    compile_schedule,
     default_processes,
     rotated_uniforms,
 )
@@ -263,8 +278,10 @@ __all__ = [
     "Allocation",
     "AttackOnset",
     "AutoscaleObservation",
+    "AutoscaleOscillationDetector",
     "AutoscalePolicy",
     "Autoscaler",
+    "BlackHoleDetector",
     "CATALOGUE",
     "CampaignRunnerProtocol",
     "CampaignUnit",
@@ -282,12 +299,17 @@ __all__ = [
     "CryptoCostModel",
     "DEFAULT_BUCKET_EDGES",
     "DemandClass",
+    "DetectorSuite",
     "DiscriminationToggle",
     "DiurnalLoad",
+    "EVENT_SCHEMA_VERSION",
     "EpochMetrics",
     "EpochProblem",
     "EpochRecord",
+    "Event",
+    "EventLog",
     "EventProcess",
+    "FaultSchedule",
     "FieldChange",
     "FlashCrowdLoad",
     "FleetEvent",
@@ -322,6 +344,7 @@ __all__ = [
     "ProcessPoolCampaignExecutor",
     "ProvisioningCostModel",
     "ReconfigEvent",
+    "RegionalOutageRecord",
     "RunTable",
     "ScaleExperimentState",
     "ScaleScenario",
@@ -331,6 +354,7 @@ __all__ = [
     "SiteFailure",
     "SiteRecovery",
     "SiteSpec",
+    "SloBreachDetector",
     "Span",
     "SpanRecord",
     "StepPolicy",
@@ -338,6 +362,7 @@ __all__ = [
     "StochasticCampaignRunner",
     "StochasticReplicaRecord",
     "StreamingPercentiles",
+    "Subscription",
     "SweepRecord",
     "TargetLatencyPolicy",
     "TargetUtilizationPolicy",
@@ -351,10 +376,12 @@ __all__ = [
     "allen_cunneen_factor",
     "alpha_fair_allocation",
     "antithetic_uniforms",
+    "attach_detectors",
     "build_scenario",
     "canonical_result_bytes",
     "compare_variance_reduction",
     "compile_events",
+    "compile_schedule",
     "cross_validate",
     "cross_validate_adversary",
     "cross_validate_latency",
@@ -379,6 +406,7 @@ __all__ = [
     "scenario_names",
     "solve_allocation",
     "split_latency_by_class",
+    "verdicts",
     "verify_alpha_fair",
     "verify_max_min",
     "video_class",

@@ -33,7 +33,12 @@ their span durations home with each outcome; the parent merges deltas into
 the campaign registry (so ``get_current_state()`` and Prometheus exports
 read ONE registry) and accumulates span durations for
 :func:`repro.scale.telemetry.phase_breakdown`.  With a ``trace_dir``, each
-worker also appends its raw spans to ``worker-<pid>.jsonl``.
+worker also appends its raw spans to ``worker-<pid>.jsonl``.  When the
+parent telemetry carries an event log (:mod:`repro.scale.obs`), workers
+collect their units' structured events locally and ship them home with
+each outcome; the parent flushes batches into its log strictly in unit
+order, so the merged event stream — and any detector verdicts derived
+from it — is byte-identical to the serial run's for any worker count.
 
 :class:`StreamingPercentiles` (P² estimators) backs the runners' opt-in
 ``aggregation="p2"`` mode: constant-memory percentile summaries with the
@@ -565,18 +570,22 @@ _WORKER: Optional[Dict[str, object]] = None
 
 
 def _worker_init(runner, manifest: Dict[str, object],
-                 trace_dir: Optional[str]) -> None:
+                 trace_dir: Optional[str],
+                 collect_events: bool = False) -> None:
     """Install the campaign in a worker: shared population, fresh telemetry.
 
     Workers ignore SIGINT so an interrupt lands only in the parent, which
     checkpoints and tears the pool down; the worker's telemetry always
     traces (spans are drained per unit and shipped home as durations) and
     always carries a registry (per-unit deltas merge into the campaign's).
+    When the parent campaign carries an event log, ``collect_events``
+    attaches a worker-local log whose per-unit batches ship home with each
+    outcome and fan into the parent stream in unit order.
     """
     global _WORKER
     signal.signal(signal.SIGINT, signal.SIG_IGN)
     population, segments = SharedPopulationPack.attach(manifest)
-    runner.telemetry = Telemetry(trace=True)
+    runner.telemetry = Telemetry(trace=True, events=collect_events)
     runner._adopt_population(population)
     runner._prepare()
     _WORKER = {
@@ -587,13 +596,13 @@ def _worker_init(runner, manifest: Dict[str, object],
 
 
 def _worker_run_unit(unit: CampaignUnit):
-    """Run one unit in this worker; returns (index, outcome, delta, spans)."""
+    """Run one unit here; returns (index, outcome, delta, spans, events)."""
     runner = _WORKER["runner"]
     trace_dir = _WORKER["trace_dir"]
     telemetry = runner.telemetry
     before = telemetry.metrics.as_dict()
     runner._current = runner._unit_marker(unit)
-    outcome = runner.run_unit(unit)
+    outcome = runner._run_unit_logged(unit)
     delta = MetricsRegistry.snapshot_delta(before, telemetry.metrics.as_dict())
     tracer = telemetry.tracer
     spans = [(record.name, record.dur_s) for record in tracer.spans]
@@ -603,7 +612,11 @@ def _worker_run_unit(unit: CampaignUnit):
             for record in tracer.spans:
                 handle.write(json.dumps(record.as_dict(), sort_keys=True) + "\n")
     tracer.spans.clear()
-    return unit.index, outcome, delta, spans
+    # Sequence numbers are parent-assigned at fan-in, so only the raw
+    # (kind, payload) pairs travel home.
+    events = (telemetry.events.drain_raw()
+              if telemetry.events is not None else [])
+    return unit.index, outcome, delta, spans, events
 
 
 # ---------------------------------------------------------------------------
@@ -663,6 +676,7 @@ class ProcessPoolCampaignExecutor:
             "campaign", **runner._campaign_span_attrs(len(units)))
         with campaign_span:
             runner._begin_campaign()
+            runner._emit_campaign_started(len(units))
             telemetry.set_gauge("parallel.n_workers", self.n_workers)
             for index, outcome in restored.items():
                 if 0 <= index < len(units) and outcomes[index] is None:
@@ -678,8 +692,10 @@ class ProcessPoolCampaignExecutor:
                 else:
                     self._run_pool(pending, outcomes, table)
         runner._current = None
-        return runner.merge_units(outcomes, started_at=started_at,
-                                  duration_seconds=campaign_span.seconds)
+        result = runner.merge_units(outcomes, started_at=started_at,
+                                    duration_seconds=campaign_span.seconds)
+        runner._emit_campaign_complete(len(units))
+        return result
 
     # -- serial (and resume-only) path ------------------------------------------------
 
@@ -691,7 +707,7 @@ class ProcessPoolCampaignExecutor:
         for unit in pending:
             runner._current = runner._unit_marker(unit)
             try:
-                outcome = runner.run_unit(unit)
+                outcome = runner._run_unit_logged(unit)
             except KeyboardInterrupt:
                 raise
             except Exception as exc:
@@ -731,15 +747,25 @@ class ProcessPoolCampaignExecutor:
                 mp_context=context,
                 initializer=_worker_init,
                 initargs=(runner, pack.manifest,
-                          str(self.trace_dir) if self.trace_dir else None),
+                          str(self.trace_dir) if self.trace_dir else None,
+                          telemetry.events is not None),
             )
+            # Worker event batches arrive in completion order but fan into
+            # the parent log strictly in unit order: each batch is buffered
+            # until every earlier pending unit's batch has been flushed, so
+            # the merged stream is byte-identical to the serial one for any
+            # worker count.
+            elog = telemetry.events
+            event_batches: Dict[int, List] = {}
+            flush_order = [unit.index for unit in pending]
+            flush_pos = 0
             try:
                 futures = {pool.submit(_worker_run_unit, unit): unit
                            for unit in pending}
                 for future in as_completed(futures):
                     unit = futures[future]
                     try:
-                        index, outcome, delta, spans = future.result()
+                        index, outcome, delta, spans, events = future.result()
                     except KeyboardInterrupt:
                         raise
                     except BrokenProcessPool as exc:
@@ -758,6 +784,13 @@ class ProcessPoolCampaignExecutor:
                         telemetry.metrics.merge_snapshot(delta)
                     for name, duration in spans:
                         self.phase_durations.setdefault(name, []).append(duration)
+                    if elog is not None:
+                        event_batches[index] = events
+                        while (flush_pos < len(flush_order)
+                               and flush_order[flush_pos] in event_batches):
+                            elog.extend_raw(
+                                event_batches.pop(flush_order[flush_pos]))
+                            flush_pos += 1
                     runner._current = runner._unit_marker(unit)
                     telemetry.inc(runner._progress_counter)
                     runner._completed += 1

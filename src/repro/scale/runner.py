@@ -3,7 +3,12 @@
 Each runner owns one configured campaign and exposes the same contract as
 the experiment-runner pattern in SNIPPETS.md: ``run()`` produces a frozen
 result object with a run id, timing, per-point records, and a rendered
-report, while ``get_current_state()`` can be polled for progress.
+report.  For live progress, attach an event log (``Telemetry(events=True)``)
+and subscribe to the structured event stream (:mod:`repro.scale.obs`) —
+the campaign emits ``campaign_started`` / ``unit_started`` /
+``unit_complete`` / ``campaign_complete`` lifecycle events, so consumers
+never need a poll loop; ``get_current_state()`` remains as a passive
+snapshot for callers without an event log.
 :class:`FleetScaleRunner` sweeps population sizes against one fleet shape
 (E12, the paper's §4 scaling argument as a curve);
 :class:`TimelineCampaignRunner` runs the named scenarios of
@@ -220,6 +225,31 @@ class _UnitCampaignMixin:
         """The ``_current`` progress marker shown while a unit runs."""
         return unit.label
 
+    # -- event stream -----------------------------------------------------------------
+    #
+    # Campaign lifecycle events are emitted through the same helpers by the
+    # serial loop below and by the process-pool executor, so the two paths
+    # produce byte-identical streams.  Consumers subscribe to the log
+    # (``telemetry.events.subscribe``) instead of polling
+    # ``get_current_state()``; the final ``campaign_complete`` event marks
+    # termination.
+
+    def _emit_campaign_started(self, n_units: int) -> None:
+        self.telemetry.emit("campaign_started",
+                            experiment=self.experiment_name, units=n_units)
+
+    def _emit_campaign_complete(self, n_units: int) -> None:
+        self.telemetry.emit("campaign_complete",
+                            experiment=self.experiment_name, units=n_units)
+
+    def _run_unit_logged(self, unit: CampaignUnit) -> object:
+        """``run_unit`` wrapped in unit lifecycle events (both run paths)."""
+        self.telemetry.emit("unit_started", unit=unit.index, label=unit.label,
+                            replica=unit.replica)
+        outcome = self.run_unit(unit)
+        self.telemetry.emit("unit_complete", unit=unit.index, label=unit.label)
+        return outcome
+
     # -- worker transport -------------------------------------------------------------
 
     def __getstate__(self):
@@ -253,14 +283,17 @@ class _UnitCampaignMixin:
                                        **self._campaign_span_attrs(len(units)))
         with campaign_span:
             self._begin_campaign()
+            self._emit_campaign_started(len(units))
             for unit in units:
                 self._current = self._unit_marker(unit)
-                outcomes.append(self.run_unit(unit))
+                outcomes.append(self._run_unit_logged(unit))
                 telemetry.inc(self._progress_counter)
                 self._completed += 1
         self._current = None
-        return self.merge_units(outcomes, started_at=started_at,
-                                duration_seconds=campaign_span.seconds)
+        result = self.merge_units(outcomes, started_at=started_at,
+                                  duration_seconds=campaign_span.seconds)
+        self._emit_campaign_complete(len(units))
+        return result
 
     def run_parallel(self, *, n_workers: Optional[int] = None,
                      checkpoint_dir=None, trace_dir=None):
@@ -432,9 +465,17 @@ class FleetScaleRunner:
         campaign_span = telemetry.span("campaign", experiment="E12",
                                        points=len(self.client_counts))
         with campaign_span:
+            telemetry.emit("campaign_started",
+                           experiment=self.experiment_name,
+                           units=len(self.client_counts))
             for clients in self.client_counts:
                 self._current = clients
+                telemetry.emit("unit_started",
+                               unit=len(records), label=str(clients),
+                               replica=0)
                 fluid, wall = self.solve_point(clients)
+                telemetry.emit("unit_complete",
+                               unit=len(records), label=str(clients))
                 telemetry.inc("campaign.points_completed")
                 records.append(SweepRecord(
                     clients=clients,
@@ -452,6 +493,8 @@ class FleetScaleRunner:
         completed_at = started_at + campaign_span.seconds
 
         report = self._render_report(records)
+        telemetry.emit("campaign_complete",
+                       experiment=self.experiment_name, units=len(records))
         return FleetScaleResult(
             run_id=self.run_id,
             experiment_name=self.experiment_name,

@@ -268,6 +268,36 @@ def _merge_windows(windows: Sequence[DowntimeWindow]) -> List[DowntimeWindow]:
     return merged
 
 
+def _sample_processes(
+    processes: Sequence[EventProcess],
+    *,
+    seed: int,
+    epochs: int,
+    site_names: Sequence[str],
+    rng_transform: Optional[Callable[[np.random.Generator], object]] = None,
+) -> List[SampledEvents]:
+    """Draw every process from its own substream — the one sampling loop.
+
+    Both :func:`compile_events` (the timeline input) and
+    :func:`compile_schedule` (the ground-truth surface) run through here,
+    so for identical arguments they consume identical draws and describe
+    the *same* replica.
+    """
+    if epochs <= 0:
+        raise WorkloadError("stochastic compilation needs a positive horizon")
+    if not site_names:
+        raise WorkloadError("stochastic compilation needs at least one site")
+    streams = np.random.SeedSequence(seed).spawn(max(len(processes), 1))
+    sampled: List[SampledEvents] = []
+    for process, stream in zip(processes, streams):
+        rng = np.random.default_rng(stream)
+        if rng_transform is not None:
+            rng = rng_transform(rng)
+        sampled.append(process.sample(rng, epochs=epochs,
+                                      site_names=site_names))
+    return sampled
+
+
 def compile_events(
     processes: Sequence[EventProcess],
     *,
@@ -287,20 +317,14 @@ def compile_events(
     hook :func:`antithetic_uniforms` / :func:`rotated_uniforms` variance
     reduction plugs into); ``None`` leaves the draws untouched.
     """
-    if epochs <= 0:
-        raise WorkloadError("stochastic compilation needs a positive horizon")
-    if not site_names:
-        raise WorkloadError("stochastic compilation needs at least one site")
-    streams = np.random.SeedSequence(seed).spawn(max(len(processes), 1))
+    sampled = _sample_processes(processes, seed=seed, epochs=epochs,
+                                site_names=site_names,
+                                rng_transform=rng_transform)
     windows: List[DowntimeWindow] = []
     direct: List[FleetEvent] = []
-    for process, stream in zip(processes, streams):
-        rng = np.random.default_rng(stream)
-        if rng_transform is not None:
-            rng = rng_transform(rng)
-        sampled = process.sample(rng, epochs=epochs, site_names=site_names)
-        windows.extend(sampled.downtime)
-        direct.extend(sampled.events)
+    for contribution in sampled:
+        windows.extend(contribution.downtime)
+        direct.extend(contribution.events)
 
     events: List[FleetEvent] = list(direct)
     for site, start, until in _merge_windows(windows):
@@ -311,6 +335,102 @@ def compile_events(
             events.append(SiteRecovery(until, site_names[site]))
     events.sort(key=lambda event: event.at_epoch)
     return events
+
+
+# ---------------------------------------------------------------------------
+# Ground-truth fault schedule (what the detectors are graded against)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RegionalOutageRecord:
+    """One :class:`CorrelatedRegionalOutage` occurrence: a site block that
+    failed together at ``onset_epoch`` and recovers at ``until_epoch``
+    (which may exceed the horizon — the block then stays down to the end)."""
+
+    onset_epoch: int
+    until_epoch: int
+    #: Site indices in block order (contiguous modulo the fleet size).
+    sites: Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """The injected fault ground truth of one stochastic replica.
+
+    Produced by :func:`compile_schedule` from the *same* draws as
+    :func:`compile_events`, so it describes exactly the replica the
+    timeline simulates: ``downtime`` holds the merged per-site windows the
+    compiled ``SiteFailure``/``SiteRecovery`` events realize, and
+    ``regional_outages`` names each correlated-outage occurrence with its
+    full site block.  This is what detector tests grade verdicts against —
+    a black-hole verdict is a true positive iff its (site, epoch) falls
+    inside a scheduled window.
+    """
+
+    epochs: int
+    site_names: Tuple[str, ...]
+    #: Merged per-site windows with an in-horizon start, sorted.
+    downtime: Tuple[DowntimeWindow, ...]
+    regional_outages: Tuple[RegionalOutageRecord, ...]
+
+    def covers(self, site_index: int, epoch: int) -> bool:
+        """Whether ``site_index`` is scheduled down at ``epoch``."""
+        return any(site == site_index and start <= epoch < until
+                   for site, start, until in self.downtime)
+
+    def window_starting(self, site_index: int,
+                        epoch: int) -> Optional[DowntimeWindow]:
+        """The merged window of ``site_index`` beginning at ``epoch``."""
+        for window in self.downtime:
+            if window[0] == site_index and window[1] == epoch:
+                return window
+        return None
+
+
+def compile_schedule(
+    processes: Sequence[EventProcess],
+    *,
+    seed: int,
+    epochs: int,
+    site_names: Sequence[str],
+    rng_transform: Optional[Callable[[np.random.Generator], object]] = None,
+) -> FaultSchedule:
+    """The fault ground truth for the replica :func:`compile_events` builds.
+
+    Re-draws the same substreams (identical arguments, identical draws) and
+    reports what was injected instead of compiling it to timeline events:
+    the merged per-site downtime windows, plus each correlated regional
+    outage grouped back into its site block.  A window's ``(start, until)``
+    is recoverable per occurrence because a process fires at most one
+    outage per epoch, so within one process equal ``(start, until)`` pairs
+    are the same occurrence.
+    """
+    sampled = _sample_processes(processes, seed=seed, epochs=epochs,
+                                site_names=site_names,
+                                rng_transform=rng_transform)
+    windows: List[DowntimeWindow] = []
+    for contribution in sampled:
+        windows.extend(contribution.downtime)
+    merged = sorted(window for window in _merge_windows(windows)
+                    if window[1] < epochs)
+
+    outages: List[RegionalOutageRecord] = []
+    for process, contribution in zip(processes, sampled):
+        if not isinstance(process, CorrelatedRegionalOutage):
+            continue
+        groups: Dict[Tuple[int, int], List[int]] = {}
+        for site, start, until in contribution.downtime:
+            groups.setdefault((start, until), []).append(site)
+        for (start, until), sites in groups.items():
+            if start >= epochs:
+                continue
+            outages.append(RegionalOutageRecord(
+                onset_epoch=start, until_epoch=until, sites=tuple(sites)))
+    outages.sort(key=lambda record: (record.onset_epoch, record.sites))
+    return FaultSchedule(epochs=epochs, site_names=tuple(site_names),
+                         downtime=tuple(merged),
+                         regional_outages=tuple(outages))
 
 
 def default_processes(

@@ -443,26 +443,40 @@ class Tracer:
 
 
 class Telemetry:
-    """What the simulator threads through: an optional tracer + registry.
+    """What the simulator threads through: tracer + registry + event log.
 
-    ``Telemetry()`` enables both halves; ``Telemetry(trace=False)`` is the
-    campaign runners' default (cheap counters for progress/work accounting,
-    no span collection); ``Telemetry(trace=False, metrics=False)`` is the
-    null object — see :data:`NULL`.  Every recording method degrades to a
-    no-op when its half is disabled, so instrumentation sites never branch.
+    ``Telemetry()`` enables the passive halves; ``Telemetry(trace=False)``
+    is the campaign runners' default (cheap counters for progress/work
+    accounting, no span collection); ``Telemetry(trace=False,
+    metrics=False)`` is the null object — see :data:`NULL`.  The third,
+    opt-in half is the structured event stream: ``Telemetry(events=True)``
+    attaches a fresh :class:`~repro.scale.obs.EventLog`, and passing an
+    existing log shares it (how a campaign fans worker events into one
+    stream).  Every recording method degrades to a no-op when its half is
+    disabled, so instrumentation sites never branch.
     """
 
-    __slots__ = ("tracer", "metrics")
+    __slots__ = ("tracer", "metrics", "events")
 
-    def __init__(self, *, trace: bool = True, metrics: bool = True) -> None:
+    def __init__(self, *, trace: bool = True, metrics: bool = True,
+                 events=False) -> None:
         self.tracer: Optional[Tracer] = Tracer() if trace else None
         self.metrics: Optional[MetricsRegistry] = (
             MetricsRegistry() if metrics else None
         )
+        if events is True:
+            from .obs import EventLog
+            self.events = EventLog()
+        elif events is False or events is None:
+            self.events = None
+        else:
+            # An existing EventLog to share (an empty one is falsy via
+            # __len__, so identity checks above, never truthiness).
+            self.events = events
 
     @property
     def enabled(self) -> bool:
-        """Whether either half records anything."""
+        """Whether either passive half records anything."""
         return self.tracer is not None or self.metrics is not None
 
     def span(self, name: str, **attrs) -> Span:
@@ -497,6 +511,11 @@ class Telemetry:
         if self.metrics is None:
             return 0.0
         return self.metrics.counter_value(name)
+
+    def emit(self, kind: str, **payload) -> None:
+        """Emit a structured event (no-op without an event log)."""
+        if self.events is not None:
+            self.events.emit(kind, **payload)
 
 
 class NullTelemetry(Telemetry):

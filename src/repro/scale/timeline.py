@@ -949,12 +949,36 @@ class FluidTimeline:
 
     def _run(self) -> TimelineResult:
         telemetry = self.telemetry
+        elog = telemetry.events
+        if elog is not None:
+            elog.emit(
+                "timeline_started",
+                epochs=self.epochs,
+                clients=self.population.n_clients,
+                sites=[site.name for site in self.fleet.sites],
+                epoch_seconds=float(self.epoch_seconds),
+                latency_slo_seconds=float(self.latency_slo_seconds),
+            )
         run_span = telemetry.span(
             "timeline", epochs=self.epochs, clients=self.population.n_clients
         )
         with run_span:
             records, cpu_util, uplink_util, clients_matrix = self._run_epochs(
                 telemetry
+            )
+        if elog is not None:
+            elog.emit(
+                "timeline_complete",
+                epochs=len(records),
+                delivered_fraction_mean=(
+                    float(sum(r.delivered_fraction for r in records)
+                          / len(records)) if records else 1.0),
+                delivered_fraction_min=(
+                    min(float(r.delivered_fraction) for r in records)
+                    if records else 1.0),
+                latency_slo_violations_max=(
+                    max(float(r.latency_slo_violations) for r in records)
+                    if records else 0.0),
             )
         return TimelineResult(
             n_clients=self.population.n_clients,
@@ -974,6 +998,7 @@ class FluidTimeline:
         population = self.population
         fleet = self.fleet
         sites = fleet.n_sites
+        elog = telemetry.events
 
         throttles: List[DiscriminationToggle] = []
         degradations: List[CapacityDegradation] = []
@@ -1056,11 +1081,17 @@ class FluidTimeline:
                         self._apply_reconfig(event, autoscale, adversary,
                                              snapshot_ring)
                         fired.append(event.describe())
+                        if elog is not None:
+                            elog.emit("reconfig", epoch=epoch,
+                                      description=fired[-1])
                         continue
                     if isinstance(event, (SiteFailure, SiteRecovery)):
                         snapshot_ring()
                     self._fire(event, throttles, degradations)
                     fired.append(event.describe())
+                    if elog is not None:
+                        elog.emit("fleet_event", epoch=epoch,
+                                  description=fired[-1])
 
                 actions: Tuple[str, ...] = ()
                 if autoscale is not None:
@@ -1070,6 +1101,9 @@ class FluidTimeline:
                             self._forecast(t, region_demand),
                             snapshot_ring,
                         ))
+                    if elog is not None and actions:
+                        elog.emit("autoscale", epoch=epoch,
+                                  actions=list(actions))
 
                 ring_moved = 0.0
                 if ring_before:
@@ -1108,6 +1142,9 @@ class FluidTimeline:
                         )
                     served_scale = served_scale * adversary_epoch.served_multiplier
                     extra_setups = adversary_epoch.extra_setups_per_flow
+                    if elog is not None and adversary_epoch.events:
+                        elog.emit("adversary", epoch=epoch,
+                                  events=list(adversary_epoch.events))
 
                 offered_flow_bps = (template.base_demands * offered_scale
                                     * template.group_clients)
@@ -1343,5 +1380,32 @@ class FluidTimeline:
                     neutralized_latency_p95=neutralized_p95,
                     exposed_latency_p95=exposed_p95,
                 ))
+
+                if elog is not None:
+                    # Per-site served capacity: the in-service flag times the
+                    # degradation scale — the availability signal the
+                    # black-hole detector runs CUSUM over.  ``site_active``
+                    # masks out drained/warming sites (not commissioned to
+                    # serve), so scale-downs are never mistaken for faults.
+                    if capacity_scale is None:
+                        site_served = [1.0 if flag else 0.0
+                                       for flag in in_service]
+                    else:
+                        site_served = [float(scale) if flag else 0.0
+                                       for flag, scale
+                                       in zip(in_service, capacity_scale)]
+                    elog.emit(
+                        "epoch",
+                        epoch=epoch,
+                        delivered_fraction=float(delivered),
+                        demand_multiplier=float(demand_multiplier),
+                        latency_p95_seconds=float(recorded_latency[1]),
+                        latency_slo_violations=float(recorded_latency[3]),
+                        sites_in_service=n_in_service,
+                        sites_warming=n_warming,
+                        site_served=site_served,
+                        site_active=[bool(site.active)
+                                     for site in fleet.sites],
+                    )
 
         return records, cpu_util, uplink_util, clients_matrix

@@ -1,0 +1,525 @@
+"""The observability plane: event stream, fan-in determinism, detectors, gates.
+
+The load-bearing properties, mirroring the telemetry contract:
+
+* **Obs observes, never participates** — enabling the event stream (with
+  the full detector suite attached) leaves campaign results byte-identical.
+* **The stream is deterministic** — the merged NDJSON export is
+  byte-identical between the serial path and the process pool at any
+  worker count, verdicts included.
+* **Detectors are graded against ground truth** — black-hole verdicts are
+  checked site-by-site against the compiled fault schedule (exact onset,
+  zero false positives), and against the scripted catalogue scenarios.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.scale import (
+    EVENT_SCHEMA_VERSION,
+    AutoscaleOscillationDetector,
+    BlackHoleDetector,
+    CorrelatedRegionalOutage,
+    EventLog,
+    NullTelemetry,
+    ProcessPoolCampaignExecutor,
+    SloBreachDetector,
+    StochasticCampaignRunner,
+    Telemetry,
+    attach_detectors,
+    build_scenario,
+    canonical_result_bytes,
+    compile_schedule,
+    verdicts,
+)
+from repro.scale.catalogue import scenario_names
+from repro.scale.timeline import SiteFailure
+
+
+def make_e14(**kwargs):
+    kwargs.setdefault("clients", 1500)
+    kwargs.setdefault("nominal_sites", 4)
+    kwargs.setdefault("max_sites", 6)
+    kwargs.setdefault("epochs", 10)
+    kwargs.setdefault("replicas", 5)
+    kwargs.setdefault("seed", 7)
+    return StochasticCampaignRunner(**kwargs)
+
+
+def _obs_telemetry():
+    telemetry = Telemetry(trace=False, events=True)
+    attach_detectors(telemetry.events)
+    return telemetry
+
+
+# -- the event log itself ----------------------------------------------------------
+
+
+class TestEventLog:
+    def test_emit_assigns_consecutive_seq_and_canonical_json(self):
+        log = EventLog()
+        log.emit("epoch", epoch=0, delivered_fraction=0.75)
+        log.emit("epoch", epoch=1, delivered_fraction=1.0)
+        assert [event.seq for event in log] == [0, 1]
+        line = log.events[0].to_json()
+        record = json.loads(line)
+        assert record == {"delivered_fraction": 0.75, "epoch": 0,
+                          "kind": "epoch", "schema": EVENT_SCHEMA_VERSION,
+                          "seq": 0}
+        # Canonical form: sorted keys, no whitespace — NDJSON is diffable.
+        assert line == json.dumps(record, sort_keys=True,
+                                  separators=(",", ":"))
+        assert log.to_ndjson().count("\n") == 2
+
+    def test_payload_may_not_shadow_envelope_keys(self):
+        log = EventLog()
+        with pytest.raises(ValueError, match="envelope"):
+            log.emit("epoch", seq=3)
+        with pytest.raises(ValueError, match="envelope"):
+            log.emit("epoch", schema=2, epoch=0)
+        assert len(log) == 0
+
+    def test_subscribe_cancel_and_replay(self):
+        log = EventLog()
+        log.emit("a")
+        seen = []
+        subscription = log.subscribe(lambda event: seen.append(event.kind))
+        log.emit("b")
+        subscription.cancel()
+        assert not subscription.active
+        log.emit("c")
+        assert seen == ["b"]
+        # A late subscriber with replay sees the backlog first.
+        replayed = []
+        with log.subscribe(lambda event: replayed.append(event.kind),
+                           replay=True):
+            log.emit("d")
+        log.emit("e")  # after context exit: not delivered
+        assert replayed == ["a", "b", "c", "d"]
+
+    def test_nested_emit_keeps_log_order_canonical(self):
+        log = EventLog()
+
+        def derive(event):
+            if event.kind == "trigger":
+                log.emit("derived", cause=event.seq)
+
+        log.subscribe(derive)
+        log.emit("trigger")
+        assert [(event.seq, event.kind) for event in log] == [
+            (0, "trigger"), (1, "derived")]
+        assert log.events[1].payload["cause"] == 0
+
+    def test_tail_is_a_cursor(self):
+        log = EventLog()
+        for index in range(4):
+            log.emit("tick", n=index)
+        assert [event.payload["n"] for event in log.tail(2)] == [2, 3]
+        assert log.tail(99) == ()
+
+    def test_drain_extend_roundtrip_is_byte_identical(self):
+        worker = EventLog()
+        worker.emit("unit_started", unit=0)
+        worker.emit("epoch", epoch=0, delivered_fraction=1.0)
+        expected = worker.to_ndjson()
+        batch = worker.drain_raw()
+        assert len(worker) == 0
+        parent = EventLog()
+        parent.extend_raw(batch)
+        assert parent.to_ndjson() == expected
+
+    def test_write_ndjson(self, tmp_path):
+        log = EventLog()
+        log.emit("a", x=1)
+        path = tmp_path / "events.ndjson"
+        log.write_ndjson(str(path))
+        assert path.read_text() == log.to_ndjson()
+
+
+class TestTelemetryWiring:
+    def test_events_are_opt_in(self):
+        assert Telemetry().events is None
+        assert isinstance(Telemetry(events=True).events, EventLog)
+        shared = EventLog()  # empty, falsy via __len__ — must still wire up
+        assert Telemetry(events=shared).events is shared
+
+    def test_emit_is_a_noop_without_a_log(self):
+        Telemetry().emit("epoch", epoch=0)
+        NullTelemetry().emit("epoch", epoch=0)
+        telemetry = Telemetry(events=True)
+        telemetry.emit("epoch", epoch=0)
+        assert [event.kind for event in telemetry.events] == ["epoch"]
+
+
+# -- determinism: obs never participates, fan-in is exact --------------------------
+
+
+class TestStreamDeterminism:
+    def test_results_identical_with_obs_and_detectors_enabled(self):
+        plain = make_e14().run()
+        observed = make_e14(telemetry=_obs_telemetry()).run()
+        assert canonical_result_bytes(observed) == canonical_result_bytes(plain)
+
+    def test_serial_and_pooled_streams_are_byte_identical(self):
+        telemetries = [_obs_telemetry() for _ in range(3)]
+        serial = make_e14(telemetry=telemetries[0]).run()
+        pooled_1 = ProcessPoolCampaignExecutor(
+            make_e14(telemetry=telemetries[1]), n_workers=1).run()
+        pooled_4 = ProcessPoolCampaignExecutor(
+            make_e14(telemetry=telemetries[2]), n_workers=4).run()
+        assert canonical_result_bytes(pooled_1) == canonical_result_bytes(serial)
+        assert canonical_result_bytes(pooled_4) == canonical_result_bytes(serial)
+        streams = [telemetry.events.to_ndjson() for telemetry in telemetries]
+        assert streams[1] == streams[0]
+        assert streams[2] == streams[0]
+        # Verdicts ride in the same stream, at the same positions.
+        reference = [event.seq for event in verdicts(telemetries[0].events)]
+        for telemetry in telemetries[1:]:
+            assert [event.seq for event in verdicts(telemetry.events)] \
+                == reference
+
+    def test_campaign_lifecycle_frames_the_stream(self):
+        runner = make_e14(telemetry=Telemetry(trace=False, events=True))
+        kinds_live = []
+        runner.telemetry.events.subscribe(
+            lambda event: kinds_live.append(event.kind))
+        runner.run()
+        log = runner.telemetry.events
+        assert log.events[0].kind == "campaign_started"
+        assert log.events[-1].kind == "campaign_complete"
+        assert log.events[-1].payload["units"] == runner.replicas
+        # The subscription saw every event live, in log order — the
+        # replacement for get_current_state() polling loops.
+        assert kinds_live == [event.kind for event in log]
+        assert kinds_live.count("unit_started") == runner.replicas
+        assert kinds_live.count("unit_complete") == runner.replicas
+
+
+# -- detector semantics on synthetic streams ---------------------------------------
+
+
+def _start(log, sites=("s0", "s1"), slo=0.1):
+    log.emit("timeline_started", epochs=10, clients=100, sites=list(sites),
+             epoch_seconds=900.0, latency_slo_seconds=slo)
+
+
+def _epoch(log, epoch, served, active=None, p95=0.05):
+    log.emit("epoch", epoch=epoch, delivered_fraction=1.0,
+             demand_multiplier=1.0, latency_p95_seconds=p95,
+             latency_slo_violations=0.0, sites_in_service=len(served),
+             sites_warming=0, site_served=list(served),
+             site_active=list(True for _ in served) if active is None
+             else list(active))
+
+
+class TestBlackHoleDetector:
+    def _attached(self):
+        log = EventLog()
+        attach_detectors(log, [BlackHoleDetector()])
+        return log
+
+    def test_one_black_holed_epoch_alarms_with_onset(self):
+        log = self._attached()
+        _start(log)
+        _epoch(log, 0, [1.0, 1.0])
+        _epoch(log, 1, [0.0, 1.0])
+        payloads = [event.payload for event in verdicts(log)]
+        assert payloads == [{
+            "detector": "black_hole", "site": "s0", "site_index": 0,
+            "onset_epoch": 1, "epoch": 1, "served": 0.0}]
+
+    def test_catalogue_grade_degradation_never_alarms(self):
+        # 0.4 is the catalogue's deepest legitimate capacity degradation.
+        log = self._attached()
+        _start(log)
+        for epoch in range(20):
+            _epoch(log, epoch, [0.4, 1.0])
+        assert verdicts(log) == ()
+
+    def test_drained_sites_are_masked(self):
+        # An autoscaler scale-down serves nothing but is not a black hole.
+        log = self._attached()
+        _start(log)
+        for epoch in range(5):
+            _epoch(log, epoch, [1.0, 0.0], active=[True, False])
+        assert verdicts(log) == ()
+
+    def test_recovery_rearms_for_a_second_outage(self):
+        log = self._attached()
+        _start(log)
+        for epoch, served in enumerate([0.0, 0.0, 0.0, 1.0, 0.0]):
+            _epoch(log, epoch, [served, 1.0])
+        onsets = [event.payload["onset_epoch"] for event in verdicts(log)]
+        assert onsets == [0, 4]
+
+    def test_shared_onset_emits_a_regional_verdict(self):
+        log = self._attached()
+        _start(log, sites=("s0", "s1", "s2"))
+        _epoch(log, 0, [1.0, 1.0, 1.0])
+        _epoch(log, 1, [0.0, 0.0, 1.0])
+        regional = [event.payload for event in verdicts(log)
+                    if event.payload["detector"] == "black_hole_region"]
+        assert regional == [{
+            "detector": "black_hole_region", "sites": ["s0", "s1"],
+            "site_indices": [0, 1], "onset_epoch": 1, "epoch": 1}]
+
+
+class TestSloBreachDetector:
+    def _attached(self, min_epochs=3):
+        log = EventLog()
+        attach_detectors(log, [SloBreachDetector(min_epochs=min_epochs)])
+        return log
+
+    def test_breach_needs_consecutive_epochs(self):
+        log = self._attached()
+        _start(log, slo=0.1)
+        # A two-epoch spike is not a breach...
+        for epoch, p95 in enumerate([0.2, 0.2, 0.05, 0.2, 0.2, 0.2]):
+            _epoch(log, epoch, [1.0], p95=p95)
+        payloads = [event.payload for event in verdicts(log)]
+        assert len(payloads) == 1
+        assert payloads[0]["detector"] == "slo_breach"
+        assert payloads[0]["onset_epoch"] == 3
+        assert payloads[0]["epoch"] == 5
+        assert payloads[0]["consecutive_epochs"] == 3
+
+    def test_one_verdict_per_episode_and_rearm(self):
+        log = self._attached(min_epochs=2)
+        _start(log, slo=0.1)
+        series = [0.2, 0.2, 0.2, 0.05, 0.2, 0.2]
+        for epoch, p95 in enumerate(series):
+            _epoch(log, epoch, [1.0], p95=p95)
+        onsets = [event.payload["onset_epoch"] for event in verdicts(log)]
+        assert onsets == [0, 4]
+
+
+class TestAutoscaleOscillationDetector:
+    def _attached(self, **kwargs):
+        log = EventLog()
+        attach_detectors(log, [AutoscaleOscillationDetector(**kwargs)])
+        return log
+
+    @staticmethod
+    def _autoscale(log, epoch, *actions):
+        log.emit("autoscale", epoch=epoch, actions=list(actions))
+
+    def test_flip_flopping_fires_once_per_window(self):
+        log = self._attached(window=6, min_flips=3)
+        _start(log)
+        moves = ["up s4 warming", "drain s4", "up s4 warming", "drain s4"]
+        for epoch, action in enumerate(moves):
+            self._autoscale(log, epoch, action)
+        payloads = [event.payload for event in verdicts(log)]
+        assert len(payloads) == 1
+        assert payloads[0]["detector"] == "autoscale_oscillation"
+        assert payloads[0]["flips"] == 3
+        # Continued thrash within the cooldown window stays silent.
+        for epoch, action in enumerate(moves, start=len(moves)):
+            self._autoscale(log, epoch, action)
+        assert len(verdicts(log)) == 1
+
+    def test_monotonic_scaling_is_silent(self):
+        log = self._attached(window=6, min_flips=3)
+        _start(log)
+        for epoch in range(8):
+            self._autoscale(log, epoch, f"up s{epoch} warming")
+        for epoch in range(8, 16):
+            self._autoscale(log, epoch, f"drain s{epoch - 8}")
+        assert verdicts(log) == ()
+
+
+# -- detector grading against ground truth -----------------------------------------
+
+
+def _unit_segments(log):
+    """Split a merged campaign stream into per-unit event lists."""
+    segments = {}
+    current = None
+    for event in log:
+        if event.kind == "unit_started":
+            current = event.payload["unit"]
+            segments[current] = []
+        if current is not None:
+            segments[current].append(event)
+        if event.kind == "unit_complete":
+            current = None
+    return segments
+
+
+class TestBlackHoleLocalization:
+    def test_verdicts_match_the_compiled_fault_schedule(self):
+        """Exact localization, zero false positives, graded per unit.
+
+        Elevated outage rates so every replica carries several scheduled
+        windows; the detector must name exactly the scheduled sites at
+        exactly the scheduled onsets — for every site commissioned when
+        its window starts (drained spares fail invisibly, correctly).
+        """
+        processes = (CorrelatedRegionalOutage(
+            outages_per_epoch=0.15, group_fraction=0.25,
+            mean_downtime_epochs=2.0),)
+        runner = make_e14(epochs=12, replicas=4, nominal_sites=8,
+                          max_sites=10, regions=4, processes=processes,
+                          telemetry=_obs_telemetry())
+        runner.run()
+        segments = _unit_segments(runner.telemetry.events)
+        assert len(segments) == runner.replicas
+        windows_checked = 0
+        for unit in runner.unit_specs():
+            events = segments[unit.index]
+            sites = next(event.payload["sites"] for event in events
+                         if event.kind == "timeline_started")
+            schedule = compile_schedule(
+                runner.processes, seed=unit.event_seed,
+                epochs=runner.epochs, site_names=sites,
+                rng_transform=unit.rng_transform)
+            epochs = {event.payload["epoch"]: event.payload
+                      for event in events if event.kind == "epoch"}
+            black_hole = [event.payload for event in events
+                          if event.kind == "detector"
+                          and event.payload["detector"] == "black_hole"]
+            # Zero false positives: every verdict inside a scheduled window.
+            for payload in black_hole:
+                assert schedule.covers(payload["site_index"],
+                                       payload["onset_epoch"]), payload
+            # Exact localization: one verdict per commissioned window,
+            # naming the onset epoch.
+            for site_index, start, _until in schedule.downtime:
+                if not epochs[start]["site_active"][site_index]:
+                    continue  # not commissioned: invisible by contract
+                hits = [payload for payload in black_hole
+                        if payload["site_index"] == site_index
+                        and payload["onset_epoch"] == start]
+                assert len(hits) == 1, (site_index, start, hits)
+                windows_checked += 1
+        assert windows_checked >= 5  # the grading actually graded something
+
+
+class TestCatalogueFalsePositives:
+    @pytest.mark.parametrize("scenario", scenario_names())
+    def test_black_hole_verdicts_only_inside_scripted_failures(self, scenario):
+        telemetry = _obs_telemetry()
+        timeline = build_scenario(scenario, clients=2000, seed=21,
+                                  telemetry=telemetry)
+        scripted = {(event.site, event.at_epoch)
+                    for event in timeline.events
+                    if isinstance(event, SiteFailure)}
+        timeline.run()
+        for event in verdicts(telemetry.events):
+            payload = event.payload
+            if payload["detector"] != "black_hole":
+                continue
+            assert (payload["site"], payload["onset_epoch"]) in scripted, \
+                payload
+
+    def test_regional_outage_scenario_is_fully_localized(self):
+        telemetry = _obs_telemetry()
+        timeline = build_scenario("regional_outage", clients=2000, seed=21,
+                                  telemetry=telemetry)
+        scripted = {(event.site, event.at_epoch)
+                    for event in timeline.events
+                    if isinstance(event, SiteFailure)}
+        assert scripted
+        timeline.run()
+        named = {(payload["site"], payload["onset_epoch"])
+                 for payload in (event.payload
+                                 for event in verdicts(telemetry.events))
+                 if payload["detector"] == "black_hole"}
+        assert named == scripted
+        regional = [event.payload for event in verdicts(telemetry.events)
+                    if event.payload["detector"] == "black_hole_region"]
+        assert len(regional) == 1
+        assert sorted(regional[0]["sites"]) == sorted(s for s, _ in scripted)
+
+
+# -- the perf-regression gate and report tooling -----------------------------------
+
+
+def _load_tool(name):
+    path = Path(__file__).resolve().parents[2] / "tools" / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(name, path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _artifact(mean):
+    return {
+        "machine_info": {"cpu": {"brand_raw": "test-cpu"}},
+        "benchmarks": [{
+            "fullname": "benchmarks/bench_x.py::test_one",
+            "stats": {"mean": mean, "stddev": mean / 20, "rounds": 5},
+        }],
+    }
+
+
+class TestPerfGate:
+    def test_seed_then_pass_then_2x_slowdown_fails(self, tmp_path):
+        perf_gate = _load_tool("perf_gate")
+        baseline_dir = tmp_path / "baselines"
+        artifact = tmp_path / "BENCH_x.json"
+        artifact.write_text(json.dumps(_artifact(0.1)))
+        assert perf_gate.main(["--baseline-dir", str(baseline_dir),
+                               "--update", str(artifact)]) == 0
+        pinned = json.loads((baseline_dir / "BENCH_x.json").read_text())
+        assert pinned["machine"] == "test-cpu"
+        assert pinned["benchmarks"][0]["mean"] == pytest.approx(0.1)
+        # Fresh == baseline: passes.
+        assert perf_gate.main(["--baseline-dir", str(baseline_dir),
+                               str(artifact)]) == 0
+        # A genuine 2x slowdown always fails (tolerance is < 2x).
+        artifact.write_text(json.dumps(_artifact(0.2)))
+        assert perf_gate.main(["--baseline-dir", str(baseline_dir),
+                               str(artifact)]) == 1
+
+    def test_tolerances_file_overrides_per_benchmark(self, tmp_path):
+        perf_gate = _load_tool("perf_gate")
+        baseline_dir = tmp_path / "baselines"
+        artifact = tmp_path / "BENCH_x.json"
+        artifact.write_text(json.dumps(_artifact(0.1)))
+        perf_gate.main(["--baseline-dir", str(baseline_dir), "--update",
+                        str(artifact)])
+        artifact.write_text(json.dumps(_artifact(0.2)))
+        (baseline_dir / "tolerances.json").write_text(json.dumps(
+            {"benchmarks/bench_x.py::test_one": 2.5}))
+        assert perf_gate.main(["--baseline-dir", str(baseline_dir),
+                               str(artifact)]) == 0
+
+    def test_missing_baseline_and_vanished_benchmark_fail(self, tmp_path):
+        perf_gate = _load_tool("perf_gate")
+        baseline_dir = tmp_path / "baselines"
+        artifact = tmp_path / "BENCH_x.json"
+        artifact.write_text(json.dumps(_artifact(0.1)))
+        # No baseline committed yet: the gate demands one.
+        assert perf_gate.main(["--baseline-dir", str(baseline_dir),
+                               str(artifact)]) == 1
+        perf_gate.main(["--baseline-dir", str(baseline_dir), "--update",
+                        str(artifact)])
+        # A pinned benchmark that vanished from the fresh run fails too.
+        gone = _artifact(0.1)
+        gone["benchmarks"][0]["fullname"] = "benchmarks/bench_x.py::test_two"
+        artifact.write_text(json.dumps(gone))
+        assert perf_gate.main(["--baseline-dir", str(baseline_dir),
+                               str(artifact)]) == 1
+
+    def test_missing_artifact_exits_2(self, tmp_path, capsys):
+        perf_gate = _load_tool("perf_gate")
+        assert perf_gate.main([str(tmp_path / "BENCH_nope.json")]) == 2
+        assert "BENCH_nope.json" in capsys.readouterr().err
+
+
+class TestPerfReport:
+    def test_missing_artifact_exits_2_naming_the_file(self, tmp_path, capsys):
+        perf_report = _load_tool("perf_report")
+        present = tmp_path / "BENCH_ok.json"
+        present.write_text(json.dumps(_artifact(0.1)))
+        code = perf_report.main([str(present),
+                                 str(tmp_path / "BENCH_gone.json")])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "BENCH_gone.json" in captured.err
+        # Nothing rendered: a partial table would read as complete.
+        assert "bench" not in captured.out

@@ -1,0 +1,184 @@
+#!/usr/bin/env python3
+"""Perf-regression gate: fresh BENCH artifacts vs committed baselines.
+
+Compares the per-benchmark mean wall time in freshly collected
+pytest-benchmark artifacts (``BENCH_*.json``) against the committed
+baselines under ``benchmarks/baselines/`` and fails when any benchmark
+regresses past its tolerance — turning the bench-trajectory uploads from
+a write-only archive into an enforced trajectory.
+
+Baselines are trimmed, canonical JSON (one file per artifact, same
+filename): per benchmark its ``fullname``, mean and stddev, plus the
+machine it was pinned on.  Per-benchmark tolerance overrides live in
+``benchmarks/baselines/tolerances.json`` (``{"fullname": ratio}``); the
+default ratio covers ordinary CI-runner noise but is strictly below 2x,
+so a genuine 2x slowdown always fails.
+
+Usage, from the repo root::
+
+    python tools/perf_gate.py BENCH_scale.json BENCH_timeline.json ...
+    python tools/perf_gate.py --update BENCH_*.json   # reseed baselines
+
+Exit status: 0 all benchmarks within tolerance, 1 regression or missing
+baseline/benchmark, 2 unreadable input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+DEFAULT_BASELINE_DIR = REPO / "benchmarks" / "baselines"
+#: Default regression tolerance: fresh mean may be at most this multiple
+#: of the baseline mean.  Forgiving of runner noise, strictly below 2x.
+DEFAULT_TOLERANCE = 1.75
+
+
+def _load_json(path: Path):
+    try:
+        with open(path) as handle:
+            return json.load(handle)
+    except (OSError, ValueError) as exc:
+        print(f"perf_gate: unreadable {path}: {exc}", file=sys.stderr)
+        return None
+
+
+def _fresh_means(data) -> dict:
+    """``{fullname: mean_seconds}`` from a pytest-benchmark artifact."""
+    means = {}
+    for bench in data.get("benchmarks", []):
+        name = bench.get("fullname") or bench.get("name")
+        stats = bench.get("stats") or {}
+        if name and "mean" in stats:
+            means[name] = float(stats["mean"])
+    return means
+
+
+def _baseline_payload(source_name: str, data) -> dict:
+    """The trimmed baseline document written by ``--update``."""
+    machine = (data.get("machine_info") or {}).get("cpu") or {}
+    return {
+        "source": source_name,
+        "machine": machine.get("brand_raw", "unknown"),
+        "benchmarks": [
+            {
+                "fullname": bench.get("fullname") or bench.get("name"),
+                "mean": float(bench["stats"]["mean"]),
+                "stddev": float(bench["stats"].get("stddev", 0.0)),
+                "rounds": int(bench["stats"].get("rounds", 0)),
+            }
+            for bench in data.get("benchmarks", [])
+            if (bench.get("fullname") or bench.get("name"))
+            and "mean" in (bench.get("stats") or {})
+        ],
+    }
+
+
+def update_baselines(paths, baseline_dir: Path) -> int:
+    baseline_dir.mkdir(parents=True, exist_ok=True)
+    for path in paths:
+        data = _load_json(Path(path))
+        if data is None:
+            return 2
+        payload = _baseline_payload(Path(path).name, data)
+        if not payload["benchmarks"]:
+            print(f"perf_gate: {path}: no benchmarks to baseline",
+                  file=sys.stderr)
+            return 2
+        target = baseline_dir / Path(path).name
+        with open(target, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"baseline written: {target} "
+              f"({len(payload['benchmarks'])} benchmarks)")
+    return 0
+
+
+def check(paths, baseline_dir: Path, tolerance: float) -> int:
+    overrides = {}
+    tolerances_file = baseline_dir / "tolerances.json"
+    if tolerances_file.is_file():
+        overrides = _load_json(tolerances_file)
+        if overrides is None:
+            return 2
+
+    failures = 0
+    header = (f"{'benchmark':<58} {'base ms':>10} {'fresh ms':>10} "
+              f"{'ratio':>7} {'limit':>7}  status")
+    print(header)
+    print("-" * len(header))
+    for path in paths:
+        fresh_data = _load_json(Path(path))
+        if fresh_data is None:
+            return 2
+        baseline_path = baseline_dir / Path(path).name
+        if not baseline_path.is_file():
+            print(f"perf_gate: missing baseline {baseline_path} "
+                  f"(seed it with --update)", file=sys.stderr)
+            failures += 1
+            continue
+        baseline = _load_json(baseline_path)
+        if baseline is None:
+            return 2
+        fresh = _fresh_means(fresh_data)
+        for entry in baseline.get("benchmarks", []):
+            name = entry["fullname"]
+            limit = float(overrides.get(name, tolerance))
+            short = name if len(name) <= 58 else "..." + name[-55:]
+            if name not in fresh:
+                print(f"{short:<58} {'-':>10} {'-':>10} {'-':>7} "
+                      f"{limit:>6.2f}x  MISSING")
+                failures += 1
+                continue
+            base_mean = float(entry["mean"])
+            fresh_mean = fresh.pop(name)
+            ratio = fresh_mean / base_mean if base_mean > 0 else float("inf")
+            ok = ratio <= limit
+            print(f"{short:<58} {base_mean * 1e3:>10.3f} "
+                  f"{fresh_mean * 1e3:>10.3f} {ratio:>6.2f}x {limit:>6.2f}x  "
+                  f"{'ok' if ok else 'REGRESSION'}")
+            if not ok:
+                failures += 1
+        for name in sorted(fresh):
+            # Present in the fresh run but not yet pinned: informational —
+            # reseed baselines to start gating it.
+            short = name if len(name) <= 58 else "..." + name[-55:]
+            print(f"{short:<58} {'-':>10} {fresh[name] * 1e3:>10.3f} "
+                  f"{'-':>7} {'-':>7}  new (unpinned)")
+    if failures:
+        print(f"perf_gate: {failures} failure(s)", file=sys.stderr)
+        return 1
+    print("perf_gate: all benchmarks within tolerance")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("artifacts", nargs="+",
+                        help="fresh pytest-benchmark JSON artifacts")
+    parser.add_argument("--baseline-dir", type=Path,
+                        default=DEFAULT_BASELINE_DIR,
+                        help="committed baseline directory "
+                             "(default benchmarks/baselines)")
+    parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE,
+                        help=f"default mean-ratio limit "
+                             f"(default {DEFAULT_TOLERANCE})")
+    parser.add_argument("--update", action="store_true",
+                        help="reseed baselines from the given artifacts "
+                             "instead of checking")
+    args = parser.parse_args(argv)
+    missing = [path for path in args.artifacts if not Path(path).is_file()]
+    if missing:
+        for path in missing:
+            print(f"perf_gate: missing artifact: {path}", file=sys.stderr)
+        return 2
+    if args.update:
+        return update_baselines(args.artifacts, args.baseline_dir)
+    return check(args.artifacts, args.baseline_dir, args.tolerance)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

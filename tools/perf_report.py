@@ -7,8 +7,10 @@ Two modes:
   (``BENCH_*.json``), print each benchmark's embedded per-phase breakdown
   — count, total wall, P50/P95/max — the ``extra_info["phases"]`` section
   the scale benchmarks attach from their campaign traces.  Exits non-zero
-  when no artifact contributes a single phase row, so CI notices a
-  benchmark that silently stopped tracing.
+  when a requested artifact does not exist (naming each missing file —
+  never a silently partial table), or when no artifact contributes a
+  single phase row, so CI notices a benchmark that silently stopped
+  tracing.
 
 * **Smoke** (``--scenario NAME``): build and run one named catalogue
   scenario with tracing telemetry, print its phase table, and optionally
@@ -50,6 +52,13 @@ def render_artifacts(paths) -> int:
     parallel wall time, speedup/efficiency), rendered as a one-line summary
     under the phase table.
     """
+    missing = [path for path in paths if not Path(path).is_file()]
+    if missing:
+        # Fail before rendering anything: a partial table over the
+        # artifacts that do exist would read as a complete report.
+        for path in missing:
+            print(f"perf_report: missing artifact: {path}", file=sys.stderr)
+        return 2
     rows = 0
     for path in paths:
         try:
