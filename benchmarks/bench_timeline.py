@@ -101,6 +101,32 @@ def test_e13_obs_overhead(once):
     assert len(telemetry.events) >= _EPOCHS + 2
 
 
+def test_e13_monitor_overhead(once, benchmark):
+    """The live-monitor guard: an attached HTTP/SSE monitor costs <= 5% wall.
+
+    The monitor mirrors every canonical event into its HTTP views while
+    the timeline runs, so this bounds the subscription + mirror cost on
+    top of the full observability stack (trace + events + detectors).
+    Same noise floor as the guards above; same observe-don't-participate
+    assertion — identical solver work, byte-identical canonical stream.
+    """
+    from repro.scale import MonitorServer, attach_detectors
+
+    disabled = _diurnal_timeline().run()
+    telemetry = Telemetry(trace=True, events=True)
+    attach_detectors(telemetry.events)
+    with MonitorServer.attach(telemetry) as monitor:
+        enabled = once(lambda: _diurnal_timeline(telemetry=telemetry).run())
+        mirrored = monitor.progress()["events"]["total"]
+    assert enabled.wall_seconds <= disabled.wall_seconds * 1.05 + 0.05
+    assert ([record.solver_iterations for record in enabled.records]
+            == [record.solver_iterations for record in disabled.records])
+    # The monitor mirrored the whole canonical stream, live.
+    assert mirrored == len(telemetry.events)
+    assert mirrored >= _EPOCHS + 2
+    benchmark.extra_info["phases"] = phase_breakdown(telemetry)
+
+
 def test_e13_epoch_solves_warm(benchmark):
     """Per-epoch solve throughput with warm-start hint reuse."""
     timeline = _congested_timeline(warm_start=True)

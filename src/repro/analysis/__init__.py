@@ -8,7 +8,12 @@ from .metrics import (
     compare,
     measure_throughput,
 )
-from .report import ExperimentReport, format_series, format_table
+from .report import (
+    ExperimentReport,
+    format_frontier_table,
+    format_series,
+    format_table,
+)
 from .scenarios import (
     COGENT_ANYCAST,
     COGENT_SITES,
@@ -27,6 +32,7 @@ __all__ = [
     "compare",
     "measure_throughput",
     "ExperimentReport",
+    "format_frontier_table",
     "format_series",
     "format_table",
     "COGENT_ANYCAST",

@@ -8,6 +8,7 @@ which preserves the shape comparisons the reproduction is judged on.
 
 from __future__ import annotations
 
+from collections.abc import Mapping
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Union
 
@@ -48,6 +49,34 @@ def format_table(headers: Sequence[str], rows: Sequence[Sequence], *,
     return "\n".join(lines)
 
 
+def _frontier_cell(point, getter):
+    if callable(getter):
+        return getter(point)
+    if isinstance(point, Mapping):
+        return point.get(getter, "")
+    return getattr(point, getter)
+
+
+def format_frontier_table(columns: Sequence, points: Sequence, *,
+                          title: Optional[str] = None) -> str:
+    """Render a frontier/trajectory table straight from its points.
+
+    ``columns`` is a sequence of ``(header, getter)`` pairs where
+    ``getter`` is an attribute name (frontier-point dataclasses), a
+    mapping key (raw event payloads), or a callable ``point -> value``
+    (derived columns such as unit conversions).  Every frontier and
+    trajectory table — the E14/E15 frontier reports EXPERIMENTS.md
+    quotes and the live view ``tools/watch_campaign.py`` renders — goes
+    through this one code path, so a column added here shows up
+    everywhere at once and the quoted tables can never drift from the
+    live ones.
+    """
+    headers = [header for header, _ in columns]
+    rows = [[_frontier_cell(point, getter) for _, getter in columns]
+            for point in points]
+    return format_table(headers, rows, title=title)
+
+
 @dataclass
 class ExperimentReport:
     """A named collection of tables produced by one experiment."""
@@ -61,6 +90,11 @@ class ExperimentReport:
                   title: Optional[str] = None) -> None:
         """Format and append one table."""
         self.tables.append(format_table(headers, rows, title=title))
+
+    def add_frontier_table(self, columns: Sequence, points: Sequence, *,
+                           title: Optional[str] = None) -> None:
+        """Format and append one table via :func:`format_frontier_table`."""
+        self.tables.append(format_frontier_table(columns, points, title=title))
 
     def add_note(self, note: str) -> None:
         """Append a free-form observation."""

@@ -156,6 +156,7 @@ from .obs import (
     attach_detectors,
     verdicts,
 )
+from .monitor import MonitorServer
 from .stochastic import (
     AttackOnset,
     CorrelatedRegionalOutage,
@@ -198,6 +199,8 @@ from .runner import (
     FleetScaleRunner,
     FrontierPoint,
     FrontierResult,
+    CHURN_SLO_FRONTIER_COLUMNS,
+    LATENCY_COST_FRONTIER_COLUMNS,
     LatencyCampaignRunner,
     LatencyFrontierPoint,
     LatencyFrontierResult,
@@ -283,6 +286,7 @@ __all__ = [
     "Autoscaler",
     "BlackHoleDetector",
     "CATALOGUE",
+    "CHURN_SLO_FRONTIER_COLUMNS",
     "CampaignRunnerProtocol",
     "CampaignUnit",
     "CapacityDegradation",
@@ -322,6 +326,7 @@ __all__ = [
     "FrontierPoint",
     "FrontierResult",
     "IspStrategy",
+    "LATENCY_COST_FRONTIER_COLUMNS",
     "LatencyCampaignRunner",
     "LatencyFrontierPoint",
     "LatencyFrontierResult",
@@ -332,6 +337,7 @@ __all__ = [
     "LoadCurve",
     "MetricDistribution",
     "MetricsRegistry",
+    "MonitorServer",
     "NULL",
     "NeutralizerFleet",
     "NullTelemetry",

@@ -193,9 +193,27 @@ class EventLog:
         self._subscribers[token] = callback
         return Subscription(self, token)
 
-    def tail(self, since_seq: int = 0) -> Tuple[Event, ...]:
-        """Events with ``seq >= since_seq`` (for cursor-style consumers)."""
-        return tuple(self.events[since_seq:])
+    def tail(self, since_seq: int = -1) -> Tuple[Event, ...]:
+        """Events strictly after ``since_seq``, in seq order.
+
+        The cursor contract every paged/streaming consumer relies on
+        (``/events?since_seq=N`` and SSE ``Last-Event-ID`` resume in
+        :mod:`repro.scale.monitor`): pass the last ``seq`` you have
+        consumed — ``-1`` (the default) for the whole stream — and
+        receive every event with ``seq > since_seq``, exactly once, with
+        no gaps and no duplicates.  This holds even when subscribers
+        emit nested events mid-delivery, because ``seq`` is assigned in
+        log order at emit time and the log is append-only; repeatedly
+        calling ``tail(last_seen)`` and advancing the cursor to the last
+        returned ``seq`` therefore reconstructs the exact canonical
+        stream (the Hypothesis property test in
+        ``tests/scale/test_obs.py`` pins this down).  A cursor at or
+        past the last event yields an empty tuple, never an error.
+        """
+        start = since_seq + 1
+        if start <= 0:
+            return tuple(self.events)
+        return tuple(self.events[start:])
 
     def to_ndjson(self) -> str:
         """The whole stream as canonical NDJSON (one event per line)."""

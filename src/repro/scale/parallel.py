@@ -571,7 +571,8 @@ _WORKER: Optional[Dict[str, object]] = None
 
 def _worker_init(runner, manifest: Dict[str, object],
                  trace_dir: Optional[str],
-                 collect_events: bool = False) -> None:
+                 collect_events: bool = False,
+                 heartbeat_queue=None) -> None:
     """Install the campaign in a worker: shared population, fresh telemetry.
 
     Workers ignore SIGINT so an interrupt lands only in the parent, which
@@ -581,6 +582,9 @@ def _worker_init(runner, manifest: Dict[str, object],
     When the parent campaign carries an event log, ``collect_events``
     attaches a worker-local log whose per-unit batches ship home with each
     outcome and fan into the parent stream in unit order.
+    ``heartbeat_queue`` (present only when a monitor is attached) is the
+    out-of-band liveness channel: coarse ``unit_heartbeat`` records go
+    straight to the parent's monitor and never touch the canonical log.
     """
     global _WORKER
     signal.signal(signal.SIGINT, signal.SIG_IGN)
@@ -592,7 +596,33 @@ def _worker_init(runner, manifest: Dict[str, object],
         "runner": runner,
         "segments": segments,
         "trace_dir": Path(trace_dir) if trace_dir else None,
+        "heartbeat_queue": heartbeat_queue,
     }
+
+
+def _worker_heartbeat(unit: CampaignUnit, phase: str) -> None:
+    """Best-effort liveness record; a heartbeat may never fail a unit.
+
+    The payload deliberately carries wall-clock and the worker PID — it
+    is quarantined on the monitor side (``/progress`` and ``/stream``
+    only) and never merged into the canonical event stream, which is how
+    the byte-identity contract survives the monitor being attached.
+    """
+    heartbeat_queue = _WORKER.get("heartbeat_queue")
+    if heartbeat_queue is None:
+        return
+    try:
+        heartbeat_queue.put({
+            "kind": "unit_heartbeat",
+            "unit": unit.index,
+            "label": unit.label,
+            "replica": unit.replica,
+            "phase": phase,
+            "pid": os.getpid(),
+            "wall_time": time.time(),
+        })
+    except Exception:
+        pass
 
 
 def _worker_run_unit(unit: CampaignUnit):
@@ -600,9 +630,11 @@ def _worker_run_unit(unit: CampaignUnit):
     runner = _WORKER["runner"]
     trace_dir = _WORKER["trace_dir"]
     telemetry = runner.telemetry
+    _worker_heartbeat(unit, "started")
     before = telemetry.metrics.as_dict()
     runner._current = runner._unit_marker(unit)
     outcome = runner._run_unit_logged(unit)
+    _worker_heartbeat(unit, "complete")
     delta = MetricsRegistry.snapshot_delta(before, telemetry.metrics.as_dict())
     tracer = telemetry.tracer
     spans = [(record.name, record.dur_s) for record in tracer.spans]
@@ -640,7 +672,8 @@ class ProcessPoolCampaignExecutor:
     """
 
     def __init__(self, runner, *, n_workers: Optional[int] = None,
-                 checkpoint_dir=None, trace_dir=None, mp_context=None) -> None:
+                 checkpoint_dir=None, trace_dir=None, mp_context=None,
+                 monitor=None) -> None:
         if n_workers is None:
             n_workers = os.cpu_count() or 1
         if int(n_workers) < 1:
@@ -650,6 +683,12 @@ class ProcessPoolCampaignExecutor:
         self.checkpoint_dir = Path(checkpoint_dir) if checkpoint_dir else None
         self.trace_dir = Path(trace_dir) if trace_dir else None
         self._mp_context = mp_context
+        #: An attached :class:`repro.scale.monitor.MonitorServer` (or
+        #: ``None``).  Purely observational: it reads the runner's
+        #: telemetry and receives out-of-band worker heartbeats, so the
+        #: campaign's numbers and canonical event bytes are identical
+        #: with or without it.
+        self.monitor = monitor
         #: Worker span durations by phase name, for ``phase_breakdown``.
         self.phase_durations: Dict[str, List[float]] = {}
         self.units_resumed = 0
@@ -659,6 +698,12 @@ class ProcessPoolCampaignExecutor:
         runner = self.runner
         telemetry = runner.telemetry
         started_at = time.time()
+        if self.monitor is not None:
+            # Mount (idempotent) and start serving before the first unit,
+            # and let /progress read the merged worker phase durations.
+            self.monitor.mount(telemetry, runner=runner)
+            self.monitor._phase_source = self
+            self.monitor.start()
         runner._progress_base = telemetry.counter_value(runner._progress_counter)
         runner._completed = 0
         self.phase_durations = {}
@@ -728,6 +773,7 @@ class ProcessPoolCampaignExecutor:
                   table: Optional[RunTable]) -> None:
         runner = self.runner
         telemetry = runner.telemetry
+        manager = None
         pack = SharedPopulationPack.create(runner._shared_population())
         try:
             telemetry.set_gauge("parallel.shared_bytes", pack.nbytes)
@@ -742,13 +788,23 @@ class ProcessPoolCampaignExecutor:
                           in multiprocessing.get_all_start_methods()
                           else "spawn")
                 context = multiprocessing.get_context(method)
+            heartbeat_queue = None
+            if self.monitor is not None:
+                # Raw mp.Queue handles only cross process boundaries by
+                # inheritance, and pool initargs travel by pickle under
+                # spawn — a manager proxy queue is the start-method-
+                # agnostic channel.  Monitor-only cost, paid off-path.
+                manager = context.Manager()
+                heartbeat_queue = manager.Queue()
+                self.monitor.watch_heartbeats(heartbeat_queue)
             pool = ProcessPoolExecutor(
                 max_workers=min(self.n_workers, len(pending)),
                 mp_context=context,
                 initializer=_worker_init,
                 initargs=(runner, pack.manifest,
                           str(self.trace_dir) if self.trace_dir else None,
-                          telemetry.events is not None),
+                          telemetry.events is not None,
+                          heartbeat_queue),
             )
             # Worker event batches arrive in completion order but fan into
             # the parent log strictly in unit order: each batch is buffered
@@ -803,6 +859,11 @@ class ProcessPoolCampaignExecutor:
                 pool.shutdown(wait=False, cancel_futures=True)
                 raise
         finally:
+            if self.monitor is not None:
+                # Drain queued heartbeats before the manager goes away.
+                self.monitor.unwatch_heartbeats()
+            if manager is not None:
+                manager.shutdown()
             pack.close()
             pack.unlink()
 

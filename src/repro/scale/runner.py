@@ -296,15 +296,20 @@ class _UnitCampaignMixin:
         return result
 
     def run_parallel(self, *, n_workers: Optional[int] = None,
-                     checkpoint_dir=None, trace_dir=None):
+                     checkpoint_dir=None, trace_dir=None, monitor=None):
         """Run this campaign through the process-pool executor.
 
         Convenience for ``ProcessPoolCampaignExecutor(self, ...).run()``;
         see :mod:`repro.scale.parallel` for the determinism contract.
+        ``monitor`` mounts a :class:`repro.scale.monitor.MonitorServer`
+        on this campaign's telemetry for the duration of the run: live
+        ``/metrics``, ``/progress``, ``/stream``, and out-of-band worker
+        heartbeats, without changing a single campaign number or
+        canonical event byte (see docs/observability.md).
         """
         executor = ProcessPoolCampaignExecutor(
             self, n_workers=n_workers, checkpoint_dir=checkpoint_dir,
-            trace_dir=trace_dir,
+            trace_dir=trace_dir, monitor=monitor,
         )
         return executor.run()
 
@@ -1330,6 +1335,20 @@ class FrontierResult:
     report: ExperimentReport
 
 
+#: The churn-vs-SLO frontier table, column by column — one definition
+#: shared by the E14 report (quoted in EXPERIMENTS.md) and the live
+#: dashboard (``tools/watch_campaign.py``), via
+#: :func:`repro.analysis.report.format_frontier_table`.
+CHURN_SLO_FRONTIER_COLUMNS: Tuple[Tuple[str, object], ...] = (
+    ("target util", "target_utilization"),
+    ("avail p50", "availability_p50"),
+    ("avail p99", "availability_p99"),
+    ("slo att", "mean_slo_attainment"),
+    ("mean churn", "mean_churn"),
+    ("mean cost usd", "mean_cost_usd"),
+)
+
+
 def run_churn_slo_frontier(
     *,
     targets: Sequence[float] = (0.45, 0.6, 0.75, 0.9),
@@ -1386,12 +1405,8 @@ def run_churn_slo_frontier(
         f"Churn-vs-SLO frontier ({clients:,} clients, {replicas} replicas "
         f"per target, seed {seed})",
     )
-    report.add_table(
-        ["target util", "avail p50", "avail p99", "slo att", "mean churn",
-         "mean cost usd"],
-        [[point.target_utilization, point.availability_p50,
-          point.availability_p99, point.mean_slo_attainment, point.mean_churn,
-          point.mean_cost_usd] for point in points],
+    report.add_frontier_table(
+        CHURN_SLO_FRONTIER_COLUMNS, points,
         title=f"frontier (SLO threshold {slo:g})",
     )
     report.add_note(
@@ -1491,6 +1506,19 @@ class LatencyFrontierResult:
     report: ExperimentReport
 
 
+#: The latency-vs-cost frontier table; same shared-definition contract
+#: as :data:`CHURN_SLO_FRONTIER_COLUMNS`.
+LATENCY_COST_FRONTIER_COLUMNS: Tuple[Tuple[str, object], ...] = (
+    ("target ms", lambda point: point.target_p95_seconds * 1e3),
+    ("p50 ms", "latency_p50_ms"),
+    ("p95 ms", "latency_p95_ms"),
+    ("p99 ms", "latency_p99_ms"),
+    ("lat slo att", "mean_slo_attainment"),
+    ("mean sites", "mean_sites"),
+    ("mean cost usd", "mean_cost_usd"),
+)
+
+
 def run_latency_cost_frontier(
     *,
     targets_p95_seconds: Sequence[float] = (0.045, 0.055, 0.07, 0.1),
@@ -1546,13 +1574,8 @@ def run_latency_cost_frontier(
         f"Latency-vs-cost frontier ({clients:,} clients, {replicas} replicas "
         f"per target, seed {seed})",
     )
-    report.add_table(
-        ["target ms", "p50 ms", "p95 ms", "p99 ms", "lat slo att",
-         "mean sites", "mean cost usd"],
-        [[point.target_p95_seconds * 1e3, point.latency_p50_ms,
-          point.latency_p95_ms, point.latency_p99_ms,
-          point.mean_slo_attainment, point.mean_sites, point.mean_cost_usd]
-         for point in points],
+    report.add_frontier_table(
+        LATENCY_COST_FRONTIER_COLUMNS, points,
         title="frontier (per-epoch pooled P95 path delay)",
     )
     report.add_note(

@@ -123,6 +123,17 @@ def _format_value(value: float) -> str:
     return repr(float(value))
 
 
+def _escape_label_value(value: object) -> str:
+    """Escape a label value per the exposition format: ``\\``, ``"``, LF."""
+    return (str(value).replace("\\", "\\\\")
+            .replace('"', '\\"').replace("\n", "\\n"))
+
+
+def _escape_help(text: str) -> str:
+    """Escape ``# HELP`` text per the exposition format: ``\\`` and LF."""
+    return str(text).replace("\\", "\\\\").replace("\n", "\\n")
+
+
 class MetricsRegistry:
     """Create-or-get counters, gauges, and histograms, fully deterministic.
 
@@ -247,24 +258,40 @@ class MetricsRegistry:
         }
 
     def prometheus_text(self) -> str:
-        """The registry in Prometheus text exposition format."""
+        """The registry in Prometheus text exposition format.
+
+        Strict-scraper compatible: every metric carries a ``# HELP`` line
+        (naming the original dotted metric, which the charset sanitizer
+        would otherwise lose) and a ``# TYPE`` line, and label values go
+        through the exposition-format escaping rules (``\\`` ``"`` and
+        newlines).  The round-trip test in ``tests/scale/test_telemetry``
+        re-parses this output with a strict grammar.
+        """
         lines: List[str] = []
+
+        def head(name: str, prom: str, kind: str) -> None:
+            help_text = _escape_help(f"{kind} {name!r} "
+                                     f"(deterministic work metric)")
+            lines.append(f"# HELP {prom} {help_text}")
+            lines.append(f"# TYPE {prom} {kind}")
+
         for name in sorted(self._counters):
             prom = _prometheus_name(name)
-            lines.append(f"# TYPE {prom} counter")
+            head(name, prom, "counter")
             lines.append(f"{prom} {_format_value(self._counters[name])}")
         for name in sorted(self._gauges):
             prom = _prometheus_name(name)
-            lines.append(f"# TYPE {prom} gauge")
+            head(name, prom, "gauge")
             lines.append(f"{prom} {_format_value(self._gauges[name])}")
         for name in sorted(self._histograms):
             prom = _prometheus_name(name)
             histogram = self._histograms[name]
-            lines.append(f"# TYPE {prom} histogram")
+            head(name, prom, "histogram")
             cumulative = 0
             for edge, count in zip(histogram.edges, histogram.counts):
                 cumulative += count
-                lines.append(f'{prom}_bucket{{le="{edge:g}"}} {cumulative}')
+                le = _escape_label_value(f"{edge:g}")
+                lines.append(f'{prom}_bucket{{le="{le}"}} {cumulative}')
             cumulative += histogram.inf_count
             lines.append(f'{prom}_bucket{{le="+Inf"}} {cumulative}')
             lines.append(f"{prom}_sum {_format_value(histogram.total)}")

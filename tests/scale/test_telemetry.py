@@ -10,6 +10,7 @@ of each experiment (E13–E16) at smoke scale.
 import dataclasses
 import importlib.util
 import json
+import re
 from pathlib import Path
 
 import pytest
@@ -29,7 +30,12 @@ from repro.scale import (
     phase_breakdown,
 )
 from repro.scale.catalogue import run_scenario
-from repro.scale.telemetry import NULL, Histogram
+from repro.scale.telemetry import (
+    NULL,
+    Histogram,
+    _escape_label_value,
+    _prometheus_name,
+)
 
 _CLIENTS = 2_000
 _SEED = 21
@@ -196,6 +202,159 @@ class TestRegistry:
         spans = [json.loads(line) for line in lines]
         assert all({"id", "parent", "name", "start_s", "dur_s"} <= set(span)
                    for span in spans)
+
+
+# -- strict Prometheus exposition grammar ------------------------------------------
+#
+# A scraper-grade re-parse of :meth:`MetricsRegistry.prometheus_text`: every
+# family must carry ``# HELP`` + ``# TYPE`` in that order, every sample line
+# must match the exposition grammar exactly (including label-value escaping),
+# and the parsed values must round-trip back to the registry snapshot.
+
+_METRIC_NAME = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
+_HELP_RE = re.compile(rf"^# HELP (?P<name>{_METRIC_NAME}) (?P<help>[^\n]*)$")
+_TYPE_RE = re.compile(rf"^# TYPE (?P<name>{_METRIC_NAME})"
+                      r" (?P<kind>counter|gauge|histogram)$")
+_LABEL_BODY = r'(?:[^"\\\n]|\\\\|\\"|\\n)*'
+_SAMPLE_RE = re.compile(
+    rf'^(?P<name>{_METRIC_NAME})'
+    rf'(?:\{{(?P<labels>(?:[a-zA-Z_][a-zA-Z0-9_]*="{_LABEL_BODY}",?)*)\}})?'
+    r' (?P<value>[-+]?(?:\d+(?:\.\d+)?(?:[eE][-+]?\d+)?|Inf|NaN))$')
+_LABEL_RE = re.compile(
+    rf'(?P<label>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>{_LABEL_BODY})"')
+
+
+def _unescape_label_value(text):
+    out, i = [], 0
+    while i < len(text):
+        if text[i] == "\\":
+            out.append({"\\": "\\", '"': '"', "n": "\n"}[text[i + 1]])
+            i += 2
+        else:
+            out.append(text[i])
+            i += 1
+    return "".join(out)
+
+
+def parse_prometheus(text):
+    """Strictly parse exposition text -> {family: {help, type, samples}}."""
+    assert text.endswith("\n"), "exposition must end with a newline"
+    families = {}
+    current = None
+    pending_help = None
+    for line in text.splitlines():
+        help_match = _HELP_RE.match(line)
+        if help_match:
+            assert pending_help is None, "HELP not followed by TYPE"
+            pending_help = help_match
+            continue
+        type_match = _TYPE_RE.match(line)
+        if type_match:
+            assert pending_help is not None, "TYPE without a HELP line"
+            assert pending_help["name"] == type_match["name"], \
+                "HELP/TYPE name mismatch"
+            name = type_match["name"]
+            assert name not in families, f"duplicate family {name!r}"
+            families[name] = {"help": pending_help["help"],
+                              "type": type_match["kind"], "samples": []}
+            current, pending_help = name, None
+            continue
+        assert pending_help is None, "HELP not followed by TYPE"
+        sample = _SAMPLE_RE.match(line)
+        assert sample is not None, f"unparseable sample line: {line!r}"
+        assert current is not None, f"sample before any TYPE: {line!r}"
+        name = sample["name"]
+        if families[current]["type"] == "histogram":
+            assert name in (f"{current}_bucket", f"{current}_sum",
+                            f"{current}_count"), \
+                f"sample {name!r} outside family {current!r}"
+        else:
+            assert name == current, \
+                f"sample {name!r} outside family {current!r}"
+        labels = {}
+        if sample["labels"]:
+            for match in _LABEL_RE.finditer(sample["labels"]):
+                labels[match["label"]] = _unescape_label_value(match["value"])
+        key = (name, tuple(sorted(labels.items())))
+        seen = {(n, tuple(sorted(ls.items())))
+                for n, ls, _ in families[current]["samples"]}
+        assert key not in seen, f"duplicate sample {key}"
+        families[current]["samples"].append((name, labels,
+                                             float(sample["value"])))
+    assert pending_help is None, "trailing HELP without TYPE"
+    return families
+
+
+class TestPrometheusStrictRoundTrip:
+    @staticmethod
+    def build_registry():
+        registry = MetricsRegistry()
+        registry.inc("solver.fill_passes", 3)
+        registry.inc("campaign.cost usd/total", 2.5)  # charset-hostile name
+        registry.set_gauge("fleet.sites", 4.5)
+        registry.set_gauge("autoscale.error", -1.25)
+        for value in (0.0, 0.5, 1.0, 3.0, 99.0):
+            registry.observe("timeline.solver_iterations", value,
+                             edges=(0.0, 1.0, 4.0))
+        return registry
+
+    def test_round_trip_matches_registry_snapshot(self):
+        registry = self.build_registry()
+        families = parse_prometheus(registry.prometheus_text())
+        snapshot = registry.as_dict()
+        assert len(families) == 5
+        for kind_key, kind in (("counters", "counter"), ("gauges", "gauge")):
+            for name, value in snapshot[kind_key].items():
+                family = families[_prometheus_name(name)]
+                assert family["type"] == kind
+                # HELP names the original dotted metric the sanitizer lost.
+                assert repr(name) in family["help"]
+                ((sample_name, labels, parsed),) = family["samples"]
+                assert sample_name == _prometheus_name(name)
+                assert labels == {}
+                assert parsed == pytest.approx(value)
+
+    def test_histogram_buckets_are_cumulative_and_closed(self):
+        registry = self.build_registry()
+        families = parse_prometheus(registry.prometheus_text())
+        summary = registry.as_dict()["histograms"]["timeline.solver_iterations"]
+        family = families["timeline_solver_iterations"]
+        assert family["type"] == "histogram"
+        buckets = [(labels["le"], value)
+                   for name, labels, value in family["samples"]
+                   if name.endswith("_bucket")]
+        counts = [count for _, count in buckets]
+        assert counts == sorted(counts)  # cumulative => monotone
+        assert buckets[-1][0] == "+Inf"
+        assert counts[-1] == summary["count"]
+        assert [float(le) for le, _ in buckets[:-1]] == summary["edges"]
+        ((total,),) = [[value] for name, _, value in family["samples"]
+                       if name.endswith("_sum")]
+        assert total == pytest.approx(summary["sum"])
+        ((count,),) = [[value] for name, _, value in family["samples"]
+                       if name.endswith("_count")]
+        assert count == summary["count"]
+
+    def test_label_escaping_round_trips(self):
+        raw = 'a"b\nc\\d'
+        escaped = _escape_label_value(raw)
+        assert escaped == 'a\\"b\\nc\\\\d'
+        text = ("# HELP demo histogram 'demo'\n"
+                "# TYPE demo histogram\n"
+                f'demo_bucket{{le="{escaped}"}} 1\n')
+        ((_, labels, _),) = parse_prometheus(text)["demo"]["samples"]
+        assert labels["le"] == raw
+
+    def test_parser_rejects_malformed_exposition(self):
+        with pytest.raises(AssertionError, match="sample before any TYPE"):
+            parse_prometheus("orphan 1\n")
+        with pytest.raises(AssertionError, match="HELP not followed"):
+            parse_prometheus("# HELP a b\na 1\n")
+        with pytest.raises(AssertionError, match="unparseable"):
+            parse_prometheus('# HELP a b\n# TYPE a counter\n'
+                             'a{x="unterminated} 1\n')
+        with pytest.raises(AssertionError, match="outside family"):
+            parse_prometheus("# HELP a b\n# TYPE a counter\nother 1\n")
 
 
 # -- the perf-report surface -------------------------------------------------------

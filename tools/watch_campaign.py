@@ -1,0 +1,176 @@
+#!/usr/bin/env python3
+"""Terminal dashboard for a live campaign monitor.
+
+Connects to a :class:`repro.scale.monitor.MonitorServer` and renders, in
+place, the operator view of a running campaign: a unit progress bar with
+ETA, the per-phase cost table (the same rows ``tools/perf_report.py``
+prints post-hoc), the latest detector verdicts, and a live trajectory
+table built from the ``epoch`` event stream — through the same
+:func:`repro.analysis.report.format_frontier_table` code path the
+EXPERIMENTS.md frontier tables come from, so the live view and the
+quoted tables can never drift apart.
+
+Run from the repo root, against a campaign started with
+``run_parallel(monitor=MonitorServer.attach(telemetry))``::
+
+    PYTHONPATH=src python tools/watch_campaign.py --url http://127.0.0.1:8765
+
+``--once`` renders a single frame and exits (scripting/CI); otherwise
+the dashboard polls ``/progress`` and pages ``/events`` with a
+strictly-after cursor until the campaign completes.
+
+Exit status: 0 when the watched campaign completes (or after ``--once``),
+1 when the monitor is unreachable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from urllib.error import URLError
+from urllib.request import urlopen
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.analysis.report import format_frontier_table  # noqa: E402
+from repro.scale.telemetry import format_phase_table  # noqa: E402
+
+#: The live trajectory table, one row per ``epoch`` event payload.
+TRAJECTORY_COLUMNS = (
+    ("epoch", "epoch"),
+    ("delivered", "delivered_fraction"),
+    ("p95 ms", lambda payload: payload.get("latency_p95_seconds", 0.0) * 1e3),
+    ("slo viol", lambda payload: payload.get("latency_slo_violations", 0)),
+    ("sites", lambda payload: payload.get("sites_in_service", "")),
+    ("demand x", lambda payload: payload.get("demand_multiplier", "")),
+)
+
+BAR_WIDTH = 32
+
+
+def fetch_json(url: str):
+    with urlopen(url, timeout=10) as response:
+        return json.loads(response.read())
+
+
+def fetch_ndjson(url: str):
+    with urlopen(url, timeout=10) as response:
+        next_seq = int(response.headers.get("X-Next-Seq", "-1"))
+        remaining = int(response.headers.get("X-Remaining", "0"))
+        lines = [json.loads(line)
+                 for line in response.read().decode().splitlines() if line]
+    return lines, next_seq, remaining
+
+
+def progress_bar(done, total) -> str:
+    if not total:
+        return "[" + "-" * BAR_WIDTH + "]"
+    filled = int(round(BAR_WIDTH * min(1.0, done / total)))
+    return "[" + "#" * filled + "-" * (BAR_WIDTH - filled) + "]"
+
+
+def describe_verdict(event) -> str:
+    detail = {key: value for key, value in sorted(event.items())
+              if key not in ("seq", "kind", "schema", "detector")}
+    pairs = " ".join(f"{key}={value}" for key, value in detail.items())
+    return f"  seq {event['seq']:>5}  {event.get('detector', '?'):<22} {pairs}"
+
+
+def render_frame(progress, epochs, verdicts_seen, *, epoch_rows) -> str:
+    lines = []
+    total = progress.get("units_total")
+    done = progress.get("units_done") or 0
+    experiment = progress.get("experiment") or "(no campaign yet)"
+    percent = f"{100.0 * done / total:5.1f}%" if total else "     "
+    eta = progress.get("eta_seconds")
+    elapsed = progress.get("elapsed_seconds")
+    lines.append(
+        f"{experiment}  {done}/{total if total is not None else '?'} units  "
+        f"{progress_bar(done, total)} {percent}"
+        + (f"  elapsed {elapsed:.1f}s" if elapsed is not None else "")
+        + (f"  eta {eta:.1f}s" if eta is not None else "")
+        + ("  COMPLETE" if progress.get("complete") else "")
+    )
+    in_flight = progress.get("units_in_flight") or []
+    if in_flight:
+        markers = ", ".join(
+            str(rec.get("label") or rec.get("unit"))
+            + (f" (pid {rec['pid']})" if rec.get("pid") else "")
+            for rec in in_flight)
+        lines.append(f"in flight: {markers}")
+    lines.append("")
+    phases = progress.get("phases") or {}
+    if phases:
+        top = dict(list(phases.items())[:6])
+        lines.append(format_phase_table(top, title="per-phase cost (top 6)"))
+        lines.append("")
+    if verdicts_seen:
+        lines.append(f"detector verdicts ({len(verdicts_seen)} total, "
+                     f"latest {min(5, len(verdicts_seen))}):")
+        lines.extend(describe_verdict(event) for event in verdicts_seen[-5:])
+        lines.append("")
+    if epochs:
+        lines.append(format_frontier_table(
+            TRAJECTORY_COLUMNS, epochs[-epoch_rows:],
+            title=f"trajectory (last {min(epoch_rows, len(epochs))} epochs "
+                  f"of {len(epochs)} seen)"))
+        lines.append("")
+    counts = (progress.get("events") or {}).get("by_kind") or {}
+    if counts:
+        summary = "  ".join(f"{kind}:{count}"
+                            for kind, count in counts.items())
+        lines.append(f"events: {summary}")
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--url", default="http://127.0.0.1:8765",
+                        help="monitor base URL (MonitorServer.url)")
+    parser.add_argument("--interval", type=float, default=1.0,
+                        help="seconds between frames")
+    parser.add_argument("--once", action="store_true",
+                        help="render one frame and exit")
+    parser.add_argument("--epoch-rows", type=int, default=12,
+                        help="trajectory rows to show")
+    parser.add_argument("--no-clear", action="store_true",
+                        help="append frames instead of redrawing in place")
+    args = parser.parse_args(argv)
+
+    base = args.url.rstrip("/")
+    cursor = -1
+    epochs = []
+    verdicts_seen = []
+    while True:
+        try:
+            progress = fetch_json(base + "/progress")
+            while True:
+                events, cursor, remaining = fetch_ndjson(
+                    base + f"/events?since_seq={cursor}&limit=2000")
+                for event in events:
+                    if event.get("kind") == "epoch":
+                        epochs.append(event)
+                    elif event.get("kind") == "detector":
+                        verdicts_seen.append(event)
+                if not remaining:
+                    break
+        except (URLError, OSError) as exc:
+            print(f"watch_campaign: cannot reach {base}: {exc}",
+                  file=sys.stderr)
+            return 1
+        frame = render_frame(progress, epochs, verdicts_seen,
+                             epoch_rows=args.epoch_rows)
+        if not args.no_clear and not args.once and sys.stdout.isatty():
+            print("\x1b[2J\x1b[H", end="")
+        print(frame)
+        if args.once or progress.get("complete"):
+            return 0
+        time.sleep(args.interval)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
